@@ -1,0 +1,153 @@
+//! Accelerator configuration.
+
+use btr_bits::word::DataFormat;
+use btr_core::ordering::TieBreak;
+use btr_core::OrderingMethod;
+use btr_noc::config::NocConfig;
+use serde::{Deserialize, Serialize};
+
+/// Full configuration of a NOC-DNA run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccelConfig {
+    /// The NoC (mesh size, MCs, link width, VCs).
+    pub noc: NocConfig,
+    /// Payload data format.
+    pub format: DataFormat,
+    /// Data transmission ordering (O0/O1/O2).
+    pub ordering: OrderingMethod,
+    /// Popcount-tie handling in the ordering unit (`Stable` = the paper's
+    /// popcount-only comparator; `Value` = wider comparator sensitivity
+    /// variant, see EXPERIMENTS.md).
+    pub tiebreak: TieBreak,
+    /// Quantize fixed-8 weights with a global Q0.7 scale instead of
+    /// per-tensor max-abs (sensitivity variant; activations stay
+    /// per-tensor either way).
+    pub global_fx8_weights: bool,
+    /// Word lanes per flit (the paper uses 16: 8 inputs + 8 weights).
+    pub values_per_flit: usize,
+    /// Fixed PE pipeline latency before MACs start.
+    pub pe_base_latency: u64,
+    /// MAC lanes per PE cycle (task latency adds
+    /// `ceil(pairs / pe_mac_lanes)` cycles).
+    pub pe_mac_lanes: usize,
+    /// Per-MC injection-queue cap in packets (models the prefetch buffer).
+    pub mc_prefetch_packets: usize,
+    /// Abort threshold per layer (simulation-stall guard).
+    pub max_cycles_per_layer: u64,
+}
+
+impl AccelConfig {
+    /// The paper's configuration for a `width×height` mesh with `mc_count`
+    /// memory controllers: 16 values per flit, hence a 512-bit link for
+    /// float-32 or a 128-bit link for fixed-8 (Sec. V-B).
+    #[must_use]
+    pub fn paper(
+        width: usize,
+        height: usize,
+        mc_count: usize,
+        format: DataFormat,
+        ordering: OrderingMethod,
+    ) -> Self {
+        let values_per_flit = 16;
+        let link_width = values_per_flit as u32 * format.bits_per_value();
+        Self {
+            noc: NocConfig::paper_mesh(width, height, mc_count, link_width),
+            format,
+            ordering,
+            tiebreak: TieBreak::Stable,
+            global_fx8_weights: false,
+            values_per_flit,
+            pe_base_latency: 4,
+            pe_mac_lanes: 16,
+            mc_prefetch_packets: 16,
+            max_cycles_per_layer: 50_000_000,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found.
+    pub fn validate(&self) -> Result<(), String> {
+        self.noc.validate()?;
+        if self.values_per_flit < 2 || self.values_per_flit % 2 != 0 {
+            return Err("values_per_flit must be even and >= 2".into());
+        }
+        let needed = self.values_per_flit as u32 * self.format.bits_per_value();
+        if needed != self.noc.link_width_bits {
+            return Err(format!(
+                "link width {} does not match {} x {} = {needed} bits",
+                self.noc.link_width_bits,
+                self.values_per_flit,
+                self.format.bits_per_value()
+            ));
+        }
+        if self.noc.mc_nodes.is_empty() {
+            return Err("accelerator needs at least one memory controller".into());
+        }
+        if self.noc.pe_nodes().is_empty() {
+            return Err("accelerator needs at least one processing element".into());
+        }
+        if self.pe_mac_lanes == 0 {
+            return Err("pe_mac_lanes must be positive".into());
+        }
+        if self.mc_prefetch_packets == 0 {
+            return Err("mc_prefetch_packets must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// PE compute latency for a task of `pairs` operand pairs.
+    #[must_use]
+    pub fn pe_latency(&self, pairs: usize) -> u64 {
+        self.pe_base_latency + pairs.div_ceil(self.pe_mac_lanes) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configs_are_valid() {
+        for (w, h, mc) in [(4, 4, 2), (8, 8, 4), (8, 8, 8)] {
+            for format in [DataFormat::Float32, DataFormat::Fixed8] {
+                for ordering in OrderingMethod::ALL {
+                    let c = AccelConfig::paper(w, h, mc, format, ordering);
+                    assert!(c.validate().is_ok(), "{w}x{h} MC{mc} {format} {ordering}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn link_widths_match_paper() {
+        let f32c = AccelConfig::paper(4, 4, 2, DataFormat::Float32, OrderingMethod::Baseline);
+        assert_eq!(f32c.noc.link_width_bits, 512);
+        let fx8c = AccelConfig::paper(4, 4, 2, DataFormat::Fixed8, OrderingMethod::Baseline);
+        assert_eq!(fx8c.noc.link_width_bits, 128);
+    }
+
+    #[test]
+    fn validation_catches_mismatched_link() {
+        let mut c = AccelConfig::paper(4, 4, 2, DataFormat::Float32, OrderingMethod::Baseline);
+        c.noc.link_width_bits = 128;
+        assert!(c.validate().unwrap_err().contains("does not match"));
+    }
+
+    #[test]
+    fn validation_requires_mcs() {
+        let mut c = AccelConfig::paper(4, 4, 2, DataFormat::Fixed8, OrderingMethod::Baseline);
+        c.noc.mc_nodes.clear();
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn pe_latency_model() {
+        let c = AccelConfig::paper(4, 4, 2, DataFormat::Fixed8, OrderingMethod::Baseline);
+        assert_eq!(c.pe_latency(25), 4 + 2); // ceil(25/16) = 2
+        assert_eq!(c.pe_latency(400), 4 + 25);
+        assert_eq!(c.pe_latency(1), 5);
+    }
+}

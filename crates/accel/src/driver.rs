@@ -1,0 +1,668 @@
+//! The inference driver: runs a lowered DNN over the NoC, layer by layer.
+//!
+//! Conv / linear layers generate task packets (MC → PE) and response
+//! packets (PE → MC); everything else executes memory-side on the
+//! assembled activations. One simulator instance persists across layers so
+//! link recorders accumulate the complete inference's bit transitions —
+//! the quantity Figs. 12–13 report.
+
+use crate::config::AccelConfig;
+use crate::report::{InferenceResult, LayerTrafficReport};
+use crate::tasks::{
+    conv_tasks, f32_mappers, fx8_mappers, linear_tasks, ConvGeometry, IndexedTask,
+    LayerQuantizers,
+};
+use btr_bits::payload::PayloadBits;
+use btr_bits::word::{DataFormat, DataWord, F32Word, Fx8Word};
+use btr_core::flitize::{order_task_with, FlitizeError, OrderedTask};
+use btr_core::task::RecoveredTask;
+use btr_dnn::model::InferenceOp;
+use btr_dnn::tensor::Tensor;
+use btr_noc::packet::Packet;
+use btr_noc::sim::{InjectError, Simulator};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Errors from [`run_inference`].
+#[derive(Debug)]
+pub enum AccelError {
+    /// Invalid configuration.
+    Config(String),
+    /// Flitization failed (geometry).
+    Flitize(FlitizeError),
+    /// Packet injection failed.
+    Inject(InjectError),
+    /// Wire-level decode or recovery failed at a PE.
+    Decode(String),
+    /// A layer did not drain within the configured cycle budget.
+    Stall {
+        /// Op index of the stalled layer.
+        layer: usize,
+        /// Cycles spent in the layer before giving up.
+        cycles: u64,
+    },
+    /// The fixed-16 extension format is not wired into the accelerator.
+    UnsupportedFormat(DataFormat),
+}
+
+impl std::fmt::Display for AccelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AccelError::Config(msg) => write!(f, "invalid accelerator config: {msg}"),
+            AccelError::Flitize(e) => write!(f, "flitization failed: {e}"),
+            AccelError::Inject(e) => write!(f, "injection failed: {e}"),
+            AccelError::Decode(msg) => write!(f, "receiver decode failed: {msg}"),
+            AccelError::Stall { layer, cycles } => {
+                write!(f, "layer {layer} stalled after {cycles} cycles")
+            }
+            AccelError::UnsupportedFormat(fmt) => {
+                write!(f, "format {fmt} is not supported by the accelerator")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AccelError {}
+
+impl From<FlitizeError> for AccelError {
+    fn from(e: FlitizeError) -> Self {
+        AccelError::Flitize(e)
+    }
+}
+
+impl From<InjectError> for AccelError {
+    fn from(e: InjectError) -> Self {
+        AccelError::Inject(e)
+    }
+}
+
+/// Words the accelerator can compute on: defines how a PE encodes its MAC
+/// result into the 32-bit response image.
+pub trait AccelWord: DataWord {
+    /// Encodes the recovered task's MAC result (32-bit field, LSB-first).
+    fn response_bits(rec: &RecoveredTask<Self>) -> u64;
+}
+
+impl AccelWord for F32Word {
+    fn response_bits(rec: &RecoveredTask<Self>) -> u64 {
+        u64::from((rec.mac_f64() as f32).to_bits())
+    }
+}
+
+impl AccelWord for Fx8Word {
+    fn response_bits(rec: &RecoveredTask<Self>) -> u64 {
+        let mac = rec.mac_i64();
+        debug_assert!(
+            i64::from(mac as i32) == mac,
+            "integer MAC overflowed the 32-bit response field"
+        );
+        u64::from(mac as i32 as u32)
+    }
+}
+
+/// Runs a complete inference over the NoC.
+///
+/// # Errors
+///
+/// Returns [`AccelError`] on invalid configuration, flitization failure,
+/// a stalled layer, or a receiver-side decode failure.
+pub fn run_inference(
+    ops: &[InferenceOp],
+    input: &Tensor,
+    config: &AccelConfig,
+) -> Result<InferenceResult, AccelError> {
+    config.validate().map_err(AccelError::Config)?;
+    let mut sim = Simulator::new(config.noc.clone());
+    let mut x = input.clone();
+    let mut per_layer = Vec::new();
+    let mut index_overhead_bits = 0u64;
+
+    for (op_index, op) in ops.iter().enumerate() {
+        match op {
+            InferenceOp::Conv {
+                weight,
+                bias,
+                stride,
+                padding,
+            } => {
+                let geo = ConvGeometry::from_shapes(&x, weight, *stride, *padding);
+                let out_shape = [geo.out_channels, geo.out_h, geo.out_w];
+                let values = match config.format {
+                    DataFormat::Float32 => {
+                        let (ti, tw, tb) = f32_mappers();
+                        let tasks = conv_tasks(&x, weight, bias, &geo, ti, tw, tb);
+                        run_noc_layer_f32(
+                            op_index,
+                            "conv",
+                            &tasks,
+                            config,
+                            &mut sim,
+                            &mut per_layer,
+                            &mut index_overhead_bits,
+                        )?
+                    }
+                    DataFormat::Fixed8 => {
+                        let q =
+                            LayerQuantizers::derive_with(&x, weight, bias, config.global_fx8_weights);
+                        let (ti, tw, tb) = fx8_mappers(q);
+                        let tasks = conv_tasks(&x, weight, bias, &geo, ti, tw, tb);
+                        run_noc_layer_fx8(
+                            op_index,
+                            "conv",
+                            &tasks,
+                            q,
+                            config,
+                            &mut sim,
+                            &mut per_layer,
+                            &mut index_overhead_bits,
+                        )?
+                    }
+                    other => return Err(AccelError::UnsupportedFormat(other)),
+                };
+                x = Tensor::from_vec(&out_shape, values).expect("task count matches shape");
+            }
+            InferenceOp::Linear { weight, bias } => {
+                let out_shape = [weight.shape()[0]];
+                let values = match config.format {
+                    DataFormat::Float32 => {
+                        let (ti, tw, tb) = f32_mappers();
+                        let tasks = linear_tasks(&x, weight, bias, ti, tw, tb);
+                        run_noc_layer_f32(
+                            op_index,
+                            "linear",
+                            &tasks,
+                            config,
+                            &mut sim,
+                            &mut per_layer,
+                            &mut index_overhead_bits,
+                        )?
+                    }
+                    DataFormat::Fixed8 => {
+                        let q =
+                            LayerQuantizers::derive_with(&x, weight, bias, config.global_fx8_weights);
+                        let (ti, tw, tb) = fx8_mappers(q);
+                        let tasks = linear_tasks(&x, weight, bias, ti, tw, tb);
+                        run_noc_layer_fx8(
+                            op_index,
+                            "linear",
+                            &tasks,
+                            q,
+                            config,
+                            &mut sim,
+                            &mut per_layer,
+                            &mut index_overhead_bits,
+                        )?
+                    }
+                    other => return Err(AccelError::UnsupportedFormat(other)),
+                };
+                x = Tensor::from_vec(&out_shape, values).expect("task count matches shape");
+            }
+            // Memory-side ops run between layers (the layer-level interval).
+            other => x = other.execute(&x),
+        }
+    }
+
+    Ok(InferenceResult {
+        output: x,
+        stats: sim.stats(),
+        total_cycles: sim.cycle(),
+        per_layer,
+        index_overhead_bits,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_noc_layer_f32(
+    op_index: usize,
+    op_name: &'static str,
+    tasks: &[IndexedTask<F32Word>],
+    config: &AccelConfig,
+    sim: &mut Simulator,
+    per_layer: &mut Vec<LayerTrafficReport>,
+    index_overhead_bits: &mut u64,
+) -> Result<Vec<f32>, AccelError> {
+    let responses = simulate_layer(op_index, op_name, tasks, config, sim, per_layer, index_overhead_bits)?;
+    Ok(responses
+        .into_iter()
+        .map(|bits| f32::from_bits(bits as u32))
+        .collect())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_noc_layer_fx8(
+    op_index: usize,
+    op_name: &'static str,
+    tasks: &[IndexedTask<Fx8Word>],
+    q: LayerQuantizers,
+    config: &AccelConfig,
+    sim: &mut Simulator,
+    per_layer: &mut Vec<LayerTrafficReport>,
+    index_overhead_bits: &mut u64,
+) -> Result<Vec<f32>, AccelError> {
+    let responses = simulate_layer(op_index, op_name, tasks, config, sim, per_layer, index_overhead_bits)?;
+    // Bias codes by output index, to separate the integer dot product from
+    // the bias during dequantization.
+    let mut bias_codes = vec![0i8; tasks.len()];
+    for t in tasks {
+        bias_codes[t.out_index] = t.task.bias().code();
+    }
+    Ok(responses
+        .into_iter()
+        .zip(bias_codes)
+        .map(|(bits, bias_code)| {
+            let mac = i64::from(bits as u32 as i32);
+            q.dequantize_response(mac, bias_code)
+        })
+        .collect())
+}
+
+/// Per-task routing metadata kept MC-side (conceptually: the extended head
+/// flit fields plus, for O2, the index side channel).
+struct TaskMeta {
+    pe: usize,
+    mc: usize,
+    num_pairs: usize,
+    pair_index: Option<Vec<u16>>,
+}
+
+/// Partitions the PEs into one balanced region per MC, each PE joining the
+/// nearest non-full MC (Manhattan distance, greedy in node order).
+///
+/// Each MC serves only its own region, so the average hop count per flit
+/// scales with routers-per-MC — the effect behind Fig. 12's observation
+/// that the 8×8 mesh with 4 MCs accumulates the most BTs.
+fn partition_pes_by_mc(config: &btr_noc::config::NocConfig) -> Vec<Vec<usize>> {
+    let mcs = &config.mc_nodes;
+    let pes = config.pe_nodes();
+    let cap = pes.len().div_ceil(mcs.len());
+    let mut regions: Vec<Vec<usize>> = vec![Vec::new(); mcs.len()];
+    // Assign PEs in order of how constrained they are (largest distance to
+    // their nearest MC first), so central nodes don't fill a far MC early.
+    let mut order: Vec<usize> = pes;
+    order.sort_by_key(|&pe| {
+        std::cmp::Reverse(
+            mcs.iter()
+                .map(|&mc| btr_noc::routing::hop_count(config, mc, pe))
+                .min()
+                .unwrap_or(0),
+        )
+    });
+    for pe in order {
+        let best = mcs
+            .iter()
+            .enumerate()
+            .filter(|(mi, _)| regions[*mi].len() < cap)
+            .min_by_key(|(_, &mc)| btr_noc::routing::hop_count(config, mc, pe))
+            .map(|(mi, _)| mi)
+            .expect("capacity covers all PEs");
+        regions[best].push(pe);
+    }
+    // Deterministic order within each region.
+    for region in &mut regions {
+        region.sort_unstable();
+    }
+    regions
+}
+
+/// Runs one conv/linear layer's traffic to completion. Returns the 32-bit
+/// response images ordered by `out_index`.
+#[allow(clippy::too_many_arguments)]
+fn simulate_layer<W: AccelWord>(
+    op_index: usize,
+    op_name: &'static str,
+    tasks: &[IndexedTask<W>],
+    config: &AccelConfig,
+    sim: &mut Simulator,
+    per_layer: &mut Vec<LayerTrafficReport>,
+    index_overhead_bits: &mut u64,
+) -> Result<Vec<u64>, AccelError> {
+    let mcs = &config.noc.mc_nodes;
+    let regions = partition_pes_by_mc(&config.noc);
+    let vpf = config.values_per_flit;
+    let link_width = config.noc.link_width_bits;
+
+    // Static assignment: task j -> MC round-robin, then round-robin over
+    // that MC's own PE region. O0/O1/O2 runs use identical assignments,
+    // so BT comparisons are apples-to-apples.
+    let mut metas: Vec<TaskMeta> = tasks
+        .iter()
+        .enumerate()
+        .map(|(j, t)| {
+            let mi = j % mcs.len();
+            let region = &regions[mi];
+            TaskMeta {
+                pe: region[(j / mcs.len()) % region.len()],
+                mc: mcs[mi],
+                num_pairs: t.task.len(),
+                pair_index: None,
+            }
+        })
+        .collect();
+    let mut per_mc_tasks: Vec<Vec<usize>> = vec![Vec::new(); mcs.len()];
+    for j in 0..tasks.len() {
+        per_mc_tasks[j % mcs.len()].push(j);
+    }
+    let mut cursors = vec![0usize; mcs.len()];
+
+    let mut responses: Vec<Option<u64>> = vec![None; tasks.len()];
+    let mut remaining = tasks.len();
+    // (ready_cycle, tag, response_bits) min-heap for PE compute latency.
+    let mut compute_queue: BinaryHeap<Reverse<(u64, usize, u64)>> = BinaryHeap::new();
+
+    let start_cycle = sim.cycle();
+    let transitions_before = sim.stats().total_transitions;
+    let mut request_flits = 0u64;
+
+    while remaining > 0 {
+        // MC-side: keep each prefetch buffer topped up with ordered packets.
+        for (mi, &mc) in mcs.iter().enumerate() {
+            while sim.pending_at(mc) < config.mc_prefetch_packets {
+                let Some(&j) = per_mc_tasks[mi].get(cursors[mi]) else { break };
+                cursors[mi] += 1;
+                let ordered =
+                    order_task_with(&tasks[j].task, config.ordering, vpf, config.tiebreak)?;
+                *index_overhead_bits += ordered.index_overhead_bits();
+                metas[j].pair_index = ordered.pair_index().map(<[u16]>::to_vec);
+                let packet = Packet::new(mc, metas[j].pe, ordered.payload_flits(), j as u64);
+                request_flits += packet.flit_count() as u64;
+                sim.inject(packet)?;
+            }
+        }
+
+        sim.step();
+
+        // Deliveries: requests at PEs, responses at MCs.
+        for delivered in sim.drain_all_delivered() {
+            let j = delivered.tag as usize;
+            if config.noc.is_mc(delivered.dst) {
+                // Response arrived back at its MC.
+                let bits = delivered.payload_flits[0].field(0, 32);
+                debug_assert!(responses[j].is_none(), "duplicate response for task {j}");
+                responses[j] = Some(bits);
+                remaining -= 1;
+            } else {
+                // Request arrived at a PE: decode off the wires, recover
+                // pairing, schedule the MAC result.
+                let meta = &metas[j];
+                let ordered = OrderedTask::<W>::from_payload_flits(
+                    config.ordering,
+                    meta.num_pairs,
+                    vpf,
+                    meta.pair_index.clone(),
+                    &delivered.payload_flits,
+                )
+                .map_err(|e| AccelError::Decode(e.to_string()))?;
+                let recovered = ordered
+                    .recover()
+                    .map_err(|e| AccelError::Decode(e.to_string()))?;
+                let bits = W::response_bits(&recovered);
+                let ready = sim.cycle() + config.pe_latency(meta.num_pairs);
+                compute_queue.push(Reverse((ready, j, bits)));
+            }
+        }
+
+        // PE-side: inject finished responses.
+        while let Some(&Reverse((ready, j, bits))) = compute_queue.peek() {
+            if ready > sim.cycle() {
+                break;
+            }
+            compute_queue.pop();
+            let mut image = PayloadBits::zero(link_width);
+            image.set_field(0, 32, bits);
+            sim.inject(Packet::new(metas[j].pe, metas[j].mc, vec![image], j as u64))?;
+        }
+
+        if sim.cycle() - start_cycle > config.max_cycles_per_layer {
+            return Err(AccelError::Stall {
+                layer: op_index,
+                cycles: sim.cycle() - start_cycle,
+            });
+        }
+    }
+
+    let transitions_after = sim.stats().total_transitions;
+    per_layer.push(LayerTrafficReport {
+        op_index,
+        op_name,
+        request_packets: tasks.len() as u64,
+        request_flits,
+        cycles: sim.cycle() - start_cycle,
+        transitions: transitions_after - transitions_before,
+        pairs_per_task: tasks.first().map_or(0, |t| t.task.len()),
+    });
+
+    let mut out = vec![0u64; tasks.len()];
+    for (j, bits) in responses.into_iter().enumerate() {
+        let bits = bits.expect("all responses collected");
+        out[tasks[j].out_index] = bits;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btr_core::OrderingMethod;
+    use btr_dnn::layer::{ActKind, Activation, Conv2d, Flatten, Linear, MaxPool2d};
+    use btr_dnn::model::{Layer, Sequential};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A small conv net that still exercises conv, pool, activation,
+    /// flatten and linear over the NoC.
+    fn tiny_model(seed: u64) -> Sequential {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Sequential::new(vec![
+            Layer::Conv2d(Conv2d::new(1, 3, 3, 1, 1, &mut rng)),
+            Layer::Activation(Activation::new(ActKind::ReLU)),
+            Layer::MaxPool2d(MaxPool2d::new(2, 2)),
+            Layer::Flatten(Flatten::new()),
+            Layer::Linear(Linear::new(3 * 4 * 4, 5, &mut rng)),
+        ])
+    }
+
+    fn tiny_input(seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::from_vec(&[1, 8, 8], (0..64).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .unwrap()
+    }
+
+    fn config(format: DataFormat, ordering: OrderingMethod) -> AccelConfig {
+        AccelConfig::paper(4, 4, 2, format, ordering)
+    }
+
+    #[test]
+    fn f32_inference_matches_reference() {
+        let model = tiny_model(1);
+        let ops = model.inference_ops();
+        let input = tiny_input(2);
+        let reference = model.infer(&input);
+        for ordering in OrderingMethod::ALL {
+            let result =
+                run_inference(&ops, &input, &config(DataFormat::Float32, ordering)).unwrap();
+            assert_eq!(result.output.shape(), reference.shape());
+            for (got, want) in result.output.data().iter().zip(reference.data().iter()) {
+                assert!(
+                    (got - want).abs() < 1e-3 * (1.0 + want.abs()),
+                    "{ordering}: {got} vs {want}"
+                );
+            }
+            assert!(result.stats.packets_delivered > 0);
+            assert!(result.total_cycles > 0);
+        }
+    }
+
+    #[test]
+    fn fx8_outputs_are_identical_across_orderings() {
+        // Integer MACs make fixed-8 results bit-exact regardless of
+        // transmission order — the paper's "values' integrity" claim.
+        let model = tiny_model(3);
+        let ops = model.inference_ops();
+        let input = tiny_input(4);
+        let baseline =
+            run_inference(&ops, &input, &config(DataFormat::Fixed8, OrderingMethod::Baseline))
+                .unwrap();
+        for ordering in [OrderingMethod::Affiliated, OrderingMethod::Separated] {
+            let result =
+                run_inference(&ops, &input, &config(DataFormat::Fixed8, ordering)).unwrap();
+            assert_eq!(
+                result.output.data(),
+                baseline.output.data(),
+                "{ordering} changed fixed-8 outputs"
+            );
+        }
+    }
+
+    #[test]
+    fn ordering_reduces_transitions_on_tiny_model() {
+        let model = tiny_model(5);
+        let ops = model.inference_ops();
+        let input = tiny_input(6);
+        let mut totals = Vec::new();
+        for ordering in OrderingMethod::ALL {
+            let result =
+                run_inference(&ops, &input, &config(DataFormat::Fixed8, ordering)).unwrap();
+            totals.push(result.stats.total_transitions);
+        }
+        let (o0, o1, o2) = (totals[0], totals[1], totals[2]);
+        assert!(o1 < o0, "affiliated {o1} must beat baseline {o0}");
+        assert!(o2 < o0, "separated {o2} must beat baseline {o0}");
+        assert!(o2 <= o1, "separated {o2} should be at least as good as affiliated {o1}");
+    }
+
+    #[test]
+    fn traffic_identical_across_orderings() {
+        // Same packets, flits and assignments; only intra-packet order
+        // differs.
+        let model = tiny_model(7);
+        let ops = model.inference_ops();
+        let input = tiny_input(8);
+        let mut packet_counts = Vec::new();
+        let mut flit_counts = Vec::new();
+        for ordering in OrderingMethod::ALL {
+            let r = run_inference(&ops, &input, &config(DataFormat::Fixed8, ordering)).unwrap();
+            packet_counts.push(r.total_request_packets());
+            flit_counts.push(r.total_request_flits());
+        }
+        assert!(packet_counts.windows(2).all(|w| w[0] == w[1]));
+        assert!(flit_counts.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn separated_reports_index_overhead() {
+        let model = tiny_model(9);
+        let ops = model.inference_ops();
+        let input = tiny_input(10);
+        let o1 = run_inference(&ops, &input, &config(DataFormat::Fixed8, OrderingMethod::Affiliated))
+            .unwrap();
+        let o2 = run_inference(&ops, &input, &config(DataFormat::Fixed8, OrderingMethod::Separated))
+            .unwrap();
+        assert_eq!(o1.index_overhead_bits, 0);
+        assert!(o2.index_overhead_bits > 0);
+    }
+
+    #[test]
+    fn per_layer_reports_cover_noc_ops() {
+        let model = tiny_model(11);
+        let ops = model.inference_ops();
+        let input = tiny_input(12);
+        let r = run_inference(&ops, &input, &config(DataFormat::Float32, OrderingMethod::Baseline))
+            .unwrap();
+        assert_eq!(r.per_layer.len(), 2); // conv + linear
+        assert_eq!(r.per_layer[0].op_name, "conv");
+        assert_eq!(r.per_layer[1].op_name, "linear");
+        // conv on 8x8 with pad 1: 3 channels * 64 pixels = 192 tasks.
+        assert_eq!(r.per_layer[0].request_packets, 192);
+        assert_eq!(r.per_layer[1].request_packets, 5);
+        assert!(r.per_layer.iter().all(|l| l.transitions > 0));
+    }
+
+    #[test]
+    fn rejects_fixed16() {
+        let model = tiny_model(13);
+        let ops = model.inference_ops();
+        let input = tiny_input(14);
+        let mut c = config(DataFormat::Fixed8, OrderingMethod::Baseline);
+        c.format = DataFormat::Fixed16;
+        c.noc.link_width_bits = 256;
+        let err = run_inference(&ops, &input, &c).unwrap_err();
+        assert!(matches!(err, AccelError::UnsupportedFormat(DataFormat::Fixed16)));
+    }
+
+    #[test]
+    fn sensitivity_options_increase_fx8_reduction() {
+        // Value tiebreak + global fixed-8 weights should push the fixed-8
+        // separated-ordering reduction beyond the strictly-as-described
+        // configuration (see EXPERIMENTS.md).
+        let model = tiny_model(21);
+        let ops = model.inference_ops();
+        let input = tiny_input(22);
+        let reduction = |tiebreak, global| -> f64 {
+            let mut totals = Vec::new();
+            for ordering in [OrderingMethod::Baseline, OrderingMethod::Separated] {
+                let mut c = config(DataFormat::Fixed8, ordering);
+                c.tiebreak = tiebreak;
+                c.global_fx8_weights = global;
+                totals.push(run_inference(&ops, &input, &c).unwrap().stats.total_transitions);
+            }
+            1.0 - totals[1] as f64 / totals[0] as f64
+        };
+        let plain = reduction(btr_core::ordering::TieBreak::Stable, false);
+        let boosted = reduction(btr_core::ordering::TieBreak::Value, true);
+        assert!(
+            boosted > plain,
+            "sensitivity options should help: {boosted} vs {plain}"
+        );
+    }
+
+    #[test]
+    fn pe_partition_is_balanced_and_local() {
+        use btr_noc::config::NocConfig;
+        use btr_noc::routing::hop_count;
+        for (w, h, mc) in [(4usize, 4usize, 2usize), (8, 8, 4), (8, 8, 8)] {
+            let config = NocConfig::paper_mesh(w, h, mc, 128);
+            let regions = partition_pes_by_mc(&config);
+            assert_eq!(regions.len(), mc);
+            let total: usize = regions.iter().map(Vec::len).sum();
+            assert_eq!(total, config.pe_nodes().len());
+            let cap = total.div_ceil(mc);
+            for region in &regions {
+                assert!(region.len() <= cap);
+                assert!(!region.is_empty());
+            }
+            // No PE appears twice.
+            let mut all: Vec<usize> = regions.iter().flatten().copied().collect();
+            all.sort_unstable();
+            all.dedup();
+            assert_eq!(all.len(), total);
+            // Fewer MCs (bigger regions) means longer average distance.
+            if mc == 4 {
+                let c8 = NocConfig::paper_mesh(8, 8, 8, 128);
+                let r8 = partition_pes_by_mc(&c8);
+                let avg = |cfg: &NocConfig, regs: &[Vec<usize>]| -> f64 {
+                    let mut sum = 0usize;
+                    let mut n = 0usize;
+                    for (mi, region) in regs.iter().enumerate() {
+                        for &pe in region {
+                            sum += hop_count(cfg, cfg.mc_nodes[mi], pe);
+                            n += 1;
+                        }
+                    }
+                    sum as f64 / n as f64
+                };
+                assert!(avg(&config, &regions) > avg(&c8, &r8));
+            }
+        }
+    }
+
+    #[test]
+    fn stall_guard_fires() {
+        let model = tiny_model(15);
+        let ops = model.inference_ops();
+        let input = tiny_input(16);
+        let mut c = config(DataFormat::Fixed8, OrderingMethod::Baseline);
+        c.max_cycles_per_layer = 2;
+        let err = run_inference(&ops, &input, &c).unwrap_err();
+        assert!(matches!(err, AccelError::Stall { layer: 0, .. }));
+    }
+}

@@ -1,0 +1,54 @@
+//! Inference result and per-layer traffic reports.
+
+use btr_dnn::tensor::Tensor;
+use btr_noc::stats::NocStats;
+use serde::{Deserialize, Serialize};
+
+/// Traffic summary of one NoC layer (conv / linear).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LayerTrafficReport {
+    /// Index into the inference-op list.
+    pub op_index: usize,
+    /// `"conv"` or `"linear"`.
+    pub op_name: &'static str,
+    /// Task packets sent MC→PE (the same number of responses came back).
+    pub request_packets: u64,
+    /// Flits injected for requests (head + payload).
+    pub request_flits: u64,
+    /// Cycles this layer's traffic took to drain.
+    pub cycles: u64,
+    /// Bit transitions accumulated during this layer (all links).
+    pub transitions: u64,
+    /// Operand pairs per task.
+    pub pairs_per_task: usize,
+}
+
+/// Result of a full accelerated inference.
+#[derive(Debug, Clone)]
+pub struct InferenceResult {
+    /// The network output (logits).
+    pub output: Tensor,
+    /// Aggregate NoC statistics over the complete inference.
+    pub stats: NocStats,
+    /// Per-NoC-layer traffic breakdown.
+    pub per_layer: Vec<LayerTrafficReport>,
+    /// Total simulated cycles.
+    pub total_cycles: u64,
+    /// Separated-ordering index side-channel overhead, in bits
+    /// (zero for O0/O1).
+    pub index_overhead_bits: u64,
+}
+
+impl InferenceResult {
+    /// Total request packets across layers.
+    #[must_use]
+    pub fn total_request_packets(&self) -> u64 {
+        self.per_layer.iter().map(|l| l.request_packets).sum()
+    }
+
+    /// Total request flits across layers.
+    #[must_use]
+    pub fn total_request_flits(&self) -> u64 {
+        self.per_layer.iter().map(|l| l.request_flits).sum()
+    }
+}

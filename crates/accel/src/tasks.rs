@@ -1,0 +1,371 @@
+//! Layer → neuron-task extraction.
+//!
+//! Each convolution output pixel (per output channel) and each linear
+//! output neuron becomes one [`NeuronTask`]: `k·k·C_in` (or `in_features`)
+//! paired inputs and weights plus a bias (Fig. 2). The extraction order is
+//! `(ic, kh, kw)` row-major — the "natural" memory order that the baseline
+//! (O0) transmits unmodified.
+
+use btr_bits::word::{DataWord, F32Word, Fx8Word};
+use btr_bits::Quantizer;
+use btr_core::task::NeuronTask;
+use btr_dnn::tensor::Tensor;
+
+/// A task plus the flat index of the output element it produces.
+#[derive(Debug, Clone)]
+pub struct IndexedTask<W> {
+    /// The neuron computation.
+    pub task: NeuronTask<W>,
+    /// Flat index into the layer's output tensor.
+    pub out_index: usize,
+}
+
+/// Per-layer quantization scales used by the fixed-8 path.
+#[derive(Debug, Clone, Copy)]
+pub struct LayerQuantizers {
+    /// Input (activation) quantizer.
+    pub input: Quantizer,
+    /// Weight quantizer.
+    pub weight: Quantizer,
+    /// Bias quantizer.
+    pub bias: Quantizer,
+}
+
+impl LayerQuantizers {
+    /// Derives per-tensor scales from the layer operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any operand contains non-finite values.
+    #[must_use]
+    pub fn derive(input: &Tensor, weight: &Tensor, bias: &Tensor) -> Self {
+        Self::derive_with(input, weight, bias, false)
+    }
+
+    /// [`LayerQuantizers::derive`] with an optional global Q0.7 weight
+    /// scale (the sensitivity variant; weights beyond ±1 saturate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any operand contains non-finite values.
+    #[must_use]
+    pub fn derive_with(
+        input: &Tensor,
+        weight: &Tensor,
+        bias: &Tensor,
+        global_weights: bool,
+    ) -> Self {
+        let weight_q = if global_weights {
+            Quantizer::new(1.0, 8).expect("unit scale is valid")
+        } else {
+            Quantizer::from_data(weight.data(), 8).expect("finite weights")
+        };
+        Self {
+            input: Quantizer::from_data(input.data(), 8).expect("finite activations"),
+            weight: weight_q,
+            bias: Quantizer::from_data(bias.data(), 8).expect("finite biases"),
+        }
+    }
+
+    /// Dequantizes a PE's integer MAC response into the float domain:
+    /// the response is `Σ qi·qw + qb`; the bias code is subtracted, the
+    /// integer dot product is rescaled by both operand scales, and the
+    /// dequantized bias is added back.
+    #[must_use]
+    pub fn dequantize_response(&self, mac: i64, bias_code: i8) -> f32 {
+        let dot = mac - i64::from(bias_code);
+        let prod_scale = (self.input.scale() * self.weight.scale())
+            / (self.input.q_max() as f32 * self.weight.q_max() as f32);
+        dot as f32 * prod_scale + self.bias.dequantize_i32(i32::from(bias_code))
+    }
+}
+
+/// Conv geometry needed to enumerate tasks.
+#[derive(Debug, Clone, Copy)]
+pub struct ConvGeometry {
+    /// Output channels.
+    pub out_channels: usize,
+    /// Input channels.
+    pub in_channels: usize,
+    /// Kernel size.
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Padding.
+    pub padding: usize,
+    /// Output spatial height.
+    pub out_h: usize,
+    /// Output spatial width.
+    pub out_w: usize,
+}
+
+impl ConvGeometry {
+    /// Derives the geometry from operand shapes.
+    #[must_use]
+    pub fn from_shapes(input: &Tensor, weight: &Tensor, stride: usize, padding: usize) -> Self {
+        let (h, w) = (input.shape()[1], input.shape()[2]);
+        let k = weight.shape()[2];
+        Self {
+            out_channels: weight.shape()[0],
+            in_channels: weight.shape()[1],
+            kernel: k,
+            stride,
+            padding,
+            out_h: (h + 2 * padding - k) / stride + 1,
+            out_w: (w + 2 * padding - k) / stride + 1,
+        }
+    }
+
+    /// Number of tasks the layer generates.
+    #[must_use]
+    pub fn task_count(&self) -> usize {
+        self.out_channels * self.out_h * self.out_w
+    }
+
+    /// Operand pairs per task.
+    #[must_use]
+    pub fn pairs_per_task(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+}
+
+/// Extracts the input window for conv output `(oy, ox)` in `(ic, kh, kw)`
+/// order, producing words via `to_word` (zero padding outside the input).
+fn conv_window<W: DataWord>(
+    input: &Tensor,
+    geo: &ConvGeometry,
+    oy: usize,
+    ox: usize,
+    to_word: &impl Fn(f32) -> W,
+) -> Vec<W> {
+    let (h, w) = (input.shape()[1], input.shape()[2]);
+    let mut out = Vec::with_capacity(geo.pairs_per_task());
+    for ic in 0..geo.in_channels {
+        for kh in 0..geo.kernel {
+            for kw in 0..geo.kernel {
+                let iy = oy * geo.stride + kh;
+                let ix = ox * geo.stride + kw;
+                let value = match (iy.checked_sub(geo.padding), ix.checked_sub(geo.padding)) {
+                    (Some(iy), Some(ix)) if iy < h && ix < w => input.at3(ic, iy, ix),
+                    _ => 0.0,
+                };
+                out.push(to_word(value));
+            }
+        }
+    }
+    out
+}
+
+/// Flattens the weights of output channel `oc` in `(ic, kh, kw)` order.
+fn conv_kernel<W: DataWord>(
+    weight: &Tensor,
+    geo: &ConvGeometry,
+    oc: usize,
+    to_word: &impl Fn(f32) -> W,
+) -> Vec<W> {
+    let mut out = Vec::with_capacity(geo.pairs_per_task());
+    for ic in 0..geo.in_channels {
+        for kh in 0..geo.kernel {
+            for kw in 0..geo.kernel {
+                out.push(to_word(weight.at4(oc, ic, kh, kw)));
+            }
+        }
+    }
+    out
+}
+
+/// Builds every task of a convolution layer using the given word mappers.
+///
+/// `out_index` is the flat index into the `[out_c, out_h, out_w]` output.
+pub fn conv_tasks<W: DataWord>(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    geo: &ConvGeometry,
+    to_input: impl Fn(f32) -> W,
+    to_weight: impl Fn(f32) -> W,
+    to_bias: impl Fn(f32) -> W,
+) -> Vec<IndexedTask<W>> {
+    let mut tasks = Vec::with_capacity(geo.task_count());
+    for oc in 0..geo.out_channels {
+        let weights = conv_kernel(weight, geo, oc, &to_weight);
+        let bias_word = to_bias(bias.data()[oc]);
+        for oy in 0..geo.out_h {
+            for ox in 0..geo.out_w {
+                let inputs = conv_window(input, geo, oy, ox, &to_input);
+                let task = NeuronTask::new(inputs, weights.clone(), bias_word)
+                    .expect("conv window and kernel have equal length");
+                tasks.push(IndexedTask {
+                    task,
+                    out_index: (oc * geo.out_h + oy) * geo.out_w + ox,
+                });
+            }
+        }
+    }
+    tasks
+}
+
+/// Builds every task of a linear layer.
+pub fn linear_tasks<W: DataWord>(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    to_input: impl Fn(f32) -> W,
+    to_weight: impl Fn(f32) -> W,
+    to_bias: impl Fn(f32) -> W,
+) -> Vec<IndexedTask<W>> {
+    let (out_f, in_f) = (weight.shape()[0], weight.shape()[1]);
+    assert_eq!(input.len(), in_f, "linear input length mismatch");
+    let input_words: Vec<W> = input.data().iter().map(|&x| to_input(x)).collect();
+    let mut tasks = Vec::with_capacity(out_f);
+    for o in 0..out_f {
+        let weights: Vec<W> = weight.data()[o * in_f..(o + 1) * in_f]
+            .iter()
+            .map(|&x| to_weight(x))
+            .collect();
+        let task = NeuronTask::new(input_words.clone(), weights, to_bias(bias.data()[o]))
+            .expect("linear rows match the input length");
+        tasks.push(IndexedTask { task, out_index: o });
+    }
+    tasks
+}
+
+/// Float-32 word mappers (identity encoding).
+#[must_use]
+pub fn f32_mappers() -> (
+    impl Fn(f32) -> F32Word,
+    impl Fn(f32) -> F32Word,
+    impl Fn(f32) -> F32Word,
+) {
+    (F32Word::new, F32Word::new, F32Word::new)
+}
+
+/// Fixed-8 word mappers from per-layer quantizers.
+#[must_use]
+pub fn fx8_mappers(
+    q: LayerQuantizers,
+) -> (
+    impl Fn(f32) -> Fx8Word,
+    impl Fn(f32) -> Fx8Word,
+    impl Fn(f32) -> Fx8Word,
+) {
+    (
+        move |x| q.input.quantize_fx8(x),
+        move |x| q.weight.quantize_fx8(x),
+        move |x| q.bias.quantize_fx8(x),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btr_dnn::model::conv_forward;
+
+    fn sample_conv() -> (Tensor, Tensor, Tensor, ConvGeometry) {
+        let input = Tensor::from_vec(
+            &[2, 4, 4],
+            (0..32).map(|i| (i as f32 * 0.23).sin()).collect(),
+        )
+        .unwrap();
+        let weight = Tensor::from_vec(
+            &[3, 2, 3, 3],
+            (0..54).map(|i| (i as f32 * 0.17).cos() * 0.3).collect(),
+        )
+        .unwrap();
+        let bias = Tensor::from_vec(&[3], vec![0.1, -0.2, 0.3]).unwrap();
+        let geo = ConvGeometry::from_shapes(&input, &weight, 1, 1);
+        (input, weight, bias, geo)
+    }
+
+    #[test]
+    fn geometry_matches_conv_forward() {
+        let (input, weight, bias, geo) = sample_conv();
+        let out = conv_forward(&input, &weight, &bias, 1, 1);
+        assert_eq!(out.shape(), &[geo.out_channels, geo.out_h, geo.out_w]);
+        assert_eq!(geo.task_count(), out.len());
+        assert_eq!(geo.pairs_per_task(), 18);
+    }
+
+    #[test]
+    fn f32_conv_tasks_reproduce_conv_forward() {
+        let (input, weight, bias, geo) = sample_conv();
+        let reference = conv_forward(&input, &weight, &bias, 1, 1);
+        let tasks = conv_tasks(
+            &input,
+            &weight,
+            &bias,
+            &geo,
+            F32Word::new,
+            F32Word::new,
+            F32Word::new,
+        );
+        assert_eq!(tasks.len(), geo.task_count());
+        for t in &tasks {
+            let got = t.task.mac_f64() as f32;
+            let want = reference.data()[t.out_index];
+            assert!((got - want).abs() < 1e-4, "idx {}: {got} vs {want}", t.out_index);
+        }
+        // Every output index covered exactly once.
+        let mut seen = vec![false; reference.len()];
+        for t in &tasks {
+            assert!(!seen[t.out_index]);
+            seen[t.out_index] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn f32_linear_tasks_reproduce_linear_forward() {
+        let input = Tensor::from_vec(&[5], vec![1.0, -2.0, 0.5, 0.0, 3.0]).unwrap();
+        let weight = Tensor::from_vec(
+            &[2, 5],
+            vec![0.1, 0.2, 0.3, 0.4, 0.5, -0.1, -0.2, -0.3, -0.4, -0.5],
+        )
+        .unwrap();
+        let bias = Tensor::from_vec(&[2], vec![1.0, -1.0]).unwrap();
+        let reference = btr_dnn::model::linear_forward(&input, &weight, &bias);
+        let tasks = linear_tasks(&input, &weight, &bias, F32Word::new, F32Word::new, F32Word::new);
+        assert_eq!(tasks.len(), 2);
+        for t in &tasks {
+            assert!((t.task.mac_f64() as f32 - reference.data()[t.out_index]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn fx8_dequantized_response_approximates_float() {
+        let (input, weight, bias, geo) = sample_conv();
+        let reference = conv_forward(&input, &weight, &bias, 1, 1);
+        let q = LayerQuantizers::derive(&input, &weight, &bias);
+        let (ti, tw, tb) = fx8_mappers(q);
+        let tasks = conv_tasks(&input, &weight, &bias, &geo, ti, tw, tb);
+        for t in &tasks {
+            let mac = t.task.mac_i64();
+            let got = q.dequantize_response(mac, t.task.bias().code());
+            let want = reference.data()[t.out_index];
+            // 8-bit quantization error over an 18-element dot product.
+            assert!(
+                (got - want).abs() < 0.12,
+                "idx {}: {got} vs {want}",
+                t.out_index
+            );
+        }
+    }
+
+    #[test]
+    fn padding_produces_zero_words() {
+        let (input, weight, bias, geo) = sample_conv();
+        let tasks = conv_tasks(
+            &input,
+            &weight,
+            &bias,
+            &geo,
+            F32Word::new,
+            F32Word::new,
+            F32Word::new,
+        );
+        // Corner task (0,0) with padding 1: the first window element is
+        // out of bounds -> 0.0.
+        let corner = &tasks[0];
+        assert_eq!(corner.task.inputs()[0].value(), 0.0);
+    }
+}

@@ -1,0 +1,374 @@
+//! The ordering rule: descending popcount sort + round-robin placement.
+//!
+//! Sec. IV of the paper defines three evaluation configurations:
+//!
+//! * **O0 — baseline**: values are transmitted in their natural (memory)
+//!   order;
+//! * **O1 — affiliated-ordering**: *(weight, input)* pairs are placed
+//!   according to the descending `'1'`-bit count of the **weights**; inputs
+//!   stay affiliated with their weights, so no de-ordering is needed
+//!   (convolution/linear layers are order-invariant over paired operands);
+//! * **O2 — separated-ordering**: weights and inputs are each placed
+//!   according to their **own** descending `'1'`-bit counts; a
+//!   minimal-bit-width index re-pairs them at the receiver.
+//!
+//! Placement follows Fig. 3: after sorting descending by popcount, value of
+//! rank `r` goes to flit `r mod k` (round-robin over the packet's `k`
+//! flits), so each link wire sees adjacent-rank — hence similar-popcount —
+//! values on consecutive flits. For `k = 2` this is exactly the proven
+//! optimal interleave `x1 ≥ y1 ≥ x2 ≥ y2 ≥ …` of Sec. III.
+
+use btr_bits::word::DataWord;
+use serde::{Deserialize, Serialize};
+
+/// The three data-transmission configurations evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OrderingMethod {
+    /// O0 — no ordering; values keep their natural order.
+    Baseline,
+    /// O1 — affiliated-ordering: pairs follow the weights' popcount order.
+    Affiliated,
+    /// O2 — separated-ordering: weights and inputs ordered independently.
+    Separated,
+}
+
+impl OrderingMethod {
+    /// All three methods in the order the paper reports them.
+    pub const ALL: [OrderingMethod; 3] = [
+        OrderingMethod::Baseline,
+        OrderingMethod::Affiliated,
+        OrderingMethod::Separated,
+    ];
+
+    /// The paper's shorthand label (O0 / O1 / O2).
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            OrderingMethod::Baseline => "O0",
+            OrderingMethod::Affiliated => "O1",
+            OrderingMethod::Separated => "O2",
+        }
+    }
+
+    /// Long descriptive name.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            OrderingMethod::Baseline => "baseline",
+            OrderingMethod::Affiliated => "affiliated-ordering",
+            OrderingMethod::Separated => "separated-ordering",
+        }
+    }
+}
+
+impl std::fmt::Display for OrderingMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({})", self.label(), self.name())
+    }
+}
+
+/// Tie handling among equal-popcount values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TieBreak {
+    /// Keep the original relative order (popcount-only comparator, as in
+    /// the hardware unit of Fig. 14).
+    Stable,
+    /// Sort equal-popcount values by their raw bit images, aligning
+    /// identical/similar words (see [`descending_popcount_value_order`]).
+    Value,
+}
+
+impl TieBreak {
+    /// Parses `"stable"` / `"value"`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown names.
+    #[must_use]
+    pub fn parse(s: &str) -> Self {
+        match s {
+            "stable" => TieBreak::Stable,
+            "value" => TieBreak::Value,
+            other => panic!("unknown tiebreak {other:?}; use stable|value"),
+        }
+    }
+
+    /// The descending permutation under this tie rule.
+    #[must_use]
+    pub fn descending_order<W: DataWord>(self, values: &[W]) -> Vec<usize> {
+        match self {
+            TieBreak::Stable => descending_popcount_order(values),
+            TieBreak::Value => descending_popcount_value_order(values),
+        }
+    }
+}
+
+/// Returns the permutation that sorts `values` by **descending** popcount.
+///
+/// `perm[rank] = original index`; the sort is stable (ties keep their
+/// original relative order) so the transformation is deterministic.
+#[must_use]
+pub fn descending_popcount_order<W: DataWord>(values: &[W]) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..values.len()).collect();
+    perm.sort_by_key(|&i| std::cmp::Reverse(values[i].popcount()));
+    perm
+}
+
+/// Descending popcount order with **raw-bit-image tiebreak**: values with
+/// equal `'1'` counts are further sorted by their bit patterns
+/// (descending), so identical and structurally similar words become
+/// adjacent ranks.
+///
+/// The paper's comparator sorts on the popcount key alone and leaves tie
+/// order unspecified; breaking ties by value costs nothing in software and
+/// a wider comparator in hardware, and is what makes the reported
+/// reduction magnitudes reachable on real weight data (equal-popcount
+/// groups of small fixed-point codes contain many identical values; see
+/// EXPERIMENTS.md).
+#[must_use]
+pub fn descending_popcount_value_order<W: DataWord>(values: &[W]) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..values.len()).collect();
+    perm.sort_by_key(|&i| {
+        (
+            std::cmp::Reverse(values[i].popcount()),
+            std::cmp::Reverse(values[i].bits_u64()),
+        )
+    });
+    perm
+}
+
+/// Ascending variant, used as an ablation point. The theory predicts it is
+/// exactly as good as descending *within* a packet (reversing a sequence
+/// preserves adjacent-rank distances) but behaves differently at packet
+/// boundaries.
+#[must_use]
+pub fn ascending_popcount_order<W: DataWord>(values: &[W]) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..values.len()).collect();
+    perm.sort_by_key(|&i| values[i].popcount());
+    perm
+}
+
+/// Greedy nearest-neighbor ordering (ablation): starting from the highest
+/// popcount value, repeatedly append the unused value whose popcount is
+/// closest to the previous one. A TSP-flavored heuristic that the paper's
+/// sort provably dominates for the two-flit objective, included to probe
+/// whether the simple sort leaves anything on the table in streams.
+#[must_use]
+pub fn greedy_nearest_order<W: DataWord>(values: &[W]) -> Vec<usize> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let mut remaining: Vec<usize> = (0..values.len()).collect();
+    // Start from the maximum popcount (stable: first such index).
+    let start_pos = remaining
+        .iter()
+        .enumerate()
+        .max_by(|(ai, &a), (bi, &b)| {
+            values[a]
+                .popcount()
+                .cmp(&values[b].popcount())
+                .then(bi.cmp(ai)) // prefer earlier original index on ties
+        })
+        .map(|(pos, _)| pos)
+        .expect("non-empty");
+    let mut order = Vec::with_capacity(values.len());
+    let mut current = remaining.swap_remove(start_pos);
+    order.push(current);
+    while !remaining.is_empty() {
+        let cur_pc = values[current].popcount();
+        let next_pos = remaining
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &idx)| {
+                let d = values[idx].popcount().abs_diff(cur_pc);
+                (d, idx)
+            })
+            .map(|(pos, _)| pos)
+            .expect("non-empty");
+        current = remaining.swap_remove(next_pos);
+        order.push(current);
+    }
+    order
+}
+
+/// Round-robin assignment of sorted ranks to flit slots.
+///
+/// `capacities[f]` is the number of occupied slots flit `f` has for this
+/// value class (inputs or weights). Rank `r` is dealt to flits cyclically,
+/// skipping full flits, and fills each flit's slots in increasing order.
+/// Returns `assign[rank] = (flit, slot)`.
+///
+/// For equal capacities this reduces to `rank → (rank mod k, rank div k)`,
+/// i.e. Fig. 3's column-major placement.
+#[must_use]
+pub fn round_robin_assignment(capacities: &[usize]) -> Vec<(usize, usize)> {
+    let total: usize = capacities.iter().sum();
+    let mut assign = Vec::with_capacity(total);
+    let mut filled = vec![0usize; capacities.len()];
+    while assign.len() < total {
+        let before = assign.len();
+        for (f, &cap) in capacities.iter().enumerate() {
+            if filled[f] < cap {
+                assign.push((f, filled[f]));
+                filled[f] += 1;
+            }
+        }
+        debug_assert!(assign.len() > before, "round-robin made no progress");
+    }
+    assign
+}
+
+/// Applies a rank permutation and a slot assignment to produce, for each
+/// original value index, its destination `(flit, slot)`.
+///
+/// `perm[rank] = original index` (from [`descending_popcount_order`]);
+/// `assign[rank] = (flit, slot)` (from [`round_robin_assignment`]).
+///
+/// # Panics
+///
+/// Panics if the two inputs have different lengths.
+#[must_use]
+pub fn placement_by_original_index(
+    perm: &[usize],
+    assign: &[(usize, usize)],
+) -> Vec<(usize, usize)> {
+    assert_eq!(perm.len(), assign.len(), "perm/assignment length mismatch");
+    let mut dest = vec![(usize::MAX, usize::MAX); perm.len()];
+    for (rank, &orig) in perm.iter().enumerate() {
+        dest[orig] = assign[rank];
+    }
+    debug_assert!(dest.iter().all(|&(f, _)| f != usize::MAX));
+    dest
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btr_bits::word::Fx8Word;
+
+    fn words(codes: &[i8]) -> Vec<Fx8Word> {
+        codes.iter().map(|&c| Fx8Word::new(c)).collect()
+    }
+
+    #[test]
+    fn method_labels() {
+        assert_eq!(OrderingMethod::Baseline.label(), "O0");
+        assert_eq!(OrderingMethod::Affiliated.label(), "O1");
+        assert_eq!(OrderingMethod::Separated.label(), "O2");
+        assert_eq!(OrderingMethod::ALL.len(), 3);
+        assert_eq!(
+            OrderingMethod::Separated.to_string(),
+            "O2 (separated-ordering)"
+        );
+    }
+
+    #[test]
+    fn descending_order_sorts_by_popcount() {
+        // popcounts: 0 -> 0, -1 -> 8, 1 -> 1, 3 -> 2
+        let v = words(&[0, -1, 1, 3]);
+        let perm = descending_popcount_order(&v);
+        assert_eq!(perm, vec![1, 3, 2, 0]);
+        let pcs: Vec<u32> = perm.iter().map(|&i| v[i].popcount()).collect();
+        assert!(pcs.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn descending_order_is_stable_on_ties() {
+        // 1 and 2 both have popcount 1; original order preserved.
+        let v = words(&[1, 2, 4]);
+        let perm = descending_popcount_order(&v);
+        assert_eq!(perm, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn ascending_is_reverse_of_descending_without_ties() {
+        let v = words(&[0, -1, 3, 7]); // popcounts 0, 8, 2, 3 (all distinct)
+        let mut desc = descending_popcount_order(&v);
+        desc.reverse();
+        assert_eq!(ascending_popcount_order(&v), desc);
+    }
+
+    #[test]
+    fn greedy_covers_all_indices() {
+        let v = words(&[5, -1, 0, 127, 33, -128]);
+        let order = greedy_nearest_order(&v);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..v.len()).collect::<Vec<_>>());
+        // Starts from max popcount (-1 -> 8 ones).
+        assert_eq!(order[0], 1);
+    }
+
+    #[test]
+    fn greedy_empty() {
+        let v: Vec<Fx8Word> = Vec::new();
+        assert!(greedy_nearest_order(&v).is_empty());
+    }
+
+    #[test]
+    fn round_robin_equal_capacities_is_column_major() {
+        let assign = round_robin_assignment(&[2, 2, 2]);
+        assert_eq!(
+            assign,
+            vec![(0, 0), (1, 0), (2, 0), (0, 1), (1, 1), (2, 1)]
+        );
+    }
+
+    #[test]
+    fn round_robin_skips_full_flits() {
+        // Fig. 2's occupancy for 25 weights over 4 flits: [8, 8, 8, 1].
+        let assign = round_robin_assignment(&[3, 3, 3, 1]);
+        assert_eq!(assign.len(), 10);
+        // First round touches every flit; flit 3 is then full.
+        assert_eq!(&assign[..4], &[(0, 0), (1, 0), (2, 0), (3, 0)]);
+        assert_eq!(&assign[4..7], &[(0, 1), (1, 1), (2, 1)]);
+        assert_eq!(&assign[7..], &[(0, 2), (1, 2), (2, 2)]);
+    }
+
+    #[test]
+    fn round_robin_handles_zero_capacity_flits() {
+        let assign = round_robin_assignment(&[0, 2, 0, 1]);
+        assert_eq!(assign, vec![(1, 0), (3, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn round_robin_empty() {
+        assert!(round_robin_assignment(&[]).is_empty());
+        assert!(round_robin_assignment(&[0, 0]).is_empty());
+    }
+
+    #[test]
+    fn placement_inverts_permutation() {
+        let v = words(&[0, -1, 1]); // popcounts 0, 8, 1 -> perm [1, 2, 0]
+        let perm = descending_popcount_order(&v);
+        let assign = round_robin_assignment(&[2, 1]);
+        let dest = placement_by_original_index(&perm, &assign);
+        // original 1 (rank 0) -> (0,0); original 2 (rank 1) -> (1,0);
+        // original 0 (rank 2) -> (0,1).
+        assert_eq!(dest, vec![(0, 1), (0, 0), (1, 0)]);
+    }
+
+    #[test]
+    fn column_popcounts_descend_after_round_robin() {
+        // The physical property the ordering creates: at each wire column,
+        // popcounts across consecutive flits never increase.
+        let v = words(&[9, -1, 0, 77, -128, 31, 2, 60]);
+        let perm = descending_popcount_order(&v);
+        let k = 4; // 4 flits, 2 slots each
+        let assign = round_robin_assignment(&[2; 4]);
+        let mut grid = vec![vec![0u32; 2]; k];
+        for (rank, &orig) in perm.iter().enumerate() {
+            let (f, s) = assign[rank];
+            grid[f][s] = v[orig].popcount();
+        }
+        for s in 0..2 {
+            for f in 1..k {
+                assert!(
+                    grid[f - 1][s] >= grid[f][s],
+                    "column {s} not descending: {:?}",
+                    grid.iter().map(|r| r[s]).collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+}

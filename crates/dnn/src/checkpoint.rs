@@ -1,0 +1,210 @@
+//! Minimal weight checkpointing (no external serialization formats).
+//!
+//! Experiment binaries run as separate processes but share one trained
+//! LeNet; training takes minutes, so the first run saves the parameters to
+//! a small binary file and later runs load it. The format is deliberately
+//! trivial: a magic header, then for every parameter tensor its length and
+//! little-endian `f32` data, in the model's deterministic layer order.
+
+use crate::layer::{ActKind, Activation, AvgPool2d, BatchNorm2d, Conv2d, Flatten, Linear, MaxPool2d};
+use crate::model::{Layer, Sequential};
+use crate::tensor::Tensor;
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"BTRDNN01";
+
+/// Errors from checkpoint I/O.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file is not a checkpoint or has a different version.
+    BadMagic,
+    /// The checkpoint does not match the model architecture.
+    ShapeMismatch {
+        /// Parameter index that failed.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o failed: {e}"),
+            CheckpointError::BadMagic => write!(f, "not a btr-dnn checkpoint file"),
+            CheckpointError::ShapeMismatch { index } => {
+                write!(f, "checkpoint parameter {index} does not match the model")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Collects references to every parameter tensor in deterministic order.
+fn param_tensors(model: &Sequential) -> Vec<&Tensor> {
+    let mut out = Vec::new();
+    for layer in model.layers() {
+        match layer {
+            Layer::Conv2d(l) => {
+                out.push(&l.weight);
+                out.push(&l.bias);
+            }
+            Layer::Linear(l) => {
+                out.push(&l.weight);
+                out.push(&l.bias);
+            }
+            Layer::BatchNorm2d(l) => {
+                out.push(&l.gamma);
+                out.push(&l.beta);
+                out.push(&l.running_mean);
+                out.push(&l.running_var);
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+fn param_tensors_mut(model: &mut Sequential) -> Vec<&mut Tensor> {
+    let mut out = Vec::new();
+    for layer in model.layers_mut() {
+        match layer {
+            Layer::Conv2d(l) => {
+                out.push(&mut l.weight);
+                out.push(&mut l.bias);
+            }
+            Layer::Linear(l) => {
+                out.push(&mut l.weight);
+                out.push(&mut l.bias);
+            }
+            Layer::BatchNorm2d(l) => {
+                out.push(&mut l.gamma);
+                out.push(&mut l.beta);
+                out.push(&mut l.running_mean);
+                out.push(&mut l.running_var);
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Saves a model's parameters.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Io`] on filesystem failures.
+pub fn save(model: &Sequential, path: &Path) -> Result<(), CheckpointError> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    file.write_all(MAGIC)?;
+    let params = param_tensors(model);
+    file.write_all(&(params.len() as u32).to_le_bytes())?;
+    for tensor in params {
+        file.write_all(&(tensor.len() as u32).to_le_bytes())?;
+        for &v in tensor.data() {
+            file.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Loads parameters into a freshly built model of the same architecture.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError`] if the file is missing, malformed, or does
+/// not match the model's parameter shapes.
+pub fn load(model: &mut Sequential, path: &Path) -> Result<(), CheckpointError> {
+    let mut file = std::io::BufReader::new(std::fs::File::open(path)?);
+    let mut magic = [0u8; 8];
+    file.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let mut count_buf = [0u8; 4];
+    file.read_exact(&mut count_buf)?;
+    let count = u32::from_le_bytes(count_buf) as usize;
+    let mut params = param_tensors_mut(model);
+    if count != params.len() {
+        return Err(CheckpointError::ShapeMismatch { index: 0 });
+    }
+    for (index, tensor) in params.iter_mut().enumerate() {
+        file.read_exact(&mut count_buf)?;
+        let len = u32::from_le_bytes(count_buf) as usize;
+        if len != tensor.len() {
+            return Err(CheckpointError::ShapeMismatch { index });
+        }
+        let mut value_buf = [0u8; 4];
+        for v in tensor.data_mut() {
+            file.read_exact(&mut value_buf)?;
+            *v = f32::from_le_bytes(value_buf);
+        }
+    }
+    Ok(())
+}
+
+/// Suppresses the unused-import warnings for layer types referenced only in
+/// the doc examples of this module.
+#[allow(dead_code)]
+fn _keep_layer_types(_: (Conv2d, Linear, MaxPool2d, AvgPool2d, Activation, BatchNorm2d, Flatten, ActKind)) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::lenet;
+
+    #[test]
+    fn roundtrip_restores_parameters() {
+        let dir = std::env::temp_dir().join("btr_dnn_ckpt_test");
+        let path = dir.join("lenet.bin");
+        let original = lenet::build(7);
+        save(&original, &path).unwrap();
+        let mut restored = lenet::build(8); // different seed -> different weights
+        load(&mut restored, &path).unwrap();
+        let a = param_tensors(&original);
+        let b = param_tensors(&restored);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.data(), y.data());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejects_wrong_architecture() {
+        let dir = std::env::temp_dir().join("btr_dnn_ckpt_test2");
+        let path = dir.join("lenet.bin");
+        save(&lenet::build(0), &path).unwrap();
+        let mut other = crate::models::darknet::build(0);
+        assert!(load(&mut other, &path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let mut m = lenet::build(0);
+        let err = load(&mut m, Path::new("/nonexistent/nope.bin")).unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)));
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let dir = std::env::temp_dir().join("btr_dnn_ckpt_test3");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("junk.bin");
+        std::fs::write(&path, b"NOTMAGIC plus junk").unwrap();
+        let mut m = lenet::build(0);
+        assert!(matches!(load(&mut m, &path).unwrap_err(), CheckpointError::BadMagic));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

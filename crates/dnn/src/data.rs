@@ -1,0 +1,277 @@
+//! Deterministic procedural datasets.
+//!
+//! The paper trains LeNet (on MNIST) and uses the converged weights'
+//! bit-level distribution; we cannot ship MNIST, so we *train on synthetic
+//! data that is equally learnable*: 7-segment-style digit glyphs with
+//! random translation, stroke intensity and pixel noise. What the BT
+//! experiments consume is only the converged weights' distribution
+//! (magnitudes concentrated near zero), which any converged classifier
+//! exhibits — see DESIGN.md §5.
+//!
+//! For the DarkNet workload a colored-pattern RGB dataset plays the same
+//! role on 64×64×3 inputs.
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A labelled sample.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Input tensor (`[C, H, W]`).
+    pub input: Tensor,
+    /// Class label in `0..classes`.
+    pub label: usize,
+}
+
+/// 7-segment display encoding per digit: (top, top-left, top-right, middle,
+/// bottom-left, bottom-right, bottom).
+const SEGMENTS: [[bool; 7]; 10] = [
+    [true, true, true, false, true, true, true],    // 0
+    [false, false, true, false, false, true, false], // 1
+    [true, false, true, true, true, false, true],   // 2
+    [true, false, true, true, false, true, true],   // 3
+    [false, true, true, true, false, true, false],  // 4
+    [true, true, false, true, false, true, true],   // 5
+    [true, true, false, true, true, true, true],    // 6
+    [true, false, true, false, false, true, false], // 7
+    [true, true, true, true, true, true, true],     // 8
+    [true, true, true, true, false, true, true],    // 9
+];
+
+/// Generator of 32×32 single-channel digit-like glyphs (LeNet's input).
+#[derive(Debug, Clone, Copy)]
+pub struct SyntheticDigits {
+    /// Image side length.
+    pub size: usize,
+    /// Additive pixel-noise amplitude.
+    pub noise: f32,
+}
+
+impl SyntheticDigits {
+    /// Default configuration matching LeNet's 32×32 input.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { size: 32, noise: 0.15 }
+    }
+
+    /// Draws one sample of the given class with random jitter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class >= 10`.
+    #[must_use]
+    pub fn sample(&self, class: usize, rng: &mut StdRng) -> Sample {
+        assert!(class < 10, "digit classes are 0..10");
+        let s = self.size;
+        let mut img = Tensor::zeros(&[1, s, s]);
+        // Glyph box ~ 14x22 centered with random offset.
+        let dx = rng.gen_range(-3i32..=3);
+        let dy = rng.gen_range(-3i32..=3);
+        let x0 = (s as i32 / 2 - 7 + dx).max(0) as usize;
+        let y0 = (s as i32 / 2 - 11 + dy).max(0) as usize;
+        let (gw, gh) = (14usize, 22usize);
+        let thickness = 2usize;
+        let intensity = rng.gen_range(0.7..1.0);
+        let segs = SEGMENTS[class];
+
+        let hline = |img: &mut Tensor, y: usize, x_start: usize, len: usize| {
+            for t in 0..thickness {
+                for x in x_start..(x_start + len).min(s) {
+                    if y + t < s {
+                        img.set3(0, y + t, x, intensity);
+                    }
+                }
+            }
+        };
+        let vline = |img: &mut Tensor, x: usize, y_start: usize, len: usize| {
+            for t in 0..thickness {
+                for y in y_start..(y_start + len).min(s) {
+                    if x + t < s {
+                        img.set3(0, y, x + t, intensity);
+                    }
+                }
+            }
+        };
+
+        let half_h = gh / 2;
+        if segs[0] {
+            hline(&mut img, y0, x0, gw);
+        }
+        if segs[1] {
+            vline(&mut img, x0, y0, half_h);
+        }
+        if segs[2] {
+            vline(&mut img, x0 + gw - thickness, y0, half_h);
+        }
+        if segs[3] {
+            hline(&mut img, y0 + half_h, x0, gw);
+        }
+        if segs[4] {
+            vline(&mut img, x0, y0 + half_h, half_h);
+        }
+        if segs[5] {
+            vline(&mut img, x0 + gw - thickness, y0 + half_h, half_h);
+        }
+        if segs[6] {
+            hline(&mut img, (y0 + gh).min(s - thickness), x0, gw);
+        }
+
+        // Pixel noise (skipped when the amplitude is zero).
+        if self.noise > 0.0 {
+            for v in img.data_mut() {
+                *v += rng.gen_range(-self.noise..self.noise);
+            }
+        }
+        Sample { input: img, label: class }
+    }
+
+    /// Generates a balanced shuffled dataset of `count` samples.
+    #[must_use]
+    pub fn dataset(&self, count: usize, rng: &mut StdRng) -> Vec<Sample> {
+        let mut out: Vec<Sample> = (0..count).map(|i| self.sample(i % 10, rng)).collect();
+        // Fisher-Yates with the same rng for determinism.
+        for i in (1..out.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            out.swap(i, j);
+        }
+        out
+    }
+}
+
+impl Default for SyntheticDigits {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Generator of 64×64×3 colored patterns for the DarkNet workload.
+///
+/// Each class has a characteristic hue and spatial frequency; samples add
+/// random phase and noise. Not intended to be hard — only to give the
+/// DarkNet traffic realistic, structured activations.
+#[derive(Debug, Clone, Copy)]
+pub struct SyntheticRgb {
+    /// Image side length.
+    pub size: usize,
+    /// Additive pixel-noise amplitude.
+    pub noise: f32,
+}
+
+impl SyntheticRgb {
+    /// Default 64×64 configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { size: 64, noise: 0.1 }
+    }
+
+    /// Draws one sample of the given class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class >= 10`.
+    #[must_use]
+    pub fn sample(&self, class: usize, rng: &mut StdRng) -> Sample {
+        assert!(class < 10, "rgb classes are 0..10");
+        let s = self.size;
+        let mut img = Tensor::zeros(&[3, s, s]);
+        let freq = 0.1 + 0.05 * class as f32;
+        let phase: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
+        // Class-dependent channel mixture.
+        let mix = [
+            ((class % 3) as f32 + 1.0) / 3.0,
+            ((class % 4) as f32 + 1.0) / 4.0,
+            ((class % 5) as f32 + 1.0) / 5.0,
+        ];
+        for c in 0..3 {
+            for y in 0..s {
+                for x in 0..s {
+                    let noise = if self.noise > 0.0 {
+                        rng.gen_range(-self.noise..self.noise)
+                    } else {
+                        0.0
+                    };
+                    let v =
+                        ((x as f32 * freq + phase).sin() * (y as f32 * freq).cos()) * mix[c] + noise;
+                    img.set3(c, y, x, v);
+                }
+            }
+        }
+        Sample { input: img, label: class }
+    }
+
+    /// Generates a balanced dataset of `count` samples.
+    #[must_use]
+    pub fn dataset(&self, count: usize, rng: &mut StdRng) -> Vec<Sample> {
+        (0..count).map(|i| self.sample(i % 10, rng)).collect()
+    }
+}
+
+impl Default for SyntheticRgb {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn digits_have_expected_shape_and_labels() {
+        let gen = SyntheticDigits::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        for class in 0..10 {
+            let s = gen.sample(class, &mut rng);
+            assert_eq!(s.input.shape(), &[1, 32, 32]);
+            assert_eq!(s.label, class);
+        }
+    }
+
+    #[test]
+    fn different_classes_look_different() {
+        let gen = SyntheticDigits { size: 32, noise: 0.0 };
+        let mut rng = StdRng::seed_from_u64(1);
+        let one = gen.sample(1, &mut rng).input;
+        let mut rng = StdRng::seed_from_u64(1);
+        let eight = gen.sample(8, &mut rng).input;
+        // An '8' lights every segment; a '1' only two.
+        let sum1: f32 = one.data().iter().filter(|&&v| v > 0.5).count() as f32;
+        let sum8: f32 = eight.data().iter().filter(|&&v| v > 0.5).count() as f32;
+        assert!(sum8 > sum1 * 2.0, "8: {sum8} px vs 1: {sum1} px");
+    }
+
+    #[test]
+    fn dataset_is_balanced_and_deterministic() {
+        let gen = SyntheticDigits::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let ds = gen.dataset(100, &mut rng);
+        assert_eq!(ds.len(), 100);
+        for class in 0..10 {
+            assert_eq!(ds.iter().filter(|s| s.label == class).count(), 10);
+        }
+        let mut rng2 = StdRng::seed_from_u64(2);
+        let ds2 = gen.dataset(100, &mut rng2);
+        assert_eq!(ds[0].input.data(), ds2[0].input.data());
+    }
+
+    #[test]
+    fn rgb_samples() {
+        let gen = SyntheticRgb::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = gen.sample(4, &mut rng);
+        assert_eq!(s.input.shape(), &[3, 64, 64]);
+        assert!(s.input.max_abs() > 0.0);
+        let ds = gen.dataset(20, &mut rng);
+        assert_eq!(ds.len(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "classes are 0..10")]
+    fn rejects_bad_class() {
+        let gen = SyntheticDigits::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = gen.sample(10, &mut rng);
+    }
+}

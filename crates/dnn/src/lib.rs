@@ -1,0 +1,48 @@
+//! # btr-dnn — minimal DNN substrate for the NOC-DNA experiments
+//!
+//! The paper evaluates its ordering methods on real DNN workloads (LeNet
+//! and a reduced DarkNet-like model) with both randomly initialized and
+//! trained weights. This crate provides everything needed to generate that
+//! workload from scratch, with no external ML framework:
+//!
+//! * [`tensor`] — dense `f32` tensors with simple shape handling;
+//! * [`layer`] — Conv2d, Linear, pooling, activations and BatchNorm, all
+//!   with **forward and backward** passes;
+//! * [`model`] — [`model::Sequential`] container, BatchNorm folding, and
+//!   the [`model::InferenceOp`] graph the accelerator consumes;
+//! * [`models`] — LeNet-5 (Fig. 2's workload) and a reduced DarkNet-like
+//!   CNN for 64×64×3 inputs (Sec. V-B-2);
+//! * [`data`] — deterministic procedural datasets (7-segment-style digits
+//!   and colored RGB patterns) used to *train* weights in place of the
+//!   paper's MNIST-trained LeNet (see DESIGN.md §5 for why this
+//!   substitution preserves the bit-level weight distributions);
+//! * [`train`] — plain SGD with backprop;
+//! * [`quant`] — per-tensor symmetric fixed-point quantization helpers on
+//!   top of [`btr_bits::Quantizer`].
+//!
+//! # Example
+//!
+//! ```
+//! use btr_dnn::models::lenet;
+//! use btr_dnn::tensor::Tensor;
+//!
+//! let mut model = lenet::build(42);
+//! let input = Tensor::zeros(&[1, 32, 32]);
+//! let logits = model.forward(&input);
+//! assert_eq!(logits.shape(), &[10]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod data;
+pub mod layer;
+pub mod model;
+pub mod models;
+pub mod quant;
+pub mod tensor;
+pub mod train;
+
+pub use model::{InferenceOp, Sequential};
+pub use tensor::Tensor;

@@ -1,0 +1,4 @@
+//! The paper's evaluation models: LeNet-5 and a reduced DarkNet-like CNN.
+
+pub mod darknet;
+pub mod lenet;

@@ -1,0 +1,51 @@
+//! Reduced-size accelerator runs (the Fig. 12 pipeline on a small conv
+//! net), one per ordering method.
+
+use btr_accel::config::AccelConfig;
+use btr_accel::driver::run_inference;
+use btr_bits::word::DataFormat;
+use btr_core::OrderingMethod;
+use btr_dnn::layer::{ActKind, Activation, Conv2d, Flatten, Linear, MaxPool2d};
+use btr_dnn::model::{Layer, Sequential};
+use btr_dnn::tensor::Tensor;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn small_model() -> Sequential {
+    let mut rng = StdRng::seed_from_u64(0);
+    Sequential::new(vec![
+        Layer::Conv2d(Conv2d::new(1, 4, 3, 1, 1, &mut rng)),
+        Layer::Activation(Activation::new(ActKind::ReLU)),
+        Layer::MaxPool2d(MaxPool2d::new(2, 2)),
+        Layer::Flatten(Flatten::new()),
+        Layer::Linear(Linear::new(4 * 8 * 8, 10, &mut rng)),
+    ])
+}
+
+fn bench(c: &mut Criterion) {
+    let ops = small_model().inference_ops();
+    let mut rng = StdRng::seed_from_u64(1);
+    let input = Tensor::from_vec(
+        &[1, 16, 16],
+        (0..256).map(|_| rng.gen_range(-1.0..1.0f32)).collect(),
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("accel");
+    group.sample_size(10);
+    for ordering in OrderingMethod::ALL {
+        group.bench_function(format!("fx8_4x4mc2_{}", ordering.label()), |b| {
+            b.iter(|| {
+                let config = AccelConfig::paper(4, 4, 2, DataFormat::Fixed8, ordering);
+                run_inference(&ops, &input, &config)
+                    .unwrap()
+                    .stats
+                    .total_transitions
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

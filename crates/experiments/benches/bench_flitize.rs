@@ -1,0 +1,37 @@
+//! Task flitization + ordering cost (the MC-side per-packet work).
+
+use btr_bits::word::Fx8Word;
+use btr_core::flitize::{flitize_values, order_task};
+use btr_core::task::NeuronTask;
+use btr_core::OrderingMethod;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn task(pairs: usize, seed: u64) -> NeuronTask<Fx8Word> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let inputs: Vec<Fx8Word> = (0..pairs).map(|_| Fx8Word::new(rng.gen())).collect();
+    let weights: Vec<Fx8Word> = (0..pairs).map(|_| Fx8Word::new(rng.gen())).collect();
+    NeuronTask::new(inputs, weights, Fx8Word::new(1)).unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flitize");
+    for pairs in [25usize, 150, 400] {
+        let t = task(pairs, pairs as u64);
+        for method in OrderingMethod::ALL {
+            group.bench_function(format!("order_task_{}_{pairs}p", method.label()), |b| {
+                b.iter(|| order_task(black_box(&t), method, 16).unwrap())
+            });
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(1);
+    let values: Vec<Fx8Word> = (0..25).map(|_| Fx8Word::new(rng.gen())).collect();
+    group.bench_function("flitize_values_25", |b| {
+        b.iter(|| flitize_values(black_box(&values), 8, true))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! The Table I pipeline (reduced packet count): packet sampling,
+//! flitization, ordering, and BT accounting on one link.
+
+use btr_core::stream::compare_streams;
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::workloads::{
+    f32_kernel_packets, fx8_kernel_packets, lenet_random, sample_packets,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let model = lenet_random(42);
+    let f32_pool = f32_kernel_packets(&model, 25);
+    let fx8_pool = fx8_kernel_packets(&model, 25);
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("f32_random_500pkts", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let stream = sample_packets(&f32_pool, 500, &mut rng);
+            compare_streams(&stream, 8, 0).reduction_rate
+        })
+    });
+    group.bench_function("fx8_random_500pkts", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let stream = sample_packets(&fx8_pool, 500, &mut rng);
+            compare_streams(&stream, 8, 0).reduction_rate
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Throughput of the ordering rule and the hardware-unit sorting networks.
+
+use btr_bits::word::Fx8Word;
+use btr_core::ordering::descending_popcount_order;
+use btr_core::unit::{OrderingUnit, SorterKind};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn words(n: usize, seed: u64) -> Vec<Fx8Word> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| Fx8Word::new(rng.gen())).collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ordering");
+    for n in [16usize, 64, 256] {
+        let data = words(n, n as u64);
+        group.bench_function(format!("descending_sort_n{n}"), |b| {
+            b.iter(|| descending_popcount_order(black_box(&data)))
+        });
+    }
+    let data = words(16, 3);
+    for kind in SorterKind::ALL {
+        let unit = OrderingUnit::new(kind);
+        group.bench_function(format!("unit_{kind:?}_n16"), |b| {
+            b.iter(|| unit.sort_descending(black_box(&data)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! SWAR popcount (the hardware unit's algorithm) vs native `count_ones`.
+
+use btr_bits::swar;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("popcount");
+    let data32: Vec<u32> = (0..4096u32).map(|i| i.wrapping_mul(2_654_435_761)).collect();
+    let data8: Vec<u8> = (0..4096u32).map(|i| (i * 37) as u8).collect();
+
+    group.bench_function("swar_u32_4096", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &x in &data32 {
+                acc = acc.wrapping_add(swar::popcount_u32(black_box(x)));
+            }
+            acc
+        })
+    });
+    group.bench_function("native_u32_4096", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &x in &data32 {
+                acc = acc.wrapping_add(black_box(x).count_ones());
+            }
+            acc
+        })
+    });
+    group.bench_function("swar_u8_4096", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &x in &data8 {
+                acc = acc.wrapping_add(swar::popcount_u8(black_box(x)));
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Ablation: the paper's descending rule vs alternative orderings and
+//! classic link encodings (not a paper figure; extension study).
+//!
+//! Compares, on the Table I weight stream (trained LeNet, fixed-8):
+//! * descending popcount (the paper's rule) at several window sizes;
+//! * ascending popcount;
+//! * greedy nearest-popcount (TSP-flavored heuristic);
+//! * bus-invert coding and delta-XOR encoding on the unordered stream;
+//! * ordering composed with bus-invert.
+//!
+//! Usage: `cargo run --release -p experiments --bin ablation_orderings
+//! [--packets 4000] [--seed 42]`
+
+use btr_bits::payload::PayloadBits;
+use btr_bits::word::{DataWord, Fx8Word};
+use btr_core::encoding::{bus_invert, delta_xor, unencoded};
+use btr_core::ordering::{ascending_popcount_order, greedy_nearest_order};
+use btr_core::stream::{build_stream_flits, Placement, TieBreak, WindowConfig};
+use experiments::cli;
+use experiments::workloads::{
+    fx8_kernel_packets, lenet_trained, sample_packets, DEFAULT_EPOCHS, DEFAULT_TRAIN_SAMPLES,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds flits with an arbitrary per-window permutation rule.
+fn flits_with_order(
+    packets: &[Vec<Fx8Word>],
+    window: usize,
+    order: impl Fn(&[Fx8Word]) -> Vec<usize>,
+) -> Vec<PayloadBits> {
+    let vpf = 8usize;
+    let width = vpf as u32 * Fx8Word::WIDTH;
+    let mut flits = Vec::new();
+    for group in packets.chunks(window) {
+        let mut occupancy = Vec::new();
+        for packet in group {
+            let n = packet.len().div_ceil(vpf).max(1);
+            for f in 0..n {
+                occupancy.push(packet.len().saturating_sub(f * vpf).min(vpf));
+            }
+        }
+        let values: Vec<Fx8Word> = group.iter().flatten().copied().collect();
+        let perm = order(&values);
+        let assign = btr_core::ordering::round_robin_assignment(&occupancy);
+        let base = flits.len();
+        flits.extend((0..occupancy.len()).map(|_| PayloadBits::zero(width)));
+        for (rank, &orig) in perm.iter().enumerate() {
+            let (f, s) = assign[rank];
+            flits[base + f].set_field(s as u32 * 8, 8, values[orig].bits_u64());
+        }
+    }
+    flits
+}
+
+fn main() {
+    let packets: usize = cli::arg("packets", 4_000);
+    let seed: u64 = cli::arg("seed", 42);
+
+    let model = lenet_trained(seed, DEFAULT_TRAIN_SAMPLES, DEFAULT_EPOCHS);
+    let pool = fx8_kernel_packets(&model, 25);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let stream = sample_packets(&pool, packets, &mut rng);
+
+    let config = WindowConfig {
+        values_per_flit: 8,
+        window_packets: 64,
+        placement: Placement::RoundRobin,
+        tiebreak: TieBreak::Stable,
+    };
+    let baseline = build_stream_flits(&stream, &config, false);
+    let base_bt = unencoded(&baseline).transitions;
+
+    println!("ordering ablation: trained LeNet fixed-8 stream, {} flits", baseline.len());
+    println!("{:<46} {:>12} {:>10}", "scheme", "transitions", "reduction");
+    let show = |label: &str, bt: u64| {
+        println!(
+            "{:<46} {:>12} {:>9.2}%",
+            label,
+            bt,
+            (1.0 - bt as f64 / base_bt as f64) * 100.0
+        );
+    };
+    show("baseline (natural order)", base_bt);
+
+    for window in [1usize, 16, 64, 256] {
+        let cfg = WindowConfig { window_packets: window, ..config };
+        let flits = build_stream_flits(&stream, &cfg, true);
+        show(
+            &format!("descending popcount (paper), window {window}"),
+            unencoded(&flits).transitions,
+        );
+    }
+
+    let asc = flits_with_order(&stream, 64, |v| ascending_popcount_order(v));
+    show("ascending popcount, window 64", unencoded(&asc).transitions);
+
+    let greedy = flits_with_order(&stream, 64, |v| greedy_nearest_order(v));
+    show("greedy nearest-popcount, window 64", unencoded(&greedy).transitions);
+
+    show("bus-invert coding (unordered)", bus_invert(&baseline).total());
+    show("delta-XOR encoding (unordered)", delta_xor(&baseline).transitions);
+
+    let ordered = build_stream_flits(&stream, &config, true);
+    show("descending (64) + bus-invert", bus_invert(&ordered).total());
+
+    println!();
+    println!("# descending beats ascending: padded zero slots sit at packet tails,");
+    println!("#   so descending places the low-popcount values next to them;");
+    println!("# greedy ties descending (popcount adjacency is what matters);");
+    println!("# encodings are weaker alone and compose with ordering.");
+}

@@ -1,0 +1,41 @@
+//! Minimal `--key value` argument parsing for the experiment binaries.
+
+/// Returns the value following `--name`, parsed, or `default`.
+///
+/// # Panics
+///
+/// Panics (with a clear message) if the value fails to parse.
+#[must_use]
+pub fn arg<T: std::str::FromStr>(name: &str, default: T) -> T
+where
+    T::Err: std::fmt::Debug,
+{
+    let flag = format!("--{name}");
+    let args: Vec<String> = std::env::args().collect();
+    for pair in args.windows(2) {
+        if pair[0] == flag {
+            return pair[1]
+                .parse()
+                .unwrap_or_else(|e| panic!("invalid value for {flag}: {e:?}"));
+        }
+    }
+    default
+}
+
+/// True if `--name` appears as a bare flag.
+#[must_use]
+pub fn flag(name: &str) -> bool {
+    let flag = format!("--{name}");
+    std::env::args().any(|a| a == flag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn returns_default_when_absent() {
+        assert_eq!(arg("definitely-not-passed", 42u64), 42);
+        assert!(!flag("definitely-not-passed"));
+    }
+}

@@ -1,0 +1,13 @@
+//! Shared helpers for the experiment binaries and benches.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md §4 for the index). This library holds the common pieces:
+//! deterministic weight sources (random-initialized and trained LeNet),
+//! packet pools for the "without NoC" experiments, and a tiny CLI-argument
+//! parser so the binaries stay dependency-free.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod workloads;

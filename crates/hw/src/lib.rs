@@ -1,0 +1,30 @@
+//! # btr-hw — hardware cost models (area, power, link energy)
+//!
+//! The paper synthesizes its ordering unit and a Constellation-generated
+//! router with Synopsys DC at TSMC 90 nm / 125 MHz / 1.0 V (Table II) and
+//! extracts a per-transition link energy of 0.173 pJ with Innovus
+//! (Sec. V-C). We cannot run proprietary synthesis, so this crate provides
+//! **analytical gate-equivalent models** whose component structure follows
+//! the designs (full-adder popcount trees, compare-exchange cells,
+//! flip-flop buffers, crossbar muxes) and whose technology constants are
+//! **calibrated so the paper's design points reproduce Table II exactly**
+//! (see DESIGN.md §5). The models then extrapolate to other design points
+//! (word widths, values per flit, sorter networks) for the ablation
+//! benches.
+//!
+//! * [`area`] — gate-equivalent area of the ordering unit and router;
+//! * [`power`] — dynamic power from area, frequency and activity;
+//! * [`link_energy`] — the Sec. V-C link-power arithmetic;
+//! * [`table2`] — regenerates Table II.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod link_energy;
+pub mod power;
+pub mod table2;
+
+pub use area::{OrderingUnitDesign, RouterDesign, SorterNetwork, Technology};
+pub use link_energy::LinkPowerModel;
+pub use table2::Table2;

@@ -1,0 +1,233 @@
+//! NoC configuration: mesh geometry, link width, VCs, MC placement.
+
+use serde::{Deserialize, Serialize};
+
+/// A node (router) index in row-major order: `id = row * width + col`.
+pub type NodeId = usize;
+
+/// Routing algorithm selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RoutingAlgorithm {
+    /// X-first dimension-order routing (the paper's configuration).
+    XY,
+    /// Y-first dimension-order routing (ablation).
+    YX,
+}
+
+/// Configuration of a 2-D mesh NoC.
+///
+/// Defaults mirror the paper's setup: "X-Y routing, 4 virtual channels
+/// (VCs) with a 4-flit-depth buffer per VC" (Sec. V-B).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NocConfig {
+    /// Mesh columns.
+    pub width: usize,
+    /// Mesh rows.
+    pub height: usize,
+    /// Link width in bits (512 for 16×float-32, 128 for 16×fixed-8).
+    pub link_width_bits: u32,
+    /// Number of virtual channels per port.
+    pub num_vcs: usize,
+    /// Buffer depth (flits) per VC.
+    pub vc_buffer_depth: usize,
+    /// Routing algorithm.
+    pub routing: RoutingAlgorithm,
+    /// Memory-controller node positions (the remaining nodes are PEs).
+    pub mc_nodes: Vec<NodeId>,
+}
+
+impl NocConfig {
+    /// A mesh with the paper's router parameters and no MCs assigned.
+    #[must_use]
+    pub fn mesh(width: usize, height: usize, link_width_bits: u32) -> Self {
+        Self {
+            width,
+            height,
+            link_width_bits,
+            num_vcs: 4,
+            vc_buffer_depth: 4,
+            routing: RoutingAlgorithm::XY,
+            mc_nodes: Vec::new(),
+        }
+    }
+
+    /// The paper's three NoC-size configurations (Sec. V-B-1):
+    /// `4×4 MC2`, `8×8 MC4`, `8×8 MC8`. MCs sit on the left/right edge
+    /// columns of evenly spaced rows, matching Fig. 6's edge placement
+    /// with external memory links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mc_count` is odd or zero, or exceeds `2 * height`.
+    #[must_use]
+    pub fn paper_mesh(width: usize, height: usize, mc_count: usize, link_width_bits: u32) -> Self {
+        assert!(
+            mc_count > 0 && mc_count % 2 == 0,
+            "MC count must be positive and even (left/right edge pairs)"
+        );
+        assert!(mc_count <= 2 * height, "too many MCs for this mesh height");
+        let pairs = mc_count / 2;
+        let mut mc_nodes = Vec::with_capacity(mc_count);
+        for i in 0..pairs {
+            // Evenly spaced rows, e.g. height 4, 1 pair -> row 2;
+            // height 8, 2 pairs -> rows 2 and 5.
+            let row = ((2 * i + 1) * height) / (2 * pairs);
+            mc_nodes.push(row * width); // left edge
+            mc_nodes.push(row * width + width - 1); // right edge
+        }
+        mc_nodes.sort_unstable();
+        Self {
+            width,
+            height,
+            link_width_bits,
+            num_vcs: 4,
+            vc_buffer_depth: 4,
+            routing: RoutingAlgorithm::XY,
+            mc_nodes,
+        }
+    }
+
+    /// Total node count.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// `(row, col)` of a node.
+    #[must_use]
+    pub fn position(&self, node: NodeId) -> (usize, usize) {
+        (node / self.width, node % self.width)
+    }
+
+    /// Node at `(row, col)`.
+    #[must_use]
+    pub fn node_at(&self, row: usize, col: usize) -> NodeId {
+        row * self.width + col
+    }
+
+    /// True if the node is a memory controller.
+    #[must_use]
+    pub fn is_mc(&self, node: NodeId) -> bool {
+        self.mc_nodes.contains(&node)
+    }
+
+    /// Processing-element nodes (every node that is not an MC).
+    #[must_use]
+    pub fn pe_nodes(&self) -> Vec<NodeId> {
+        (0..self.num_nodes()).filter(|n| !self.is_mc(*n)).collect()
+    }
+
+    /// Number of directed inter-router links in the mesh
+    /// (`2·(2·W·H − W − H)`; an 8×8 mesh has 224 directed = 112
+    /// bidirectional links, the figure used in Sec. V-C).
+    #[must_use]
+    pub fn inter_router_links(&self) -> usize {
+        2 * (2 * self.width * self.height - self.width - self.height)
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.width == 0 || self.height == 0 {
+            return Err("mesh dimensions must be positive".into());
+        }
+        if self.link_width_bits == 0 || self.link_width_bits > btr_bits::payload::MAX_WIDTH_BITS {
+            return Err(format!(
+                "link width must be in 1..={}",
+                btr_bits::payload::MAX_WIDTH_BITS
+            ));
+        }
+        if self.num_vcs == 0 {
+            return Err("need at least one virtual channel".into());
+        }
+        if self.vc_buffer_depth == 0 {
+            return Err("VC buffers must hold at least one flit".into());
+        }
+        for &mc in &self.mc_nodes {
+            if mc >= self.num_nodes() {
+                return Err(format!("MC node {mc} out of range"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_defaults_match_paper() {
+        let c = NocConfig::mesh(4, 4, 512);
+        assert_eq!(c.num_vcs, 4);
+        assert_eq!(c.vc_buffer_depth, 4);
+        assert_eq!(c.routing, RoutingAlgorithm::XY);
+        assert_eq!(c.num_nodes(), 16);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn paper_mesh_4x4_mc2() {
+        let c = NocConfig::paper_mesh(4, 4, 2, 512);
+        // One pair at row 2: nodes 8 and 11 (Fig. 6's placement).
+        assert_eq!(c.mc_nodes, vec![8, 11]);
+        assert_eq!(c.pe_nodes().len(), 14);
+        assert!(c.is_mc(8) && c.is_mc(11) && !c.is_mc(0));
+    }
+
+    #[test]
+    fn paper_mesh_8x8_mc4_and_mc8() {
+        let c4 = NocConfig::paper_mesh(8, 8, 4, 128);
+        assert_eq!(c4.mc_nodes.len(), 4);
+        // Rows 2 and 6: left/right edges.
+        assert_eq!(c4.mc_nodes, vec![16, 23, 48, 55]);
+        let c8 = NocConfig::paper_mesh(8, 8, 8, 128);
+        assert_eq!(c8.mc_nodes.len(), 8);
+        assert_eq!(c8.pe_nodes().len(), 56);
+        // All MCs on edge columns.
+        for &mc in &c8.mc_nodes {
+            let (_, col) = c8.position(mc);
+            assert!(col == 0 || col == 7);
+        }
+    }
+
+    #[test]
+    fn link_count_matches_sec_vc() {
+        // "112 inter-router links" for an 8×8 NoC (bidirectional pairs).
+        let c = NocConfig::mesh(8, 8, 128);
+        assert_eq!(c.inter_router_links(), 224);
+        assert_eq!(c.inter_router_links() / 2, 112);
+    }
+
+    #[test]
+    fn position_roundtrip() {
+        let c = NocConfig::mesh(5, 3, 64);
+        for n in 0..c.num_nodes() {
+            let (r, col) = c.position(n);
+            assert_eq!(c.node_at(r, col), n);
+        }
+    }
+
+    #[test]
+    fn validation_catches_errors() {
+        let mut c = NocConfig::mesh(4, 4, 128);
+        c.num_vcs = 0;
+        assert!(c.validate().is_err());
+        let mut c = NocConfig::mesh(4, 4, 128);
+        c.mc_nodes = vec![99];
+        assert!(c.validate().is_err());
+        let c = NocConfig::mesh(0, 4, 128);
+        assert!(c.validate().is_err());
+        let c = NocConfig::mesh(4, 4, 4096);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and even")]
+    fn paper_mesh_rejects_odd_mc_count() {
+        let _ = NocConfig::paper_mesh(4, 4, 3, 128);
+    }
+}

@@ -1,0 +1,130 @@
+//! Aggregate NoC statistics: bit transitions, latency, throughput.
+
+use crate::routing::Direction;
+use serde::{Deserialize, Serialize};
+
+/// Per-link transition summary.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkStat {
+    /// Router the link leaves from (or the node, for injection links).
+    pub node: usize,
+    /// Output direction (`Local` = ejection link to the NI).
+    pub direction: Direction,
+    /// True for NI→router injection links.
+    pub injection: bool,
+    /// Total bit transitions observed on the link.
+    pub transitions: u64,
+    /// Flits that traversed the link.
+    pub flits: u64,
+}
+
+/// Packet latency summary (injection to tail ejection, in cycles).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Packets measured.
+    pub count: u64,
+    /// Minimum latency.
+    pub min: u64,
+    /// Maximum latency.
+    pub max: u64,
+    /// Mean latency.
+    pub mean: f64,
+}
+
+impl LatencyStats {
+    /// Builds a summary from raw samples.
+    #[must_use]
+    pub fn from_samples(samples: &[u64]) -> Self {
+        if samples.is_empty() {
+            return Self {
+                count: 0,
+                min: 0,
+                max: 0,
+                mean: 0.0,
+            };
+        }
+        let sum: u128 = samples.iter().map(|&s| u128::from(s)).sum();
+        Self {
+            count: samples.len() as u64,
+            min: *samples.iter().min().expect("non-empty"),
+            max: *samples.iter().max().expect("non-empty"),
+            mean: sum as f64 / samples.len() as f64,
+        }
+    }
+}
+
+/// Snapshot of all simulator statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NocStats {
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Total bit transitions over every link (the paper's "NoC Bit
+    /// Transition Sum", Fig. 8).
+    pub total_transitions: u64,
+    /// Transitions on inter-router links only.
+    pub inter_router_transitions: u64,
+    /// Transitions on NI→router injection links.
+    pub injection_transitions: u64,
+    /// Transitions on router→NI ejection links.
+    pub ejection_transitions: u64,
+    /// Total flit-hops (sum of flits over all links).
+    pub flit_hops: u64,
+    /// Packets fully delivered.
+    pub packets_delivered: u64,
+    /// Flits delivered (incl. head flits).
+    pub flits_delivered: u64,
+    /// Packet latency summary.
+    pub latency: LatencyStats,
+    /// Per-link detail.
+    pub per_link: Vec<LinkStat>,
+}
+
+impl NocStats {
+    /// Mean transitions per flit-hop.
+    #[must_use]
+    pub fn transitions_per_flit_hop(&self) -> f64 {
+        if self.flit_hops == 0 {
+            0.0
+        } else {
+            self.total_transitions as f64 / self.flit_hops as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_from_samples() {
+        let l = LatencyStats::from_samples(&[10, 20, 30]);
+        assert_eq!(l.count, 3);
+        assert_eq!(l.min, 10);
+        assert_eq!(l.max, 30);
+        assert!((l.mean - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_empty() {
+        let l = LatencyStats::from_samples(&[]);
+        assert_eq!(l.count, 0);
+        assert_eq!(l.mean, 0.0);
+    }
+
+    #[test]
+    fn transitions_per_hop() {
+        let stats = NocStats {
+            cycles: 10,
+            total_transitions: 100,
+            inter_router_transitions: 80,
+            injection_transitions: 10,
+            ejection_transitions: 10,
+            flit_hops: 50,
+            packets_delivered: 2,
+            flits_delivered: 10,
+            latency: LatencyStats::from_samples(&[]),
+            per_link: Vec::new(),
+        };
+        assert!((stats.transitions_per_flit_hop() - 2.0).abs() < 1e-12);
+    }
+}

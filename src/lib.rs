@@ -1,0 +1,26 @@
+//! # noc-btr — umbrella crate
+//!
+//! Reproduction of *"Bit Transition Reduction by Data Transmission Ordering
+//! in NoC-based DNN Accelerator"* (Chen, Li, Zhu, Lu — SOCC 2025).
+//!
+//! This crate re-exports the whole workspace under one name so examples,
+//! integration tests and downstream users can depend on a single crate:
+//!
+//! * [`bits`] — bit-level primitives (words, payloads, BT counting).
+//! * [`core`] — the paper's contribution: `'1'`-bit-count data transmission
+//!   ordering (affiliated / separated), flitization, theory, ordering unit.
+//! * [`dnn`] — DNN substrate (tensors, layers, LeNet/DarkNet, training,
+//!   quantization).
+//! * [`noc`] — cycle-level 2D-mesh NoC simulator with per-link BT recording.
+//! * [`accel`] — NOC-DNA: full DNN inference over the NoC.
+//! * [`hw`] — hardware area/power/link-energy models.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system
+//! inventory and per-experiment index.
+
+pub use btr_accel as accel;
+pub use btr_bits as bits;
+pub use btr_core as core;
+pub use btr_dnn as dnn;
+pub use btr_hw as hw;
+pub use btr_noc as noc;
