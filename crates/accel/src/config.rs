@@ -71,7 +71,7 @@ impl AccelConfig {
     /// Returns a description of the first inconsistency found.
     pub fn validate(&self) -> Result<(), String> {
         self.noc.validate()?;
-        if self.values_per_flit < 2 || self.values_per_flit % 2 != 0 {
+        if self.values_per_flit < 2 || !self.values_per_flit.is_multiple_of(2) {
             return Err("values_per_flit must be even and >= 2".into());
         }
         let needed = self.values_per_flit as u32 * self.format.bits_per_value();

@@ -9,16 +9,17 @@
 use crate::config::AccelConfig;
 use crate::report::{InferenceResult, LayerTrafficReport};
 use crate::tasks::{
-    conv_tasks, f32_mappers, fx8_mappers, linear_tasks, ConvGeometry, IndexedTask,
-    LayerQuantizers,
+    conv_tasks, f32_mappers, fx8_mappers, linear_tasks, ConvGeometry, IndexedTask, LayerQuantizers,
 };
 use btr_bits::payload::PayloadBits;
 use btr_bits::word::{DataFormat, DataWord, F32Word, Fx8Word};
-use btr_core::flitize::{order_task_with, FlitizeError, OrderedTask};
+use btr_core::flitize::FlitizeError;
 use btr_core::task::RecoveredTask;
+use btr_core::transport::{OrderedTransport, TaskWireMeta, TransportConfig};
 use btr_dnn::model::InferenceOp;
 use btr_dnn::tensor::Tensor;
 use btr_noc::packet::Packet;
+use btr_noc::session::{SendError, TaskPort};
 use btr_noc::sim::{InjectError, Simulator};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -73,6 +74,15 @@ impl From<FlitizeError> for AccelError {
 impl From<InjectError> for AccelError {
     fn from(e: InjectError) -> Self {
         AccelError::Inject(e)
+    }
+}
+
+impl From<SendError> for AccelError {
+    fn from(e: SendError) -> Self {
+        match e {
+            SendError::Encode(e) => AccelError::Flitize(e),
+            SendError::Inject(e) => AccelError::Inject(e),
+        }
     }
 }
 
@@ -142,8 +152,12 @@ pub fn run_inference(
                         )?
                     }
                     DataFormat::Fixed8 => {
-                        let q =
-                            LayerQuantizers::derive_with(&x, weight, bias, config.global_fx8_weights);
+                        let q = LayerQuantizers::derive_with(
+                            &x,
+                            weight,
+                            bias,
+                            config.global_fx8_weights,
+                        );
                         let (ti, tw, tb) = fx8_mappers(q);
                         let tasks = conv_tasks(&x, weight, bias, &geo, ti, tw, tb);
                         run_noc_layer_fx8(
@@ -178,8 +192,12 @@ pub fn run_inference(
                         )?
                     }
                     DataFormat::Fixed8 => {
-                        let q =
-                            LayerQuantizers::derive_with(&x, weight, bias, config.global_fx8_weights);
+                        let q = LayerQuantizers::derive_with(
+                            &x,
+                            weight,
+                            bias,
+                            config.global_fx8_weights,
+                        );
                         let (ti, tw, tb) = fx8_mappers(q);
                         let tasks = linear_tasks(&x, weight, bias, ti, tw, tb);
                         run_noc_layer_fx8(
@@ -221,7 +239,15 @@ fn run_noc_layer_f32(
     per_layer: &mut Vec<LayerTrafficReport>,
     index_overhead_bits: &mut u64,
 ) -> Result<Vec<f32>, AccelError> {
-    let responses = simulate_layer(op_index, op_name, tasks, config, sim, per_layer, index_overhead_bits)?;
+    let responses = simulate_layer(
+        op_index,
+        op_name,
+        tasks,
+        config,
+        sim,
+        per_layer,
+        index_overhead_bits,
+    )?;
     Ok(responses
         .into_iter()
         .map(|bits| f32::from_bits(bits as u32))
@@ -239,7 +265,15 @@ fn run_noc_layer_fx8(
     per_layer: &mut Vec<LayerTrafficReport>,
     index_overhead_bits: &mut u64,
 ) -> Result<Vec<f32>, AccelError> {
-    let responses = simulate_layer(op_index, op_name, tasks, config, sim, per_layer, index_overhead_bits)?;
+    let responses = simulate_layer(
+        op_index,
+        op_name,
+        tasks,
+        config,
+        sim,
+        per_layer,
+        index_overhead_bits,
+    )?;
     // Bias codes by output index, to separate the integer dot product from
     // the bias during dequantization.
     let mut bias_codes = vec![0i8; tasks.len()];
@@ -256,13 +290,13 @@ fn run_noc_layer_fx8(
         .collect())
 }
 
-/// Per-task routing metadata kept MC-side (conceptually: the extended head
-/// flit fields plus, for O2, the index side channel).
+/// Per-task routing metadata kept MC-side: destination PE/MC plus the
+/// transport wire metadata (the extended head flit fields and, for O2,
+/// the index side channel).
 struct TaskMeta {
     pe: usize,
     mc: usize,
-    num_pairs: usize,
-    pair_index: Option<Vec<u16>>,
+    wire: TaskWireMeta,
 }
 
 /// Partitions the PEs into one balanced region per MC, each PE joining the
@@ -318,8 +352,14 @@ fn simulate_layer<W: AccelWord>(
 ) -> Result<Vec<u64>, AccelError> {
     let mcs = &config.noc.mc_nodes;
     let regions = partition_pes_by_mc(&config.noc);
-    let vpf = config.values_per_flit;
     let link_width = config.noc.link_width_bits;
+    // The MC-side ordering unit and PE-side recovery both live in the
+    // shared transport session; the NoC port binds it to the simulator.
+    let port = TaskPort::new(OrderedTransport::new(TransportConfig {
+        ordering: config.ordering,
+        tiebreak: config.tiebreak,
+        values_per_flit: config.values_per_flit,
+    }));
 
     // Static assignment: task j -> MC round-robin, then round-robin over
     // that MC's own PE region. O0/O1/O2 runs use identical assignments,
@@ -333,8 +373,10 @@ fn simulate_layer<W: AccelWord>(
             TaskMeta {
                 pe: region[(j / mcs.len()) % region.len()],
                 mc: mcs[mi],
-                num_pairs: t.task.len(),
-                pair_index: None,
+                wire: TaskWireMeta {
+                    num_pairs: t.task.len(),
+                    pair_index: None,
+                },
             }
         })
         .collect();
@@ -357,15 +399,15 @@ fn simulate_layer<W: AccelWord>(
         // MC-side: keep each prefetch buffer topped up with ordered packets.
         for (mi, &mc) in mcs.iter().enumerate() {
             while sim.pending_at(mc) < config.mc_prefetch_packets {
-                let Some(&j) = per_mc_tasks[mi].get(cursors[mi]) else { break };
+                let Some(&j) = per_mc_tasks[mi].get(cursors[mi]) else {
+                    break;
+                };
                 cursors[mi] += 1;
-                let ordered =
-                    order_task_with(&tasks[j].task, config.ordering, vpf, config.tiebreak)?;
-                *index_overhead_bits += ordered.index_overhead_bits();
-                metas[j].pair_index = ordered.pair_index().map(<[u16]>::to_vec);
-                let packet = Packet::new(mc, metas[j].pe, ordered.payload_flits(), j as u64);
-                request_flits += packet.flit_count() as u64;
-                sim.inject(packet)?;
+                let sent =
+                    port.send_task_accounted(sim, mc, metas[j].pe, &tasks[j].task, j as u64)?;
+                *index_overhead_bits += sent.index_overhead_bits;
+                request_flits += sent.flit_count as u64;
+                metas[j].wire = sent.meta;
             }
         }
 
@@ -384,19 +426,11 @@ fn simulate_layer<W: AccelWord>(
                 // Request arrived at a PE: decode off the wires, recover
                 // pairing, schedule the MAC result.
                 let meta = &metas[j];
-                let ordered = OrderedTask::<W>::from_payload_flits(
-                    config.ordering,
-                    meta.num_pairs,
-                    vpf,
-                    meta.pair_index.clone(),
-                    &delivered.payload_flits,
-                )
-                .map_err(|e| AccelError::Decode(e.to_string()))?;
-                let recovered = ordered
-                    .recover()
+                let recovered = port
+                    .receive_task::<W>(&meta.wire, &delivered)
                     .map_err(|e| AccelError::Decode(e.to_string()))?;
                 let bits = W::response_bits(&recovered);
-                let ready = sim.cycle() + config.pe_latency(meta.num_pairs);
+                let ready = sim.cycle() + config.pe_latency(meta.wire.num_pairs);
                 compute_queue.push(Reverse((ready, j, bits)));
             }
         }
@@ -463,8 +497,11 @@ mod tests {
 
     fn tiny_input(seed: u64) -> Tensor {
         let mut rng = StdRng::seed_from_u64(seed);
-        Tensor::from_vec(&[1, 8, 8], (0..64).map(|_| rng.gen_range(-1.0..1.0)).collect())
-            .unwrap()
+        Tensor::from_vec(
+            &[1, 8, 8],
+            (0..64).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        )
+        .unwrap()
     }
 
     fn config(format: DataFormat, ordering: OrderingMethod) -> AccelConfig {
@@ -499,9 +536,12 @@ mod tests {
         let model = tiny_model(3);
         let ops = model.inference_ops();
         let input = tiny_input(4);
-        let baseline =
-            run_inference(&ops, &input, &config(DataFormat::Fixed8, OrderingMethod::Baseline))
-                .unwrap();
+        let baseline = run_inference(
+            &ops,
+            &input,
+            &config(DataFormat::Fixed8, OrderingMethod::Baseline),
+        )
+        .unwrap();
         for ordering in [OrderingMethod::Affiliated, OrderingMethod::Separated] {
             let result =
                 run_inference(&ops, &input, &config(DataFormat::Fixed8, ordering)).unwrap();
@@ -527,7 +567,10 @@ mod tests {
         let (o0, o1, o2) = (totals[0], totals[1], totals[2]);
         assert!(o1 < o0, "affiliated {o1} must beat baseline {o0}");
         assert!(o2 < o0, "separated {o2} must beat baseline {o0}");
-        assert!(o2 <= o1, "separated {o2} should be at least as good as affiliated {o1}");
+        assert!(
+            o2 <= o1,
+            "separated {o2} should be at least as good as affiliated {o1}"
+        );
     }
 
     #[test]
@@ -553,10 +596,18 @@ mod tests {
         let model = tiny_model(9);
         let ops = model.inference_ops();
         let input = tiny_input(10);
-        let o1 = run_inference(&ops, &input, &config(DataFormat::Fixed8, OrderingMethod::Affiliated))
-            .unwrap();
-        let o2 = run_inference(&ops, &input, &config(DataFormat::Fixed8, OrderingMethod::Separated))
-            .unwrap();
+        let o1 = run_inference(
+            &ops,
+            &input,
+            &config(DataFormat::Fixed8, OrderingMethod::Affiliated),
+        )
+        .unwrap();
+        let o2 = run_inference(
+            &ops,
+            &input,
+            &config(DataFormat::Fixed8, OrderingMethod::Separated),
+        )
+        .unwrap();
         assert_eq!(o1.index_overhead_bits, 0);
         assert!(o2.index_overhead_bits > 0);
     }
@@ -566,8 +617,12 @@ mod tests {
         let model = tiny_model(11);
         let ops = model.inference_ops();
         let input = tiny_input(12);
-        let r = run_inference(&ops, &input, &config(DataFormat::Float32, OrderingMethod::Baseline))
-            .unwrap();
+        let r = run_inference(
+            &ops,
+            &input,
+            &config(DataFormat::Float32, OrderingMethod::Baseline),
+        )
+        .unwrap();
         assert_eq!(r.per_layer.len(), 2); // conv + linear
         assert_eq!(r.per_layer[0].op_name, "conv");
         assert_eq!(r.per_layer[1].op_name, "linear");
@@ -586,7 +641,10 @@ mod tests {
         c.format = DataFormat::Fixed16;
         c.noc.link_width_bits = 256;
         let err = run_inference(&ops, &input, &c).unwrap_err();
-        assert!(matches!(err, AccelError::UnsupportedFormat(DataFormat::Fixed16)));
+        assert!(matches!(
+            err,
+            AccelError::UnsupportedFormat(DataFormat::Fixed16)
+        ));
     }
 
     #[test]
@@ -603,7 +661,12 @@ mod tests {
                 let mut c = config(DataFormat::Fixed8, ordering);
                 c.tiebreak = tiebreak;
                 c.global_fx8_weights = global;
-                totals.push(run_inference(&ops, &input, &c).unwrap().stats.total_transitions);
+                totals.push(
+                    run_inference(&ops, &input, &c)
+                        .unwrap()
+                        .stats
+                        .total_transitions,
+                );
             }
             1.0 - totals[1] as f64 / totals[0] as f64
         };

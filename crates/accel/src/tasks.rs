@@ -231,7 +231,6 @@ pub fn linear_tasks<W: DataWord>(
 }
 
 /// Float-32 word mappers (identity encoding).
-#[must_use]
 pub fn f32_mappers() -> (
     impl Fn(f32) -> F32Word,
     impl Fn(f32) -> F32Word,
@@ -241,7 +240,6 @@ pub fn f32_mappers() -> (
 }
 
 /// Fixed-8 word mappers from per-layer quantizers.
-#[must_use]
 pub fn fx8_mappers(
     q: LayerQuantizers,
 ) -> (
@@ -303,7 +301,11 @@ mod tests {
         for t in &tasks {
             let got = t.task.mac_f64() as f32;
             let want = reference.data()[t.out_index];
-            assert!((got - want).abs() < 1e-4, "idx {}: {got} vs {want}", t.out_index);
+            assert!(
+                (got - want).abs() < 1e-4,
+                "idx {}: {got} vs {want}",
+                t.out_index
+            );
         }
         // Every output index covered exactly once.
         let mut seen = vec![false; reference.len()];
@@ -324,7 +326,14 @@ mod tests {
         .unwrap();
         let bias = Tensor::from_vec(&[2], vec![1.0, -1.0]).unwrap();
         let reference = btr_dnn::model::linear_forward(&input, &weight, &bias);
-        let tasks = linear_tasks(&input, &weight, &bias, F32Word::new, F32Word::new, F32Word::new);
+        let tasks = linear_tasks(
+            &input,
+            &weight,
+            &bias,
+            F32Word::new,
+            F32Word::new,
+            F32Word::new,
+        );
         assert_eq!(tasks.len(), 2);
         for t in &tasks {
             assert!((t.task.mac_f64() as f32 - reference.data()[t.out_index]).abs() < 1e-5);

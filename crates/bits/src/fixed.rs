@@ -22,7 +22,11 @@ pub struct QuantError {
 
 impl std::fmt::Display for QuantError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "quantizer scale must be finite and positive, got {}", self.scale)
+        write!(
+            f,
+            "quantizer scale must be finite and positive, got {}",
+            self.scale
+        )
     }
 }
 
@@ -59,7 +63,10 @@ impl Quantizer {
     ///
     /// Panics if `bits` is not in `2..=16`.
     pub fn new(scale: f32, bits: u32) -> Result<Self, QuantError> {
-        assert!((2..=16).contains(&bits), "quantizer bits must be in 2..=16, got {bits}");
+        assert!(
+            (2..=16).contains(&bits),
+            "quantizer bits must be in 2..=16, got {bits}"
+        );
         if !(scale.is_finite() && scale > 0.0) {
             return Err(QuantError { scale });
         }

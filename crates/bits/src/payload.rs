@@ -71,11 +71,19 @@ impl PayloadBits {
             offset + len,
             self.width
         );
-        let value = if len == 64 { value } else { value & ((1u64 << len) - 1) };
+        let value = if len == 64 {
+            value
+        } else {
+            value & ((1u64 << len) - 1)
+        };
         let word = (offset / 64) as usize;
         let bit = offset % 64;
         if bit + len <= 64 {
-            let mask = if len == 64 { u64::MAX } else { ((1u64 << len) - 1) << bit };
+            let mask = if len == 64 {
+                u64::MAX
+            } else {
+                ((1u64 << len) - 1) << bit
+            };
             self.words[word] = (self.words[word] & !mask) | (value << bit);
         } else {
             // Field straddles a word boundary.
@@ -84,7 +92,8 @@ impl PayloadBits {
             let lo_mask = ((1u64 << lo_len) - 1) << bit;
             self.words[word] = (self.words[word] & !lo_mask) | ((value << bit) & lo_mask);
             let hi_mask = (1u64 << hi_len) - 1;
-            self.words[word + 1] = (self.words[word + 1] & !hi_mask) | ((value >> lo_len) & hi_mask);
+            self.words[word + 1] =
+                (self.words[word + 1] & !hi_mask) | ((value >> lo_len) & hi_mask);
         }
     }
 
@@ -104,7 +113,11 @@ impl PayloadBits {
         );
         let word = (offset / 64) as usize;
         let bit = offset % 64;
-        let mask = if len == 64 { u64::MAX } else { (1u64 << len) - 1 };
+        let mask = if len == 64 {
+            u64::MAX
+        } else {
+            (1u64 << len) - 1
+        };
         if bit + len <= 64 {
             (self.words[word] >> bit) & mask
         } else {
@@ -118,14 +131,32 @@ impl PayloadBits {
     /// Returns the value of a single bit.
     #[must_use]
     pub fn bit(&self, index: u32) -> bool {
-        assert!(index < self.width, "bit {index} out of range for width {}", self.width);
+        assert!(
+            index < self.width,
+            "bit {index} out of range for width {}",
+            self.width
+        );
         (self.words[(index / 64) as usize] >> (index % 64)) & 1 == 1
+    }
+
+    /// Number of `u64` words actually covered by the payload width.
+    ///
+    /// All mutators keep bits at or above `width` zero, so scans can stop
+    /// here instead of walking the full backing array — the NoC
+    /// simulator's per-hop XOR/popcount loop relies on this.
+    #[inline]
+    #[must_use]
+    fn words_used(&self) -> usize {
+        self.width.div_ceil(64) as usize
     }
 
     /// Total number of `'1'` bits in the image.
     #[must_use]
     pub fn popcount(&self) -> u32 {
-        self.words.iter().map(|w| w.count_ones()).sum()
+        self.words[..self.words_used()]
+            .iter()
+            .map(|w| w.count_ones())
+            .sum()
     }
 
     /// Number of bit transitions when this image follows `previous` on the
@@ -141,9 +172,10 @@ impl PayloadBits {
             self.width, previous.width,
             "cannot compare payloads of different widths"
         );
-        self.words
+        let used = self.words_used();
+        self.words[..used]
             .iter()
-            .zip(previous.words.iter())
+            .zip(previous.words[..used].iter())
             .map(|(a, b)| (a ^ b).count_ones())
             .sum()
     }
@@ -155,7 +187,10 @@ impl PayloadBits {
     /// Panics if widths differ.
     #[must_use]
     pub fn xor(&self, other: &PayloadBits) -> PayloadBits {
-        assert_eq!(self.width, other.width, "cannot XOR payloads of different widths");
+        assert_eq!(
+            self.width, other.width,
+            "cannot XOR payloads of different widths"
+        );
         let mut out = *self;
         for (w, o) in out.words.iter_mut().zip(other.words.iter()) {
             *w ^= o;
@@ -176,7 +211,11 @@ impl PayloadBits {
         if rem != 0 {
             out.words[full_words] &= (1u64 << rem) - 1;
         }
-        for w in out.words.iter_mut().skip(if rem == 0 { full_words } else { full_words + 1 }) {
+        for w in out
+            .words
+            .iter_mut()
+            .skip(if rem == 0 { full_words } else { full_words + 1 })
+        {
             *w = 0;
         }
         out
@@ -223,10 +262,10 @@ mod tests {
     fn set_and_get_aligned_fields() {
         let mut p = PayloadBits::zero(512);
         for i in 0..16 {
-            p.set_field(i * 32, 32, u64::from(0xdead_0000u32 + i as u32));
+            p.set_field(i * 32, 32, u64::from(0xdead_0000u32 + i));
         }
         for i in 0..16 {
-            assert_eq!(p.field(i * 32, 32), u64::from(0xdead_0000u32 + i as u32));
+            assert_eq!(p.field(i * 32, 32), u64::from(0xdead_0000u32 + i));
         }
     }
 

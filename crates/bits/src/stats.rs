@@ -35,7 +35,10 @@ impl BitPositionStats {
     /// Panics if `width` is 0 or exceeds 64.
     #[must_use]
     pub fn new(width: u32) -> Self {
-        assert!((1..=64).contains(&width), "width must be in 1..=64, got {width}");
+        assert!(
+            (1..=64).contains(&width),
+            "width must be in 1..=64, got {width}"
+        );
         Self {
             width,
             ones: vec![0; width as usize],
@@ -151,7 +154,11 @@ impl PopcountHistogram {
     ///
     /// Panics if `popcount > width`.
     pub fn observe_popcount(&mut self, popcount: u32) {
-        assert!(popcount <= self.width, "popcount {popcount} exceeds width {}", self.width);
+        assert!(
+            popcount <= self.width,
+            "popcount {popcount} exceeds width {}",
+            self.width
+        );
         self.counts[popcount as usize] += 1;
         self.total += 1;
     }
@@ -203,7 +210,7 @@ impl PopcountHistogram {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::word::{Fx8Word, F32Word};
+    use crate::word::{F32Word, Fx8Word};
 
     #[test]
     fn one_probability_simple() {
@@ -273,7 +280,12 @@ mod tests {
 
     #[test]
     fn mean_popcount_matches_histogram() {
-        let words = [Fx8Word::new(3), Fx8Word::new(-3), Fx8Word::new(0), Fx8Word::new(127)];
+        let words = [
+            Fx8Word::new(3),
+            Fx8Word::new(-3),
+            Fx8Word::new(0),
+            Fx8Word::new(127),
+        ];
         let mut s = BitPositionStats::new(8);
         let mut h = PopcountHistogram::new(8);
         for &w in &words {

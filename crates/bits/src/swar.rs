@@ -36,8 +36,7 @@ pub const fn popcount_u32(x: u32) -> u32 {
     let x = (x & 0x3333_3333) + ((x >> 2) & 0x3333_3333);
     let x = (x & 0x0f0f_0f0f) + ((x >> 4) & 0x0f0f_0f0f);
     let x = (x & 0x00ff_00ff) + ((x >> 8) & 0x00ff_00ff);
-    let x = (x & 0x0000_ffff) + ((x >> 16) & 0x0000_ffff);
-    x
+    (x & 0x0000_ffff) + ((x >> 16) & 0x0000_ffff)
 }
 
 /// SWAR popcount of a 64-bit word (6 masked-add stages).
@@ -111,7 +110,13 @@ mod tests {
 
     #[test]
     fn u64_matches_native_sampled() {
-        for x in [0u64, 1, u64::MAX, 0x5555_5555_5555_5555, 0x0123_4567_89ab_cdef] {
+        for x in [
+            0u64,
+            1,
+            u64::MAX,
+            0x5555_5555_5555_5555,
+            0x0123_4567_89ab_cdef,
+        ] {
             assert_eq!(popcount_u64(x), x.count_ones());
         }
         for i in 0..64 {

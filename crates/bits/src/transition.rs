@@ -158,7 +158,10 @@ impl TransitionRecorder {
             return Vec::new();
         }
         let pairs = (self.flits_observed - 1) as f64;
-        self.per_position.iter().map(|&c| c as f64 / pairs).collect()
+        self.per_position
+            .iter()
+            .map(|&c| c as f64 / pairs)
+            .collect()
     }
 
     /// Resets the recorder to its initial state.

@@ -54,6 +54,21 @@ impl std::fmt::Display for DataFormat {
     }
 }
 
+impl std::str::FromStr for DataFormat {
+    type Err = String;
+
+    /// Parses `"f32"`/`"float-32"`, `"fx8"`/`"fixed-8"`,
+    /// `"fx16"`/`"fixed-16"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "f32" | "float32" | "float-32" => Ok(DataFormat::Float32),
+            "fx8" | "fixed8" | "fixed-8" => Ok(DataFormat::Fixed8),
+            "fx16" | "fixed16" | "fixed-16" => Ok(DataFormat::Fixed16),
+            other => Err(format!("unknown data format {other:?}; use f32|fx8|fx16")),
+        }
+    }
+}
+
 /// A fixed-width data word whose link image and `'1'`-bit count are known.
 ///
 /// Implementors are small `Copy` types wrapping the raw encoding. The

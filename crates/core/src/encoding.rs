@@ -193,7 +193,13 @@ mod tests {
         // Alternating all-zero / all-one flits: unencoded toggles every
         // wire; bus-invert toggles only the invert line.
         let stream: Vec<PayloadBits> = (0..10)
-            .map(|i| if i % 2 == 0 { payload(64, 0) } else { payload(64, u64::MAX) })
+            .map(|i| {
+                if i % 2 == 0 {
+                    payload(64, 0)
+                } else {
+                    payload(64, u64::MAX)
+                }
+            })
             .collect();
         let raw = unencoded(&stream);
         let enc = bus_invert(&stream);

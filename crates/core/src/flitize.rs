@@ -51,7 +51,9 @@ pub struct FlitRow<W> {
 
 impl<W: DataWord> FlitRow<W> {
     fn padded(values_per_flit: usize) -> Self {
-        Self { slots: vec![Slot::Pad; values_per_flit] }
+        Self {
+            slots: vec![Slot::Pad; values_per_flit],
+        }
     }
 
     /// The slots of this flit (length = values per flit).
@@ -91,10 +93,16 @@ impl std::fmt::Display for FlitizeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             FlitizeError::OddValuesPerFlit(v) => {
-                write!(f, "values per flit must be even and >= 2 for half-half layout, got {v}")
+                write!(
+                    f,
+                    "values per flit must be even and >= 2 for half-half layout, got {v}"
+                )
             }
             FlitizeError::LinkTooWide { requested } => {
-                write!(f, "link width {requested} exceeds the supported maximum {MAX_WIDTH_BITS}")
+                write!(
+                    f,
+                    "link width {requested} exceeds the supported maximum {MAX_WIDTH_BITS}"
+                )
             }
             FlitizeError::TooManyValues(n) => {
                 write!(f, "task with {n} pairs exceeds the u16 pair-index range")
@@ -126,7 +134,10 @@ impl std::fmt::Display for RecoverError {
                 write!(f, "unexpected slot contents at flit {flit}, slot {slot}")
             }
             RecoverError::MissingPairIndex => {
-                write!(f, "separated-ordering packet is missing its pair index side channel")
+                write!(
+                    f,
+                    "separated-ordering packet is missing its pair index side channel"
+                )
             }
         }
     }
@@ -157,7 +168,7 @@ pub struct HalfHalfLayout {
 /// public entry points).
 #[must_use]
 pub fn half_half_layout(n: usize, values_per_flit: usize) -> HalfHalfLayout {
-    assert!(values_per_flit >= 2 && values_per_flit % 2 == 0);
+    assert!(values_per_flit >= 2 && values_per_flit.is_multiple_of(2));
     assert!(n > 0);
     let half = values_per_flit / 2;
     // The weight half also carries the bias: n + 1 values.
@@ -260,9 +271,7 @@ impl<W: DataWord> OrderedTask<W> {
         let half = self.values_per_flit / 2;
 
         let assign: Vec<(usize, usize)> = match self.method {
-            OrderingMethod::Baseline => (0..self.num_pairs)
-                .map(|l| (l / half, l % half))
-                .collect(),
+            OrderingMethod::Baseline => (0..self.num_pairs).map(|l| (l / half, l % half)).collect(),
             OrderingMethod::Affiliated | OrderingMethod::Separated => {
                 round_robin_assignment(&layout.weight_occupancy)
             }
@@ -279,7 +288,10 @@ impl<W: DataWord> OrderedTask<W> {
             let (f, s) = assign[rank];
             match self.flits[f].slots()[half + s] {
                 Slot::Weight(w) => Ok(w),
-                _ => Err(RecoverError::SlotMismatch { flit: f, slot: half + s }),
+                _ => Err(RecoverError::SlotMismatch {
+                    flit: f,
+                    slot: half + s,
+                }),
             }
         };
 
@@ -304,7 +316,12 @@ impl<W: DataWord> OrderedTask<W> {
         let (bf, bs) = layout.bias_position;
         let bias = match self.flits[bf].slots()[half + bs] {
             Slot::Bias(w) => w,
-            _ => return Err(RecoverError::SlotMismatch { flit: bf, slot: half + bs }),
+            _ => {
+                return Err(RecoverError::SlotMismatch {
+                    flit: bf,
+                    slot: half + bs,
+                })
+            }
         };
         Ok(RecoveredTask { pairs, bias })
     }
@@ -333,7 +350,7 @@ impl<W: DataWord> OrderedTask<W> {
         pair_index: Option<Vec<u16>>,
         flits: &[PayloadBits],
     ) -> Result<Self, FlitizeError> {
-        if values_per_flit < 2 || values_per_flit % 2 != 0 {
+        if values_per_flit < 2 || !values_per_flit.is_multiple_of(2) {
             return Err(FlitizeError::OddValuesPerFlit(values_per_flit));
         }
         if num_pairs > usize::from(u16::MAX) || num_pairs == 0 {
@@ -403,7 +420,7 @@ pub fn order_task_with<W: DataWord>(
     values_per_flit: usize,
     tiebreak: TieBreak,
 ) -> Result<OrderedTask<W>, FlitizeError> {
-    if values_per_flit < 2 || values_per_flit % 2 != 0 {
+    if values_per_flit < 2 || !values_per_flit.is_multiple_of(2) {
         return Err(FlitizeError::OddValuesPerFlit(values_per_flit));
     }
     let width = values_per_flit as u32 * W::WIDTH;
@@ -495,6 +512,7 @@ pub fn flitize_values<W: DataWord>(
     values_per_flit: usize,
     ordered: bool,
 ) -> Vec<PayloadBits> {
+    use crate::transport::{pack_values, packet_occupancy, row_major_assignment};
     assert!(values_per_flit > 0, "values_per_flit must be positive");
     let width = values_per_flit as u32 * W::WIDTH;
     assert!(
@@ -504,31 +522,18 @@ pub fn flitize_values<W: DataWord>(
     if values.is_empty() {
         return Vec::new();
     }
-    let num_flits = values.len().div_ceil(values_per_flit);
-    let occupancy: Vec<usize> = (0..num_flits)
-        .map(|f| {
-            values
-                .len()
-                .saturating_sub(f * values_per_flit)
-                .min(values_per_flit)
-        })
-        .collect();
-
-    let mut grid: Vec<PayloadBits> = (0..num_flits).map(|_| PayloadBits::zero(width)).collect();
-    if ordered {
-        let perm = crate::ordering::descending_popcount_order(values);
-        let assign = round_robin_assignment(&occupancy);
-        for (rank, &orig) in perm.iter().enumerate() {
-            let (f, s) = assign[rank];
-            grid[f].set_field(s as u32 * W::WIDTH, W::WIDTH, values[orig].bits_u64());
-        }
+    let occupancy = packet_occupancy(values.len(), values_per_flit);
+    let perm: Vec<usize> = if ordered {
+        crate::ordering::descending_popcount_order(values)
     } else {
-        for (l, v) in values.iter().enumerate() {
-            let (f, s) = (l / values_per_flit, l % values_per_flit);
-            grid[f].set_field(s as u32 * W::WIDTH, W::WIDTH, v.bits_u64());
-        }
-    }
-    grid
+        (0..values.len()).collect()
+    };
+    let assign = if ordered {
+        round_robin_assignment(&occupancy)
+    } else {
+        row_major_assignment(&occupancy)
+    };
+    pack_values(values, &occupancy, &assign, &perm, values_per_flit)
 }
 
 #[cfg(test)]
@@ -537,9 +542,12 @@ mod tests {
     use btr_bits::word::{F32Word, Fx8Word};
 
     fn fx_task(n: usize) -> NeuronTask<Fx8Word> {
-        let inputs: Vec<Fx8Word> = (0..n).map(|i| Fx8Word::new((i as i8).wrapping_mul(7))).collect();
-        let weights: Vec<Fx8Word> =
-            (0..n).map(|i| Fx8Word::new((i as i8).wrapping_mul(13).wrapping_sub(5))).collect();
+        let inputs: Vec<Fx8Word> = (0..n)
+            .map(|i| Fx8Word::new((i as i8).wrapping_mul(7)))
+            .collect();
+        let weights: Vec<Fx8Word> = (0..n)
+            .map(|i| Fx8Word::new((i as i8).wrapping_mul(13).wrapping_sub(5)))
+            .collect();
         NeuronTask::new(inputs, weights, Fx8Word::new(42)).unwrap()
     }
 
@@ -660,16 +668,17 @@ mod tests {
 
     #[test]
     fn recovery_f32_matches_reference() {
-        let inputs: Vec<F32Word> = (0..25).map(|i| F32Word::new(i as f32 * 0.25 - 3.0)).collect();
-        let weights: Vec<F32Word> = (0..25).map(|i| F32Word::new(0.1 * i as f32 - 1.2)).collect();
+        let inputs: Vec<F32Word> = (0..25)
+            .map(|i| F32Word::new(i as f32 * 0.25 - 3.0))
+            .collect();
+        let weights: Vec<F32Word> = (0..25)
+            .map(|i| F32Word::new(0.1 * i as f32 - 1.2))
+            .collect();
         let task = NeuronTask::new(inputs, weights, F32Word::new(0.5)).unwrap();
         for method in OrderingMethod::ALL {
             let ot = order_task(&task, method, 16).unwrap();
             let rec = ot.recover().unwrap();
-            assert!(
-                (rec.mac_f64() - task.mac_f64()).abs() < 1e-9,
-                "{method:?}"
-            );
+            assert!((rec.mac_f64() - task.mac_f64()).abs() < 1e-9, "{method:?}");
         }
     }
 

@@ -20,6 +20,10 @@
 //! * [`unit`] — a behavioral model of the hardware ordering unit (Fig. 14):
 //!   SWAR popcount followed by a sorting network, with compare-exchange and
 //!   stage accounting for the hardware cost model in `btr-hw`.
+//! * [`transport`] — the shared transport pipeline: the
+//!   [`transport::TransportSession`] encode/decode contract consumed by
+//!   the stream harness, the NoC injection layer and the accelerator
+//!   driver, plus the one copy of the occupancy/packing helpers.
 //! * [`stream`] — the "without NoC" evaluation harness behind Table I and
 //!   Figs. 9–11: packet streams on a single link.
 //! * [`encoding`] — bus-invert and delta-encoding baselines from the related
@@ -54,8 +58,12 @@ pub mod ordering;
 pub mod stream;
 pub mod task;
 pub mod theory;
+pub mod transport;
 pub mod unit;
 
 pub use flitize::{order_task, FlitRow, OrderedTask, RecoverError, Slot};
 pub use ordering::OrderingMethod;
 pub use task::NeuronTask;
+pub use transport::{
+    EncodedTask, OrderedTransport, TaskWireMeta, TransportConfig, TransportError, TransportSession,
+};

@@ -67,6 +67,23 @@ impl std::fmt::Display for OrderingMethod {
     }
 }
 
+impl std::str::FromStr for OrderingMethod {
+    type Err = String;
+
+    /// Parses the paper's shorthand (`"O0"`/`"O1"`/`"O2"`, case
+    /// insensitive) or the long names.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "o0" | "baseline" => Ok(OrderingMethod::Baseline),
+            "o1" | "affiliated" | "affiliated-ordering" => Ok(OrderingMethod::Affiliated),
+            "o2" | "separated" | "separated-ordering" => Ok(OrderingMethod::Separated),
+            other => Err(format!(
+                "unknown ordering {other:?}; use O0|O1|O2 or baseline|affiliated|separated"
+            )),
+        }
+    }
+}
+
 /// Tie handling among equal-popcount values.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum TieBreak {
@@ -78,21 +95,20 @@ pub enum TieBreak {
     Value,
 }
 
-impl TieBreak {
+impl std::str::FromStr for TieBreak {
+    type Err = String;
+
     /// Parses `"stable"` / `"value"`.
-    ///
-    /// # Panics
-    ///
-    /// Panics on unknown names.
-    #[must_use]
-    pub fn parse(s: &str) -> Self {
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s {
-            "stable" => TieBreak::Stable,
-            "value" => TieBreak::Value,
-            other => panic!("unknown tiebreak {other:?}; use stable|value"),
+            "stable" => Ok(TieBreak::Stable),
+            "value" => Ok(TieBreak::Value),
+            other => Err(format!("unknown tiebreak {other:?}; use stable|value")),
         }
     }
+}
 
+impl TieBreak {
     /// The descending permutation under this tie rule.
     #[must_use]
     pub fn descending_order<W: DataWord>(self, values: &[W]) -> Vec<usize> {
@@ -308,10 +324,7 @@ mod tests {
     #[test]
     fn round_robin_equal_capacities_is_column_major() {
         let assign = round_robin_assignment(&[2, 2, 2]);
-        assert_eq!(
-            assign,
-            vec![(0, 0), (1, 0), (2, 0), (0, 1), (1, 1), (2, 1)]
-        );
+        assert_eq!(assign, vec![(0, 0), (1, 0), (2, 0), (0, 1), (1, 1), (2, 1)]);
     }
 
     #[test]

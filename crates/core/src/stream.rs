@@ -20,6 +20,7 @@
 use crate::flitize::flitize_values;
 use crate::ordering::round_robin_assignment;
 pub use crate::ordering::TieBreak;
+use crate::transport::{pack_values, row_major_assignment, window_occupancy};
 use btr_bits::payload::PayloadBits;
 use btr_bits::stats::{BitPositionStats, PopcountHistogram};
 use btr_bits::transition::{reduction_rate, TransitionRecorder};
@@ -104,10 +105,12 @@ pub fn build_stream_flits<W: DataWord>(
     config: &WindowConfig,
     ordered: bool,
 ) -> Vec<PayloadBits> {
-    assert!(config.values_per_flit > 0, "values_per_flit must be positive");
+    assert!(
+        config.values_per_flit > 0,
+        "values_per_flit must be positive"
+    );
     assert!(config.window_packets > 0, "window_packets must be positive");
     let vpf = config.values_per_flit;
-    let width = vpf as u32 * W::WIDTH;
     let mut flits = Vec::new();
     for window in packets.chunks(config.window_packets) {
         if !ordered {
@@ -117,34 +120,16 @@ pub fn build_stream_flits<W: DataWord>(
             continue;
         }
         // Occupied-slot layout of the window: per-packet row-major shape,
-        // padding at each packet's tail flit.
-        let mut occupancy: Vec<usize> = Vec::new();
-        for packet in window {
-            let num_flits = packet.len().div_ceil(vpf).max(1);
-            for f in 0..num_flits {
-                occupancy.push(packet.len().saturating_sub(f * vpf).min(vpf));
-            }
-        }
+        // padding at each packet's tail flit ("we do not order the padded
+        // zeros"); packing shared with the rest of the transport pipeline.
+        let occupancy = window_occupancy(window.iter().map(Vec::len), vpf);
         let values: Vec<W> = window.iter().flatten().copied().collect();
         let perm = config.tiebreak.descending_order(&values);
         let assign: Vec<(usize, usize)> = match config.placement {
             Placement::RoundRobin => round_robin_assignment(&occupancy),
-            Placement::RowMajor => {
-                let mut out = Vec::with_capacity(values.len());
-                for (f, &occ) in occupancy.iter().enumerate() {
-                    for s in 0..occ {
-                        out.push((f, s));
-                    }
-                }
-                out
-            }
+            Placement::RowMajor => row_major_assignment(&occupancy),
         };
-        let base = flits.len();
-        flits.extend((0..occupancy.len()).map(|_| PayloadBits::zero(width)));
-        for (rank, &orig) in perm.iter().enumerate() {
-            let (f, s) = assign[rank];
-            flits[base + f].set_field(s as u32 * W::WIDTH, W::WIDTH, values[orig].bits_u64());
-        }
+        flits.extend(pack_values(&values, &occupancy, &assign, &perm, vpf));
     }
     flits
 }
@@ -294,15 +279,19 @@ pub fn evaluate_stream<W: DataWord>(
         placement: Placement::RoundRobin,
         tiebreak: TieBreak::Stable,
     };
-    evaluate_windowed(packets, &config, ordered, Comparison::Consecutive, grid_rows)
+    evaluate_windowed(
+        packets,
+        &config,
+        ordered,
+        Comparison::Consecutive,
+        grid_rows,
+    )
 }
 
 /// Popcount of each value lane in a flit image.
 fn flit_popcounts<W: DataWord>(flit: &PayloadBits, values_per_flit: usize) -> Vec<u32> {
     (0..values_per_flit)
-        .map(|s| {
-            flit.field(s as u32 * W::WIDTH, W::WIDTH).count_ones()
-        })
+        .map(|s| flit.field(s as u32 * W::WIDTH, W::WIDTH).count_ones())
         .collect()
 }
 
@@ -426,7 +415,11 @@ mod tests {
             uniform.reduction_rate
         );
         // The paper's headline: trained fixed-8 cuts BT by ~half.
-        assert!(bimodal.reduction_rate > 0.3, "got {}", bimodal.reduction_rate);
+        assert!(
+            bimodal.reduction_rate > 0.3,
+            "got {}",
+            bimodal.reduction_rate
+        );
     }
 
     #[test]
@@ -520,13 +513,19 @@ mod tests {
         let cmp1 = compare_windowed(
             &packets,
             &config,
-            Comparison::RandomPairs { pairs: 2000, seed: 1 },
+            Comparison::RandomPairs {
+                pairs: 2000,
+                seed: 1,
+            },
             0,
         );
         let cmp2 = compare_windowed(
             &packets,
             &config,
-            Comparison::RandomPairs { pairs: 2000, seed: 1 },
+            Comparison::RandomPairs {
+                pairs: 2000,
+                seed: 1,
+            },
             0,
         );
         assert_eq!(cmp1.baseline.transitions, cmp2.baseline.transitions);
@@ -541,7 +540,10 @@ mod tests {
     #[test]
     fn larger_windows_help_random_pair_comparisons() {
         let packets = random_packets(256, 25, 8);
-        let comparison = Comparison::RandomPairs { pairs: 5000, seed: 2 };
+        let comparison = Comparison::RandomPairs {
+            pairs: 5000,
+            seed: 2,
+        };
         let rate = |window: usize| {
             let config = WindowConfig {
                 values_per_flit: 8,
@@ -562,10 +564,12 @@ mod tests {
     #[test]
     fn measure_flits_handles_degenerate_inputs() {
         let flits: Vec<btr_bits::PayloadBits> = Vec::new();
-        let r = measure_flits::<Fx8Word>(&flits, 8, Comparison::RandomPairs { pairs: 10, seed: 0 }, 0);
+        let r =
+            measure_flits::<Fx8Word>(&flits, 8, Comparison::RandomPairs { pairs: 10, seed: 0 }, 0);
         assert_eq!(r.transitions, 0);
         let one = vec![btr_bits::PayloadBits::zero(64)];
-        let r = measure_flits::<Fx8Word>(&one, 8, Comparison::RandomPairs { pairs: 10, seed: 0 }, 2);
+        let r =
+            measure_flits::<Fx8Word>(&one, 8, Comparison::RandomPairs { pairs: 10, seed: 0 }, 2);
         assert_eq!(r.bt_per_flit, 0.0);
         assert_eq!(r.popcount_grid.len(), 1);
     }

@@ -66,7 +66,11 @@ impl<W: DataWord> NeuronTask<W> {
         if inputs.is_empty() {
             return Err(TaskError::Empty);
         }
-        Ok(Self { inputs, weights, bias })
+        Ok(Self {
+            inputs,
+            weights,
+            bias,
+        })
     }
 
     /// Number of (input, weight) pairs.
@@ -186,9 +190,14 @@ mod tests {
     #[test]
     fn construction_validates() {
         let err = NeuronTask::new(vec![Fx8Word::new(1)], vec![], Fx8Word::new(0)).unwrap_err();
-        assert!(matches!(err, TaskError::LengthMismatch { inputs: 1, weights: 0 }));
-        let err =
-            NeuronTask::<Fx8Word>::new(vec![], vec![], Fx8Word::new(0)).unwrap_err();
+        assert!(matches!(
+            err,
+            TaskError::LengthMismatch {
+                inputs: 1,
+                weights: 0
+            }
+        ));
+        let err = NeuronTask::<Fx8Word>::new(vec![], vec![], Fx8Word::new(0)).unwrap_err();
         assert_eq!(err, TaskError::Empty);
         assert!(err.to_string().contains("at least one"));
     }
@@ -225,8 +234,14 @@ mod tests {
         ];
         let mut rev = pairs.clone();
         rev.reverse();
-        let a = RecoveredTask { pairs, bias: Fx8Word::new(7) };
-        let b = RecoveredTask { pairs: rev, bias: Fx8Word::new(7) };
+        let a = RecoveredTask {
+            pairs,
+            bias: Fx8Word::new(7),
+        };
+        let b = RecoveredTask {
+            pairs: rev,
+            bias: Fx8Word::new(7),
+        };
         assert_eq!(a.mac_i64(), b.mac_i64());
     }
 }

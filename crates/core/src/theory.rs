@@ -67,7 +67,11 @@ pub fn expected_bt_32(x: u32, y: u32) -> f64 {
 /// Panics if the series lengths differ.
 #[must_use]
 pub fn expected_total_bt(xs: &[u32], ys: &[u32], width: u32) -> f64 {
-    assert_eq!(xs.len(), ys.len(), "flits must carry the same number of words");
+    assert_eq!(
+        xs.len(),
+        ys.len(),
+        "flits must carry the same number of words"
+    );
     xs.iter()
         .zip(ys.iter())
         .map(|(&x, &y)| expected_bt(x, y, width))
@@ -78,7 +82,11 @@ pub fn expected_total_bt(xs: &[u32], ys: &[u32], width: u32) -> f64 {
 /// minimizes [`expected_total_bt`] for a fixed payload multiset.
 #[must_use]
 pub fn pair_product_objective(xs: &[u32], ys: &[u32]) -> u64 {
-    assert_eq!(xs.len(), ys.len(), "flits must carry the same number of words");
+    assert_eq!(
+        xs.len(),
+        ys.len(),
+        "flits must carry the same number of words"
+    );
     xs.iter()
         .zip(ys.iter())
         .map(|(&x, &y)| u64::from(x) * u64::from(y))
@@ -96,7 +104,10 @@ pub fn pair_product_objective(xs: &[u32], ys: &[u32]) -> u64 {
 /// Panics if `popcounts.len()` is odd.
 #[must_use]
 pub fn optimal_two_flit_split(popcounts: &[u32]) -> (Vec<u32>, Vec<u32>) {
-    assert!(popcounts.len() % 2 == 0, "need an even number of values for two flits");
+    assert!(
+        popcounts.len().is_multiple_of(2),
+        "need an even number of values for two flits"
+    );
     let mut sorted = popcounts.to_vec();
     sorted.sort_unstable_by(|a, b| b.cmp(a));
     let mut xs = Vec::with_capacity(sorted.len() / 2);
@@ -125,7 +136,7 @@ pub fn optimal_two_flit_split(popcounts: &[u32]) -> (Vec<u32>, Vec<u32>) {
 #[must_use]
 pub fn brute_force_max_objective(popcounts: &[u32]) -> u64 {
     let n2 = popcounts.len();
-    assert!(n2 % 2 == 0, "need an even number of values");
+    assert!(n2.is_multiple_of(2), "need an even number of values");
     assert!(n2 <= 16, "brute force limited to 16 values");
     let n = n2 / 2;
     let mut best = 0u64;
@@ -248,7 +259,9 @@ mod tests {
         assert_eq!(xs, vec![9, 5, 2]);
         assert_eq!(ys, vec![7, 3, 1]);
         // Interleaved: x1 >= y1 >= x2 >= y2 >= x3 >= y3.
-        assert!(xs[0] >= ys[0] && ys[0] >= xs[1] && xs[1] >= ys[1] && ys[1] >= xs[2] && xs[2] >= ys[2]);
+        assert!(
+            xs[0] >= ys[0] && ys[0] >= xs[1] && xs[1] >= ys[1] && ys[1] >= xs[2] && xs[2] >= ys[2]
+        );
     }
 
     #[test]

@@ -1,0 +1,478 @@
+//! The shared transport pipeline: one implementation of the
+//! `OrderedTask → packets → per-link TransitionRecorder` lifecycle.
+//!
+//! Three harnesses move ordered values over links: the "without NoC"
+//! stream evaluation ([`crate::stream`]), raw NoC injection
+//! (`btr_noc::session`), and the full accelerator driver
+//! (`btr_accel::driver`). Historically each hand-rolled its own
+//! flitization, ordering and recovery calls; this module is now the single
+//! place that logic lives:
+//!
+//! * [`TransportSession`] — the MC/PE contract: encode a
+//!   [`NeuronTask`] into wire images plus the [`TaskWireMeta`] a head
+//!   flit (and, for O2, the index side channel) carries, and decode a
+//!   delivered packet back into a [`RecoveredTask`];
+//! * [`OrderedTransport`] — the paper's implementation of that contract
+//!   (descending-popcount ordering per [`TransportConfig`]);
+//! * the packing helpers ([`packet_occupancy`], [`window_occupancy`],
+//!   [`row_major_assignment`], [`pack_values`],
+//!   [`pack_window_with_order`]) — the one copy of the
+//!   "occupancy → permutation → slot assignment → flit images" pipeline
+//!   that both the packet path and the weight-stream path are built on;
+//! * [`link_recorder`] / [`record_stream`] — the measurement end of the
+//!   lifecycle: a per-link [`TransitionRecorder`] observing the encoded
+//!   flits (Fig. 8).
+
+use crate::flitize::{order_task_with, FlitizeError, OrderedTask, RecoverError};
+use crate::ordering::{round_robin_assignment, OrderingMethod, TieBreak};
+use crate::task::{NeuronTask, RecoveredTask};
+use btr_bits::payload::{PayloadBits, MAX_WIDTH_BITS};
+use btr_bits::transition::TransitionRecorder;
+use btr_bits::word::DataWord;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a transport session: how values are ordered and how
+/// many word lanes each flit carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransportConfig {
+    /// Data transmission ordering (O0/O1/O2).
+    pub ordering: OrderingMethod,
+    /// Popcount-tie handling in the ordering unit.
+    pub tiebreak: TieBreak,
+    /// Word lanes per flit (the paper uses 16: 8 inputs + 8 weights).
+    pub values_per_flit: usize,
+}
+
+impl TransportConfig {
+    /// A session with the paper's popcount-only comparator
+    /// ([`TieBreak::Stable`]).
+    #[must_use]
+    pub fn new(ordering: OrderingMethod, values_per_flit: usize) -> Self {
+        Self {
+            ordering,
+            tiebreak: TieBreak::Stable,
+            values_per_flit,
+        }
+    }
+
+    /// Link width in bits for word type `W` under this configuration.
+    #[must_use]
+    pub fn link_width_bits<W: DataWord>(&self) -> u32 {
+        self.values_per_flit as u32 * W::WIDTH
+    }
+}
+
+/// The metadata a packet carries out-of-band of its payload flits: the
+/// extended head-flit fields plus, for separated-ordering, the
+/// minimal-bit-width re-pairing index (Sec. IV-B).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskWireMeta {
+    /// Number of (input, weight) pairs in the task.
+    pub num_pairs: usize,
+    /// O2 re-pairing index (`pair_index[input_rank] = weight_rank`).
+    pub pair_index: Option<Vec<u16>>,
+}
+
+/// A task encoded for transmission: ordered flit images plus wire
+/// metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncodedTask<W> {
+    ordered: OrderedTask<W>,
+}
+
+impl<W: DataWord> EncodedTask<W> {
+    /// The payload flit images in transmission order.
+    #[must_use]
+    pub fn payload_flits(&self) -> Vec<PayloadBits> {
+        self.ordered.payload_flits()
+    }
+
+    /// The metadata the receiver needs to decode the packet.
+    #[must_use]
+    pub fn wire_meta(&self) -> TaskWireMeta {
+        TaskWireMeta {
+            num_pairs: self.ordered.num_pairs(),
+            pair_index: self.ordered.pair_index().map(<[u16]>::to_vec),
+        }
+    }
+
+    /// Side-channel overhead of the separated-ordering index in bits.
+    #[must_use]
+    pub fn index_overhead_bits(&self) -> u64 {
+        self.ordered.index_overhead_bits()
+    }
+
+    /// The underlying ordered task (slot-level view).
+    #[must_use]
+    pub fn ordered(&self) -> &OrderedTask<W> {
+        &self.ordered
+    }
+}
+
+/// Errors from the decode half of a transport session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The flit images do not match the expected layout geometry.
+    Geometry(FlitizeError),
+    /// The slot structure decoded, but operand recovery failed.
+    Recover(RecoverError),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Geometry(e) => write!(f, "wire decode failed: {e}"),
+            TransportError::Recover(e) => write!(f, "operand recovery failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<FlitizeError> for TransportError {
+    fn from(e: FlitizeError) -> Self {
+        TransportError::Geometry(e)
+    }
+}
+
+impl From<RecoverError> for TransportError {
+    fn from(e: RecoverError) -> Self {
+        TransportError::Recover(e)
+    }
+}
+
+/// The transport contract between a memory controller and a processing
+/// element: `NeuronTask → OrderedTask → packets` on the sending side,
+/// `packets → RecoveredTask` on the receiving side.
+///
+/// Implementations must round-trip: for any valid task,
+/// `decode_task(encode_task(t).wire_meta(), encode_task(t).payload_flits())`
+/// recovers a pairing with the same multiply-accumulate result.
+pub trait TransportSession<W: DataWord> {
+    /// The session configuration.
+    fn transport_config(&self) -> &TransportConfig;
+
+    /// Orders and flitizes a task for transmission.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlitizeError`] for invalid geometry (odd lane count, link
+    /// too wide, oversized task).
+    fn encode_task(&self, task: &NeuronTask<W>) -> Result<EncodedTask<W>, FlitizeError>;
+
+    /// Decodes delivered payload flits back into paired operands.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError`] if the flit images do not match the
+    /// layout implied by `meta` or recovery fails.
+    fn decode_task(
+        &self,
+        meta: &TaskWireMeta,
+        flits: &[PayloadBits],
+    ) -> Result<RecoveredTask<W>, TransportError>;
+
+    /// A per-link transition recorder matching this session's link width —
+    /// the measurement end of the transport lifecycle (Fig. 8).
+    fn link_recorder(&self) -> TransitionRecorder {
+        TransitionRecorder::total_only(self.transport_config().link_width_bits::<W>())
+    }
+}
+
+/// The paper's transport: descending-popcount ordering at the MC,
+/// slot-pairing (O0/O1) or index-lookup (O2) recovery at the PE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OrderedTransport {
+    config: TransportConfig,
+}
+
+impl OrderedTransport {
+    /// Creates a session with the given configuration.
+    #[must_use]
+    pub fn new(config: TransportConfig) -> Self {
+        Self { config }
+    }
+}
+
+impl<W: DataWord> TransportSession<W> for OrderedTransport {
+    fn transport_config(&self) -> &TransportConfig {
+        &self.config
+    }
+
+    fn encode_task(&self, task: &NeuronTask<W>) -> Result<EncodedTask<W>, FlitizeError> {
+        let ordered = order_task_with(
+            task,
+            self.config.ordering,
+            self.config.values_per_flit,
+            self.config.tiebreak,
+        )?;
+        Ok(EncodedTask { ordered })
+    }
+
+    fn decode_task(
+        &self,
+        meta: &TaskWireMeta,
+        flits: &[PayloadBits],
+    ) -> Result<RecoveredTask<W>, TransportError> {
+        let ordered = OrderedTask::<W>::from_payload_flits(
+            self.config.ordering,
+            meta.num_pairs,
+            self.config.values_per_flit,
+            meta.pair_index.clone(),
+            flits,
+        )?;
+        Ok(ordered.recover()?)
+    }
+}
+
+/// A total-only [`TransitionRecorder`] for a `values_per_flit`-lane link
+/// of word type `W`.
+#[must_use]
+pub fn link_recorder<W: DataWord>(values_per_flit: usize) -> TransitionRecorder {
+    TransitionRecorder::total_only(values_per_flit as u32 * W::WIDTH)
+}
+
+/// Streams flit images through a recorder, returning the transitions they
+/// added (the link half of the transport lifecycle).
+pub fn record_stream(recorder: &mut TransitionRecorder, flits: &[PayloadBits]) -> u64 {
+    let before = recorder.total();
+    for flit in flits {
+        recorder.observe(flit);
+    }
+    recorder.total() - before
+}
+
+/// Row-major occupancy of one packet of `len` values over
+/// `values_per_flit`-lane flits: `occupancy[f]` occupied slots in flit
+/// `f`, padding in the tail flit. An empty packet still occupies one
+/// (all-padding) flit, so baseline and ordered streams keep identical
+/// flit counts.
+///
+/// # Panics
+///
+/// Panics if `values_per_flit == 0`.
+#[must_use]
+pub fn packet_occupancy(len: usize, values_per_flit: usize) -> Vec<usize> {
+    assert!(values_per_flit > 0, "values_per_flit must be positive");
+    let num_flits = len.div_ceil(values_per_flit).max(1);
+    (0..num_flits)
+        .map(|f| len.saturating_sub(f * values_per_flit).min(values_per_flit))
+        .collect()
+}
+
+/// Occupancy of a window of packets: each packet keeps its own row-major
+/// block (padding at each packet's tail flit), concatenated in order.
+///
+/// # Panics
+///
+/// Panics if `values_per_flit == 0`.
+#[must_use]
+pub fn window_occupancy(
+    lens: impl IntoIterator<Item = usize>,
+    values_per_flit: usize,
+) -> Vec<usize> {
+    let mut occupancy = Vec::new();
+    for len in lens {
+        occupancy.extend(packet_occupancy(len, values_per_flit));
+    }
+    occupancy
+}
+
+/// Row-major slot assignment over an occupancy: rank `r` goes to the
+/// `r`-th occupied slot in flit order (the baseline layout, and the
+/// [`crate::stream::Placement::RowMajor`] ordered layout).
+#[must_use]
+pub fn row_major_assignment(occupancy: &[usize]) -> Vec<(usize, usize)> {
+    let mut assign = Vec::with_capacity(occupancy.iter().sum());
+    for (f, &occ) in occupancy.iter().enumerate() {
+        for s in 0..occ {
+            assign.push((f, s));
+        }
+    }
+    assign
+}
+
+/// Packs one window of packets with an arbitrary ordering rule: the
+/// window's values are pooled, permuted by `order`, and dealt round-robin
+/// into the occupied slots of the window's flits (padding stays in
+/// place). This is the shared engine behind
+/// [`crate::stream::build_stream_flits`] and the ordering-rule ablations.
+///
+/// # Panics
+///
+/// Panics if `values_per_flit == 0` or `order` returns a permutation of
+/// the wrong length.
+#[must_use]
+pub fn pack_window_with_order<W: DataWord>(
+    packets: &[Vec<W>],
+    values_per_flit: usize,
+    order: impl Fn(&[W]) -> Vec<usize>,
+) -> Vec<PayloadBits> {
+    let occupancy = window_occupancy(packets.iter().map(Vec::len), values_per_flit);
+    let values: Vec<W> = packets.iter().flatten().copied().collect();
+    let perm = order(&values);
+    let assign = round_robin_assignment(&occupancy);
+    pack_values(&values, &occupancy, &assign, &perm, values_per_flit)
+}
+
+/// Renders values into flit images of `values_per_flit` word lanes: rank
+/// `r` of permutation `perm` lands in slot `assign[r]`; unassigned slots
+/// stay zero (padding).
+///
+/// `perm[rank] = original index` and `assign[rank] = (flit, slot)` must
+/// both cover exactly the values.
+///
+/// # Panics
+///
+/// Panics if `perm`/`assign` lengths differ from `values.len()`,
+/// `values_per_flit == 0`, or the link would exceed [`MAX_WIDTH_BITS`].
+#[must_use]
+pub fn pack_values<W: DataWord>(
+    values: &[W],
+    occupancy: &[usize],
+    assign: &[(usize, usize)],
+    perm: &[usize],
+    values_per_flit: usize,
+) -> Vec<PayloadBits> {
+    assert_eq!(
+        perm.len(),
+        values.len(),
+        "permutation must cover the values"
+    );
+    assert_eq!(
+        assign.len(),
+        values.len(),
+        "assignment must cover the values"
+    );
+    assert!(values_per_flit > 0, "values_per_flit must be positive");
+    let link_width = values_per_flit as u32 * W::WIDTH;
+    assert!(
+        link_width <= MAX_WIDTH_BITS,
+        "link width {link_width} exceeds maximum {MAX_WIDTH_BITS}"
+    );
+    let mut flits: Vec<PayloadBits> = (0..occupancy.len())
+        .map(|_| PayloadBits::zero(link_width))
+        .collect();
+    for (rank, &orig) in perm.iter().enumerate() {
+        let (f, s) = assign[rank];
+        flits[f].set_field(s as u32 * W::WIDTH, W::WIDTH, values[orig].bits_u64());
+    }
+    flits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ordering::descending_popcount_order;
+    use btr_bits::word::Fx8Word;
+
+    fn fx_task(n: usize) -> NeuronTask<Fx8Word> {
+        let inputs: Vec<Fx8Word> = (0..n)
+            .map(|i| Fx8Word::new((i as i8).wrapping_mul(7)))
+            .collect();
+        let weights: Vec<Fx8Word> = (0..n)
+            .map(|i| Fx8Word::new((i as i8).wrapping_mul(13).wrapping_sub(5)))
+            .collect();
+        NeuronTask::new(inputs, weights, Fx8Word::new(42)).unwrap()
+    }
+
+    #[test]
+    fn session_roundtrips_all_methods_and_tiebreaks() {
+        for n in [1usize, 7, 25, 100] {
+            let task = fx_task(n);
+            for ordering in OrderingMethod::ALL {
+                for tiebreak in [TieBreak::Stable, TieBreak::Value] {
+                    let session = OrderedTransport::new(TransportConfig {
+                        ordering,
+                        tiebreak,
+                        values_per_flit: 16,
+                    });
+                    let enc = session.encode_task(&task).unwrap();
+                    let rec = session
+                        .decode_task(&enc.wire_meta(), &enc.payload_flits())
+                        .unwrap();
+                    assert_eq!(
+                        rec.mac_i64(),
+                        task.mac_i64(),
+                        "{ordering} {tiebreak:?} n={n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wire_meta_carries_index_only_for_separated() {
+        let task = fx_task(9);
+        let enc = |m| {
+            let s = OrderedTransport::new(TransportConfig::new(m, 8));
+            TransportSession::<Fx8Word>::encode_task(&s, &task).unwrap()
+        };
+        assert!(enc(OrderingMethod::Baseline)
+            .wire_meta()
+            .pair_index
+            .is_none());
+        assert!(enc(OrderingMethod::Affiliated)
+            .wire_meta()
+            .pair_index
+            .is_none());
+        let o2 = enc(OrderingMethod::Separated);
+        assert_eq!(o2.wire_meta().pair_index.unwrap().len(), 9);
+        assert_eq!(o2.index_overhead_bits(), 36);
+    }
+
+    #[test]
+    fn decode_rejects_bad_geometry() {
+        let session = OrderedTransport::new(TransportConfig::new(OrderingMethod::Baseline, 8));
+        let task = fx_task(9);
+        let enc = TransportSession::<Fx8Word>::encode_task(&session, &task).unwrap();
+        let flits = enc.payload_flits();
+        let short = &flits[..1];
+        let err = TransportSession::<Fx8Word>::decode_task(&session, &enc.wire_meta(), short)
+            .unwrap_err();
+        assert!(matches!(err, TransportError::Geometry(_)));
+        assert!(err.to_string().contains("decode failed"));
+    }
+
+    #[test]
+    fn recorder_matches_link_width() {
+        let session = OrderedTransport::new(TransportConfig::new(OrderingMethod::Separated, 16));
+        let rec = TransportSession::<Fx8Word>::link_recorder(&session);
+        assert_eq!(rec.width(), 128);
+        let task = fx_task(25);
+        let enc = TransportSession::<Fx8Word>::encode_task(&session, &task).unwrap();
+        let mut rec = TransportSession::<Fx8Word>::link_recorder(&session);
+        let added = record_stream(&mut rec, &enc.payload_flits());
+        assert_eq!(added, rec.total());
+        assert!(rec.flits() == 4);
+    }
+
+    #[test]
+    fn occupancy_shapes() {
+        assert_eq!(packet_occupancy(25, 8), vec![8, 8, 8, 1]);
+        assert_eq!(packet_occupancy(0, 8), vec![0]);
+        assert_eq!(packet_occupancy(8, 8), vec![8]);
+        assert_eq!(window_occupancy([3, 0, 9], 4), vec![3, 0, 4, 4, 1]);
+    }
+
+    #[test]
+    fn row_major_assignment_is_dense() {
+        let assign = row_major_assignment(&[2, 0, 1]);
+        assert_eq!(assign, vec![(0, 0), (0, 1), (2, 0)]);
+    }
+
+    #[test]
+    fn pack_window_matches_manual_packing() {
+        let packets: Vec<Vec<Fx8Word>> = vec![
+            (0..5).map(|i| Fx8Word::new(i as i8 * 3)).collect(),
+            (0..3).map(|i| Fx8Word::new(-(i as i8) - 1)).collect(),
+        ];
+        let flits = pack_window_with_order(&packets, 4, descending_popcount_order);
+        // 5 values -> 2 flits, 3 values -> 1 flit.
+        assert_eq!(flits.len(), 3);
+        // Total popcount preserved (same multiset of values).
+        let total: u32 = flits.iter().map(PayloadBits::popcount).sum();
+        let expect: u32 = packets.iter().flatten().map(|w| w.popcount()).sum();
+        assert_eq!(total, expect);
+    }
+}

@@ -6,7 +6,9 @@
 //! trivial: a magic header, then for every parameter tensor its length and
 //! little-endian `f32` data, in the model's deterministic layer order.
 
-use crate::layer::{ActKind, Activation, AvgPool2d, BatchNorm2d, Conv2d, Flatten, Linear, MaxPool2d};
+use crate::layer::{
+    ActKind, Activation, AvgPool2d, BatchNorm2d, Conv2d, Flatten, Linear, MaxPool2d,
+};
 use crate::model::{Layer, Sequential};
 use crate::tensor::Tensor;
 use std::io::{Read, Write};
@@ -157,7 +159,19 @@ pub fn load(model: &mut Sequential, path: &Path) -> Result<(), CheckpointError> 
 /// Suppresses the unused-import warnings for layer types referenced only in
 /// the doc examples of this module.
 #[allow(dead_code)]
-fn _keep_layer_types(_: (Conv2d, Linear, MaxPool2d, AvgPool2d, Activation, BatchNorm2d, Flatten, ActKind)) {}
+fn _keep_layer_types(
+    _: (
+        Conv2d,
+        Linear,
+        MaxPool2d,
+        AvgPool2d,
+        Activation,
+        BatchNorm2d,
+        Flatten,
+        ActKind,
+    ),
+) {
+}
 
 #[cfg(test)]
 mod tests {
@@ -204,7 +218,10 @@ mod tests {
         let path = dir.join("junk.bin");
         std::fs::write(&path, b"NOTMAGIC plus junk").unwrap();
         let mut m = lenet::build(0);
-        assert!(matches!(load(&mut m, &path).unwrap_err(), CheckpointError::BadMagic));
+        assert!(matches!(
+            load(&mut m, &path).unwrap_err(),
+            CheckpointError::BadMagic
+        ));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

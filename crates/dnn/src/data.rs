@@ -27,16 +27,16 @@ pub struct Sample {
 /// 7-segment display encoding per digit: (top, top-left, top-right, middle,
 /// bottom-left, bottom-right, bottom).
 const SEGMENTS: [[bool; 7]; 10] = [
-    [true, true, true, false, true, true, true],    // 0
+    [true, true, true, false, true, true, true],     // 0
     [false, false, true, false, false, true, false], // 1
-    [true, false, true, true, true, false, true],   // 2
-    [true, false, true, true, false, true, true],   // 3
-    [false, true, true, true, false, true, false],  // 4
-    [true, true, false, true, false, true, true],   // 5
-    [true, true, false, true, true, true, true],    // 6
-    [true, false, true, false, false, true, false], // 7
-    [true, true, true, true, true, true, true],     // 8
-    [true, true, true, true, false, true, true],    // 9
+    [true, false, true, true, true, false, true],    // 2
+    [true, false, true, true, false, true, true],    // 3
+    [false, true, true, true, false, true, false],   // 4
+    [true, true, false, true, false, true, true],    // 5
+    [true, true, false, true, true, true, true],     // 6
+    [true, false, true, false, false, true, false],  // 7
+    [true, true, true, true, true, true, true],      // 8
+    [true, true, true, true, false, true, true],     // 9
 ];
 
 /// Generator of 32×32 single-channel digit-like glyphs (LeNet's input).
@@ -52,7 +52,10 @@ impl SyntheticDigits {
     /// Default configuration matching LeNet's 32×32 input.
     #[must_use]
     pub fn new() -> Self {
-        Self { size: 32, noise: 0.15 }
+        Self {
+            size: 32,
+            noise: 0.15,
+        }
     }
 
     /// Draws one sample of the given class with random jitter.
@@ -123,7 +126,10 @@ impl SyntheticDigits {
                 *v += rng.gen_range(-self.noise..self.noise);
             }
         }
-        Sample { input: img, label: class }
+        Sample {
+            input: img,
+            label: class,
+        }
     }
 
     /// Generates a balanced shuffled dataset of `count` samples.
@@ -162,7 +168,10 @@ impl SyntheticRgb {
     /// Default 64×64 configuration.
     #[must_use]
     pub fn new() -> Self {
-        Self { size: 64, noise: 0.1 }
+        Self {
+            size: 64,
+            noise: 0.1,
+        }
     }
 
     /// Draws one sample of the given class.
@@ -183,7 +192,7 @@ impl SyntheticRgb {
             ((class % 4) as f32 + 1.0) / 4.0,
             ((class % 5) as f32 + 1.0) / 5.0,
         ];
-        for c in 0..3 {
+        for (c, &channel_mix) in mix.iter().enumerate() {
             for y in 0..s {
                 for x in 0..s {
                     let noise = if self.noise > 0.0 {
@@ -191,13 +200,17 @@ impl SyntheticRgb {
                     } else {
                         0.0
                     };
-                    let v =
-                        ((x as f32 * freq + phase).sin() * (y as f32 * freq).cos()) * mix[c] + noise;
+                    let v = ((x as f32 * freq + phase).sin() * (y as f32 * freq).cos())
+                        * channel_mix
+                        + noise;
                     img.set3(c, y, x, v);
                 }
             }
         }
-        Sample { input: img, label: class }
+        Sample {
+            input: img,
+            label: class,
+        }
     }
 
     /// Generates a balanced dataset of `count` samples.
@@ -231,7 +244,10 @@ mod tests {
 
     #[test]
     fn different_classes_look_different() {
-        let gen = SyntheticDigits { size: 32, noise: 0.0 };
+        let gen = SyntheticDigits {
+            size: 32,
+            noise: 0.0,
+        };
         let mut rng = StdRng::seed_from_u64(1);
         let one = gen.sample(1, &mut rng).input;
         let mut rng = StdRng::seed_from_u64(1);

@@ -114,7 +114,9 @@ impl Conv2d {
         .expect("shape matches data");
         let bias = Tensor::from_vec(
             &[out_channels],
-            (0..out_channels).map(|_| rng.gen_range(-bound..bound)).collect(),
+            (0..out_channels)
+                .map(|_| rng.gen_range(-bound..bound))
+                .collect(),
         )
         .expect("shape matches data");
         Self {
@@ -164,13 +166,17 @@ impl Conv2d {
                     for ic in 0..self.in_channels {
                         for kh in 0..self.kernel {
                             let ih = y * self.stride + kh;
-                            let Some(ih) = ih.checked_sub(self.padding) else { continue };
+                            let Some(ih) = ih.checked_sub(self.padding) else {
+                                continue;
+                            };
                             if ih >= h {
                                 continue;
                             }
                             for kw in 0..self.kernel {
                                 let iw = x * self.stride + kw;
-                                let Some(iw) = iw.checked_sub(self.padding) else { continue };
+                                let Some(iw) = iw.checked_sub(self.padding) else {
+                                    continue;
+                                };
                                 if iw >= w {
                                     continue;
                                 }
@@ -210,13 +216,17 @@ impl Conv2d {
                     for ic in 0..self.in_channels {
                         for kh in 0..self.kernel {
                             let ih = y * self.stride + kh;
-                            let Some(ih) = ih.checked_sub(self.padding) else { continue };
+                            let Some(ih) = ih.checked_sub(self.padding) else {
+                                continue;
+                            };
                             if ih >= h {
                                 continue;
                             }
                             for kw in 0..self.kernel {
                                 let iw = x * self.stride + kw;
-                                let Some(iw) = iw.checked_sub(self.padding) else { continue };
+                                let Some(iw) = iw.checked_sub(self.padding) else {
+                                    continue;
+                                };
                                 if iw >= w {
                                     continue;
                                 }
@@ -265,7 +275,9 @@ impl Linear {
         .expect("shape matches data");
         let bias = Tensor::from_vec(
             &[out_features],
-            (0..out_features).map(|_| rng.gen_range(-bound..bound)).collect(),
+            (0..out_features)
+                .map(|_| rng.gen_range(-bound..bound))
+                .collect(),
         )
         .expect("shape matches data");
         Self {
@@ -860,7 +872,9 @@ mod tests {
         assert_eq!(out.shape(), &[3]);
         let _ = lin.backward(&out);
         let eps = 1e-3;
-        let loss = |l: &Linear| -> f32 { l.infer(&input).data().iter().map(|&x| x * x).sum::<f32>() / 2.0 };
+        let loss = |l: &Linear| -> f32 {
+            l.infer(&input).data().iter().map(|&x| x * x).sum::<f32>() / 2.0
+        };
         for idx in [0usize, 5, 11] {
             let analytic = lin.grad_weight.data()[idx];
             let orig = lin.weight.data()[idx];
@@ -877,11 +891,8 @@ mod tests {
     #[test]
     fn maxpool_forward_backward() {
         let mut pool = MaxPool2d::new(2, 2);
-        let input = Tensor::from_vec(
-            &[1, 2, 4],
-            vec![1.0, 5.0, 2.0, 0.0, 3.0, 4.0, 1.0, 9.0],
-        )
-        .unwrap();
+        let input =
+            Tensor::from_vec(&[1, 2, 4], vec![1.0, 5.0, 2.0, 0.0, 3.0, 4.0, 1.0, 9.0]).unwrap();
         let out = pool.forward(&input);
         assert_eq!(out.shape(), &[1, 1, 2]);
         assert_eq!(out.data(), &[5.0, 9.0]);
@@ -941,7 +952,12 @@ mod tests {
         let input = Tensor::from_vec(&[1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
         let out = bn.forward(&input);
         let mean: f32 = out.data().iter().sum::<f32>() / 4.0;
-        let var: f32 = out.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / 4.0;
+        let var: f32 = out
+            .data()
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / 4.0;
         assert!(mean.abs() < 1e-5);
         assert!((var - 1.0).abs() < 1e-3);
     }
@@ -961,11 +977,8 @@ mod tests {
     #[test]
     fn batchnorm_gradcheck_gamma() {
         let mut bn = BatchNorm2d::new(2);
-        let input = Tensor::from_vec(
-            &[2, 2, 2],
-            vec![0.3, -1.2, 2.0, 0.7, 1.1, -0.4, 0.0, 0.9],
-        )
-        .unwrap();
+        let input =
+            Tensor::from_vec(&[2, 2, 2], vec![0.3, -1.2, 2.0, 0.7, 1.1, -0.4, 0.0, 0.9]).unwrap();
         let out = bn.forward(&input);
         let _ = bn.backward(&out);
         let eps = 1e-3;
@@ -973,7 +986,12 @@ mod tests {
             let analytic = bn.grad_gamma.data()[ch];
             let orig = bn.gamma.data()[ch];
             let loss = |bn: &mut BatchNorm2d| -> f32 {
-                bn.forward(&input).data().iter().map(|&x| x * x).sum::<f32>() / 2.0
+                bn.forward(&input)
+                    .data()
+                    .iter()
+                    .map(|&x| x * x)
+                    .sum::<f32>()
+                    / 2.0
             };
             bn.gamma.data_mut()[ch] = orig + eps;
             let lp = loss(&mut bn);

@@ -369,13 +369,17 @@ pub fn conv_forward(
                 for ic in 0..in_c {
                     for kh in 0..k {
                         let ih = y * stride + kh;
-                        let Some(ih) = ih.checked_sub(padding) else { continue };
+                        let Some(ih) = ih.checked_sub(padding) else {
+                            continue;
+                        };
                         if ih >= h {
                             continue;
                         }
                         for kw in 0..k {
                             let iw = x * stride + kw;
-                            let Some(iw) = iw.checked_sub(padding) else { continue };
+                            let Some(iw) = iw.checked_sub(padding) else {
+                                continue;
+                            };
                             if iw >= w {
                                 continue;
                             }
@@ -437,7 +441,8 @@ mod tests {
     #[test]
     fn train_step_changes_params() {
         let mut m = tiny_model(1);
-        let input = Tensor::from_vec(&[1, 8, 8], (0..64).map(|i| i as f32 / 64.0).collect()).unwrap();
+        let input =
+            Tensor::from_vec(&[1, 8, 8], (0..64).map(|i| i as f32 / 64.0).collect()).unwrap();
         let before: Vec<f32> = match &m.layers()[0] {
             Layer::Conv2d(c) => c.weight.data().to_vec(),
             _ => unreachable!(),
@@ -456,7 +461,8 @@ mod tests {
     fn inference_ops_fold_batchnorm() {
         let mut m = tiny_model(2);
         // Run a few training steps so running stats are not identity.
-        let input = Tensor::from_vec(&[1, 8, 8], (0..64).map(|i| (i as f32).sin()).collect()).unwrap();
+        let input =
+            Tensor::from_vec(&[1, 8, 8], (0..64).map(|i| (i as f32).sin()).collect()).unwrap();
         for _ in 0..50 {
             m.forward(&input);
         }
@@ -487,7 +493,11 @@ mod tests {
     fn standalone_forwards_match_layer_forwards() {
         let mut rng = StdRng::seed_from_u64(4);
         let conv = Conv2d::new(2, 3, 3, 1, 1, &mut rng);
-        let input = Tensor::from_vec(&[2, 5, 5], (0..50).map(|i| (i as f32 * 0.3).cos()).collect()).unwrap();
+        let input = Tensor::from_vec(
+            &[2, 5, 5],
+            (0..50).map(|i| (i as f32 * 0.3).cos()).collect(),
+        )
+        .unwrap();
         let a = conv.infer(&input);
         let b = conv_forward(&input, &conv.weight, &conv.bias, 1, 1);
         assert_eq!(a, b);

@@ -57,7 +57,14 @@ pub fn build_with_width(seed: u64, width: usize) -> Sequential {
     layers.extend(block(2 * w, 4 * w, &mut rng));
     layers.extend(block(4 * w, 8 * w, &mut rng));
     // 1×1 classifier conv + global average pool, DarkNet-reference style.
-    layers.push(Layer::Conv2d(Conv2d::new(8 * w, CLASSES, 1, 1, 0, &mut rng)));
+    layers.push(Layer::Conv2d(Conv2d::new(
+        8 * w,
+        CLASSES,
+        1,
+        1,
+        0,
+        &mut rng,
+    )));
     layers.push(Layer::AvgPool2d(AvgPool2d::new(4, 4)));
     layers.push(Layer::Flatten(Flatten::new()));
     Sequential::new(layers)
@@ -102,7 +109,9 @@ mod tests {
         let mut m = build(2);
         let input = Tensor::from_vec(
             &[3, 64, 64],
-            (0..3 * 64 * 64).map(|i| ((i as f32) * 0.013).sin() * 0.5).collect(),
+            (0..3 * 64 * 64)
+                .map(|i| ((i as f32) * 0.013).sin() * 0.5)
+                .collect(),
         )
         .unwrap();
         // A few training-mode passes so BN running stats move off identity.

@@ -11,7 +11,11 @@ use serde::{Deserialize, Serialize};
 /// Numerically stable softmax.
 #[must_use]
 pub fn softmax(logits: &Tensor) -> Tensor {
-    let max = logits.data().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let max = logits
+        .data()
+        .iter()
+        .cloned()
+        .fold(f32::NEG_INFINITY, f32::max);
     let exps: Vec<f32> = logits.data().iter().map(|&x| (x - max).exp()).collect();
     let sum: f32 = exps.iter().sum();
     Tensor::from_vec(logits.shape(), exps.into_iter().map(|e| e / sum).collect())

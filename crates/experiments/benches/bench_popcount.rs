@@ -5,7 +5,9 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("popcount");
-    let data32: Vec<u32> = (0..4096u32).map(|i| i.wrapping_mul(2_654_435_761)).collect();
+    let data32: Vec<u32> = (0..4096u32)
+        .map(|i| i.wrapping_mul(2_654_435_761))
+        .collect();
     let data8: Vec<u8> = (0..4096u32).map(|i| (i * 37) as u8).collect();
 
     group.bench_function("swar_u32_4096", |b| {

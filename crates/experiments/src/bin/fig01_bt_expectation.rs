@@ -31,7 +31,10 @@ fn main() {
 
     println!();
     println!("# Monte-Carlo cross-check ({samples} samples per point, seed {seed})");
-    println!("{:>3} {:>3} {:>10} {:>10} {:>8}", "x", "y", "analytic", "sampled", "abs err");
+    println!(
+        "{:>3} {:>3} {:>10} {:>10} {:>8}",
+        "x", "y", "analytic", "sampled", "abs err"
+    );
     for &(x, y) in &[(0u32, 0u32), (16, 16), (32, 0), (8, 24), (4, 28), (32, 32)] {
         let analytic = expected_bt_32(x, y);
         let sampled = monte_carlo_bt(x, y, 32, samples, seed);

@@ -17,7 +17,7 @@ use rand::SeedableRng;
 fn main() {
     let rows: usize = cli::arg("rows", 16);
     let seed: u64 = cli::arg("seed", 42);
-    let source = WeightSource::parse(&cli::arg::<String>("weights", "trained".into()));
+    let source: WeightSource = cli::arg("weights", WeightSource::Trained);
 
     let model = lenet(source, seed);
     let pool = fx8_kernel_packets(&model, 25);
@@ -35,8 +35,14 @@ fn main() {
     let before = evaluate_windowed(&packets, &config, false, Comparison::Consecutive, rows);
     let after = evaluate_windowed(&packets, &config, true, Comparison::Consecutive, rows);
 
-    println!("Fig. 9: fixed-8 {} weights, popcount per flit slot", source.name());
-    println!("{:<6} {:<28} {:<28}", "flit", "before ordering", "after ordering");
+    println!(
+        "Fig. 9: fixed-8 {} weights, popcount per flit slot",
+        source.name()
+    );
+    println!(
+        "{:<6} {:<28} {:<28}",
+        "flit", "before ordering", "after ordering"
+    );
     for (i, (b, a)) in before
         .popcount_grid
         .iter()

@@ -13,8 +13,9 @@
 
 use btr_core::stream::{evaluate_windowed, word_bit_statistics, Comparison, WindowConfig};
 use experiments::cli;
-use experiments::workloads::{DEFAULT_EPOCHS, DEFAULT_TRAIN_SAMPLES, 
+use experiments::workloads::{
     f32_kernel_packets, flatten_packets, lenet_random, lenet_trained, sample_packets,
+    DEFAULT_EPOCHS, DEFAULT_TRAIN_SAMPLES,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -26,7 +27,10 @@ fn main() {
     println!("# Fig. 10: float-32 weight bit analysis");
     for (label, model) in [
         ("random", lenet_random(seed)),
-        ("trained", lenet_trained(seed, DEFAULT_TRAIN_SAMPLES, DEFAULT_EPOCHS)),
+        (
+            "trained",
+            lenet_trained(seed, DEFAULT_TRAIN_SAMPLES, DEFAULT_EPOCHS),
+        ),
     ] {
         let pool = f32_kernel_packets(&model, 25);
         let mut rng = StdRng::seed_from_u64(seed);
@@ -40,7 +44,10 @@ fn main() {
         // Transition probability per bit position, baseline vs ordered
         // (Table I's windowed configuration and random flit comparisons).
         let config = WindowConfig::table1();
-        let comparison = Comparison::RandomPairs { pairs: packets * 4, seed };
+        let comparison = Comparison::RandomPairs {
+            pairs: packets * 4,
+            seed,
+        };
         let base = evaluate_windowed(&stream, &config, false, comparison, 0);
         let ordered = evaluate_windowed(&stream, &config, true, comparison, 0);
 

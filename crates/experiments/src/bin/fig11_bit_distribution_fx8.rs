@@ -9,8 +9,9 @@
 
 use btr_core::stream::{evaluate_windowed, word_bit_statistics, Comparison, WindowConfig};
 use experiments::cli;
-use experiments::workloads::{DEFAULT_EPOCHS, DEFAULT_TRAIN_SAMPLES, 
+use experiments::workloads::{
     flatten_packets, fx8_kernel_packets, lenet_random, lenet_trained, sample_packets,
+    DEFAULT_EPOCHS, DEFAULT_TRAIN_SAMPLES,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -22,7 +23,10 @@ fn main() {
     println!("# Fig. 11: fixed-8 weight bit analysis");
     for (label, model) in [
         ("random", lenet_random(seed)),
-        ("trained", lenet_trained(seed, DEFAULT_TRAIN_SAMPLES, DEFAULT_EPOCHS)),
+        (
+            "trained",
+            lenet_trained(seed, DEFAULT_TRAIN_SAMPLES, DEFAULT_EPOCHS),
+        ),
     ] {
         let pool = fx8_kernel_packets(&model, 25);
         let mut rng = StdRng::seed_from_u64(seed);
@@ -33,7 +37,10 @@ fn main() {
         let ones = stats.one_probability();
 
         let config = WindowConfig::table1();
-        let comparison = Comparison::RandomPairs { pairs: packets * 4, seed };
+        let comparison = Comparison::RandomPairs {
+            pairs: packets * 4,
+            seed,
+        };
         let base = evaluate_windowed(&stream, &config, false, comparison, 0);
         let ordered = evaluate_windowed(&stream, &config, true, comparison, 0);
 

@@ -3,90 +3,53 @@
 //! Runs a complete LeNet inference on the NOC-DNA for every combination of
 //! NoC size (4×4 MC2, 8×8 MC4, 8×8 MC8), ordering (O0, O1, O2) and data
 //! format (float-32/512-bit, fixed-8/128-bit), and reports absolute BTs
-//! and reduction rates.
+//! and reduction rates. Cells fan out over the parallel sweep runner;
+//! `--json PATH` additionally writes the `btr-sweep-v1` result file.
 //!
 //! Paper reference: affiliated 12.09–18.58% (f32) / 7.88–17.75% (fx8);
 //! separated 23.30–32.01% (f32) / 16.95–35.93% (fx8); MC4 has the highest
 //! absolute BTs (more hops per MC).
 //!
 //! Usage: `cargo run --release -p experiments --bin fig12_noc_sizes
-//! [--weights trained] [--seed 42] [--sequential]`
+//! [--weights trained] [--seed 42] [--ties stable] [--fx8-global]
+//! [--sequential] [--json fig12.json]`
 
-use btr_accel::config::AccelConfig;
-use btr_accel::driver::run_inference;
 use btr_bits::word::DataFormat;
-use btr_core::ordering::TieBreak;
-use btr_core::OrderingMethod;
+use btr_core::ordering::{OrderingMethod, TieBreak};
 use btr_dnn::data::SyntheticDigits;
 use experiments::cli;
+use experiments::sweep::{baseline_of, expand_grid, outcomes_json, run_cells, MeshSpec, Workload};
 use experiments::workloads::{lenet, WeightSource};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
     let seed: u64 = cli::arg("seed", 42);
-    let source = WeightSource::parse(&cli::arg::<String>("weights", "trained".into()));
+    let source: WeightSource = cli::arg("weights", WeightSource::Trained);
     let sequential = cli::flag("sequential");
-    let tiebreak = TieBreak::parse(&cli::arg::<String>("ties", "stable".into()));
+    let tiebreak: TieBreak = cli::arg("ties", TieBreak::Stable);
     let fx8_global = cli::flag("fx8-global");
+    let json_path: Option<String> = cli::opt_arg("json");
 
     let model = lenet(source, seed);
-    let ops = model.inference_ops();
     let mut rng = StdRng::seed_from_u64(seed);
     let input = SyntheticDigits::new().sample(7, &mut rng).input;
+    let workloads = vec![Workload {
+        name: format!("LeNet ({} weights)", source.name()),
+        ops: model.inference_ops(),
+        input,
+    }];
 
-    let mesh_configs: [(usize, usize, usize, &str); 3] =
-        [(4, 4, 2, "4x4 MC2"), (8, 8, 4, "8x8 MC4"), (8, 8, 8, "8x8 MC8")];
     let formats = [DataFormat::Float32, DataFormat::Fixed8];
-
-    // One job per (mesh, format, ordering); run in parallel by default.
-    struct Job {
-        mesh: usize,
-        format: usize,
-        ordering: OrderingMethod,
-        transitions: u64,
-        cycles: u64,
-        flit_hops: u64,
-    }
-    let mut jobs: Vec<Job> = Vec::new();
-    for (mi, _) in mesh_configs.iter().enumerate() {
-        for (fi, _) in formats.iter().enumerate() {
-            for ordering in OrderingMethod::ALL {
-                jobs.push(Job {
-                    mesh: mi,
-                    format: fi,
-                    ordering,
-                    transitions: 0,
-                    cycles: 0,
-                    flit_hops: 0,
-                });
-            }
-        }
-    }
-
-    let run_job = |job: &mut Job| {
-        let (w, h, mc, _) = mesh_configs[job.mesh];
-        let mut config = AccelConfig::paper(w, h, mc, formats[job.format], job.ordering);
-        config.tiebreak = tiebreak;
-        config.global_fx8_weights = fx8_global;
-        let result = run_inference(&ops, &input, &config).expect("inference completes");
-        job.transitions = result.stats.total_transitions;
-        job.cycles = result.total_cycles;
-        job.flit_hops = result.stats.flit_hops;
-    };
-
-    if sequential {
-        for job in &mut jobs {
-            run_job(job);
-        }
-    } else {
-        crossbeam::thread::scope(|scope| {
-            for job in &mut jobs {
-                scope.spawn(|_| run_job(job));
-            }
-        })
-        .expect("worker threads join");
-    }
+    let cells = expand_grid(
+        workloads.len(),
+        &MeshSpec::PAPER,
+        &formats,
+        &OrderingMethod::ALL,
+        &[tiebreak],
+        &[fx8_global],
+    );
+    let outcomes = run_cells(&workloads, cells, sequential);
 
     println!(
         "Fig. 12: LeNet ({} weights) full inference, seed {seed}",
@@ -96,36 +59,38 @@ fn main() {
         "{:<9} {:<9} {:>4} {:>16} {:>10} {:>12} {:>10}",
         "NoC", "format", "ord", "total BTs", "reduction", "flit-hops", "cycles"
     );
-    for (mi, (_, _, _, mesh_name)) in mesh_configs.iter().enumerate() {
-        for (fi, format) in formats.iter().enumerate() {
-            let baseline = jobs
-                .iter()
-                .find(|j| j.mesh == mi && j.format == fi && j.ordering == OrderingMethod::Baseline)
-                .expect("baseline job exists")
-                .transitions;
-            for ordering in OrderingMethod::ALL {
-                let job = jobs
-                    .iter()
-                    .find(|j| j.mesh == mi && j.format == fi && j.ordering == ordering)
-                    .expect("job exists");
-                let reduction = if baseline == 0 {
-                    0.0
-                } else {
-                    (baseline as f64 - job.transitions as f64) / baseline as f64 * 100.0
-                };
-                println!(
-                    "{:<9} {:<9} {:>4} {:>16} {:>9.2}% {:>12} {:>10}",
-                    mesh_name,
-                    format.name(),
-                    ordering.label(),
-                    job.transitions,
-                    reduction,
-                    job.flit_hops,
-                    job.cycles
-                );
-            }
+    for o in &outcomes {
+        if let Some(e) = &o.error {
+            eprintln!(
+                "error: {} {} {}: {e}",
+                o.cell.mesh, o.cell.format, o.cell.ordering
+            );
+            continue;
         }
+        let baseline = baseline_of(&outcomes, &o.cell).map_or(0, |b| b.transitions);
+        let reduction = if baseline == 0 {
+            0.0
+        } else {
+            (baseline as f64 - o.transitions as f64) / baseline as f64 * 100.0
+        };
+        println!(
+            "{:<9} {:<9} {:>4} {:>16} {:>9.2}% {:>12} {:>10}",
+            o.cell.mesh.label(),
+            o.cell.format.name(),
+            o.cell.ordering.label(),
+            o.transitions,
+            reduction,
+            o.flit_hops,
+            o.cycles
+        );
     }
     println!();
     println!("# paper: O1 12.09-18.58% (f32), 7.88-17.75% (fx8); O2 23.30-32.01% (f32), 16.95-35.93% (fx8)");
+
+    if let Some(path) = json_path {
+        let json = outcomes_json(&workloads, &outcomes);
+        experiments::json::write_file(std::path::Path::new(&path), &json)
+            .unwrap_or_else(|e| eprintln!("error: could not write {path}: {e}"));
+        println!("# wrote {path}");
+    }
 }

@@ -2,35 +2,35 @@
 //!
 //! Runs LeNet and the reduced DarkNet-like model (64×64×3 input) on the
 //! default 4×4 MC2 accelerator for O0/O1/O2 in both formats, reporting BTs
-//! normalized to each model's baseline.
+//! normalized to each model's baseline. Cells fan out over the parallel
+//! sweep runner; `--json PATH` additionally writes the `btr-sweep-v1`
+//! result file.
 //!
 //! Paper reference: up to 35.93% reduction for LeNet, up to 40.85% for
 //! DarkNet; separated-ordering always wins.
 //!
 //! Usage: `cargo run --release -p experiments --bin fig13_models
-//! [--weights trained] [--seed 42] [--darknet-width 8] [--sequential]`
+//! [--weights trained] [--seed 42] [--darknet-width 8] [--sequential]
+//! [--json fig13.json]`
 
-use btr_accel::config::AccelConfig;
-use btr_accel::driver::run_inference;
 use btr_bits::word::DataFormat;
-use btr_core::ordering::TieBreak;
-use btr_core::OrderingMethod;
+use btr_core::ordering::{OrderingMethod, TieBreak};
 use btr_dnn::data::{SyntheticDigits, SyntheticRgb};
 use btr_dnn::models::darknet;
-use btr_dnn::tensor::Tensor;
-use btr_dnn::InferenceOp;
 use experiments::cli;
+use experiments::sweep::{baseline_of, expand_grid, outcomes_json, run_cells, MeshSpec, Workload};
 use experiments::workloads::{lenet, WeightSource};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
     let seed: u64 = cli::arg("seed", 42);
-    let source = WeightSource::parse(&cli::arg::<String>("weights", "trained".into()));
+    let source: WeightSource = cli::arg("weights", WeightSource::Trained);
     let darknet_width: usize = cli::arg("darknet-width", 8);
     let sequential = cli::flag("sequential");
-    let tiebreak = TieBreak::parse(&cli::arg::<String>("ties", "stable".into()));
+    let tiebreak: TieBreak = cli::arg("ties", TieBreak::Stable);
     let fx8_global = cli::flag("fx8-global");
+    let json_path: Option<String> = cli::opt_arg("json");
 
     let mut rng = StdRng::seed_from_u64(seed);
     let lenet_model = lenet(source, seed);
@@ -41,56 +41,32 @@ fn main() {
     let darknet_model = darknet::build_with_width(seed, darknet_width);
     let darknet_input = SyntheticRgb::new().sample(2, &mut rng).input;
 
-    let workloads: [(&str, Vec<InferenceOp>, Tensor); 2] = [
-        ("LeNet", lenet_model.inference_ops(), lenet_input),
-        ("DarkNet", darknet_model.inference_ops(), darknet_input),
+    let workloads = vec![
+        Workload {
+            name: "LeNet".into(),
+            ops: lenet_model.inference_ops(),
+            input: lenet_input,
+        },
+        Workload {
+            name: "DarkNet".into(),
+            ops: darknet_model.inference_ops(),
+            input: darknet_input,
+        },
     ];
-    let formats = [DataFormat::Float32, DataFormat::Fixed8];
 
-    struct Job {
-        model: usize,
-        format: usize,
-        ordering: OrderingMethod,
-        transitions: u64,
-        cycles: u64,
-    }
-    let mut jobs = Vec::new();
-    for mi in 0..workloads.len() {
-        for fi in 0..formats.len() {
-            for ordering in OrderingMethod::ALL {
-                jobs.push(Job {
-                    model: mi,
-                    format: fi,
-                    ordering,
-                    transitions: 0,
-                    cycles: 0,
-                });
-            }
-        }
-    }
-
-    let run_job = |job: &mut Job| {
-        let (_, ops, input) = &workloads[job.model];
-        let mut config = AccelConfig::paper(4, 4, 2, formats[job.format], job.ordering);
-        config.tiebreak = tiebreak;
-        config.global_fx8_weights = fx8_global;
-        let result = run_inference(ops, input, &config).expect("inference completes");
-        job.transitions = result.stats.total_transitions;
-        job.cycles = result.total_cycles;
-    };
-
-    if sequential {
-        for job in &mut jobs {
-            run_job(job);
-        }
-    } else {
-        crossbeam::thread::scope(|scope| {
-            for job in &mut jobs {
-                scope.spawn(|_| run_job(job));
-            }
-        })
-        .expect("worker threads join");
-    }
+    let cells = expand_grid(
+        workloads.len(),
+        &[MeshSpec {
+            width: 4,
+            height: 4,
+            mc_count: 2,
+        }],
+        &[DataFormat::Float32, DataFormat::Fixed8],
+        &OrderingMethod::ALL,
+        &[tiebreak],
+        &[fx8_global],
+    );
+    let outcomes = run_cells(&workloads, cells, sequential);
 
     println!(
         "Fig. 13: normalized BTs, 4x4 MC2, LeNet ({} weights) vs DarkNet (width {darknet_width}, random weights)",
@@ -100,32 +76,38 @@ fn main() {
         "{:<9} {:<9} {:>4} {:>16} {:>11} {:>10} {:>10}",
         "model", "format", "ord", "total BTs", "normalized", "reduction", "cycles"
     );
-    for (mi, (name, _, _)) in workloads.iter().enumerate() {
-        for (fi, format) in formats.iter().enumerate() {
-            let baseline = jobs
-                .iter()
-                .find(|j| j.model == mi && j.format == fi && j.ordering == OrderingMethod::Baseline)
-                .expect("baseline exists")
-                .transitions;
-            for ordering in OrderingMethod::ALL {
-                let job = jobs
-                    .iter()
-                    .find(|j| j.model == mi && j.format == fi && j.ordering == ordering)
-                    .expect("job exists");
-                let normalized = job.transitions as f64 / baseline as f64;
-                println!(
-                    "{:<9} {:<9} {:>4} {:>16} {:>11.4} {:>9.2}% {:>10}",
-                    name,
-                    format.name(),
-                    ordering.label(),
-                    job.transitions,
-                    normalized,
-                    (1.0 - normalized) * 100.0,
-                    job.cycles
-                );
-            }
+    for o in &outcomes {
+        if let Some(e) = &o.error {
+            eprintln!(
+                "error: {} {} {}: {e}",
+                workloads[o.cell.workload].name, o.cell.format, o.cell.ordering
+            );
+            continue;
         }
+        let baseline = baseline_of(&outcomes, &o.cell).map_or(0, |b| b.transitions);
+        let normalized = if baseline == 0 {
+            0.0
+        } else {
+            o.transitions as f64 / baseline as f64
+        };
+        println!(
+            "{:<9} {:<9} {:>4} {:>16} {:>11.4} {:>9.2}% {:>10}",
+            workloads[o.cell.workload].name,
+            o.cell.format.name(),
+            o.cell.ordering.label(),
+            o.transitions,
+            normalized,
+            (1.0 - normalized) * 100.0,
+            o.cycles
+        );
     }
     println!();
     println!("# paper: up to 35.93% (LeNet) and 40.85% (DarkNet), separated-ordering best");
+
+    if let Some(path) = json_path {
+        let json = outcomes_json(&workloads, &outcomes);
+        experiments::json::write_file(std::path::Path::new(&path), &json)
+            .unwrap_or_else(|e| eprintln!("error: could not write {path}: {e}"));
+        println!("# wrote {path}");
+    }
 }

@@ -1,0 +1,128 @@
+//! The general sweep front-end: any `(model × mesh × format × ordering ×
+//! tiebreak × fx8 scheme)` grid, fanned out in parallel, with
+//! machine-readable JSON results.
+//!
+//! This is the scaling successor to the per-figure binaries: one command
+//! covers Fig. 12 (mesh sizes), Fig. 13 (models) and the sensitivity
+//! grids, at any subset of the cross product.
+//!
+//! Usage:
+//! `cargo run --release -p experiments --bin sweep -- \
+//!     [--models lenet,darknet] [--weights trained] [--seed 42] \
+//!     [--meshes 4x4x2,8x8x4,8x8x8] [--formats f32,fx8] \
+//!     [--orderings O0,O1,O2] [--ties stable,value] [--fx8-global] \
+//!     [--darknet-width 8] [--sequential] [--json sweep.json]`
+//!
+//! `--json` writes the `btr-sweep-v1` schema described in EXPERIMENTS.md.
+
+use btr_bits::word::DataFormat;
+use btr_core::ordering::{OrderingMethod, TieBreak};
+use btr_dnn::data::{SyntheticDigits, SyntheticRgb};
+use btr_dnn::models::darknet;
+use experiments::cli;
+use experiments::sweep::{baseline_of, expand_grid, outcomes_json, run_cells, MeshSpec, Workload};
+use experiments::workloads::{lenet, WeightSource};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn build_workload(name: &str, source: WeightSource, seed: u64, darknet_width: usize) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match name {
+        "lenet" => Workload {
+            name: format!("LeNet ({} weights)", source.name()),
+            ops: lenet(source, seed).inference_ops(),
+            input: SyntheticDigits::new().sample(7, &mut rng).input,
+        },
+        "darknet" => Workload {
+            name: format!("DarkNet (width {darknet_width})"),
+            ops: darknet::build_with_width(seed, darknet_width).inference_ops(),
+            input: SyntheticRgb::new().sample(2, &mut rng).input,
+        },
+        other => {
+            eprintln!("error: unknown model {other:?}; use lenet|darknet");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let seed: u64 = cli::arg("seed", 42);
+    let source: WeightSource = cli::arg("weights", WeightSource::Trained);
+    let darknet_width: usize = cli::arg("darknet-width", 8);
+    let sequential = cli::flag("sequential");
+    let json_path: Option<String> = cli::opt_arg("json");
+
+    let models: Vec<String> = cli::list_arg("models", vec!["lenet".into()]);
+    let meshes: Vec<MeshSpec> = cli::list_arg("meshes", MeshSpec::PAPER.to_vec());
+    let formats: Vec<DataFormat> =
+        cli::list_arg("formats", vec![DataFormat::Float32, DataFormat::Fixed8]);
+    let orderings: Vec<OrderingMethod> = cli::list_arg("orderings", OrderingMethod::ALL.to_vec());
+    let tiebreaks: Vec<TieBreak> = cli::list_arg("ties", vec![TieBreak::Stable]);
+    let fx8_globals = if cli::flag("fx8-global") {
+        vec![true]
+    } else {
+        vec![false]
+    };
+
+    let workloads: Vec<Workload> = models
+        .iter()
+        .map(|m| build_workload(m, source, seed, darknet_width))
+        .collect();
+
+    let cells = expand_grid(
+        workloads.len(),
+        &meshes,
+        &formats,
+        &orderings,
+        &tiebreaks,
+        &fx8_globals,
+    );
+    eprintln!(
+        "# sweep: {} workloads x {} meshes x {} formats x {} orderings x {} ties = {} cells",
+        workloads.len(),
+        meshes.len(),
+        formats.len(),
+        orderings.len(),
+        tiebreaks.len(),
+        cells.len()
+    );
+    let outcomes = run_cells(&workloads, cells, sequential);
+
+    println!(
+        "{:<24} {:<9} {:<9} {:>4} {:>7} {:>16} {:>10} {:>10} {:>8}",
+        "workload", "NoC", "format", "ord", "ties", "total BTs", "reduction", "cycles", "wall"
+    );
+    for o in &outcomes {
+        if let Some(e) = &o.error {
+            eprintln!(
+                "error: {} {} {} {}: {e}",
+                workloads[o.cell.workload].name, o.cell.mesh, o.cell.format, o.cell.ordering
+            );
+            continue;
+        }
+        let reduction = baseline_of(&outcomes, &o.cell)
+            .filter(|b| b.transitions > 0)
+            .map_or(0.0, |b| {
+                (b.transitions as f64 - o.transitions as f64) / b.transitions as f64 * 100.0
+            });
+        println!(
+            "{:<24} {:<9} {:<9} {:>4} {:>7} {:>16} {:>9.2}% {:>10} {:>6}ms",
+            workloads[o.cell.workload].name,
+            o.cell.mesh.label(),
+            o.cell.format.name(),
+            o.cell.ordering.label(),
+            format!("{:?}", o.cell.tiebreak).to_lowercase(),
+            o.transitions,
+            reduction,
+            o.cycles,
+            o.wall_ms
+        );
+    }
+
+    if let Some(path) = json_path {
+        let json = outcomes_json(&workloads, &outcomes);
+        experiments::json::write_file(std::path::Path::new(&path), &json)
+            .unwrap_or_else(|e| eprintln!("error: could not write {path}: {e}"));
+        println!("# wrote {path}");
+    }
+}

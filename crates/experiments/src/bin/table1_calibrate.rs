@@ -13,9 +13,9 @@
 
 use btr_core::stream::{compare_windowed, Comparison, Placement, TieBreak, WindowConfig};
 use experiments::cli;
-use experiments::workloads::{DEFAULT_EPOCHS, DEFAULT_TRAIN_SAMPLES, 
+use experiments::workloads::{
     f32_kernel_packets, fx8_kernel_packets_scheme, lenet_random, lenet_trained, sample_packets,
-    Fx8Scheme,
+    Fx8Scheme, DEFAULT_EPOCHS, DEFAULT_TRAIN_SAMPLES,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -34,7 +34,15 @@ fn main() {
     println!("# paper targets: f32r 20.38%  fx8r 27.70%  f32t 18.92%  fx8t 55.71%");
     println!(
         "{:<12} {:<10} {:<7} {:<7} {:<11} {:>8} {:>8} {:>8} {:>8}",
-        "comparison", "placement", "window", "ties", "fx8scheme", "f32r%", "fx8r%", "f32t%", "fx8t%"
+        "comparison",
+        "placement",
+        "window",
+        "ties",
+        "fx8scheme",
+        "f32r%",
+        "fx8r%",
+        "f32t%",
+        "fx8t%"
     );
     for scheme in [Fx8Scheme::PerTensor, Fx8Scheme::GlobalUnit] {
         let mut rng = StdRng::seed_from_u64(seed + 1);
@@ -50,7 +58,10 @@ fn main() {
         );
         for comparison in [
             Comparison::Consecutive,
-            Comparison::RandomPairs { pairs: 20_000, seed },
+            Comparison::RandomPairs {
+                pairs: 20_000,
+                seed,
+            },
         ] {
             for tiebreak in [TieBreak::Stable, TieBreak::Value] {
                 for window in [1usize, 16, 64, 256] {

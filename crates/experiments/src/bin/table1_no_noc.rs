@@ -32,16 +32,24 @@ const KERNEL_CHUNK: usize = 25;
 fn main() {
     let packets: usize = cli::arg("packets", 10_000);
     let seed: u64 = cli::arg("seed", 42);
-    let train_samples: usize =
-        cli::arg("train-samples", experiments::workloads::DEFAULT_TRAIN_SAMPLES);
+    let train_samples: usize = cli::arg(
+        "train-samples",
+        experiments::workloads::DEFAULT_TRAIN_SAMPLES,
+    );
     let epochs: usize = cli::arg("epochs", experiments::workloads::DEFAULT_EPOCHS);
 
     let random_model = lenet_random(seed);
     let trained_model = lenet_trained(seed, train_samples, epochs);
     // Roughly one comparison per generated flit (4 flits per packet).
-    let comparison = Comparison::RandomPairs { pairs: packets * 4, seed };
+    let comparison = Comparison::RandomPairs {
+        pairs: packets * 4,
+        seed,
+    };
     let stable = WindowConfig::table1();
-    let value_ties = WindowConfig { tiebreak: TieBreak::Value, ..stable };
+    let value_ties = WindowConfig {
+        tiebreak: TieBreak::Value,
+        ..stable
+    };
 
     println!("TABLE I: BT reduction without NoC ({packets} packets, seed {seed})");
     println!("(random flit comparisons; 64-packet ordering window; 8 values/flit)");
@@ -51,31 +59,71 @@ fn main() {
     );
 
     let mut rng = StdRng::seed_from_u64(seed);
-    let f32r = sample_packets(&f32_kernel_packets(&random_model, KERNEL_CHUNK), packets, &mut rng);
+    let f32r = sample_packets(
+        &f32_kernel_packets(&random_model, KERNEL_CHUNK),
+        packets,
+        &mut rng,
+    );
     let fx8r = sample_packets(
         &fx8_kernel_packets_scheme(&random_model, KERNEL_CHUNK, Fx8Scheme::PerTensor),
         packets,
         &mut rng,
     );
-    let f32t = sample_packets(&f32_kernel_packets(&trained_model, KERNEL_CHUNK), packets, &mut rng);
+    let f32t = sample_packets(
+        &f32_kernel_packets(&trained_model, KERNEL_CHUNK),
+        packets,
+        &mut rng,
+    );
     let fx8t = sample_packets(
         &fx8_kernel_packets_scheme(&trained_model, KERNEL_CHUNK, Fx8Scheme::PerTensor),
         packets,
         &mut rng,
     );
 
-    print_row("Float-32 random", 256, &compare_windowed(&f32r, &stable, comparison, 0));
-    print_row("Fixed-8 random", 64, &compare_windowed(&fx8r, &stable, comparison, 0));
-    print_row("Float-32 trained", 256, &compare_windowed(&f32t, &stable, comparison, 0));
-    print_row("Fixed-8 trained", 64, &compare_windowed(&fx8t, &stable, comparison, 0));
+    print_row(
+        "Float-32 random",
+        256,
+        &compare_windowed(&f32r, &stable, comparison, 0),
+    );
+    print_row(
+        "Fixed-8 random",
+        64,
+        &compare_windowed(&fx8r, &stable, comparison, 0),
+    );
+    print_row(
+        "Float-32 trained",
+        256,
+        &compare_windowed(&f32t, &stable, comparison, 0),
+    );
+    print_row(
+        "Fixed-8 trained",
+        64,
+        &compare_windowed(&fx8t, &stable, comparison, 0),
+    );
     println!("# paper:             20.38% / 27.70% / 18.92% / 55.71% (same rank order)");
 
     println!();
     println!("sensitivity: popcount ties broken by value (wider comparator)");
-    print_row("Float-32 random", 256, &compare_windowed(&f32r, &value_ties, comparison, 0));
-    print_row("Fixed-8 random", 64, &compare_windowed(&fx8r, &value_ties, comparison, 0));
-    print_row("Float-32 trained", 256, &compare_windowed(&f32t, &value_ties, comparison, 0));
-    print_row("Fixed-8 trained", 64, &compare_windowed(&fx8t, &value_ties, comparison, 0));
+    print_row(
+        "Float-32 random",
+        256,
+        &compare_windowed(&f32r, &value_ties, comparison, 0),
+    );
+    print_row(
+        "Fixed-8 random",
+        64,
+        &compare_windowed(&fx8r, &value_ties, comparison, 0),
+    );
+    print_row(
+        "Float-32 trained",
+        256,
+        &compare_windowed(&f32t, &value_ties, comparison, 0),
+    );
+    print_row(
+        "Fixed-8 trained",
+        64,
+        &compare_windowed(&fx8t, &value_ties, comparison, 0),
+    );
 
     println!();
     println!("sensitivity: fixed-8 with a global Q0.7 format (shared scale)");
@@ -90,8 +138,16 @@ fn main() {
         packets,
         &mut rng,
     );
-    print_row("Fixed-8 random", 64, &compare_windowed(&fx8r_g, &stable, comparison, 0));
-    print_row("Fixed-8 trained", 64, &compare_windowed(&fx8t_g, &stable, comparison, 0));
+    print_row(
+        "Fixed-8 random",
+        64,
+        &compare_windowed(&fx8r_g, &stable, comparison, 0),
+    );
+    print_row(
+        "Fixed-8 trained",
+        64,
+        &compare_windowed(&fx8t_g, &stable, comparison, 0),
+    );
 }
 
 fn print_row(label: &str, flit_bits: usize, cmp: &StreamComparison) {

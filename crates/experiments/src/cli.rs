@@ -1,25 +1,74 @@
 //! Minimal `--key value` argument parsing for the experiment binaries.
+//!
+//! Bad flag values are reported as one-line errors on stderr followed by
+//! `exit(2)` — no panic, no backtrace — so typos in sweep scripts fail
+//! fast and readably.
 
 /// Returns the value following `--name`, parsed, or `default`.
 ///
-/// # Panics
-///
-/// Panics (with a clear message) if the value fails to parse.
+/// Exits with status 2 and a one-line diagnostic if the value fails to
+/// parse (e.g. `--ties neither` for a `stable|value` flag).
 #[must_use]
 pub fn arg<T: std::str::FromStr>(name: &str, default: T) -> T
 where
-    T::Err: std::fmt::Debug,
+    T::Err: std::fmt::Display,
 {
     let flag = format!("--{name}");
     let args: Vec<String> = std::env::args().collect();
     for pair in args.windows(2) {
         if pair[0] == flag {
-            return pair[1]
-                .parse()
-                .unwrap_or_else(|e| panic!("invalid value for {flag}: {e:?}"));
+            return pair[1].parse().unwrap_or_else(|e| {
+                eprintln!("error: invalid value {:?} for {flag}: {e}", pair[1]);
+                std::process::exit(2);
+            });
         }
     }
     default
+}
+
+/// Returns the value following `--name` parsed, or `None` when absent.
+///
+/// Exits with status 2 and a one-line diagnostic on a bad value, like
+/// [`arg`].
+#[must_use]
+pub fn opt_arg<T: std::str::FromStr>(name: &str) -> Option<T>
+where
+    T::Err: std::fmt::Display,
+{
+    let flag = format!("--{name}");
+    let args: Vec<String> = std::env::args().collect();
+    for pair in args.windows(2) {
+        if pair[0] == flag {
+            return Some(pair[1].parse().unwrap_or_else(|e| {
+                eprintln!("error: invalid value {:?} for {flag}: {e}", pair[1]);
+                std::process::exit(2);
+            }));
+        }
+    }
+    None
+}
+
+/// Returns the comma-separated values following `--name`, parsed, or
+/// `default` when the flag is absent.
+///
+/// Exits with status 2 and a one-line diagnostic on any bad element.
+#[must_use]
+pub fn list_arg<T: std::str::FromStr>(name: &str, default: Vec<T>) -> Vec<T>
+where
+    T::Err: std::fmt::Display,
+{
+    let Some(raw) = opt_arg::<String>(name) else {
+        return default;
+    };
+    raw.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.parse().unwrap_or_else(|e| {
+                eprintln!("error: invalid element {s:?} in --{name}: {e}");
+                std::process::exit(2);
+            })
+        })
+        .collect()
 }
 
 /// True if `--name` appears as a bare flag.
@@ -37,5 +86,26 @@ mod tests {
     fn returns_default_when_absent() {
         assert_eq!(arg("definitely-not-passed", 42u64), 42);
         assert!(!flag("definitely-not-passed"));
+        assert_eq!(opt_arg::<u64>("definitely-not-passed"), None);
+        assert_eq!(list_arg("definitely-not-passed", vec![1u32, 2]), vec![1, 2]);
+    }
+
+    #[test]
+    fn parses_domain_types_from_str() {
+        use btr_core::ordering::{OrderingMethod, TieBreak};
+        assert_eq!("value".parse::<TieBreak>(), Ok(TieBreak::Value));
+        assert!("bogus".parse::<TieBreak>().is_err());
+        assert_eq!(
+            "O2".parse::<OrderingMethod>(),
+            Ok(OrderingMethod::Separated)
+        );
+        assert_eq!(
+            "separated".parse::<OrderingMethod>(),
+            Ok(OrderingMethod::Separated)
+        );
+        assert!("O9".parse::<OrderingMethod>().is_err());
+        use btr_bits::word::DataFormat;
+        assert_eq!("fx8".parse::<DataFormat>(), Ok(DataFormat::Fixed8));
+        assert!("int4".parse::<DataFormat>().is_err());
     }
 }

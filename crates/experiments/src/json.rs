@@ -1,0 +1,176 @@
+//! A dependency-free JSON writer for machine-readable experiment output.
+//!
+//! The sweep runner ([`crate::sweep`]) and the vendored bench harness
+//! both emit this format (schemas `btr-sweep-v1` / `btr-bench-v1`), so
+//! downstream tooling can diff experiment results and bench trajectories
+//! across commits without parsing human-oriented tables.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (serialized exactly).
+    U64(u64),
+    /// A signed integer (serialized exactly).
+    I64(i64),
+    /// A float (serialized via Rust's shortest-roundtrip formatting;
+    /// non-finite values become `null`).
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for an object.
+    #[must_use]
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Convenience constructor for a string value.
+    #[must_use]
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Serializes to a compact string.
+    #[must_use]
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::F64(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_string_compact())
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Writes a value to `path` (with a trailing newline), creating parent
+/// directories as needed.
+///
+/// # Errors
+///
+/// Returns any I/O error from directory creation or the write.
+pub fn write_file(path: &std::path::Path, value: &Json) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, value.to_string_compact() + "\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serializes_nested_structures() {
+        let v = Json::obj(vec![
+            ("schema", Json::str("btr-sweep-v1")),
+            ("count", Json::U64(2)),
+            ("rate", Json::F64(0.5)),
+            ("neg", Json::I64(-3)),
+            ("ok", Json::Bool(true)),
+            ("none", Json::Null),
+            ("items", Json::Arr(vec![Json::U64(1), Json::str("a\"b\n")])),
+        ]);
+        assert_eq!(
+            v.to_string_compact(),
+            "{\"schema\":\"btr-sweep-v1\",\"count\":2,\"rate\":0.5,\"neg\":-3,\"ok\":true,\"none\":null,\"items\":[1,\"a\\\"b\\n\"]}"
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Json::F64(f64::NAN).to_string_compact(), "null");
+        assert_eq!(Json::F64(f64::INFINITY).to_string_compact(), "null");
+    }
+
+    #[test]
+    fn writes_files_with_parents() {
+        let dir = std::env::temp_dir().join("btr-json-test");
+        let path = dir.join("nested").join("out.json");
+        write_file(&path, &Json::U64(7)).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "7\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

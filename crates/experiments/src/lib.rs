@@ -1,13 +1,17 @@
 //! Shared helpers for the experiment binaries and benches.
 //!
 //! Every binary in `src/bin/` regenerates one table or figure of the paper
-//! (see DESIGN.md §4 for the index). This library holds the common pieces:
-//! deterministic weight sources (random-initialized and trained LeNet),
-//! packet pools for the "without NoC" experiments, and a tiny CLI-argument
-//! parser so the binaries stay dependency-free.
+//! (see EXPERIMENTS.md for the index). This library holds the common
+//! pieces: deterministic weight sources (random-initialized and trained
+//! LeNet), packet pools for the "without NoC" experiments, a tiny
+//! CLI-argument parser so the binaries stay dependency-light, the
+//! parallel sweep runner, and the JSON writer behind the machine-readable
+//! result files.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod json;
+pub mod sweep;
 pub mod workloads;

@@ -1,0 +1,410 @@
+//! The parallel sweep runner: one `Simulator` per grid cell, fanned out
+//! with rayon, results as machine-readable JSON.
+//!
+//! A sweep is a grid over `(workload × mesh × data format × ordering ×
+//! tiebreak × fx8 scheme)`. Every cell runs a complete inference through
+//! its own flat-array simulator (cells share nothing, so they
+//! parallelize perfectly), and the outcome carries the figures the
+//! paper's evaluation reports: total bit transitions, cycles, flit-hops,
+//! latency, index overhead.
+//!
+//! `fig12_noc_sizes`, `fig13_models` and the `sweep` binary are all thin
+//! front-ends over [`expand_grid`] + [`run_cells`] +
+//! [`outcomes_json`]; see `EXPERIMENTS.md` for the JSON schema
+//! (`btr-sweep-v1`) and usage examples.
+
+use crate::json::Json;
+use btr_accel::config::AccelConfig;
+use btr_accel::driver::run_inference;
+use btr_bits::word::DataFormat;
+use btr_core::ordering::{OrderingMethod, TieBreak};
+use btr_dnn::model::InferenceOp;
+use btr_dnn::tensor::Tensor;
+use rayon::prelude::*;
+
+/// A named inference workload (model lowered to ops + input tensor).
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Display name (`"LeNet"`, `"DarkNet"`, ...).
+    pub name: String,
+    /// The lowered inference graph.
+    pub ops: Vec<InferenceOp>,
+    /// The input tensor.
+    pub input: Tensor,
+}
+
+/// A mesh geometry: `width × height` with `mc_count` memory controllers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeshSpec {
+    /// Mesh columns.
+    pub width: usize,
+    /// Mesh rows.
+    pub height: usize,
+    /// Memory-controller count (left/right edge pairs).
+    pub mc_count: usize,
+}
+
+impl MeshSpec {
+    /// The paper's three NoC sizes (Sec. V-B-1).
+    pub const PAPER: [MeshSpec; 3] = [
+        MeshSpec {
+            width: 4,
+            height: 4,
+            mc_count: 2,
+        },
+        MeshSpec {
+            width: 8,
+            height: 8,
+            mc_count: 4,
+        },
+        MeshSpec {
+            width: 8,
+            height: 8,
+            mc_count: 8,
+        },
+    ];
+
+    /// Short label, e.g. `"4x4 MC2"`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!("{}x{} MC{}", self.width, self.height, self.mc_count)
+    }
+}
+
+impl std::fmt::Display for MeshSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+impl std::str::FromStr for MeshSpec {
+    type Err = String;
+
+    /// Parses `"WxHxMC"`, e.g. `"8x8x4"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let parts: Vec<&str> = s.split('x').collect();
+        if parts.len() != 3 {
+            return Err(format!("mesh spec {s:?} is not WxHxMC (e.g. 8x8x4)"));
+        }
+        let parse = |part: &str, what: &str| -> Result<usize, String> {
+            part.parse()
+                .map_err(|e| format!("bad {what} in mesh spec {s:?}: {e}"))
+        };
+        Ok(MeshSpec {
+            width: parse(parts[0], "width")?,
+            height: parse(parts[1], "height")?,
+            mc_count: parse(parts[2], "MC count")?,
+        })
+    }
+}
+
+/// One cell of the sweep grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepCell {
+    /// Index into the workload list.
+    pub workload: usize,
+    /// Mesh geometry.
+    pub mesh: MeshSpec,
+    /// Payload data format.
+    pub format: DataFormat,
+    /// Transmission ordering.
+    pub ordering: OrderingMethod,
+    /// Popcount-tie handling.
+    pub tiebreak: TieBreak,
+    /// Global Q0.7 fixed-8 weight quantization (sensitivity variant).
+    pub fx8_global: bool,
+}
+
+/// The measured outcome of one cell.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// The cell that produced this outcome.
+    pub cell: SweepCell,
+    /// Total bit transitions over every link.
+    pub transitions: u64,
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Total flit-hops.
+    pub flit_hops: u64,
+    /// Request packets sent MC→PE.
+    pub request_packets: u64,
+    /// Mean packet latency in cycles.
+    pub mean_latency: f64,
+    /// O2 index side-channel overhead in bits.
+    pub index_overhead_bits: u64,
+    /// Wall-clock milliseconds the cell took.
+    pub wall_ms: u64,
+    /// Error message if the cell failed (metrics are zero then).
+    pub error: Option<String>,
+}
+
+/// Expands the full cross product into cells.
+#[must_use]
+pub fn expand_grid(
+    workloads: usize,
+    meshes: &[MeshSpec],
+    formats: &[DataFormat],
+    orderings: &[OrderingMethod],
+    tiebreaks: &[TieBreak],
+    fx8_globals: &[bool],
+) -> Vec<SweepCell> {
+    let mut cells = Vec::new();
+    for w in 0..workloads {
+        for &mesh in meshes {
+            for &format in formats {
+                for &ordering in orderings {
+                    for &tiebreak in tiebreaks {
+                        for &fx8_global in fx8_globals {
+                            cells.push(SweepCell {
+                                workload: w,
+                                mesh,
+                                format,
+                                ordering,
+                                tiebreak,
+                                fx8_global,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    cells
+}
+
+/// Runs one cell on its own simulator.
+#[must_use]
+pub fn run_cell(workloads: &[Workload], cell: SweepCell) -> CellOutcome {
+    let start = std::time::Instant::now();
+    let workload = &workloads[cell.workload];
+    let mut config = AccelConfig::paper(
+        cell.mesh.width,
+        cell.mesh.height,
+        cell.mesh.mc_count,
+        cell.format,
+        cell.ordering,
+    );
+    config.tiebreak = cell.tiebreak;
+    config.global_fx8_weights = cell.fx8_global;
+    match run_inference(&workload.ops, &workload.input, &config) {
+        Ok(result) => CellOutcome {
+            cell,
+            transitions: result.stats.total_transitions,
+            cycles: result.total_cycles,
+            flit_hops: result.stats.flit_hops,
+            request_packets: result.total_request_packets(),
+            mean_latency: result.stats.latency.mean,
+            index_overhead_bits: result.index_overhead_bits,
+            wall_ms: start.elapsed().as_millis() as u64,
+            error: None,
+        },
+        Err(e) => CellOutcome {
+            cell,
+            transitions: 0,
+            cycles: 0,
+            flit_hops: 0,
+            request_packets: 0,
+            mean_latency: 0.0,
+            index_overhead_bits: 0,
+            wall_ms: start.elapsed().as_millis() as u64,
+            error: Some(e.to_string()),
+        },
+    }
+}
+
+/// Runs a list of independent jobs, in parallel (rayon) unless
+/// `sequential` is set.
+pub fn par_run<T: Send, R: Send>(
+    items: Vec<T>,
+    sequential: bool,
+    f: impl Fn(T) -> R + Sync,
+) -> Vec<R> {
+    if sequential {
+        items.into_iter().map(f).collect()
+    } else {
+        items.into_par_iter().map(f).collect()
+    }
+}
+
+/// Runs every cell of a sweep (cell order is preserved in the output).
+#[must_use]
+pub fn run_cells(
+    workloads: &[Workload],
+    cells: Vec<SweepCell>,
+    sequential: bool,
+) -> Vec<CellOutcome> {
+    par_run(cells, sequential, |cell| run_cell(workloads, cell))
+}
+
+/// Finds the baseline (O0) outcome matching a cell's other coordinates,
+/// for normalization/reduction reporting.
+#[must_use]
+pub fn baseline_of<'a>(outcomes: &'a [CellOutcome], cell: &SweepCell) -> Option<&'a CellOutcome> {
+    outcomes.iter().find(|o| {
+        o.cell.workload == cell.workload
+            && o.cell.mesh == cell.mesh
+            && o.cell.format == cell.format
+            && o.cell.tiebreak == cell.tiebreak
+            && o.cell.fx8_global == cell.fx8_global
+            && o.cell.ordering == OrderingMethod::Baseline
+    })
+}
+
+/// Serializes outcomes to the `btr-sweep-v1` schema.
+#[must_use]
+pub fn outcomes_json(workloads: &[Workload], outcomes: &[CellOutcome]) -> Json {
+    let cells: Vec<Json> = outcomes
+        .iter()
+        .map(|o| {
+            let reduction = baseline_of(outcomes, &o.cell)
+                .filter(|b| b.transitions > 0)
+                .map(|b| 1.0 - o.transitions as f64 / b.transitions as f64);
+            Json::obj(vec![
+                (
+                    "workload",
+                    Json::str(workloads[o.cell.workload].name.clone()),
+                ),
+                ("mesh", Json::str(o.cell.mesh.label())),
+                ("format", Json::str(o.cell.format.name())),
+                ("ordering", Json::str(o.cell.ordering.label())),
+                (
+                    "tiebreak",
+                    Json::str(format!("{:?}", o.cell.tiebreak).to_lowercase()),
+                ),
+                ("fx8_global", Json::Bool(o.cell.fx8_global)),
+                ("transitions", Json::U64(o.transitions)),
+                ("cycles", Json::U64(o.cycles)),
+                ("flit_hops", Json::U64(o.flit_hops)),
+                ("request_packets", Json::U64(o.request_packets)),
+                ("mean_latency", Json::F64(o.mean_latency)),
+                ("index_overhead_bits", Json::U64(o.index_overhead_bits)),
+                (
+                    "reduction_vs_baseline",
+                    reduction.map_or(Json::Null, Json::F64),
+                ),
+                ("wall_ms", Json::U64(o.wall_ms)),
+                ("error", o.error.clone().map_or(Json::Null, Json::Str)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("schema", Json::str("btr-sweep-v1")),
+        ("cells", Json::Arr(cells)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btr_dnn::layer::{ActKind, Activation, Conv2d, Flatten, Linear, MaxPool2d};
+    use btr_dnn::model::{Layer, Sequential};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn tiny_workload() -> Workload {
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = Sequential::new(vec![
+            Layer::Conv2d(Conv2d::new(1, 2, 3, 1, 1, &mut rng)),
+            Layer::Activation(Activation::new(ActKind::ReLU)),
+            Layer::MaxPool2d(MaxPool2d::new(2, 2)),
+            Layer::Flatten(Flatten::new()),
+            Layer::Linear(Linear::new(2 * 4 * 4, 4, &mut rng)),
+        ]);
+        let input = Tensor::from_vec(
+            &[1, 8, 8],
+            (0..64).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        )
+        .unwrap();
+        Workload {
+            name: "tiny".into(),
+            ops: model.inference_ops(),
+            input,
+        }
+    }
+
+    #[test]
+    fn mesh_spec_parses_and_prints() {
+        let m: MeshSpec = "8x8x4".parse().unwrap();
+        assert_eq!(
+            m,
+            MeshSpec {
+                width: 8,
+                height: 8,
+                mc_count: 4
+            }
+        );
+        assert_eq!(m.label(), "8x8 MC4");
+        assert!("8x8".parse::<MeshSpec>().is_err());
+        assert!("axbxc".parse::<MeshSpec>().is_err());
+    }
+
+    #[test]
+    fn grid_expansion_counts() {
+        let cells = expand_grid(
+            2,
+            &MeshSpec::PAPER,
+            &[DataFormat::Float32, DataFormat::Fixed8],
+            &OrderingMethod::ALL,
+            &[TieBreak::Stable],
+            &[false],
+        );
+        assert_eq!(cells.len(), 2 * 3 * 2 * 3);
+    }
+
+    #[test]
+    fn sweep_runs_and_serializes() {
+        let workloads = vec![tiny_workload()];
+        let cells = expand_grid(
+            1,
+            &[MeshSpec {
+                width: 4,
+                height: 4,
+                mc_count: 2,
+            }],
+            &[DataFormat::Fixed8],
+            &OrderingMethod::ALL,
+            &[TieBreak::Stable],
+            &[false],
+        );
+        let outcomes = run_cells(&workloads, cells.clone(), false);
+        assert_eq!(outcomes.len(), 3);
+        assert!(outcomes.iter().all(|o| o.error.is_none()));
+        assert!(outcomes.iter().all(|o| o.transitions > 0 && o.cycles > 0));
+        // Ordering reduces transitions relative to the baseline cell.
+        let base = baseline_of(&outcomes, &cells[1]).unwrap();
+        assert!(outcomes[2].transitions < base.transitions);
+        // Parallel and sequential execution agree bit-for-bit.
+        let serial = run_cells(&workloads, cells, true);
+        for (a, b) in outcomes.iter().zip(serial.iter()) {
+            assert_eq!(a.transitions, b.transitions);
+            assert_eq!(a.cycles, b.cycles);
+        }
+        let json = outcomes_json(&workloads, &outcomes);
+        let text = json.to_string_compact();
+        assert!(text.contains("\"schema\":\"btr-sweep-v1\""));
+        assert!(text.contains("\"ordering\":\"O2\""));
+        assert!(text.contains("\"reduction_vs_baseline\""));
+    }
+
+    #[test]
+    fn failed_cells_report_errors() {
+        let workloads = vec![tiny_workload()];
+        // fixed-16 is not wired into the accelerator -> cell error.
+        let cells = vec![SweepCell {
+            workload: 0,
+            mesh: MeshSpec {
+                width: 4,
+                height: 4,
+                mc_count: 2,
+            },
+            format: DataFormat::Fixed16,
+            ordering: OrderingMethod::Baseline,
+            tiebreak: TieBreak::Stable,
+            fx8_global: false,
+        }];
+        let outcomes = run_cells(&workloads, cells, true);
+        assert!(outcomes[0].error.is_some());
+        let json = outcomes_json(&workloads, &outcomes);
+        assert!(json.to_string_compact().contains("\"error\":\""));
+    }
+}

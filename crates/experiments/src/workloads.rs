@@ -20,17 +20,22 @@ pub enum WeightSource {
     Trained,
 }
 
-impl WeightSource {
+impl std::str::FromStr for WeightSource {
+    type Err = String;
+
     /// Parses `"random"` / `"trained"`.
-    #[must_use]
-    pub fn parse(s: &str) -> Self {
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s {
-            "random" => WeightSource::Random,
-            "trained" => WeightSource::Trained,
-            other => panic!("unknown weight source {other:?}; use random|trained"),
+            "random" => Ok(WeightSource::Random),
+            "trained" => Ok(WeightSource::Trained),
+            other => Err(format!(
+                "unknown weight source {other:?}; use random|trained"
+            )),
         }
     }
+}
 
+impl WeightSource {
     /// Display name.
     #[must_use]
     pub fn name(self) -> &'static str {
@@ -134,14 +139,17 @@ pub enum Fx8Scheme {
     GlobalUnit,
 }
 
-impl Fx8Scheme {
+impl std::str::FromStr for Fx8Scheme {
+    type Err = String;
+
     /// Parses `"per-tensor"` / `"global"`.
-    #[must_use]
-    pub fn parse(s: &str) -> Self {
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s {
-            "per-tensor" => Fx8Scheme::PerTensor,
-            "global" => Fx8Scheme::GlobalUnit,
-            other => panic!("unknown fx8 scheme {other:?}; use per-tensor|global"),
+            "per-tensor" => Ok(Fx8Scheme::PerTensor),
+            "global" => Ok(Fx8Scheme::GlobalUnit),
+            other => Err(format!(
+                "unknown fx8 scheme {other:?}; use per-tensor|global"
+            )),
         }
     }
 }
@@ -246,8 +254,11 @@ mod tests {
 
     #[test]
     fn weight_source_parsing() {
-        assert_eq!(WeightSource::parse("random"), WeightSource::Random);
-        assert_eq!(WeightSource::parse("trained"), WeightSource::Trained);
+        assert_eq!("random".parse(), Ok(WeightSource::Random));
+        assert_eq!("trained".parse(), Ok(WeightSource::Trained));
+        assert!("frozen".parse::<WeightSource>().is_err());
+        assert!("half".parse::<Fx8Scheme>().is_err());
+        assert_eq!("global".parse(), Ok(Fx8Scheme::GlobalUnit));
         assert_eq!(WeightSource::Trained.name(), "trained");
     }
 }

@@ -169,8 +169,7 @@ impl OrderingUnitDesign {
         let popcount = n * (w - 1.0) * tech.ge_per_full_adder;
         // One compare-exchange cell: key comparator + swap muxes over
         // (word + key) bits on both outputs.
-        let ce_cell = key * tech.ge_per_comparator_bit
-            + 2.0 * (w + key) * tech.ge_per_mux_bit;
+        let ce_cell = key * tech.ge_per_comparator_bit + 2.0 * (w + key) * tech.ge_per_mux_bit;
         let sorter = self.sorter.cell_count(self.values) as f64 * ce_cell;
         // Value + key registers.
         let regs = n * (w + key) * tech.ge_per_flipflop;
@@ -230,8 +229,7 @@ impl RouterDesign {
         let w = f64::from(self.link_width_bits);
         let p = self.ports as f64;
         // Input buffers dominate: ports × vcs × depth × width flip-flops.
-        let buffers =
-            p * self.vcs as f64 * self.buffer_depth as f64 * w * tech.ge_per_flipflop;
+        let buffers = p * self.vcs as f64 * self.buffer_depth as f64 * w * tech.ge_per_flipflop;
         // Crossbar: per output, a p:1 mux over the link width
         // ((p − 1) 2:1 muxes per bit).
         let crossbar = p * (p - 1.0) * w * tech.ge_per_mux_bit;

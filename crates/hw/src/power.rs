@@ -71,8 +71,16 @@ mod tests {
             64,
             125.0,
         );
-        assert!((d.units_total_mw - 8.852).abs() < 1e-9, "{}", d.units_total_mw);
-        assert!((d.routers_total_mw - 1083.18).abs() < 0.01, "{}", d.routers_total_mw);
+        assert!(
+            (d.units_total_mw - 8.852).abs() < 1e-9,
+            "{}",
+            d.units_total_mw
+        );
+        assert!(
+            (d.routers_total_mw - 1083.18).abs() < 0.01,
+            "{}",
+            d.routers_total_mw
+        );
         // Under 1% overhead.
         assert!(d.overhead_fraction() < 0.01, "{}", d.overhead_fraction());
     }

@@ -56,7 +56,11 @@ impl Table2 {
 impl std::fmt::Display for Table2 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "TABLE II: Synthesis Results of Ordering Unit and Router")?;
-        writeln!(f, "{:<22} {:>14} {:>14}", "Metric", "Ordering Unit", "Routers")?;
+        writeln!(
+            f,
+            "{:<22} {:>14} {:>14}",
+            "Metric", "Ordering Unit", "Routers"
+        )?;
         writeln!(
             f,
             "{:<22} {:>14} {:>14}",
@@ -67,7 +71,11 @@ impl std::fmt::Display for Table2 {
             "{:<22} {:>14} {:>14}",
             "Frequency (MHz)", self.frequency_mhz, self.frequency_mhz
         )?;
-        writeln!(f, "{:<22} {:>14} {:>14}", "Voltage (V)", self.voltage, self.voltage)?;
+        writeln!(
+            f,
+            "{:<22} {:>14} {:>14}",
+            "Voltage (V)", self.voltage, self.voltage
+        )?;
         writeln!(
             f,
             "{:<22} {:>6.3} / {:>6.3} {:>6.2} / {:>7.2}",

@@ -62,7 +62,7 @@ impl NocConfig {
     #[must_use]
     pub fn paper_mesh(width: usize, height: usize, mc_count: usize, link_width_bits: u32) -> Self {
         assert!(
-            mc_count > 0 && mc_count % 2 == 0,
+            mc_count > 0 && mc_count.is_multiple_of(2),
             "MC count must be positive and even (left/right edge pairs)"
         );
         assert!(mc_count <= 2 * height, "too many MCs for this mesh height");

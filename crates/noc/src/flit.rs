@@ -32,7 +32,7 @@ impl FlitKind {
 }
 
 /// One flit traversing the NoC.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Flit {
     /// Simulator-global packet id.
     pub packet_id: u64,

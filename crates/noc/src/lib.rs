@@ -12,7 +12,11 @@
 //! * [`config`] — mesh geometry, link width, VC parameters, MC placement;
 //! * [`flit`] / [`packet`] — the wire units and packet→flit serialization;
 //! * [`routing`] — X-Y (and Y-X ablation) dimension-order routing;
-//! * [`sim`] — the cycle-driven simulator: routers, links, NIs;
+//! * [`session`] — task injection/decode through the shared
+//!   `btr_core::transport` pipeline;
+//! * [`sim`] — the cycle-driven simulator (flat-array engine);
+//! * [`legacy`] — the original map/deque engine, kept as a bit-exact
+//!   semantics oracle;
 //! * [`stats`] — per-link and aggregate BT, latency, throughput;
 //! * [`traffic`] — synthetic patterns (uniform random, transpose, hotspot)
 //!   for standalone validation of the NoC itself.
@@ -41,8 +45,10 @@
 
 pub mod config;
 pub mod flit;
+pub mod legacy;
 pub mod packet;
 pub mod routing;
+pub mod session;
 pub mod sim;
 pub mod stats;
 pub mod traffic;

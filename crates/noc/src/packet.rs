@@ -58,7 +58,11 @@ impl Packet {
             self.tag,
         );
         let last = self.payload_flits.len();
-        let head_kind = if last == 0 { FlitKind::HeadTail } else { FlitKind::Head };
+        let head_kind = if last == 0 {
+            FlitKind::HeadTail
+        } else {
+            FlitKind::Head
+        };
         flits.push(Flit {
             packet_id,
             kind: head_kind,
@@ -88,7 +92,11 @@ impl Packet {
             };
             flits.push(Flit {
                 packet_id,
-                kind: if i + 1 == last { FlitKind::Tail } else { FlitKind::Body },
+                kind: if i + 1 == last {
+                    FlitKind::Tail
+                } else {
+                    FlitKind::Body
+                },
                 src: self.src,
                 dst: self.dst,
                 seq: (i + 1) as u32,
@@ -128,7 +136,11 @@ pub fn decode_head_payload(p: &PayloadBits) -> (NodeId, NodeId, u32, u64) {
     let dst = p.field(16, 16) as NodeId;
     let len = p.field(32, 16) as u32;
     let tag_bits = 64.min(p.width().saturating_sub(48));
-    let tag = if tag_bits > 0 { p.field(48, tag_bits) } else { 0 };
+    let tag = if tag_bits > 0 {
+        p.field(48, tag_bits)
+    } else {
+        0
+    };
     (src, dst, len, tag)
 }
 
@@ -150,7 +162,9 @@ mod tests {
         assert_eq!(flits[0].kind, FlitKind::Head);
         assert_eq!(flits[1].kind, FlitKind::Body);
         assert_eq!(flits[2].kind, FlitKind::Tail);
-        assert!(flits.iter().all(|f| f.packet_id == 100 && f.src == 1 && f.dst == 14));
+        assert!(flits
+            .iter()
+            .all(|f| f.packet_id == 100 && f.src == 1 && f.dst == 14));
         assert_eq!(flits[2].seq, 2);
     }
 

@@ -1,0 +1,239 @@
+//! NoC injection over the shared transport pipeline.
+//!
+//! [`TaskPort`] binds a [`TransportSession`] (the MC-side ordering unit +
+//! PE-side recovery logic from `btr_core::transport`) to the mesh
+//! simulator: tasks are encoded once by the session, injected as
+//! [`Packet`]s, and decoded off the delivered wire images. The
+//! accelerator driver and the standalone NoC harnesses both go through
+//! this port, so flitization/recovery logic exists exactly once.
+//!
+//! # Example
+//!
+//! ```
+//! use btr_core::ordering::OrderingMethod;
+//! use btr_core::task::NeuronTask;
+//! use btr_core::transport::{OrderedTransport, TransportConfig};
+//! use btr_bits::word::Fx8Word;
+//! use btr_noc::config::NocConfig;
+//! use btr_noc::session::TaskPort;
+//! use btr_noc::sim::Simulator;
+//!
+//! let mut sim = Simulator::new(NocConfig::mesh(4, 4, 128));
+//! let port = TaskPort::new(OrderedTransport::new(TransportConfig::new(
+//!     OrderingMethod::Separated,
+//!     16,
+//! )));
+//! let inputs: Vec<Fx8Word> = (1..=9).map(Fx8Word::new).collect();
+//! let weights: Vec<Fx8Word> = (-4..=4).map(Fx8Word::new).collect();
+//! let task = NeuronTask::new(inputs, weights, Fx8Word::new(1)).unwrap();
+//!
+//! let meta = port.send_task(&mut sim, 0, 15, &task, 7).unwrap();
+//! sim.run_until_idle(10_000).unwrap();
+//! let delivered = sim.drain_delivered(15).pop().unwrap();
+//! let recovered = port.receive_task(&meta, &delivered).unwrap();
+//! assert_eq!(recovered.mac_i64(), task.mac_i64());
+//! ```
+
+use crate::packet::Packet;
+use crate::sim::{DeliveredPacket, InjectError, Simulator};
+use btr_bits::word::DataWord;
+use btr_core::flitize::FlitizeError;
+use btr_core::task::{NeuronTask, RecoveredTask};
+use btr_core::transport::{TaskWireMeta, TransportError, TransportSession};
+
+/// Errors from [`TaskPort::send_task`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SendError {
+    /// Ordering / flitization failed (geometry).
+    Encode(FlitizeError),
+    /// The simulator rejected the packet.
+    Inject(InjectError),
+}
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SendError::Encode(e) => write!(f, "task encode failed: {e}"),
+            SendError::Inject(e) => write!(f, "injection failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
+impl From<FlitizeError> for SendError {
+    fn from(e: FlitizeError) -> Self {
+        SendError::Encode(e)
+    }
+}
+
+impl From<InjectError> for SendError {
+    fn from(e: InjectError) -> Self {
+        SendError::Inject(e)
+    }
+}
+
+/// A task-granularity port onto the mesh: encode-inject on one side,
+/// decode-recover on the other, both through one [`TransportSession`].
+#[derive(Debug, Clone)]
+pub struct TaskPort<S> {
+    session: S,
+}
+
+impl<S> TaskPort<S> {
+    /// Wraps a transport session.
+    #[must_use]
+    pub fn new(session: S) -> Self {
+        Self { session }
+    }
+
+    /// The underlying transport session.
+    #[must_use]
+    pub fn session(&self) -> &S {
+        &self.session
+    }
+
+    /// Encodes `task` with the session's ordering and injects it as a
+    /// packet `src → dst`, returning the wire metadata the receiver needs
+    /// (conceptually: the extended head-flit fields plus the O2 index side
+    /// channel).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SendError`] if encoding or injection fails.
+    pub fn send_task<W: DataWord>(
+        &self,
+        sim: &mut Simulator,
+        src: usize,
+        dst: usize,
+        task: &NeuronTask<W>,
+        tag: u64,
+    ) -> Result<TaskWireMeta, SendError>
+    where
+        S: TransportSession<W>,
+    {
+        let encoded = self.session.encode_task(task)?;
+        let meta = encoded.wire_meta();
+        sim.inject(Packet::new(src, dst, encoded.payload_flits(), tag))?;
+        Ok(meta)
+    }
+
+    /// Like [`TaskPort::send_task`], additionally reporting the packet's
+    /// flit count (head + payload) and index side-channel overhead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SendError`] if encoding or injection fails.
+    pub fn send_task_accounted<W: DataWord>(
+        &self,
+        sim: &mut Simulator,
+        src: usize,
+        dst: usize,
+        task: &NeuronTask<W>,
+        tag: u64,
+    ) -> Result<SentTask, SendError>
+    where
+        S: TransportSession<W>,
+    {
+        let encoded = self.session.encode_task(task)?;
+        let meta = encoded.wire_meta();
+        let index_overhead_bits = encoded.index_overhead_bits();
+        let payload = encoded.payload_flits();
+        let flit_count = payload.len() + 1;
+        sim.inject(Packet::new(src, dst, payload, tag))?;
+        Ok(SentTask {
+            meta,
+            flit_count,
+            index_overhead_bits,
+        })
+    }
+
+    /// Decodes a delivered packet's wire images back into paired operands.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError`] if the images do not match the layout
+    /// implied by `meta` or recovery fails.
+    pub fn receive_task<W: DataWord>(
+        &self,
+        meta: &TaskWireMeta,
+        delivered: &DeliveredPacket,
+    ) -> Result<RecoveredTask<W>, TransportError>
+    where
+        S: TransportSession<W>,
+    {
+        self.session.decode_task(meta, &delivered.payload_flits)
+    }
+}
+
+/// Accounting record returned by [`TaskPort::send_task_accounted`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SentTask {
+    /// Wire metadata the receiver needs to decode the packet.
+    pub meta: TaskWireMeta,
+    /// Flits on the wire (head + payload).
+    pub flit_count: usize,
+    /// O2 index side-channel overhead in bits (zero for O0/O1).
+    pub index_overhead_bits: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NocConfig;
+    use btr_bits::word::Fx8Word;
+    use btr_core::ordering::OrderingMethod;
+    use btr_core::transport::{OrderedTransport, TransportConfig};
+
+    fn task(n: usize) -> NeuronTask<Fx8Word> {
+        let inputs: Vec<Fx8Word> = (0..n).map(|i| Fx8Word::new(i as i8)).collect();
+        let weights: Vec<Fx8Word> = (0..n).map(|i| Fx8Word::new(-(i as i8))).collect();
+        NeuronTask::new(inputs, weights, Fx8Word::new(3)).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_over_the_mesh_for_all_orderings() {
+        for ordering in OrderingMethod::ALL {
+            let mut sim = Simulator::new(NocConfig::mesh(4, 4, 128));
+            let port = TaskPort::new(OrderedTransport::new(TransportConfig::new(ordering, 16)));
+            let t = task(25);
+            let meta = port.send_task(&mut sim, 2, 13, &t, 9).unwrap();
+            sim.run_until_idle(10_000).unwrap();
+            let delivered = sim.drain_delivered(13).pop().expect("delivered");
+            assert_eq!(delivered.tag, 9);
+            let rec: btr_core::task::RecoveredTask<Fx8Word> =
+                port.receive_task(&meta, &delivered).unwrap();
+            assert_eq!(rec.mac_i64(), t.mac_i64(), "{ordering}");
+        }
+    }
+
+    #[test]
+    fn accounted_send_reports_flits_and_overhead() {
+        let mut sim = Simulator::new(NocConfig::mesh(4, 4, 128));
+        let port = TaskPort::new(OrderedTransport::new(TransportConfig::new(
+            OrderingMethod::Separated,
+            16,
+        )));
+        let t = task(25);
+        let sent = port.send_task_accounted(&mut sim, 0, 5, &t, 1).unwrap();
+        // 25 pairs at 8+8 lanes -> 4 payload flits + head.
+        assert_eq!(sent.flit_count, 5);
+        assert!(sent.index_overhead_bits > 0);
+        assert_eq!(sent.meta.num_pairs, 25);
+    }
+
+    #[test]
+    fn send_surfaces_inject_errors() {
+        let mut sim = Simulator::new(NocConfig::mesh(4, 4, 64));
+        let port = TaskPort::new(OrderedTransport::new(TransportConfig::new(
+            OrderingMethod::Baseline,
+            16,
+        )));
+        // 16 fx8 lanes = 128-bit payload on a 64-bit link.
+        let err = port.send_task(&mut sim, 0, 1, &task(4), 0).unwrap_err();
+        assert!(matches!(
+            err,
+            SendError::Inject(InjectError::PayloadTooWide { .. })
+        ));
+    }
+}

@@ -1,9 +1,10 @@
-//! The cycle-driven NoC simulator.
+//! The cycle-driven NoC simulator — flat-array engine.
 //!
 //! Faithful to the paper's stated configuration (Sec. V-B): wormhole
 //! switching with per-port virtual-channel input buffers, credit-based flow
 //! control, dimension-order routing, one flit per link per cycle, 1-cycle
-//! link traversal. Every link carries a [`TransitionRecorder`] (Fig. 8).
+//! link traversal. Every link carries a bit-transition accumulator
+//! (Fig. 8; see [`crate::stats::LinkSlab`]).
 //!
 //! Per cycle, the simulator:
 //! 1. delivers the flits that were on links during the previous cycle;
@@ -17,18 +18,42 @@
 //! buffer (zero-latency credit links — a common simplification that only
 //! affects throughput slightly, not the flit interleaving structure the BT
 //! metric depends on).
+//!
+//! # Engine layout
+//!
+//! All per-VC, per-port and per-packet state lives in flat, index-addressed
+//! vectors instead of nested `Vec<Vec<_>>` / `VecDeque` / `HashMap`
+//! structures:
+//!
+//! * every packet's flits are serialized **once** at injection into a
+//!   per-packet slab; what moves through rings and link pipelines is an
+//!   8-byte [`FlitRef`], not the 100+-byte flit image;
+//! * input VC FIFOs are fixed-capacity rings in one node-major buffer
+//!   (`(node, port, vc)` → ring of `vc_buffer_depth` ref slots);
+//! * route/output-VC decisions, output allocations and credits are dense
+//!   sentinel-coded vectors addressed by the same indices;
+//! * per-link transition totals live in [`LinkSlab`] columns;
+//! * routers whose input buffers hold no flits are skipped wholesale in
+//!   phase 3 (their round-robin pointers cannot advance without a flit, so
+//!   skipping is semantics-preserving).
+//!
+//! The engine is cycle-for-cycle and bit-for-bit equivalent to the
+//! reference implementation preserved in [`crate::legacy`]; the
+//! `transport_parity` integration tests assert per-link BT equality on
+//! seeded workloads.
 
 use crate::config::{NocConfig, NodeId};
 use crate::flit::Flit;
 use crate::packet::Packet;
 use crate::routing::{route, Direction};
-use crate::stats::{LatencyStats, LinkStat, NocStats};
+use crate::stats::{LatencyStats, LinkSlab, LinkStat, NocStats};
 use btr_bits::payload::PayloadBits;
-use btr_bits::transition::TransitionRecorder;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 const LOCAL: usize = 0;
 const NUM_PORTS: usize = 5;
+/// Sentinel for "no route / no output VC assigned".
+const UNSET: usize = usize::MAX;
 
 /// Error returned by [`Simulator::inject`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -105,108 +130,113 @@ impl DeliveredPacket {
     }
 }
 
-/// One virtual-channel input buffer and its head-of-line packet state.
+/// 8-byte handle to a flit interned in the packet slab.
+#[derive(Debug, Clone, Copy)]
+struct FlitRef {
+    /// Packet id (slab index).
+    packet: u32,
+    /// Flit sequence number within the packet (0 = head).
+    seq: u32,
+}
+
+/// A flit in transit on a link, landing at `(node, port, vc)` next cycle.
+#[derive(Debug, Clone, Copy)]
+struct LinkArrival {
+    node: u32,
+    port: u8,
+    vc: u8,
+    fref: FlitRef,
+}
+
+/// Slab entry per injected packet: the interned flits, inject metadata and
+/// receive-side decode state. The flit storage — the bulk of a packet's
+/// footprint — is released when the packet is delivered; the fixed-size
+/// slot header (~56 bytes) persists for the simulator's lifetime so
+/// packet ids stay direct slab indices.
 #[derive(Debug)]
-struct InputVc {
-    fifo: VecDeque<Flit>,
-    route_port: Option<usize>,
-    out_vc: Option<usize>,
-}
-
-impl InputVc {
-    fn new() -> Self {
-        Self {
-            fifo: VecDeque::new(),
-            route_port: None,
-            out_vc: None,
-        }
-    }
-}
-
-#[derive(Debug)]
-struct Router {
-    /// `[port][vc]` input buffers.
-    inputs: Vec<Vec<InputVc>>,
-    /// `[port][vc]` output-VC holder: which (in_port, in_vc) owns it.
-    out_alloc: Vec<Vec<Option<(usize, usize)>>>,
-    /// `[port][vc]` credits toward the downstream input buffer.
-    credits: Vec<Vec<usize>>,
-    /// Round-robin pointer per output port for switch allocation.
-    sw_rr: Vec<usize>,
-    /// Round-robin pointer per output port for VC allocation.
-    vc_rr: Vec<usize>,
-}
-
-impl Router {
-    fn new(num_vcs: usize, depth: usize) -> Self {
-        Self {
-            inputs: (0..NUM_PORTS)
-                .map(|_| (0..num_vcs).map(|_| InputVc::new()).collect())
-                .collect(),
-            out_alloc: vec![vec![None; num_vcs]; NUM_PORTS],
-            credits: vec![vec![depth; num_vcs]; NUM_PORTS],
-            sw_rr: vec![0; NUM_PORTS],
-            vc_rr: vec![0; NUM_PORTS],
-        }
-    }
-}
-
-#[derive(Debug, Default)]
-struct Reassembly {
-    payload_flits: Vec<PayloadBits>,
-    tag: u64,
+struct PacketSlot {
+    inject_cycle: u64,
+    /// The packet's flits in wire order (freed on delivery).
+    flits: Vec<Flit>,
+    /// Source decoded from the head flit image (like a real NI would).
     src: NodeId,
+    /// Tag decoded from the head flit image.
+    tag: u64,
 }
 
-#[derive(Debug)]
-struct NiState {
-    /// Flit queues of packets not yet fully injected, in order.
-    pending: VecDeque<VecDeque<Flit>>,
-    /// VC assigned to the packet currently being injected.
-    current_vc: usize,
-    /// Round-robin pointer for per-packet VC assignment.
-    vc_rr: usize,
-    /// Credits toward the router's local input VC buffers.
-    credits: Vec<usize>,
-    /// Packets being reassembled at this destination.
-    reassembly: HashMap<u64, Reassembly>,
-    /// Completed deliveries awaiting pickup.
-    delivered: VecDeque<DeliveredPacket>,
+/// A packet queued at its source NI, consumed flit by flit.
+#[derive(Debug, Clone, Copy)]
+struct PendingPacket {
+    packet: u32,
+    next: u32,
 }
 
-impl NiState {
-    fn new(num_vcs: usize, depth: usize) -> Self {
-        Self {
-            pending: VecDeque::new(),
-            current_vc: 0,
-            vc_rr: 0,
-            credits: vec![depth; num_vcs],
-            reassembly: HashMap::new(),
-            delivered: VecDeque::new(),
-        }
-    }
-}
-
-/// The cycle-driven mesh simulator.
+/// The cycle-driven mesh simulator (flat-array engine; see module docs).
 #[derive(Debug)]
 pub struct Simulator {
     config: NocConfig,
-    routers: Vec<Router>,
-    nis: Vec<NiState>,
-    /// Flits on inter-router / injection links, delivered next cycle:
-    /// `(dst_router, in_port, vc, flit)`.
-    link_inflight: Vec<(usize, usize, usize, Flit)>,
-    /// Flits on ejection links, delivered to the NI next cycle.
-    eject_inflight: Vec<(usize, Flit)>,
-    /// BT recorders per router output port (`Local` = ejection link).
-    out_recorders: Vec<Vec<TransitionRecorder>>,
-    /// BT recorders per injection link (NI→router).
-    inject_recorders: Vec<TransitionRecorder>,
-    /// Inject cycle per in-flight packet.
-    packet_meta: HashMap<u64, u64>,
+    num_vcs: usize,
+    depth: usize,
+
+    // --- input VC state, indexed `vi = (node * 5 + port) * num_vcs + vc` ---
+    /// Ring-buffer slots: `vi * depth + offset`.
+    fifo: Vec<FlitRef>,
+    /// Ring head offset per VC.
+    fifo_head: Vec<usize>,
+    /// Flits buffered per VC.
+    fifo_len: Vec<usize>,
+    /// Routed output port of the head-of-line packet ([`UNSET`] = none).
+    route_port: Vec<usize>,
+    /// Allocated output VC of the head-of-line packet ([`UNSET`] = none).
+    out_vc: Vec<usize>,
+
+    // --- output state, indexed `oi = (node * 5 + port) * num_vcs + vc` ---
+    /// Output-VC holder: `in_port * num_vcs + in_vc` ([`UNSET`] = free).
+    out_alloc: Vec<usize>,
+    /// Credits toward the downstream input buffer.
+    credits: Vec<usize>,
+
+    // --- per (node, port) round-robin pointers ---
+    sw_rr: Vec<usize>,
+    vc_rr: Vec<usize>,
+
+    /// Per-router bitmask of input VCs holding at least one flit (bit
+    /// `port * num_vcs + vc`). Routers with a zero mask are skipped in
+    /// phase 3, and the allocation/arbitration loops visit only set bits.
+    active_vcs: Vec<u64>,
+
+    /// Precomputed mesh adjacency per `node * 5 + port`: the neighbor
+    /// router on that side and the facing port. Because mesh links are
+    /// symmetric, one table answers both lookups the traversal loop
+    /// needs: the downstream `(router, input port)` of an output
+    /// direction and the upstream `(router, output port)` feeding an
+    /// input direction (entries for `Local` are unused).
+    adjacency_tbl: Vec<(u32, u8)>,
+    /// Input port of each within-router VC index (`k -> k / num_vcs`).
+    port_of: Vec<u8>,
+
+    // --- NI state ---
+    ni_pending: Vec<VecDeque<PendingPacket>>,
+    ni_current_vc: Vec<usize>,
+    ni_vc_rr: Vec<usize>,
+    /// Credits toward the router's local input VCs: `node * num_vcs + vc`.
+    ni_credits: Vec<usize>,
+    ni_delivered: Vec<VecDeque<DeliveredPacket>>,
+
+    // --- link pipelines (filled this cycle, consumed next cycle) ---
+    link_inflight: Vec<LinkArrival>,
+    eject_inflight: Vec<(u32, FlitRef)>,
+
+    // --- measurement ---
+    /// One column per router output link: `node * 5 + port`.
+    out_links: LinkSlab,
+    /// One column per injection link.
+    inject_links: LinkSlab,
+
+    /// Per-packet slab indexed by packet id.
+    packets: Vec<PacketSlot>,
     latencies: Vec<u64>,
     cycle: u64,
-    next_packet_id: u64,
     packets_in_flight: u64,
     packets_delivered: u64,
     flits_delivered: u64,
@@ -221,40 +251,85 @@ impl Simulator {
     /// # Panics
     ///
     /// Panics if the configuration is invalid (see
-    /// [`NocConfig::validate`]).
+    /// [`NocConfig::validate`]) or uses more than 12 virtual channels
+    /// (the engine packs the 5 ports' VC occupancy into one 64-bit mask
+    /// per router).
     #[must_use]
     pub fn new(config: NocConfig) -> Self {
         config.validate().expect("invalid NoC configuration");
+        assert!(
+            NUM_PORTS * config.num_vcs <= 64,
+            "the flat engine supports at most 12 VCs per port ({} requested)",
+            config.num_vcs
+        );
         let n = config.num_nodes();
+        let num_vcs = config.num_vcs;
+        let depth = config.vc_buffer_depth;
+        let total_vcs = n * NUM_PORTS * num_vcs;
+        let mut adjacency_tbl = vec![(u32::MAX, u8::MAX); n * NUM_PORTS];
+        for r in 0..n {
+            let (row, col) = config.position(r);
+            for dir in [
+                Direction::North,
+                Direction::East,
+                Direction::South,
+                Direction::West,
+            ] {
+                let (nrow, ncol) = match dir {
+                    Direction::North => (row.wrapping_sub(1), col),
+                    Direction::South => (row + 1, col),
+                    Direction::East => (row, col + 1),
+                    Direction::West => (row, col.wrapping_sub(1)),
+                    Direction::Local => unreachable!(),
+                };
+                if nrow < config.height && ncol < config.width {
+                    let other = config.node_at(nrow, ncol) as u32;
+                    let opposite = dir.opposite().index() as u8;
+                    adjacency_tbl[r * NUM_PORTS + dir.index()] = (other, opposite);
+                }
+            }
+        }
         Self {
-            routers: (0..n)
-                .map(|_| Router::new(config.num_vcs, config.vc_buffer_depth))
+            num_vcs,
+            depth,
+            fifo: vec![FlitRef { packet: 0, seq: 0 }; total_vcs * depth],
+            fifo_head: vec![0; total_vcs],
+            fifo_len: vec![0; total_vcs],
+            route_port: vec![UNSET; total_vcs],
+            out_vc: vec![UNSET; total_vcs],
+            out_alloc: vec![UNSET; total_vcs],
+            credits: vec![depth; total_vcs],
+            sw_rr: vec![0; n * NUM_PORTS],
+            vc_rr: vec![0; n * NUM_PORTS],
+            active_vcs: vec![0; n],
+            port_of: (0..NUM_PORTS * num_vcs)
+                .map(|k| (k / num_vcs) as u8)
                 .collect(),
-            nis: (0..n)
-                .map(|_| NiState::new(config.num_vcs, config.vc_buffer_depth))
-                .collect(),
+            ni_pending: (0..n).map(|_| VecDeque::new()).collect(),
+            ni_current_vc: vec![0; n],
+            ni_vc_rr: vec![0; n],
+            ni_credits: vec![depth; n * num_vcs],
+            ni_delivered: (0..n).map(|_| VecDeque::new()).collect(),
+            adjacency_tbl,
             link_inflight: Vec::new(),
             eject_inflight: Vec::new(),
-            out_recorders: (0..n)
-                .map(|_| {
-                    (0..NUM_PORTS)
-                        .map(|_| TransitionRecorder::total_only(config.link_width_bits))
-                        .collect()
-                })
-                .collect(),
-            inject_recorders: (0..n)
-                .map(|_| TransitionRecorder::total_only(config.link_width_bits))
-                .collect(),
-            packet_meta: HashMap::new(),
+            out_links: LinkSlab::new(config.link_width_bits, n * NUM_PORTS),
+            inject_links: LinkSlab::new(config.link_width_bits, n),
+            packets: Vec::new(),
             latencies: Vec::new(),
             cycle: 0,
-            next_packet_id: 0,
             packets_in_flight: 0,
             packets_delivered: 0,
             flits_delivered: 0,
             delivered_pending: 0,
             config,
         }
+    }
+
+    /// Flat input-VC index of `(node, port, vc)`.
+    #[inline]
+    fn vi(&self, node: usize, port: usize, vc: usize) -> usize {
+        (node * NUM_PORTS + port) * self.num_vcs + vc
     }
 
     /// The configuration in use.
@@ -291,14 +366,18 @@ impl Simulator {
                 });
             }
         }
-        let id = self.next_packet_id;
-        self.next_packet_id += 1;
-        let flits: VecDeque<Flit> = packet
-            .to_flits(id, self.config.link_width_bits)
-            .into_iter()
-            .collect();
-        self.nis[packet.src].pending.push_back(flits);
-        self.packet_meta.insert(id, self.cycle);
+        let id = self.packets.len() as u64;
+        let flits = packet.to_flits(id, self.config.link_width_bits);
+        self.ni_pending[packet.src].push_back(PendingPacket {
+            packet: id as u32,
+            next: 0,
+        });
+        self.packets.push(PacketSlot {
+            inject_cycle: self.cycle,
+            flits,
+            src: 0,
+            tag: 0,
+        });
         self.packets_in_flight += 1;
         Ok(id)
     }
@@ -321,7 +400,7 @@ impl Simulator {
     ///
     /// Panics if `node` is out of range.
     pub fn drain_delivered(&mut self, node: NodeId) -> Vec<DeliveredPacket> {
-        let out: Vec<DeliveredPacket> = self.nis[node].delivered.drain(..).collect();
+        let out: Vec<DeliveredPacket> = self.ni_delivered[node].drain(..).collect();
         self.delivered_pending -= out.len() as u64;
         out
     }
@@ -335,8 +414,8 @@ impl Simulator {
         }
         self.delivered_pending = 0;
         let mut out = Vec::new();
-        for ni in &mut self.nis {
-            out.extend(ni.delivered.drain(..));
+        for ni in &mut self.ni_delivered {
+            out.extend(ni.drain(..));
         }
         out
     }
@@ -350,7 +429,7 @@ impl Simulator {
     /// Panics if `node` is out of range.
     #[must_use]
     pub fn pending_at(&self, node: NodeId) -> usize {
-        self.nis[node].pending.len()
+        self.ni_pending[node].len()
     }
 
     /// Runs until every injected packet is delivered.
@@ -383,105 +462,143 @@ impl Simulator {
 
     /// Phase 1: flits that were on links land in downstream buffers / NIs.
     fn deliver_link_flits(&mut self) {
-        let arrivals = std::mem::take(&mut self.link_inflight);
-        for (dst, port, vc, flit) in arrivals {
-            let fifo = &mut self.routers[dst].inputs[port][vc].fifo;
-            fifo.push_back(flit);
+        let mut arrivals = std::mem::take(&mut self.link_inflight);
+        for a in arrivals.drain(..) {
+            let vi = self.vi(a.node as usize, a.port as usize, a.vc as usize);
             debug_assert!(
-                fifo.len() <= self.config.vc_buffer_depth,
-                "credit protocol violated: buffer overflow at router {dst} port {port} vc {vc}"
+                self.fifo_len[vi] < self.depth,
+                "credit protocol violated: buffer overflow at router {} port {} vc {}",
+                a.node,
+                a.port,
+                a.vc
             );
+            let mut offset = self.fifo_head[vi] + self.fifo_len[vi];
+            if offset >= self.depth {
+                offset -= self.depth;
+            }
+            self.fifo[vi * self.depth + offset] = a.fref;
+            self.fifo_len[vi] += 1;
+            self.active_vcs[a.node as usize] |=
+                1u64 << (a.port as usize * self.num_vcs + a.vc as usize);
         }
-        let ejections = std::mem::take(&mut self.eject_inflight);
-        for (node, flit) in ejections {
-            self.receive_at_ni(node, flit);
+        // Return the (empty) buffer so its capacity is reused next cycle.
+        self.link_inflight = arrivals;
+
+        let mut ejections = std::mem::take(&mut self.eject_inflight);
+        for &(node, fref) in &ejections {
+            self.receive_at_ni(node as usize, fref);
         }
+        ejections.clear();
+        self.eject_inflight = ejections;
     }
 
     /// Phase 2: each NI pushes at most one flit into its router.
     fn inject_from_nis(&mut self) {
         for node in 0..self.config.num_nodes() {
-            let num_vcs = self.config.num_vcs;
-            let ni = &mut self.nis[node];
-            // Start the next packet when the current one has fully left.
-            let starting = match ni.pending.front() {
-                Some(q) => {
-                    let is_fresh = q
-                        .front()
-                        .is_some_and(|f| f.seq == 0);
-                    if is_fresh {
-                        ni.current_vc = ni.vc_rr;
-                        ni.vc_rr = (ni.vc_rr + 1) % num_vcs;
-                    }
-                    true
-                }
-                None => false,
+            let Some(front) = self.ni_pending[node].front().copied() else {
+                continue;
             };
-            if !starting {
+            // Start the next packet when the current one has fully left.
+            if front.next == 0 {
+                self.ni_current_vc[node] = self.ni_vc_rr[node];
+                self.ni_vc_rr[node] += 1;
+                if self.ni_vc_rr[node] == self.num_vcs {
+                    self.ni_vc_rr[node] = 0;
+                }
+            }
+            let vc = self.ni_current_vc[node];
+            if self.ni_credits[node * self.num_vcs + vc] == 0 {
                 continue;
             }
-            let vc = ni.current_vc;
-            if ni.credits[vc] == 0 {
-                continue;
+            let fref = FlitRef {
+                packet: front.packet,
+                seq: front.next,
+            };
+            let queue = self.ni_pending[node]
+                .front_mut()
+                .expect("checked non-empty");
+            queue.next += 1;
+            if queue.next as usize == self.packets[front.packet as usize].flits.len() {
+                self.ni_pending[node].pop_front();
             }
-            let queue = ni.pending.front_mut().expect("checked non-empty");
-            let flit = queue.pop_front().expect("queues are never left empty");
-            if queue.is_empty() {
-                ni.pending.pop_front();
-            }
-            ni.credits[vc] -= 1;
-            self.inject_recorders[node].observe(&flit.payload);
-            self.link_inflight.push((node, LOCAL, vc, flit));
+            self.ni_credits[node * self.num_vcs + vc] -= 1;
+            self.inject_links.observe(
+                node,
+                &self.packets[fref.packet as usize].flits[fref.seq as usize].payload,
+            );
+            self.link_inflight.push(LinkArrival {
+                node: node as u32,
+                port: LOCAL as u8,
+                vc: vc as u8,
+                fref,
+            });
         }
     }
 
     /// Phase 3: per-router route computation, VC allocation, switch
     /// allocation and link traversal.
     fn route_and_switch(&mut self) {
-        let num_vcs = self.config.num_vcs;
+        let num_vcs = self.num_vcs;
         for r in 0..self.config.num_nodes() {
+            // An idle router (no buffered flits) cannot route, allocate or
+            // forward anything, and its round-robin pointers only move on a
+            // grant — skipping it is exactly what the reference
+            // implementation's no-op iteration does. The same argument
+            // lets every loop below visit only the occupied VCs (set bits),
+            // in the same ascending / round-robin order as a full scan.
+            let active = self.active_vcs[r];
+            if active == 0 {
+                continue;
+            }
+            let vbase = r * NUM_PORTS * num_vcs;
             // 3a. Route computation for fresh head flits.
-            for p in 0..NUM_PORTS {
-                for v in 0..num_vcs {
-                    let input = &mut self.routers[r].inputs[p][v];
-                    if input.route_port.is_none() {
-                        if let Some(front) = input.fifo.front() {
-                            if front.kind.is_head() {
-                                input.route_port =
-                                    Some(route(&self.config, r, front.dst).index());
-                            }
-                        }
+            let mut m = active;
+            while m != 0 {
+                let k = m.trailing_zeros() as usize;
+                m &= m - 1;
+                let vi = vbase + k;
+                if self.route_port[vi] == UNSET {
+                    let fref = self.fifo[vi * self.depth + self.fifo_head[vi]];
+                    let front = &self.packets[fref.packet as usize].flits[fref.seq as usize];
+                    if front.kind.is_head() {
+                        self.route_port[vi] = route(&self.config, r, front.dst).index();
                     }
                 }
             }
             // 3b. Output-VC allocation for routed heads without a VC.
-            for p in 0..NUM_PORTS {
-                for v in 0..num_vcs {
-                    let (needs_vc, op) = {
-                        let input = &self.routers[r].inputs[p][v];
-                        let is_head_waiting = input
-                            .fifo
-                            .front()
-                            .is_some_and(|f| f.kind.is_head())
-                            && input.out_vc.is_none();
-                        match (is_head_waiting, input.route_port) {
-                            (true, Some(op)) => (true, op),
-                            _ => (false, 0),
+            let mut m = active;
+            while m != 0 {
+                let k = m.trailing_zeros() as usize;
+                m &= m - 1;
+                let vi = vbase + k;
+                if self.out_vc[vi] != UNSET {
+                    continue;
+                }
+                let fref = self.fifo[vi * self.depth + self.fifo_head[vi]];
+                let front = &self.packets[fref.packet as usize].flits[fref.seq as usize];
+                if !front.kind.is_head() {
+                    continue;
+                }
+                let op = self.route_port[vi];
+                if op == UNSET {
+                    continue;
+                }
+                let obase = (r * NUM_PORTS + op) * num_vcs;
+                let mut ovc = self.vc_rr[r * NUM_PORTS + op];
+                for _ in 0..num_vcs {
+                    if self.out_alloc[obase + ovc] == UNSET {
+                        self.out_alloc[obase + ovc] = k;
+                        self.out_vc[vi] = ovc;
+                        let mut next = ovc + 1;
+                        if next == num_vcs {
+                            next = 0;
                         }
-                    };
-                    if !needs_vc {
-                        continue;
+                        self.vc_rr[r * NUM_PORTS + op] = next;
+                        break;
                     }
-                    let router = &mut self.routers[r];
-                    let start = router.vc_rr[op];
-                    for k in 0..num_vcs {
-                        let ovc = (start + k) % num_vcs;
-                        if router.out_alloc[op][ovc].is_none() {
-                            router.out_alloc[op][ovc] = Some((p, v));
-                            router.inputs[p][v].out_vc = Some(ovc);
-                            router.vc_rr[op] = (ovc + 1) % num_vcs;
-                            break;
-                        }
+                    ovc += 1;
+                    if ovc == num_vcs {
+                        ovc = 0;
                     }
                 }
             }
@@ -489,130 +606,123 @@ impl Simulator {
             // traversal.
             let mut input_port_used = [false; NUM_PORTS];
             for op in 0..NUM_PORTS {
-                let winner = {
-                    let router = &self.routers[r];
-                    let start = router.sw_rr[op];
-                    let mut found = None;
-                    for k in 0..NUM_PORTS * num_vcs {
-                        let idx = (start + k) % (NUM_PORTS * num_vcs);
-                        let (p, v) = (idx / num_vcs, idx % num_vcs);
-                        if input_port_used[p] {
+                let obase = (r * NUM_PORTS + op) * num_vcs;
+                let start = self.sw_rr[r * NUM_PORTS + op];
+                // Visit occupied VCs in round-robin order from `start`:
+                // first the set bits at positions >= start, then the
+                // wrapped-around set bits below it.
+                let start_mask = !0u64 << start;
+                let mut winner = None;
+                'search: for part in [active & start_mask, active & !start_mask] {
+                    let mut m = part;
+                    while m != 0 {
+                        let k = m.trailing_zeros() as usize;
+                        m &= m - 1;
+                        let vi = vbase + k;
+                        let p = self.port_of[k] as usize;
+                        if input_port_used[p] || self.route_port[vi] != op {
                             continue;
                         }
-                        let input = &router.inputs[p][v];
-                        if input.fifo.is_empty() || input.route_port != Some(op) {
+                        let ovc = self.out_vc[vi];
+                        if ovc == UNSET {
                             continue;
                         }
-                        let Some(ovc) = input.out_vc else { continue };
-                        if op != LOCAL && router.credits[op][ovc] == 0 {
+                        if op != LOCAL && self.credits[obase + ovc] == 0 {
                             continue;
                         }
-                        found = Some((p, v, ovc, idx));
-                        break;
+                        winner = Some((p, k - p * num_vcs, ovc, k));
+                        break 'search;
                     }
-                    found
+                }
+                let Some((p, v, ovc, idx)) = winner else {
+                    continue;
                 };
-                let Some((p, v, ovc, idx)) = winner else { continue };
                 input_port_used[p] = true;
-                let router = &mut self.routers[r];
-                router.sw_rr[op] = (idx + 1) % (NUM_PORTS * num_vcs);
-                let flit = router.inputs[p][v]
-                    .fifo
-                    .pop_front()
-                    .expect("winner has a flit");
-                let is_tail = flit.kind.is_tail();
+                let mut next = idx + 1;
+                if next == NUM_PORTS * num_vcs {
+                    next = 0;
+                }
+                self.sw_rr[r * NUM_PORTS + op] = next;
+                let vi = vbase + idx;
+                let fref = self.fifo[vi * self.depth + self.fifo_head[vi]];
+                let mut head = self.fifo_head[vi] + 1;
+                if head == self.depth {
+                    head = 0;
+                }
+                self.fifo_head[vi] = head;
+                self.fifo_len[vi] -= 1;
+                if self.fifo_len[vi] == 0 {
+                    self.active_vcs[r] &= !(1u64 << idx);
+                }
+                let is_tail = self.packets[fref.packet as usize].flits[fref.seq as usize]
+                    .kind
+                    .is_tail();
                 if is_tail {
-                    router.out_alloc[op][ovc] = None;
-                    router.inputs[p][v].route_port = None;
-                    router.inputs[p][v].out_vc = None;
+                    self.out_alloc[obase + ovc] = UNSET;
+                    self.route_port[vi] = UNSET;
+                    self.out_vc[vi] = UNSET;
                 }
                 // Transmit on the link + record transitions (Fig. 8).
-                self.out_recorders[r][op].observe(&flit.payload);
+                self.out_links.observe(
+                    r * NUM_PORTS + op,
+                    &self.packets[fref.packet as usize].flits[fref.seq as usize].payload,
+                );
                 if op == LOCAL {
-                    self.eject_inflight.push((r, flit));
+                    self.eject_inflight.push((r as u32, fref));
                 } else {
-                    self.routers[r].credits[op][ovc] -= 1;
-                    let (nr, np) = self.neighbor(r, op);
-                    self.link_inflight.push((nr, np, ovc, flit));
+                    self.credits[obase + ovc] -= 1;
+                    let (nr, np) = self.adjacency_tbl[r * NUM_PORTS + op];
+                    self.link_inflight.push(LinkArrival {
+                        node: nr,
+                        port: np,
+                        vc: ovc as u8,
+                        fref,
+                    });
                 }
                 // Credit return to the upstream hop for the freed slot.
                 if p == LOCAL {
-                    self.nis[r].credits[v] += 1;
+                    self.ni_credits[r * num_vcs + v] += 1;
                 } else {
-                    let (ur, u_op) = self.upstream(r, p);
-                    self.routers[ur].credits[u_op][v] += 1;
+                    let (ur, u_op) = self.adjacency_tbl[r * NUM_PORTS + p];
+                    self.credits[(ur as usize * NUM_PORTS + u_op as usize) * num_vcs + v] += 1;
                 }
             }
         }
     }
 
-    /// Downstream router and its input port for an output direction.
-    fn neighbor(&self, r: usize, out_port: usize) -> (usize, usize) {
-        let dir = Direction::ALL[out_port];
-        let (row, col) = self.config.position(r);
-        let nr = match dir {
-            Direction::North => self.config.node_at(row - 1, col),
-            Direction::South => self.config.node_at(row + 1, col),
-            Direction::East => self.config.node_at(row, col + 1),
-            Direction::West => self.config.node_at(row, col - 1),
-            Direction::Local => unreachable!("local handled as ejection"),
-        };
-        (nr, dir.opposite().index())
-    }
-
-    /// Upstream router and the output port that feeds input port `p` of
-    /// router `r`.
-    fn upstream(&self, r: usize, in_port: usize) -> (usize, usize) {
-        let dir = Direction::ALL[in_port];
-        let (row, col) = self.config.position(r);
-        let ur = match dir {
-            Direction::North => self.config.node_at(row - 1, col),
-            Direction::South => self.config.node_at(row + 1, col),
-            Direction::East => self.config.node_at(row, col + 1),
-            Direction::West => self.config.node_at(row, col - 1),
-            Direction::Local => unreachable!("local input is fed by the NI"),
-        };
-        // The upstream router feeds our `dir` input port from its opposite-
-        // facing output port (e.g. our West input <- its East output).
-        (ur, dir.opposite().index())
-    }
-
     /// Accepts a flit at the destination NI, reassembling packets.
-    fn receive_at_ni(&mut self, node: usize, flit: Flit) {
+    fn receive_at_ni(&mut self, node: usize, fref: FlitRef) {
         self.flits_delivered += 1;
-        let ni = &mut self.nis[node];
-        let entry = ni
-            .reassembly
-            .entry(flit.packet_id)
-            .or_insert_with(Reassembly::default);
-        if flit.kind.is_head() {
-            let (src, _dst, _len, tag) = crate::packet::decode_head_payload(&flit.payload);
-            entry.src = src;
-            entry.tag = tag;
-            debug_assert_eq!(src, flit.src, "head metadata corrupted");
-        } else {
-            entry.payload_flits.push(flit.payload);
+        let pid = fref.packet as usize;
+        let (kind, src_field) = {
+            let flit = &self.packets[pid].flits[fref.seq as usize];
+            (flit.kind, flit.src)
+        };
+        if kind.is_head() {
+            let (src, _dst, _len, tag) = crate::packet::decode_head_payload(
+                &self.packets[pid].flits[fref.seq as usize].payload,
+            );
+            let slot = &mut self.packets[pid];
+            slot.src = src;
+            slot.tag = tag;
+            debug_assert_eq!(src, src_field, "head metadata corrupted");
         }
-        if flit.kind.is_tail() {
-            let done = ni
-                .reassembly
-                .remove(&flit.packet_id)
-                .expect("entry just touched");
-            let inject_cycle = self
-                .packet_meta
-                .remove(&flit.packet_id)
-                .expect("packet meta tracked at inject");
+        if kind.is_tail() {
+            let slot = &mut self.packets[pid];
+            // Release the interned flit storage; the payload images are
+            // exactly what traversed the wires.
+            let flits = std::mem::take(&mut slot.flits);
             let delivered = DeliveredPacket {
-                packet_id: flit.packet_id,
-                src: done.src,
+                packet_id: fref.packet as u64,
+                src: slot.src,
                 dst: node,
-                tag: done.tag,
-                payload_flits: done.payload_flits,
-                inject_cycle,
+                tag: slot.tag,
+                payload_flits: flits.iter().skip(1).map(|f| f.payload).collect(),
+                inject_cycle: slot.inject_cycle,
                 arrival_cycle: self.cycle,
             };
             self.latencies.push(delivered.latency());
-            ni.delivered.push_back(delivered);
+            self.ni_delivered[node].push_back(delivered);
             self.delivered_pending += 1;
             self.packets_in_flight -= 1;
             self.packets_delivered += 1;
@@ -627,38 +737,39 @@ impl Simulator {
         let mut eject = 0u64;
         let mut injectt = 0u64;
         let mut hops = 0u64;
-        for (r, ports) in self.out_recorders.iter().enumerate() {
-            for (p, rec) in ports.iter().enumerate() {
-                if rec.flits() == 0 {
+        for r in 0..self.config.num_nodes() {
+            for p in 0..NUM_PORTS {
+                let link = r * NUM_PORTS + p;
+                if self.out_links.flits(link) == 0 {
                     continue;
                 }
                 if p == LOCAL {
-                    eject += rec.total();
+                    eject += self.out_links.transitions(link);
                 } else {
-                    inter += rec.total();
+                    inter += self.out_links.transitions(link);
                 }
-                hops += rec.flits();
+                hops += self.out_links.flits(link);
                 per_link.push(LinkStat {
                     node: r,
                     direction: Direction::ALL[p],
                     injection: false,
-                    transitions: rec.total(),
-                    flits: rec.flits(),
+                    transitions: self.out_links.transitions(link),
+                    flits: self.out_links.flits(link),
                 });
             }
         }
-        for (n, rec) in self.inject_recorders.iter().enumerate() {
-            if rec.flits() == 0 {
+        for n in 0..self.config.num_nodes() {
+            if self.inject_links.flits(n) == 0 {
                 continue;
             }
-            injectt += rec.total();
-            hops += rec.flits();
+            injectt += self.inject_links.transitions(n);
+            hops += self.inject_links.flits(n);
             per_link.push(LinkStat {
                 node: n,
                 direction: Direction::Local,
                 injection: true,
-                transitions: rec.total(),
-                flits: rec.flits(),
+                transitions: self.inject_links.transitions(n),
+                flits: self.inject_links.flits(n),
             });
         }
         NocStats {
@@ -681,6 +792,7 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+    use std::collections::HashMap;
 
     fn image(width: u32, fill: u64) -> PayloadBits {
         let mut p = PayloadBits::zero(width);
@@ -712,7 +824,8 @@ mod tests {
     #[test]
     fn self_delivery_works() {
         let mut sim = small_sim();
-        sim.inject(Packet::new(5, 5, vec![image(128, 7)], 1)).unwrap();
+        sim.inject(Packet::new(5, 5, vec![image(128, 7)], 1))
+            .unwrap();
         sim.run_until_idle(100).unwrap();
         let got = sim.drain_delivered(5);
         assert_eq!(got.len(), 1);
@@ -721,11 +834,13 @@ mod tests {
     #[test]
     fn latency_grows_with_distance() {
         let mut sim = small_sim();
-        sim.inject(Packet::new(0, 1, vec![image(128, 1)], 0)).unwrap();
+        sim.inject(Packet::new(0, 1, vec![image(128, 1)], 0))
+            .unwrap();
         sim.run_until_idle(100).unwrap();
         let near = sim.drain_delivered(1)[0].latency();
         let mut sim2 = small_sim();
-        sim2.inject(Packet::new(0, 15, vec![image(128, 1)], 0)).unwrap();
+        sim2.inject(Packet::new(0, 15, vec![image(128, 1)], 0))
+            .unwrap();
         sim2.run_until_idle(100).unwrap();
         let far = sim2.drain_delivered(15)[0].latency();
         assert!(far > near, "far {far} vs near {near}");
@@ -740,8 +855,7 @@ mod tests {
             let src = rng.gen_range(0..16);
             let dst = rng.gen_range(0..16);
             let flits = rng.gen_range(1..5);
-            let payload: Vec<PayloadBits> =
-                (0..flits).map(|_| image(128, rng.gen())).collect();
+            let payload: Vec<PayloadBits> = (0..flits).map(|_| image(128, rng.gen())).collect();
             sim.inject(Packet::new(src, dst, payload, tag)).unwrap();
             *expected.entry(dst).or_default() += 1;
         }
@@ -776,14 +890,20 @@ mod tests {
             let payload: Vec<PayloadBits> = (0..4)
                 .map(|i| image(128, (src as u64) << 32 | i as u64))
                 .collect();
-            sim.inject(Packet::new(src, 5, payload, src as u64)).unwrap();
+            sim.inject(Packet::new(src, 5, payload, src as u64))
+                .unwrap();
         }
         sim.run_until_idle(10_000).unwrap();
         let got = sim.drain_delivered(5);
         assert_eq!(got.len(), 15);
         for d in got {
             for (i, flit) in d.payload_flits.iter().enumerate() {
-                assert_eq!(flit.field(0, 64), (d.tag << 32) | i as u64, "packet {}", d.tag);
+                assert_eq!(
+                    flit.field(0, 64),
+                    (d.tag << 32) | i as u64,
+                    "packet {}",
+                    d.tag
+                );
             }
         }
     }
@@ -799,7 +919,11 @@ mod tests {
         let stats = sim.stats();
         // 3 hops east + inject + eject = 5 links; each sees (head->0: some)
         // + (0 -> ones: 64) transitions at least.
-        assert!(stats.total_transitions >= 5 * 64, "{}", stats.total_transitions);
+        assert!(
+            stats.total_transitions >= 5 * 64,
+            "{}",
+            stats.total_transitions
+        );
         assert!(stats.flit_hops >= 15);
         assert!(stats.transitions_per_flit_hop() > 0.0);
     }
@@ -807,7 +931,8 @@ mod tests {
     #[test]
     fn stall_is_reported() {
         let mut sim = small_sim();
-        sim.inject(Packet::new(0, 15, vec![image(128, 1); 100], 0)).unwrap();
+        sim.inject(Packet::new(0, 15, vec![image(128, 1); 100], 0))
+            .unwrap();
         let err = sim.run_until_idle(3).unwrap_err();
         assert_eq!(err.cycles, 3);
         assert_eq!(err.in_flight, 1);
@@ -842,8 +967,9 @@ mod tests {
             for tag in 0..50u64 {
                 let src = rng.gen_range(0..16);
                 let dst = rng.gen_range(0..16);
-                let payload: Vec<PayloadBits> =
-                    (0..rng.gen_range(1..6)).map(|_| image(128, rng.gen())).collect();
+                let payload: Vec<PayloadBits> = (0..rng.gen_range(1..6))
+                    .map(|_| image(128, rng.gen()))
+                    .collect();
                 sim.inject(Packet::new(src, dst, payload, tag)).unwrap();
             }
             sim.run_until_idle(100_000).unwrap();
@@ -866,5 +992,37 @@ mod tests {
         }
         sim.run_until_idle(100_000).unwrap();
         assert!(sim.is_idle());
+    }
+
+    #[test]
+    fn matches_legacy_simulator_bit_exactly() {
+        // Seeded uniform-random workload through both engines: identical
+        // cycle counts, aggregate stats and per-link transition totals.
+        let config = NocConfig::mesh(4, 4, 128);
+        let mut rng = StdRng::seed_from_u64(77);
+        let packets: Vec<Packet> = (0..150u64)
+            .map(|tag| {
+                let src = rng.gen_range(0..16);
+                let dst = rng.gen_range(0..16);
+                let payload: Vec<PayloadBits> = (0..rng.gen_range(1..6))
+                    .map(|_| image(128, rng.gen()))
+                    .collect();
+                Packet::new(src, dst, payload, tag)
+            })
+            .collect();
+        let mut flat = Simulator::new(config.clone());
+        let mut legacy = crate::legacy::LegacySimulator::new(config);
+        for p in &packets {
+            flat.inject(p.clone()).unwrap();
+            legacy.inject(p.clone()).unwrap();
+        }
+        flat.run_until_idle(100_000).unwrap();
+        legacy.run_until_idle(100_000).unwrap();
+        let (fs, ls) = (flat.stats(), legacy.stats());
+        assert_eq!(fs.cycles, ls.cycles);
+        assert_eq!(fs.total_transitions, ls.total_transitions);
+        assert_eq!(fs.flit_hops, ls.flit_hops);
+        assert_eq!(fs.per_link, ls.per_link);
+        assert_eq!(fs.latency, ls.latency);
     }
 }

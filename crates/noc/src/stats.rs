@@ -1,7 +1,82 @@
 //! Aggregate NoC statistics: bit transitions, latency, throughput.
 
 use crate::routing::Direction;
+use btr_bits::payload::PayloadBits;
 use serde::{Deserialize, Serialize};
+
+/// Dense per-link bit-transition accumulators for a set of equally wide
+/// links.
+///
+/// The flat-array simulator attaches one slab to all router output links
+/// and one to all injection links, instead of a `TransitionRecorder`
+/// object per link: the previous-image, transition-total and flit-count
+/// columns live in contiguous index-addressed vectors, so the per-hop
+/// record (XOR + popcount + store, Fig. 8) touches three adjacent slots
+/// rather than chasing per-link allocations.
+#[derive(Debug, Clone)]
+pub struct LinkSlab {
+    width: u32,
+    /// Last image seen per link (valid where `flits > 0`).
+    prev: Vec<PayloadBits>,
+    /// Accumulated transitions per link.
+    transitions: Vec<u64>,
+    /// Flits observed per link.
+    flits: Vec<u64>,
+}
+
+impl LinkSlab {
+    /// Creates a slab of `links` links, each `width` bits wide.
+    #[must_use]
+    pub fn new(width: u32, links: usize) -> Self {
+        Self {
+            width,
+            prev: vec![PayloadBits::zero(width.max(1)); links],
+            transitions: vec![0; links],
+            flits: vec![0; links],
+        }
+    }
+
+    /// Number of links in the slab.
+    #[must_use]
+    pub fn links(&self) -> usize {
+        self.flits.len()
+    }
+
+    /// Records a flit traversing `link`, accumulating the Hamming distance
+    /// to the link's previous image (the first flit is free).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range or the flit width differs from the
+    /// slab width.
+    #[inline]
+    pub fn observe(&mut self, link: usize, flit: &PayloadBits) {
+        assert_eq!(
+            flit.width(),
+            self.width,
+            "flit width {} does not match link width {}",
+            flit.width(),
+            self.width
+        );
+        if self.flits[link] > 0 {
+            self.transitions[link] += u64::from(flit.transitions_to(&self.prev[link]));
+        }
+        self.prev[link] = *flit;
+        self.flits[link] += 1;
+    }
+
+    /// Accumulated transitions on `link`.
+    #[must_use]
+    pub fn transitions(&self, link: usize) -> u64 {
+        self.transitions[link]
+    }
+
+    /// Flits observed on `link`.
+    #[must_use]
+    pub fn flits(&self, link: usize) -> u64 {
+        self.flits[link]
+    }
+}
 
 /// Per-link transition summary.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]

@@ -51,5 +51,8 @@ fn main() {
             "accelerated inference changed the prediction"
         );
     }
-    println!("\npredicted class: {} (reference model agrees)", reference.argmax());
+    println!(
+        "\npredicted class: {} (reference model agrees)",
+        reference.argmax()
+    );
 }

@@ -36,9 +36,15 @@ fn main() {
     let baseline = build_stream_flits(&packets, &config, false);
     let base_bt = measure_flits::<Fx8Word>(&baseline, 8, comparison, 0).transitions;
 
-    println!("one stream, many transmitters ({} flits):\n", baseline.len());
+    println!(
+        "one stream, many transmitters ({} flits):\n",
+        baseline.len()
+    );
     println!("{:<44} {:>12} {:>10}", "scheme", "transitions", "vs base");
-    println!("{:<44} {:>12} {:>9.1}%", "baseline (natural order)", base_bt, 0.0);
+    println!(
+        "{:<44} {:>12} {:>9.1}%",
+        "baseline (natural order)", base_bt, 0.0
+    );
 
     let show = |label: &str, transitions: u64| {
         println!(
@@ -54,12 +60,21 @@ fn main() {
         config.window_packets = window;
         let flits = build_stream_flits(&packets, &config, true);
         let bt = measure_flits::<Fx8Word>(&flits, 8, comparison, 0).transitions;
-        show(&format!("descending popcount ordering (window {window})"), bt);
+        show(
+            &format!("descending popcount ordering (window {window})"),
+            bt,
+        );
     }
 
     // Classic link encodings over the *unordered* stream.
-    show("bus-invert coding [Stan & Burleson]", bus_invert(&baseline).total());
-    show("delta (XOR) encoding [after Sarman et al.]", delta_xor(&baseline).transitions);
+    show(
+        "bus-invert coding [Stan & Burleson]",
+        bus_invert(&baseline).total(),
+    );
+    show(
+        "delta (XOR) encoding [after Sarman et al.]",
+        delta_xor(&baseline).transitions,
+    );
 
     // Ordering and bus-invert compose: encode the ordered stream.
     config.window_packets = 64;

@@ -35,7 +35,12 @@ fn main() {
             1..=8 => "exp ",
             _ => "mant",
         };
-        println!("bit {:>2} [{label}] {:>6.3} {}", i + 1, probs[pos], bar(probs[pos], 40));
+        println!(
+            "bit {:>2} [{label}] {:>6.3} {}",
+            i + 1,
+            probs[pos],
+            bar(probs[pos], 40)
+        );
     }
 
     // fixed-8 view (global Q0.7 format).

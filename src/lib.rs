@@ -15,8 +15,8 @@
 //! * [`accel`] — NOC-DNA: full DNN inference over the NoC.
 //! * [`hw`] — hardware area/power/link-energy models.
 //!
-//! See `README.md` for a quickstart and `DESIGN.md` for the system
-//! inventory and per-experiment index.
+//! See `EXPERIMENTS.md` for the per-experiment binary index, the sweep
+//! runner's usage and the machine-readable result schemas.
 
 pub use btr_accel as accel;
 pub use btr_bits as bits;

@@ -28,7 +28,11 @@ fn small_net(seed: u64) -> Sequential {
 
 fn input(seed: u64) -> Tensor {
     let mut rng = StdRng::seed_from_u64(seed);
-    Tensor::from_vec(&[1, 16, 16], (0..256).map(|_| rng.gen_range(-1.0..1.0)).collect()).unwrap()
+    Tensor::from_vec(
+        &[1, 16, 16],
+        (0..256).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+    )
+    .unwrap()
 }
 
 #[test]
@@ -54,9 +58,12 @@ fn fx8_outputs_bit_exact_across_orderings_and_mesh_sizes() {
     let model = small_net(12);
     let ops = model.inference_ops();
     let x = input(13);
-    let reference =
-        run_inference(&ops, &x, &AccelConfig::paper(4, 4, 2, DataFormat::Fixed8, OrderingMethod::Baseline))
-            .unwrap();
+    let reference = run_inference(
+        &ops,
+        &x,
+        &AccelConfig::paper(4, 4, 2, DataFormat::Fixed8, OrderingMethod::Baseline),
+    )
+    .unwrap();
     for (w, h, mc) in [(4usize, 4usize, 2usize), (8, 8, 4)] {
         for ordering in OrderingMethod::ALL {
             let config = AccelConfig::paper(w, h, mc, DataFormat::Fixed8, ordering);
@@ -80,12 +87,30 @@ fn ordering_strictly_reduces_transitions_in_both_formats() {
         for ordering in OrderingMethod::ALL {
             let config = AccelConfig::paper(4, 4, 2, format, ordering);
             totals.push(
-                run_inference(&ops, &x, &config).unwrap().stats.total_transitions,
+                run_inference(&ops, &x, &config)
+                    .unwrap()
+                    .stats
+                    .total_transitions,
             );
         }
-        assert!(totals[1] < totals[0], "{format}: O1 {} !< O0 {}", totals[1], totals[0]);
-        assert!(totals[2] < totals[0], "{format}: O2 {} !< O0 {}", totals[2], totals[0]);
-        assert!(totals[2] <= totals[1], "{format}: O2 {} !<= O1 {}", totals[2], totals[1]);
+        assert!(
+            totals[1] < totals[0],
+            "{format}: O1 {} !< O0 {}",
+            totals[1],
+            totals[0]
+        );
+        assert!(
+            totals[2] < totals[0],
+            "{format}: O2 {} !< O0 {}",
+            totals[2],
+            totals[0]
+        );
+        assert!(
+            totals[2] <= totals[1],
+            "{format}: O2 {} !<= O1 {}",
+            totals[2],
+            totals[1]
+        );
     }
 }
 

@@ -32,7 +32,10 @@ fn table1_pipeline_reduces_bt_under_both_comparison_modes() {
     let config = WindowConfig::table1();
     for comparison in [
         Comparison::Consecutive,
-        Comparison::RandomPairs { pairs: 5_000, seed: 2 },
+        Comparison::RandomPairs {
+            pairs: 5_000,
+            seed: 2,
+        },
     ] {
         let cmp = compare_windowed(&packets, &config, comparison, 0);
         assert!(
@@ -51,7 +54,10 @@ fn value_tiebreak_dominates_stable_on_concentrated_data() {
     let stable = compare_windowed(&packets, &WindowConfig::table1(), comparison, 0);
     let value = compare_windowed(
         &packets,
-        &WindowConfig { tiebreak: TieBreak::Value, ..WindowConfig::table1() },
+        &WindowConfig {
+            tiebreak: TieBreak::Value,
+            ..WindowConfig::table1()
+        },
         comparison,
         0,
     );

@@ -1,0 +1,211 @@
+//! Parity tests for the unified transport pipeline and the flat-array
+//! NoC engine.
+//!
+//! Two guarantees are pinned here:
+//!
+//! 1. **Transport round-trip**: for every `OrderingMethod × TieBreak`
+//!    combination, encoding a task through the shared
+//!    [`TransportSession`] and decoding the delivered wire images
+//!    recovers the exact multiply-accumulate result (integer-exact for
+//!    fixed-8, reassociation-tolerant for float-32).
+//! 2. **Engine parity**: the flat-array simulator reproduces the legacy
+//!    map/deque implementation bit-exactly — identical per-link BT
+//!    totals, cycles, latency and delivered payloads — on seeded 4×4
+//!    mesh workloads, both for raw traffic and for transport-encoded
+//!    task packets.
+
+use noc_btr::bits::word::{DataWord, F32Word, Fx8Word};
+use noc_btr::bits::PayloadBits;
+use noc_btr::core::ordering::{OrderingMethod, TieBreak};
+use noc_btr::core::task::NeuronTask;
+use noc_btr::core::transport::{OrderedTransport, TransportConfig, TransportSession};
+use noc_btr::noc::config::NocConfig;
+use noc_btr::noc::legacy::LegacySimulator;
+use noc_btr::noc::packet::Packet;
+use noc_btr::noc::session::TaskPort;
+use noc_btr::noc::sim::Simulator;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_fx8_task(rng: &mut StdRng, n: usize) -> NeuronTask<Fx8Word> {
+    let inputs: Vec<Fx8Word> = (0..n).map(|_| Fx8Word::new(rng.gen())).collect();
+    let weights: Vec<Fx8Word> = (0..n).map(|_| Fx8Word::new(rng.gen())).collect();
+    NeuronTask::new(inputs, weights, Fx8Word::new(rng.gen())).unwrap()
+}
+
+#[test]
+fn transport_roundtrip_mac_equality_all_orderings_and_tiebreaks() {
+    let mut rng = StdRng::seed_from_u64(42);
+    for _case in 0..20 {
+        let n = rng.gen_range(1..120usize);
+        let task = random_fx8_task(&mut rng, n);
+        for ordering in OrderingMethod::ALL {
+            for tiebreak in [TieBreak::Stable, TieBreak::Value] {
+                for vpf in [4usize, 8, 16] {
+                    let session = OrderedTransport::new(TransportConfig {
+                        ordering,
+                        tiebreak,
+                        values_per_flit: vpf,
+                    });
+                    let enc = session.encode_task(&task).unwrap();
+                    let rec = session
+                        .decode_task(&enc.wire_meta(), &enc.payload_flits())
+                        .unwrap();
+                    assert_eq!(
+                        rec.mac_i64(),
+                        task.mac_i64(),
+                        "{ordering} {tiebreak:?} vpf={vpf} n={n}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn transport_roundtrip_f32_within_reassociation_tolerance() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for _case in 0..10 {
+        let n = rng.gen_range(1..60usize);
+        let inputs: Vec<F32Word> = (0..n)
+            .map(|_| F32Word::new(rng.gen_range(-2.0..2.0)))
+            .collect();
+        let weights: Vec<F32Word> = (0..n)
+            .map(|_| F32Word::new(rng.gen_range(-2.0..2.0)))
+            .collect();
+        let task = NeuronTask::new(inputs, weights, F32Word::new(0.5)).unwrap();
+        for ordering in OrderingMethod::ALL {
+            for tiebreak in [TieBreak::Stable, TieBreak::Value] {
+                let session = OrderedTransport::new(TransportConfig {
+                    ordering,
+                    tiebreak,
+                    values_per_flit: 16,
+                });
+                let enc = session.encode_task(&task).unwrap();
+                let rec = session
+                    .decode_task(&enc.wire_meta(), &enc.payload_flits())
+                    .unwrap();
+                let want = task.mac_f64();
+                assert!(
+                    (rec.mac_f64() - want).abs() < 1e-6 * (1.0 + want.abs()),
+                    "{ordering} {tiebreak:?}"
+                );
+            }
+        }
+    }
+}
+
+/// Seeded random traffic: the flat engine and the legacy engine must
+/// agree on everything observable, per link.
+#[test]
+fn flat_engine_matches_legacy_on_seeded_traffic() {
+    let config = NocConfig::mesh(4, 4, 128);
+    let mut rng = StdRng::seed_from_u64(2024);
+    let packets: Vec<Packet> = (0..400u64)
+        .map(|tag| {
+            let src = rng.gen_range(0..16);
+            let dst = rng.gen_range(0..16);
+            let payload: Vec<PayloadBits> = (0..rng.gen_range(1..8))
+                .map(|_| {
+                    let mut p = PayloadBits::zero(128);
+                    p.set_field(0, 64, rng.gen());
+                    p.set_field(64, 64, rng.gen());
+                    p
+                })
+                .collect();
+            Packet::new(src, dst, payload, tag)
+        })
+        .collect();
+
+    let mut flat = Simulator::new(config.clone());
+    let mut legacy = LegacySimulator::new(config);
+    for p in &packets {
+        flat.inject(p.clone()).unwrap();
+        legacy.inject(p.clone()).unwrap();
+    }
+    let flat_cycles = flat.run_until_idle(1_000_000).unwrap();
+    let legacy_cycles = legacy.run_until_idle(1_000_000).unwrap();
+    assert_eq!(flat_cycles, legacy_cycles);
+
+    let (fs, ls) = (flat.stats(), legacy.stats());
+    assert_eq!(fs.total_transitions, ls.total_transitions);
+    assert_eq!(fs.inter_router_transitions, ls.inter_router_transitions);
+    assert_eq!(fs.injection_transitions, ls.injection_transitions);
+    assert_eq!(fs.ejection_transitions, ls.ejection_transitions);
+    assert_eq!(fs.flit_hops, ls.flit_hops);
+    assert_eq!(fs.latency, ls.latency);
+    // The satellite requirement: per-link BT totals, bit-exact.
+    assert_eq!(fs.per_link, ls.per_link);
+
+    // Delivered payloads agree too.
+    for node in 0..16 {
+        let f = flat.drain_delivered(node);
+        let l = legacy.drain_delivered(node);
+        assert_eq!(f, l, "node {node}");
+    }
+}
+
+/// Transport-encoded task packets (the accelerator's traffic shape)
+/// through both engines: per-link BT totals stay bit-exact and every
+/// task decodes to the same MAC on both sides.
+#[test]
+fn flat_engine_matches_legacy_on_transport_tasks() {
+    let config = NocConfig::mesh(4, 4, 128);
+    let session = OrderedTransport::new(TransportConfig::new(OrderingMethod::Separated, 16));
+    let port = TaskPort::new(session);
+    let mut rng = StdRng::seed_from_u64(99);
+
+    let mut flat = Simulator::new(config.clone());
+    let mut legacy = LegacySimulator::new(config);
+    let mut tasks = Vec::new();
+    for tag in 0..120u64 {
+        let task = random_fx8_task(&mut rng, 25);
+        let src = rng.gen_range(0..16);
+        let dst = rng.gen_range(0..16);
+        let meta = port.send_task(&mut flat, src, dst, &task, tag).unwrap();
+        // Same wire images into the legacy engine.
+        let enc = port.session().encode_task(&task).unwrap();
+        legacy
+            .inject(Packet::new(src, dst, enc.payload_flits(), tag))
+            .unwrap();
+        tasks.push((task, dst, meta));
+    }
+    flat.run_until_idle(1_000_000).unwrap();
+    legacy.run_until_idle(1_000_000).unwrap();
+
+    let (fs, ls) = (flat.stats(), legacy.stats());
+    assert_eq!(fs.per_link, ls.per_link);
+    assert_eq!(fs.cycles, ls.cycles);
+
+    // Decode every delivery off the flat engine's wires.
+    let mut delivered = flat.drain_all_delivered();
+    delivered.sort_by_key(|d| d.tag);
+    assert_eq!(delivered.len(), tasks.len());
+    for d in delivered {
+        let (task, dst, meta) = &tasks[d.tag as usize];
+        assert_eq!(d.dst, *dst);
+        let rec: noc_btr::core::task::RecoveredTask<Fx8Word> = port.receive_task(meta, &d).unwrap();
+        assert_eq!(rec.mac_i64(), task.mac_i64(), "task {}", d.tag);
+    }
+}
+
+/// The stream harness and the transport packing agree: `flitize_values`
+/// (single packet) is the window packing with a window of one.
+#[test]
+fn stream_and_transport_packing_agree() {
+    use noc_btr::core::flitize::flitize_values;
+    use noc_btr::core::ordering::descending_popcount_order;
+    use noc_btr::core::transport::pack_window_with_order;
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..20 {
+        let n = rng.gen_range(1..64usize);
+        let values: Vec<Fx8Word> = (0..n).map(|_| Fx8Word::new(rng.gen())).collect();
+        let a = flitize_values(&values, 8, true);
+        let b = pack_window_with_order(std::slice::from_ref(&values), 8, descending_popcount_order);
+        assert_eq!(a, b, "n={n}");
+        // Multiset preserved: popcounts match the raw values.
+        let total: u32 = a.iter().map(PayloadBits::popcount).sum();
+        let expect: u32 = values.iter().map(|w| w.popcount()).sum();
+        assert_eq!(total, expect);
+    }
+}

@@ -1,0 +1,251 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API the workspace's benches use
+//! (`criterion_group!` / `criterion_main!`, `benchmark_group`,
+//! `sample_size`, `bench_function`, `Bencher::iter`, `black_box`) as a
+//! plain wall-clock harness.
+//!
+//! Every finished group additionally writes a machine-readable
+//! `BENCH_<group>.json` file in the `btr-bench-v1` schema shared with the
+//! sweep runner in `crates/experiments` (see `EXPERIMENTS.md`), so bench
+//! results can be tracked as a trajectory across commits:
+//!
+//! ```json
+//! {"schema": "btr-bench-v1", "group": "noc",
+//!  "results": [{"name": "...", "mean_ns": 1234.5, "median_ns": 1200.0,
+//!               "min_ns": 1100.0, "samples": 20, "iters_per_sample": 8}]}
+//! ```
+//!
+//! The output directory defaults to `target/btr-bench` under the
+//! workspace root (found by walking up from the bench's cwd to the
+//! nearest `Cargo.lock`) and can be overridden with the
+//! `BTR_BENCH_JSON_DIR` environment variable.
+
+use std::time::Instant;
+
+/// Opaque-to-the-optimizer value passthrough.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level bench driver, one per `criterion_group!`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            results: Vec::new(),
+        }
+    }
+}
+
+/// One measurement of a named benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark id within the group.
+    pub name: String,
+    /// Mean nanoseconds per iteration across samples.
+    pub mean_ns: f64,
+    /// Median nanoseconds per iteration across samples.
+    pub median_ns: f64,
+    /// Fastest sample's nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations batched into each sample.
+    pub iters_per_sample: u64,
+}
+
+/// A group of related benchmarks sharing a sample budget.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    results: Vec<BenchResult>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Measures one closure-driven benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.into();
+        // Warm-up + calibration: run until we can estimate ns/iter.
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed_ns: 0,
+        };
+        let calib_start = Instant::now();
+        let mut calib_iters = 0u64;
+        while calib_start.elapsed().as_millis() < 30 && calib_iters < 1000 {
+            f(&mut bencher);
+            calib_iters += bencher.iters;
+        }
+        let est_ns_per_iter =
+            (calib_start.elapsed().as_nanos() as f64 / calib_iters.max(1) as f64).max(1.0);
+        // Batch iterations so one sample takes roughly 10 ms.
+        let iters_per_sample = ((10.0e6 / est_ns_per_iter).ceil() as u64).clamp(1, 1 << 24);
+
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters: iters_per_sample,
+                elapsed_ns: 0,
+            };
+            f(&mut b);
+            per_iter_ns.push(b.elapsed_ns as f64 / b.iters as f64);
+        }
+        per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let mean_ns = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+        let median_ns = per_iter_ns[per_iter_ns.len() / 2];
+        let min_ns = per_iter_ns[0];
+        println!(
+            "bench {}/{name}: {mean_ns:.0} ns/iter (median {median_ns:.0}, min {min_ns:.0}, {} samples x {iters_per_sample} iters)",
+            self.name, per_iter_ns.len()
+        );
+        self.results.push(BenchResult {
+            name,
+            mean_ns,
+            median_ns,
+            min_ns,
+            samples: per_iter_ns.len(),
+            iters_per_sample,
+        });
+        self
+    }
+
+    /// Finishes the group: writes `BENCH_<group>.json`.
+    pub fn finish(self) {
+        let dir = std::env::var("BTR_BENCH_JSON_DIR")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|_| default_json_dir());
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        if let Err(e) = std::fs::create_dir_all(&dir).and_then(|()| {
+            let mut out = String::new();
+            out.push_str("{\"schema\": \"btr-bench-v1\", \"group\": \"");
+            out.push_str(&escape(&self.name));
+            out.push_str("\", \"results\": [");
+            for (i, r) in self.results.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!(
+                    "{{\"name\": \"{}\", \"mean_ns\": {:.1}, \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}",
+                    escape(&r.name), r.mean_ns, r.median_ns, r.min_ns, r.samples, r.iters_per_sample
+                ));
+            }
+            out.push_str("]}\n");
+            std::fs::write(&path, out)
+        }) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            println!("bench group {} -> {}", self.name, path.display());
+        }
+    }
+}
+
+/// Default output directory: `target/btr-bench` under the *workspace*
+/// root. `cargo bench` runs binaries with the package directory as cwd,
+/// so a bare relative path would scatter results into per-package
+/// `target/` directories; instead walk up from cwd to the first
+/// ancestor holding a `Cargo.lock` (the workspace root) and anchor
+/// there. Falls back to cwd-relative if no lockfile is found.
+fn default_json_dir() -> std::path::PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| std::path::PathBuf::from("."));
+    let mut probe: &std::path::Path = &cwd;
+    loop {
+        if probe.join("Cargo.lock").exists() {
+            return probe.join("target").join("btr-bench");
+        }
+        match probe.parent() {
+            Some(parent) => probe = parent,
+            None => return cwd.join("target").join("btr-bench"),
+        }
+    }
+}
+
+/// JSON string escaping for names.
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Timing handle passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`, keeping results observable.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos();
+    }
+}
+
+/// Declares a bench group function calling each target with a fresh
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bench_runs_and_records() {
+        std::env::set_var(
+            "BTR_BENCH_JSON_DIR",
+            std::env::temp_dir().join("btr-bench-test"),
+        );
+        let mut c = super::Criterion::default();
+        let mut group = c.benchmark_group("selftest");
+        group.sample_size(3);
+        group.bench_function("noop_sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        assert_eq!(group.results.len(), 1);
+        assert!(group.results[0].mean_ns > 0.0);
+        group.finish();
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(super::escape("a\"b\\c"), "a\\\"b\\\\c");
+    }
+}

@@ -1,0 +1,376 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the strategy combinators and the `proptest!` macro surface the
+//! workspace's property tests use: numeric range strategies, `any::<T>()`,
+//! tuple strategies, `prop::collection::vec`, `prop_filter`, and
+//! `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Unlike upstream proptest there is no shrinking: each test runs a fixed
+//! number of deterministic random cases (default 64, override with the
+//! `PROPTEST_CASES` environment variable) seeded from the test name, so
+//! failures reproduce exactly across runs.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic case generator (xoshiro256** seeded via SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Builds the generator for one `(test, case)` pair.
+    #[must_use]
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut sm = h ^ (u64::from(case) << 32) ^ u64::from(case);
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        Self {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `usize` in `[0, bound)`.
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "empty bound");
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Number of cases per property (env `PROPTEST_CASES`, default 64).
+#[must_use]
+pub fn cases_from_env() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// A value generator.
+pub trait Strategy: Sized {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Restricts the strategy to values satisfying `pred`; gives up with a
+    /// labeled panic after too many rejections.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        label: &'static str,
+        pred: F,
+    ) -> Filter<Self, F> {
+        Filter {
+            inner: self,
+            label,
+            pred,
+        }
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    label: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1_000 {
+            let v = self.inner.sample(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter {:?} rejected 1000 consecutive samples",
+            self.label
+        );
+    }
+}
+
+/// Primitive types drawable by [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws one unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {
+        $(impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self { rng.next_u64() as $t }
+        })*
+    };
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy producing any value of `T` (`any::<T>()`).
+pub struct Any<T>(PhantomData<T>);
+
+/// The `any::<T>()` strategy constructor.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Numbers uniformly samplable from ranges (strategy form).
+pub trait RangeSample: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`.
+    fn draw(rng: &mut TestRng, lo: Self, hi: Self) -> Self;
+    /// Uniform draw from `[lo, hi]`.
+    fn draw_inclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_range_sample_int {
+    ($($t:ty),*) => {
+        $(impl RangeSample for $t {
+            fn draw(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                (lo as i128 + i128::from(rng.next_u64() % span)) as $t
+            }
+            fn draw_inclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + i128::from(rng.next_u64() % (span + 1))) as $t
+            }
+        })*
+    };
+}
+impl_range_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_sample_float {
+    ($($t:ty),*) => {
+        $(impl RangeSample for $t {
+            fn draw(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty range");
+                lo + (hi - lo) * (rng.unit_f64() as $t)
+            }
+            fn draw_inclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                Self::draw(rng, lo, hi)
+            }
+        })*
+    };
+}
+impl_range_sample_float!(f32, f64);
+
+impl<T: RangeSample> Strategy for Range<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::draw(rng, self.start, self.end)
+    }
+}
+
+impl<T: RangeSample> Strategy for RangeInclusive<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::draw_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($s:ident / $idx:tt),+)),+) => {
+        $(impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        })+
+    };
+}
+impl_strategy_tuple!(
+    (A / 0, B / 1),
+    (A / 0, B / 1, C / 2),
+    (A / 0, B / 1, C / 2, D / 3)
+);
+
+/// Length specification for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self {
+            lo: r.start,
+            hi_inclusive: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        Self {
+            lo: *r.start(),
+            hi_inclusive: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self {
+            lo: n,
+            hi_inclusive: n,
+        }
+    }
+}
+
+/// Mirrors `proptest::prelude::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{SizeRange, Strategy, TestRng};
+
+        /// Strategy producing `Vec`s of `elem`-generated values.
+        pub struct VecStrategy<S> {
+            elem: S,
+            size: SizeRange,
+        }
+
+        /// `prop::collection::vec(elem, sizes)`.
+        pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                elem,
+                size: size.into(),
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let span = self.size.hi_inclusive - self.size.lo + 1;
+                let len = self.size.lo + rng.below(span);
+                (0..len).map(|_| self.elem.sample(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Mirrors `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{any, prop, prop_assert, prop_assert_eq, proptest, Strategy};
+}
+
+/// Case-level assertion (stand-in: panics like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Case-level equality assertion (stand-in: panics like `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Declares property tests: each `arg in strategy` binding is sampled per
+/// case and the body runs for [`cases_from_env`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::cases_from_env();
+                for case in 0..cases {
+                    let mut proptest_rng = $crate::TestRng::for_case(stringify!($name), case);
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut proptest_rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 0u32..=32, y in 1usize..10, f in -2.0f32..2.0) {
+            prop_assert!(x <= 32);
+            prop_assert!((1..10).contains(&y));
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        #[test]
+        fn vectors_respect_sizes(v in prop::collection::vec(any::<i8>(), 2..=12)) {
+            prop_assert!((2..=12).contains(&v.len()));
+        }
+
+        #[test]
+        fn filter_applies(v in prop::collection::vec(0u32..10, 1..=8)
+            .prop_filter("nonempty-even", |v| v.len() % 2 == 0))
+        {
+            prop_assert_eq!(v.len() % 2, 0);
+        }
+
+        #[test]
+        fn tuples_sample_both(pair in (0u32..5, 10u32..20)) {
+            prop_assert!(pair.0 < 5 && (10..20).contains(&pair.1));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let mut a = super::TestRng::for_case("t", 0);
+        let mut b = super::TestRng::for_case("t", 0);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = super::TestRng::for_case("t", 1);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}
