@@ -1,6 +1,7 @@
 //! Accelerator configuration.
 
 use btr_bits::word::DataFormat;
+use btr_core::codec::CodecKind;
 use btr_core::ordering::TieBreak;
 use btr_core::OrderingMethod;
 use btr_noc::config::NocConfig;
@@ -15,6 +16,9 @@ pub struct AccelConfig {
     pub format: DataFormat,
     /// Data transmission ordering (O0/O1/O2).
     pub ordering: OrderingMethod,
+    /// Link-coding backend on every link (the NoC link width covers the
+    /// codec's extra wires; see [`AccelConfig::with_codec`]).
+    pub codec: CodecKind,
     /// Popcount-tie handling in the ordering unit (`Stable` = the paper's
     /// popcount-only comparator; `Value` = wider comparator sensitivity
     /// variant, see EXPERIMENTS.md).
@@ -54,6 +58,7 @@ impl AccelConfig {
             noc: NocConfig::paper_mesh(width, height, mc_count, link_width),
             format,
             ordering,
+            codec: CodecKind::Unencoded,
             tiebreak: TieBreak::Stable,
             global_fx8_weights: false,
             values_per_flit,
@@ -62,6 +67,17 @@ impl AccelConfig {
             mc_prefetch_packets: 16,
             max_cycles_per_layer: 50_000_000,
         }
+    }
+
+    /// The same configuration with a different link codec, the NoC link
+    /// width re-derived to cover the codec's side-channel wires (one
+    /// extra invert-line wire for bus-invert).
+    #[must_use]
+    pub fn with_codec(mut self, codec: CodecKind) -> Self {
+        self.codec = codec;
+        self.noc.link_width_bits =
+            self.values_per_flit as u32 * self.format.bits_per_value() + codec.extra_wires();
+        self
     }
 
     /// Validates internal consistency.
@@ -74,13 +90,15 @@ impl AccelConfig {
         if self.values_per_flit < 2 || !self.values_per_flit.is_multiple_of(2) {
             return Err("values_per_flit must be even and >= 2".into());
         }
-        let needed = self.values_per_flit as u32 * self.format.bits_per_value();
+        let needed =
+            self.values_per_flit as u32 * self.format.bits_per_value() + self.codec.extra_wires();
         if needed != self.noc.link_width_bits {
             return Err(format!(
-                "link width {} does not match {} x {} = {needed} bits",
+                "link width {} does not match {} x {} + {} codec wires = {needed} bits",
                 self.noc.link_width_bits,
                 self.values_per_flit,
-                self.format.bits_per_value()
+                self.format.bits_per_value(),
+                self.codec.extra_wires()
             ));
         }
         if self.noc.mc_nodes.is_empty() {
@@ -127,6 +145,25 @@ mod tests {
         assert_eq!(f32c.noc.link_width_bits, 512);
         let fx8c = AccelConfig::paper(4, 4, 2, DataFormat::Fixed8, OrderingMethod::Baseline);
         assert_eq!(fx8c.noc.link_width_bits, 128);
+    }
+
+    #[test]
+    fn with_codec_rederives_the_link_width() {
+        for format in [DataFormat::Float32, DataFormat::Fixed8] {
+            let base = AccelConfig::paper(4, 4, 2, format, OrderingMethod::Separated);
+            for codec in CodecKind::ALL {
+                let c = base.clone().with_codec(codec);
+                assert!(c.validate().is_ok(), "{format} {codec}");
+                assert_eq!(
+                    c.noc.link_width_bits,
+                    16 * format.bits_per_value() + codec.extra_wires()
+                );
+            }
+        }
+        // A codec mismatch without the width bump is caught.
+        let mut c = AccelConfig::paper(4, 4, 2, DataFormat::Fixed8, OrderingMethod::Baseline);
+        c.codec = CodecKind::BusInvert;
+        assert!(c.validate().unwrap_err().contains("codec wires"));
     }
 
     #[test]

@@ -11,11 +11,10 @@ use crate::report::{InferenceResult, LayerTrafficReport};
 use crate::tasks::{
     conv_tasks, f32_mappers, fx8_mappers, linear_tasks, ConvGeometry, IndexedTask, LayerQuantizers,
 };
-use btr_bits::payload::PayloadBits;
 use btr_bits::word::{DataFormat, DataWord, F32Word, Fx8Word};
 use btr_core::flitize::FlitizeError;
 use btr_core::task::RecoveredTask;
-use btr_core::transport::{OrderedTransport, TaskWireMeta, TransportConfig};
+use btr_core::transport::{CodedTransport, TaskWireMeta, TransportConfig};
 use btr_dnn::model::InferenceOp;
 use btr_dnn::tensor::Tensor;
 use btr_noc::packet::Packet;
@@ -125,7 +124,7 @@ pub fn run_inference(
     let mut sim = Simulator::new(config.noc.clone());
     let mut x = input.clone();
     let mut per_layer = Vec::new();
-    let mut index_overhead_bits = 0u64;
+    let mut overhead = WireOverhead::default();
 
     for (op_index, op) in ops.iter().enumerate() {
         match op {
@@ -148,7 +147,7 @@ pub fn run_inference(
                             config,
                             &mut sim,
                             &mut per_layer,
-                            &mut index_overhead_bits,
+                            &mut overhead,
                         )?
                     }
                     DataFormat::Fixed8 => {
@@ -168,7 +167,7 @@ pub fn run_inference(
                             config,
                             &mut sim,
                             &mut per_layer,
-                            &mut index_overhead_bits,
+                            &mut overhead,
                         )?
                     }
                     other => return Err(AccelError::UnsupportedFormat(other)),
@@ -188,7 +187,7 @@ pub fn run_inference(
                             config,
                             &mut sim,
                             &mut per_layer,
-                            &mut index_overhead_bits,
+                            &mut overhead,
                         )?
                     }
                     DataFormat::Fixed8 => {
@@ -208,7 +207,7 @@ pub fn run_inference(
                             config,
                             &mut sim,
                             &mut per_layer,
-                            &mut index_overhead_bits,
+                            &mut overhead,
                         )?
                     }
                     other => return Err(AccelError::UnsupportedFormat(other)),
@@ -225,7 +224,8 @@ pub fn run_inference(
         stats: sim.stats(),
         total_cycles: sim.cycle(),
         per_layer,
-        index_overhead_bits,
+        index_overhead_bits: overhead.index_bits,
+        codec_overhead_bits: overhead.codec_bits,
     })
 }
 
@@ -237,17 +237,9 @@ fn run_noc_layer_f32(
     config: &AccelConfig,
     sim: &mut Simulator,
     per_layer: &mut Vec<LayerTrafficReport>,
-    index_overhead_bits: &mut u64,
+    overhead: &mut WireOverhead,
 ) -> Result<Vec<f32>, AccelError> {
-    let responses = simulate_layer(
-        op_index,
-        op_name,
-        tasks,
-        config,
-        sim,
-        per_layer,
-        index_overhead_bits,
-    )?;
+    let responses = simulate_layer(op_index, op_name, tasks, config, sim, per_layer, overhead)?;
     Ok(responses
         .into_iter()
         .map(|bits| f32::from_bits(bits as u32))
@@ -263,17 +255,9 @@ fn run_noc_layer_fx8(
     config: &AccelConfig,
     sim: &mut Simulator,
     per_layer: &mut Vec<LayerTrafficReport>,
-    index_overhead_bits: &mut u64,
+    overhead: &mut WireOverhead,
 ) -> Result<Vec<f32>, AccelError> {
-    let responses = simulate_layer(
-        op_index,
-        op_name,
-        tasks,
-        config,
-        sim,
-        per_layer,
-        index_overhead_bits,
-    )?;
+    let responses = simulate_layer(op_index, op_name, tasks, config, sim, per_layer, overhead)?;
     // Bias codes by output index, to separate the integer dot product from
     // the bias during dequantization.
     let mut bias_codes = vec![0i8; tasks.len()];
@@ -338,6 +322,14 @@ fn partition_pes_by_mc(config: &btr_noc::config::NocConfig) -> Vec<Vec<usize>> {
     regions
 }
 
+/// Side-channel bits accumulated across an inference, out-of-band of the
+/// data wires: the O2 re-pairing index and the link codec's invert lines.
+#[derive(Debug, Default, Clone, Copy)]
+struct WireOverhead {
+    index_bits: u64,
+    codec_bits: u64,
+}
+
 /// Runs one conv/linear layer's traffic to completion. Returns the 32-bit
 /// response images ordered by `out_index`.
 #[allow(clippy::too_many_arguments)]
@@ -348,17 +340,19 @@ fn simulate_layer<W: AccelWord>(
     config: &AccelConfig,
     sim: &mut Simulator,
     per_layer: &mut Vec<LayerTrafficReport>,
-    index_overhead_bits: &mut u64,
+    overhead: &mut WireOverhead,
 ) -> Result<Vec<u64>, AccelError> {
     let mcs = &config.noc.mc_nodes;
     let regions = partition_pes_by_mc(&config.noc);
-    let link_width = config.noc.link_width_bits;
-    // The MC-side ordering unit and PE-side recovery both live in the
-    // shared transport session; the NoC port binds it to the simulator.
-    let port = TaskPort::new(OrderedTransport::new(TransportConfig {
+    // The MC-side ordering unit, the link codec and PE-side recovery all
+    // live in the shared transport session; the NoC port binds it to the
+    // simulator, so both the request and response paths ride the coded
+    // wire.
+    let port = TaskPort::new(CodedTransport::new(TransportConfig {
         ordering: config.ordering,
         tiebreak: config.tiebreak,
         values_per_flit: config.values_per_flit,
+        codec: config.codec,
     }));
 
     // Static assignment: task j -> MC round-robin, then round-robin over
@@ -405,7 +399,8 @@ fn simulate_layer<W: AccelWord>(
                 cursors[mi] += 1;
                 let sent =
                     port.send_task_accounted(sim, mc, metas[j].pe, &tasks[j].task, j as u64)?;
-                *index_overhead_bits += sent.index_overhead_bits;
+                overhead.index_bits += sent.index_overhead_bits;
+                overhead.codec_bits += sent.codec_overhead_bits;
                 request_flits += sent.flit_count as u64;
                 metas[j].wire = sent.meta;
             }
@@ -417,8 +412,12 @@ fn simulate_layer<W: AccelWord>(
         for delivered in sim.drain_all_delivered() {
             let j = delivered.tag as usize;
             if config.noc.is_mc(delivered.dst) {
-                // Response arrived back at its MC.
-                let bits = delivered.payload_flits[0].field(0, 32);
+                // Response arrived back at its MC: decode off the coded
+                // wire through the same session.
+                let bits = port
+                    .session()
+                    .decode_response::<W>(&delivered.payload_flits)
+                    .map_err(|e| AccelError::Decode(e.to_string()))?;
                 debug_assert!(responses[j].is_none(), "duplicate response for task {j}");
                 responses[j] = Some(bits);
                 remaining -= 1;
@@ -441,8 +440,8 @@ fn simulate_layer<W: AccelWord>(
                 break;
             }
             compute_queue.pop();
-            let mut image = PayloadBits::zero(link_width);
-            image.set_field(0, 32, bits);
+            let image = port.session().encode_response::<W>(bits);
+            overhead.codec_bits += u64::from(config.codec.extra_wires());
             sim.inject(Packet::new(metas[j].pe, metas[j].mc, vec![image], j as u64))?;
         }
 
@@ -571,6 +570,88 @@ mod tests {
             o2 <= o1,
             "separated {o2} should be at least as good as affiliated {o1}"
         );
+    }
+
+    #[test]
+    fn coded_links_are_lossless_for_fx8_inference() {
+        // Fixed-8 outputs are bit-exact across codecs: the PEs and MCs
+        // recover every operand and response off the coded wires.
+        use btr_core::codec::CodecKind;
+        let model = tiny_model(31);
+        let ops = model.inference_ops();
+        let input = tiny_input(32);
+        let plain = run_inference(
+            &ops,
+            &input,
+            &config(DataFormat::Fixed8, OrderingMethod::Separated),
+        )
+        .unwrap();
+        for codec in [CodecKind::BusInvert, CodecKind::DeltaXor] {
+            let c = config(DataFormat::Fixed8, OrderingMethod::Separated).with_codec(codec);
+            let r = run_inference(&ops, &input, &c).unwrap();
+            assert_eq!(
+                r.output.data(),
+                plain.output.data(),
+                "{codec} changed fixed-8 outputs"
+            );
+            // Same packets and flit counts; only the wire images (and for
+            // bus-invert the link width) differ.
+            assert_eq!(r.total_request_packets(), plain.total_request_packets());
+            assert_eq!(r.total_request_flits(), plain.total_request_flits());
+            assert_ne!(
+                r.stats.total_transitions, plain.stats.total_transitions,
+                "{codec} should change the wire BTs"
+            );
+        }
+    }
+
+    #[test]
+    fn coded_links_preserve_f32_inference() {
+        use btr_core::codec::CodecKind;
+        let model = tiny_model(33);
+        let ops = model.inference_ops();
+        let input = tiny_input(34);
+        let reference = model.infer(&input);
+        for codec in CodecKind::ALL {
+            let c = config(DataFormat::Float32, OrderingMethod::Affiliated).with_codec(codec);
+            let result = run_inference(&ops, &input, &c).unwrap();
+            for (got, want) in result.output.data().iter().zip(reference.data().iter()) {
+                assert!(
+                    (got - want).abs() < 1e-3 * (1.0 + want.abs()),
+                    "{codec}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn codec_overhead_is_accounted() {
+        use btr_core::codec::CodecKind;
+        let model = tiny_model(35);
+        let ops = model.inference_ops();
+        let input = tiny_input(36);
+        let run = |codec| {
+            run_inference(
+                &ops,
+                &input,
+                &config(DataFormat::Fixed8, OrderingMethod::Separated).with_codec(codec),
+            )
+            .unwrap()
+        };
+        let plain = run(CodecKind::Unencoded);
+        let xor = run(CodecKind::DeltaXor);
+        let bi = run(CodecKind::BusInvert);
+        assert_eq!(plain.codec_overhead_bits, 0);
+        assert_eq!(xor.codec_overhead_bits, 0);
+        // One invert-line bit per payload flit (requests) + one per
+        // response packet.
+        let payload_flits = bi.total_request_flits() - bi.total_request_packets();
+        assert_eq!(
+            bi.codec_overhead_bits,
+            payload_flits + bi.total_request_packets()
+        );
+        // The index side channel is codec-independent.
+        assert_eq!(bi.index_overhead_bits, plain.index_overhead_bits);
     }
 
     #[test]

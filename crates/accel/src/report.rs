@@ -37,6 +37,10 @@ pub struct InferenceResult {
     /// Separated-ordering index side-channel overhead, in bits
     /// (zero for O0/O1).
     pub index_overhead_bits: u64,
+    /// Link-codec side-channel overhead, in bits: the bus-invert line
+    /// bits transmitted alongside the data wires (zero for unencoded and
+    /// delta-XOR links).
+    pub codec_overhead_bits: u64,
 }
 
 impl InferenceResult {

@@ -225,6 +225,27 @@ impl PayloadBits {
     pub fn iter_bits(&self) -> impl Iterator<Item = bool> + '_ {
         (0..self.width).map(move |i| self.bit(i))
     }
+
+    /// The same bit pattern on a link of a different width: widening adds
+    /// zero wires above the old MSB, narrowing drops the wires at and
+    /// above the new width. Used by link codecs to append / strip
+    /// side-channel wires (e.g. the bus-invert line).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds [`MAX_WIDTH_BITS`].
+    #[must_use]
+    pub fn resized(&self, width: u32) -> PayloadBits {
+        let mut out = PayloadBits::zero(width);
+        let copy = self.width.min(width);
+        let mut off = 0;
+        while off < copy {
+            let len = 64.min(copy - off);
+            out.set_field(off, len, self.field(off, len));
+            off += len;
+        }
+        out
+    }
 }
 
 impl std::fmt::Display for PayloadBits {
@@ -332,6 +353,23 @@ mod tests {
         assert!(p.bit(65));
         assert!(!p.bit(64));
         assert_eq!(p.iter_bits().filter(|&b| b).count(), 1);
+    }
+
+    #[test]
+    fn resized_widens_and_narrows() {
+        let mut p = PayloadBits::zero(100);
+        p.set_field(90, 10, 0x3ff);
+        p.set_field(0, 8, 0xa5);
+        let wide = p.resized(128);
+        assert_eq!(wide.width(), 128);
+        assert_eq!(wide.popcount(), p.popcount());
+        assert_eq!(wide.field(90, 10), 0x3ff);
+        // Narrowing drops the high wires only.
+        let narrow = wide.resized(90);
+        assert_eq!(narrow.popcount(), 0xa5u64.count_ones());
+        assert_eq!(narrow.field(0, 8), 0xa5);
+        // Round-trip through a wider link is identity.
+        assert_eq!(wide.resized(100), p);
     }
 
     #[test]

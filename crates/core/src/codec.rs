@@ -1,0 +1,349 @@
+//! Pluggable link-coding backends for the transport pipeline.
+//!
+//! The paper positions transmission *ordering* against classic low-power
+//! link coding (bus-invert, delta/XOR). [`crate::encoding`] holds the
+//! stream-level primitives; this module packages them as [`LinkCodec`]
+//! implementations a [`crate::transport::CodedTransport`] composes with
+//! the ordering stage, so the NoC and the accelerator measure the *coded*
+//! wire and the sweep runner can answer "does ordering still win once the
+//! link is coded, and do they compose?".
+//!
+//! A codec maps a packet's plain payload-flit stream (all images
+//! `data_width` bits wide) to the wire images actually driven onto the
+//! link, `data_width + extra_wires` bits wide — bus-invert appends its
+//! invert line as one extra wire above the data MSB — and decodes the wire
+//! stream back losslessly. Codec state is per-packet (the first flit of
+//! every packet re-seeds the scheme), matching how the ordering stage is
+//! also applied per packet.
+
+use crate::encoding::{bus_invert_decode, bus_invert_wire_stream, delta_xor_decode};
+use btr_bits::payload::PayloadBits;
+use serde::{Deserialize, Serialize};
+
+/// Which link-coding backend a transport session applies after ordering
+/// and flitization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum CodecKind {
+    /// No coding: the ordered flit images are the wire images.
+    #[default]
+    Unencoded,
+    /// Bus-invert coding (Stan & Burleson): invert a flit when that
+    /// strictly reduces data-wire toggles, signaled on one extra wire.
+    BusInvert,
+    /// Delta/XOR coding: transmit the XOR of consecutive flits.
+    DeltaXor,
+}
+
+impl CodecKind {
+    /// All backends, in ablation order.
+    pub const ALL: [CodecKind; 3] = [
+        CodecKind::Unencoded,
+        CodecKind::BusInvert,
+        CodecKind::DeltaXor,
+    ];
+
+    /// Short label used in tables and JSON (`"none"`, `"bus-invert"`,
+    /// `"delta-xor"`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            CodecKind::Unencoded => "none",
+            CodecKind::BusInvert => "bus-invert",
+            CodecKind::DeltaXor => "delta-xor",
+        }
+    }
+
+    /// Side-channel wires the codec adds to the link beyond the data
+    /// wires (the bus-invert line).
+    #[must_use]
+    pub fn extra_wires(self) -> u32 {
+        match self {
+            CodecKind::BusInvert => 1,
+            CodecKind::Unencoded | CodecKind::DeltaXor => 0,
+        }
+    }
+
+    /// The backend implementation for this kind.
+    #[must_use]
+    pub fn codec(self) -> &'static dyn LinkCodec {
+        match self {
+            CodecKind::Unencoded => &Unencoded,
+            CodecKind::BusInvert => &BusInvert,
+            CodecKind::DeltaXor => &DeltaXor,
+        }
+    }
+}
+
+impl std::fmt::Display for CodecKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for CodecKind {
+    type Err = String;
+
+    /// Parses `"none"`/`"unencoded"`, `"bus-invert"`/`"businvert"`/`"bi"`,
+    /// `"delta-xor"`/`"deltaxor"`/`"xor"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "none" | "unencoded" => Ok(CodecKind::Unencoded),
+            "bus-invert" | "businvert" | "bi" => Ok(CodecKind::BusInvert),
+            "delta-xor" | "deltaxor" | "xor" => Ok(CodecKind::DeltaXor),
+            other => Err(format!(
+                "unknown codec {other:?}; use none|bus-invert|delta-xor"
+            )),
+        }
+    }
+}
+
+/// Errors from the decode half of a link codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// A wire image's width does not match `data_width + extra_wires`.
+    WireWidth {
+        /// Width of the offending wire image.
+        got: u32,
+        /// Expected wire width.
+        want: u32,
+    },
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::WireWidth { got, want } => {
+                write!(f, "wire image is {got} bits, codec expects {want}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A link-coding scheme: encodes a packet's plain flit stream into the
+/// wire images (data wires + side-channel wires) and decodes losslessly.
+///
+/// Implementations must round-trip: for any stream of equal-width flits,
+/// `decode_stream(&encode_stream(s), w) == s`.
+pub trait LinkCodec: std::fmt::Debug + Sync {
+    /// The codec's identity.
+    fn kind(&self) -> CodecKind;
+
+    /// Encodes a plain flit stream (every image `data_width` bits) into
+    /// wire images of `data_width + extra_wires` bits, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widened wire image would exceed
+    /// [`btr_bits::payload::MAX_WIDTH_BITS`] or the stream mixes widths.
+    fn encode_stream(&self, plain: &[PayloadBits]) -> Vec<PayloadBits>;
+
+    /// Decodes a packet's wire images back into the plain flit stream of
+    /// `data_width`-bit images.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] if a wire image's width is not
+    /// `data_width + extra_wires`.
+    fn decode_stream(
+        &self,
+        wire: &[PayloadBits],
+        data_width: u32,
+    ) -> Result<Vec<PayloadBits>, CodecError>;
+}
+
+fn check_wire_widths(wire: &[PayloadBits], data_width: u32, extra: u32) -> Result<(), CodecError> {
+    let want = data_width + extra;
+    for w in wire {
+        if w.width() != want {
+            return Err(CodecError::WireWidth {
+                got: w.width(),
+                want,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// The identity codec: wire images are the ordered flit images.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Unencoded;
+
+impl LinkCodec for Unencoded {
+    fn kind(&self) -> CodecKind {
+        CodecKind::Unencoded
+    }
+
+    fn encode_stream(&self, plain: &[PayloadBits]) -> Vec<PayloadBits> {
+        plain.to_vec()
+    }
+
+    fn decode_stream(
+        &self,
+        wire: &[PayloadBits],
+        data_width: u32,
+    ) -> Result<Vec<PayloadBits>, CodecError> {
+        check_wire_widths(wire, data_width, 0)?;
+        Ok(wire.to_vec())
+    }
+}
+
+/// Bus-invert coding over one extra invert-line wire (bit `data_width` of
+/// every wire image).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BusInvert;
+
+impl LinkCodec for BusInvert {
+    fn kind(&self) -> CodecKind {
+        CodecKind::BusInvert
+    }
+
+    fn encode_stream(&self, plain: &[PayloadBits]) -> Vec<PayloadBits> {
+        let Some(first) = plain.first() else {
+            return Vec::new();
+        };
+        let data_width = first.width();
+        bus_invert_wire_stream(plain)
+            .into_iter()
+            .map(|(data, invert)| {
+                let mut wire = data.resized(data_width + 1);
+                wire.set_field(data_width, 1, u64::from(invert));
+                wire
+            })
+            .collect()
+    }
+
+    fn decode_stream(
+        &self,
+        wire: &[PayloadBits],
+        data_width: u32,
+    ) -> Result<Vec<PayloadBits>, CodecError> {
+        check_wire_widths(wire, data_width, 1)?;
+        let pairs: Vec<(PayloadBits, bool)> = wire
+            .iter()
+            .map(|w| (w.resized(data_width), w.bit(data_width)))
+            .collect();
+        Ok(bus_invert_decode(&pairs))
+    }
+}
+
+/// Delta/XOR coding: wire image `i` is `flit[i] XOR flit[i-1]` (the first
+/// flit is sent as-is). No extra wires.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeltaXor;
+
+impl LinkCodec for DeltaXor {
+    fn kind(&self) -> CodecKind {
+        CodecKind::DeltaXor
+    }
+
+    fn encode_stream(&self, plain: &[PayloadBits]) -> Vec<PayloadBits> {
+        crate::encoding::delta_xor_wire_stream(plain)
+    }
+
+    fn decode_stream(
+        &self,
+        wire: &[PayloadBits],
+        data_width: u32,
+    ) -> Result<Vec<PayloadBits>, CodecError> {
+        check_wire_widths(wire, data_width, 0)?;
+        Ok(delta_xor_decode(wire))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_stream(n: usize, width: u32, seed: u64) -> Vec<PayloadBits> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let mut p = PayloadBits::zero(width);
+                for w in 0..width.div_ceil(64) {
+                    let len = 64.min(width - w * 64);
+                    p.set_field(w * 64, len, rng.gen());
+                }
+                p
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_codecs_round_trip() {
+        for kind in CodecKind::ALL {
+            let codec = kind.codec();
+            assert_eq!(codec.kind(), kind);
+            for (n, width, seed) in [(1usize, 8u32, 1u64), (7, 64, 2), (40, 128, 3), (13, 96, 4)] {
+                let stream = random_stream(n, width, seed);
+                let wire = codec.encode_stream(&stream);
+                assert_eq!(wire.len(), stream.len());
+                for w in &wire {
+                    assert_eq!(w.width(), width + kind.extra_wires());
+                }
+                let back = codec.decode_stream(&wire, width).unwrap();
+                assert_eq!(back, stream, "{kind} n={n} w={width}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_streams_encode_and_decode() {
+        for kind in CodecKind::ALL {
+            let codec = kind.codec();
+            assert!(codec.encode_stream(&[]).is_empty());
+            assert!(codec.decode_stream(&[], 64).unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn decode_rejects_wrong_wire_width() {
+        let stream = random_stream(4, 64, 9);
+        for kind in CodecKind::ALL {
+            let codec = kind.codec();
+            let wire = codec.encode_stream(&stream);
+            let err = codec.decode_stream(&wire, 32).unwrap_err();
+            assert!(matches!(err, CodecError::WireWidth { .. }));
+            assert!(err.to_string().contains("codec expects"));
+        }
+    }
+
+    #[test]
+    fn bus_invert_wire_collapses_alternating_stream() {
+        // Alternating all-zero / all-one flits: the coded data wires never
+        // toggle, only the invert line does.
+        let stream: Vec<PayloadBits> = (0..10)
+            .map(|i| {
+                let p = PayloadBits::zero(64);
+                if i % 2 == 0 {
+                    p
+                } else {
+                    p.invert()
+                }
+            })
+            .collect();
+        let wire = BusInvert.encode_stream(&stream);
+        let transitions: u64 = wire
+            .windows(2)
+            .map(|w| u64::from(w[1].transitions_to(&w[0])))
+            .sum();
+        assert_eq!(transitions, 9, "one invert-line toggle per boundary");
+        assert_eq!(BusInvert.decode_stream(&wire, 64).unwrap(), stream);
+    }
+
+    #[test]
+    fn kind_parses_and_prints() {
+        for kind in CodecKind::ALL {
+            assert_eq!(kind.label().parse::<CodecKind>(), Ok(kind));
+        }
+        assert_eq!("bi".parse::<CodecKind>(), Ok(CodecKind::BusInvert));
+        assert_eq!("xor".parse::<CodecKind>(), Ok(CodecKind::DeltaXor));
+        assert_eq!("unencoded".parse::<CodecKind>(), Ok(CodecKind::Unencoded));
+        assert!("hamming".parse::<CodecKind>().is_err());
+        assert_eq!(CodecKind::default(), CodecKind::Unencoded);
+        assert_eq!(CodecKind::BusInvert.to_string(), "bus-invert");
+    }
+}

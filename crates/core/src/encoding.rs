@@ -60,9 +60,32 @@ pub fn unencoded(stream: &[PayloadBits]) -> EncodedStream {
 pub fn bus_invert(stream: &[PayloadBits]) -> EncodedStream {
     let mut transitions = 0u64;
     let mut control_transitions = 0u64;
-    let mut prev_wire: Option<PayloadBits> = None;
-    let mut prev_invert = false;
+    let mut prev: Option<(PayloadBits, bool)> = None;
 
+    for (wire, invert) in bus_invert_wire_stream(stream) {
+        if let Some((prev_wire, prev_invert)) = &prev {
+            transitions += u64::from(wire.transitions_to(prev_wire));
+            control_transitions += u64::from(invert != *prev_invert);
+        }
+        prev = Some((wire, invert));
+    }
+
+    EncodedStream {
+        transitions,
+        control_transitions,
+        flits: stream.len() as u64,
+    }
+}
+
+/// Produces the bus-invert wire stream: each element is the data image
+/// actually driven onto the wires plus the invert-line value transmitted
+/// alongside it. The first flit is always sent direct; after that a flit
+/// is inverted exactly when inversion strictly reduces the data-wire
+/// toggles relative to the previous *wire* image.
+#[must_use]
+pub fn bus_invert_wire_stream(stream: &[PayloadBits]) -> Vec<(PayloadBits, bool)> {
+    let mut out = Vec::with_capacity(stream.len());
+    let mut prev_wire: Option<PayloadBits> = None;
     for flit in stream {
         let (wire, invert) = match &prev_wire {
             None => (*flit, false),
@@ -77,19 +100,21 @@ pub fn bus_invert(stream: &[PayloadBits]) -> EncodedStream {
                 }
             }
         };
-        if let Some(prev) = &prev_wire {
-            transitions += u64::from(wire.transitions_to(prev));
-            control_transitions += u64::from(invert != prev_invert);
-        }
         prev_wire = Some(wire);
-        prev_invert = invert;
+        out.push((wire, invert));
     }
+    out
+}
 
-    EncodedStream {
-        transitions,
-        control_transitions,
-        flits: stream.len() as u64,
-    }
+/// Decodes a bus-invert wire stream back to the plain flits (inverse of
+/// [`bus_invert_wire_stream`]): each flit whose invert line is set is
+/// inverted back, independently of its neighbors.
+#[must_use]
+pub fn bus_invert_decode(wire_stream: &[(PayloadBits, bool)]) -> Vec<PayloadBits> {
+    wire_stream
+        .iter()
+        .map(|(wire, invert)| if *invert { wire.invert() } else { *wire })
+        .collect()
 }
 
 /// Delta (XOR) encoding: wire image is `flit XOR previous_flit`.
@@ -206,6 +231,22 @@ mod tests {
         assert_eq!(raw.transitions, 9 * 64);
         assert_eq!(enc.transitions, 0);
         assert_eq!(enc.control_transitions, 9);
+    }
+
+    #[test]
+    fn bus_invert_is_lossless() {
+        let stream = random_stream(80, 96, 3);
+        let wire = bus_invert_wire_stream(&stream);
+        assert_eq!(bus_invert_decode(&wire), stream);
+        // The stats function and the wire stream agree on what toggles.
+        let enc = bus_invert(&stream);
+        let data: u64 = wire
+            .windows(2)
+            .map(|w| u64::from(w[1].0.transitions_to(&w[0].0)))
+            .sum();
+        let control: u64 = wire.windows(2).map(|w| u64::from(w[1].1 != w[0].1)).sum();
+        assert_eq!(enc.transitions, data);
+        assert_eq!(enc.control_transitions, control);
     }
 
     #[test]

@@ -28,6 +28,10 @@
 //!   Figs. 9–11: packet streams on a single link.
 //! * [`encoding`] — bus-invert and delta-encoding baselines from the related
 //!   work, used for ablation comparisons (not part of the paper's method).
+//! * [`codec`] — those encodings packaged as pluggable [`codec::LinkCodec`]
+//!   backends, composed with the ordering stage by
+//!   [`transport::CodedTransport`] so the NoC/accelerator measure the
+//!   coded wire and sweeps can ablate `{ordering × codec}`.
 //!
 //! # Quickstart
 //!
@@ -52,6 +56,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod encoding;
 pub mod flitize;
 pub mod ordering;
@@ -61,9 +66,10 @@ pub mod theory;
 pub mod transport;
 pub mod unit;
 
+pub use codec::{CodecKind, LinkCodec};
 pub use flitize::{order_task, FlitRow, OrderedTask, RecoverError, Slot};
 pub use ordering::OrderingMethod;
 pub use task::NeuronTask;
 pub use transport::{
-    EncodedTask, OrderedTransport, TaskWireMeta, TransportConfig, TransportError, TransportSession,
+    CodedTransport, EncodedTask, TaskWireMeta, TransportConfig, TransportError, TransportSession,
 };

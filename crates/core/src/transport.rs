@@ -1,5 +1,6 @@
 //! The shared transport pipeline: one implementation of the
-//! `OrderedTask → packets → per-link TransitionRecorder` lifecycle.
+//! `OrderedTask → codec → packets → per-link TransitionRecorder`
+//! lifecycle.
 //!
 //! Three harnesses move ordered values over links: the "without NoC"
 //! stream evaluation ([`crate::stream`]), raw NoC injection
@@ -12,8 +13,11 @@
 //!   [`NeuronTask`] into wire images plus the [`TaskWireMeta`] a head
 //!   flit (and, for O2, the index side channel) carries, and decode a
 //!   delivered packet back into a [`RecoveredTask`];
-//! * [`OrderedTransport`] — the paper's implementation of that contract
-//!   (descending-popcount ordering per [`TransportConfig`]);
+//! * [`CodedTransport`] — the implementation of that contract as an
+//!   `order → flitize → codec` pipeline: the paper's descending-popcount
+//!   ordering per [`TransportConfig`], composed with the
+//!   [`crate::codec::LinkCodec`] selected by [`TransportConfig::codec`]
+//!   (unencoded, bus-invert, or delta-XOR);
 //! * the packing helpers ([`packet_occupancy`], [`window_occupancy`],
 //!   [`row_major_assignment`], [`pack_values`],
 //!   [`pack_window_with_order`]) — the one copy of the
@@ -23,6 +27,7 @@
 //!   lifecycle: a per-link [`TransitionRecorder`] observing the encoded
 //!   flits (Fig. 8).
 
+use crate::codec::{CodecError, CodecKind};
 use crate::flitize::{order_task_with, FlitizeError, OrderedTask, RecoverError};
 use crate::ordering::{round_robin_assignment, OrderingMethod, TieBreak};
 use crate::task::{NeuronTask, RecoveredTask};
@@ -31,8 +36,9 @@ use btr_bits::transition::TransitionRecorder;
 use btr_bits::word::DataWord;
 use serde::{Deserialize, Serialize};
 
-/// Configuration of a transport session: how values are ordered and how
-/// many word lanes each flit carries.
+/// Configuration of a transport session: how values are ordered, how many
+/// word lanes each flit carries, and which link codec runs after
+/// flitization.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TransportConfig {
     /// Data transmission ordering (O0/O1/O2).
@@ -41,24 +47,42 @@ pub struct TransportConfig {
     pub tiebreak: TieBreak,
     /// Word lanes per flit (the paper uses 16: 8 inputs + 8 weights).
     pub values_per_flit: usize,
+    /// Link-coding backend applied to the ordered flit stream.
+    pub codec: CodecKind,
 }
 
 impl TransportConfig {
     /// A session with the paper's popcount-only comparator
-    /// ([`TieBreak::Stable`]).
+    /// ([`TieBreak::Stable`]) and no link coding.
     #[must_use]
     pub fn new(ordering: OrderingMethod, values_per_flit: usize) -> Self {
         Self {
             ordering,
             tiebreak: TieBreak::Stable,
             values_per_flit,
+            codec: CodecKind::Unencoded,
         }
     }
 
-    /// Link width in bits for word type `W` under this configuration.
+    /// The same configuration with a different link codec.
+    #[must_use]
+    pub fn with_codec(mut self, codec: CodecKind) -> Self {
+        self.codec = codec;
+        self
+    }
+
+    /// Width of the data wires for word type `W`: `values_per_flit`
+    /// word lanes.
+    #[must_use]
+    pub fn data_width_bits<W: DataWord>(&self) -> u32 {
+        self.values_per_flit as u32 * W::WIDTH
+    }
+
+    /// Physical link width in bits for word type `W`: the data wires plus
+    /// the codec's side-channel wires (the bus-invert line).
     #[must_use]
     pub fn link_width_bits<W: DataWord>(&self) -> u32 {
-        self.values_per_flit as u32 * W::WIDTH
+        self.data_width_bits::<W>() + self.codec.extra_wires()
     }
 }
 
@@ -73,17 +97,28 @@ pub struct TaskWireMeta {
     pub pair_index: Option<Vec<u16>>,
 }
 
-/// A task encoded for transmission: ordered flit images plus wire
-/// metadata.
+/// A task encoded for transmission: the coded wire images plus wire
+/// metadata and side-channel accounting.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EncodedTask<W> {
     ordered: OrderedTask<W>,
+    /// The codec output — what is actually driven onto the link wires.
+    wire_flits: Vec<PayloadBits>,
+    codec: CodecKind,
 }
 
 impl<W: DataWord> EncodedTask<W> {
-    /// The payload flit images in transmission order.
+    /// The wire images in transmission order (ordered, flitized, and
+    /// link-coded — these are what the NoC's per-link transition
+    /// recorders observe).
     #[must_use]
     pub fn payload_flits(&self) -> Vec<PayloadBits> {
+        self.wire_flits.clone()
+    }
+
+    /// The ordered flit images *before* link coding (the codec input).
+    #[must_use]
+    pub fn plain_flits(&self) -> Vec<PayloadBits> {
         self.ordered.payload_flits()
     }
 
@@ -102,6 +137,14 @@ impl<W: DataWord> EncodedTask<W> {
         self.ordered.index_overhead_bits()
     }
 
+    /// Side-channel overhead of the link codec in bits: one bit per extra
+    /// wire per payload flit (the bus-invert line; zero for unencoded and
+    /// delta-XOR).
+    #[must_use]
+    pub fn codec_overhead_bits(&self) -> u64 {
+        u64::from(self.codec.extra_wires()) * self.wire_flits.len() as u64
+    }
+
     /// The underlying ordered task (slot-level view).
     #[must_use]
     pub fn ordered(&self) -> &OrderedTask<W> {
@@ -112,22 +155,34 @@ impl<W: DataWord> EncodedTask<W> {
 /// Errors from the decode half of a transport session.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TransportError {
+    /// The link codec rejected the wire images.
+    Codec(CodecError),
     /// The flit images do not match the expected layout geometry.
     Geometry(FlitizeError),
     /// The slot structure decoded, but operand recovery failed.
     Recover(RecoverError),
+    /// A response packet carried no payload flits.
+    EmptyResponse,
 }
 
 impl std::fmt::Display for TransportError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            TransportError::Codec(e) => write!(f, "link decode failed: {e}"),
             TransportError::Geometry(e) => write!(f, "wire decode failed: {e}"),
             TransportError::Recover(e) => write!(f, "operand recovery failed: {e}"),
+            TransportError::EmptyResponse => write!(f, "response packet carried no payload flits"),
         }
     }
 }
 
 impl std::error::Error for TransportError {}
+
+impl From<CodecError> for TransportError {
+    fn from(e: CodecError) -> Self {
+        TransportError::Codec(e)
+    }
+}
 
 impl From<FlitizeError> for TransportError {
     fn from(e: FlitizeError) -> Self {
@@ -179,22 +234,60 @@ pub trait TransportSession<W: DataWord> {
     }
 }
 
-/// The paper's transport: descending-popcount ordering at the MC,
+/// The `order → flitize → codec` transport pipeline: descending-popcount
+/// ordering at the MC, link coding on the wires, codec decode plus
 /// slot-pairing (O0/O1) or index-lookup (O2) recovery at the PE.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct OrderedTransport {
+pub struct CodedTransport {
     config: TransportConfig,
 }
 
-impl OrderedTransport {
+impl CodedTransport {
     /// Creates a session with the given configuration.
     #[must_use]
     pub fn new(config: TransportConfig) -> Self {
         Self { config }
     }
+
+    /// Encodes a PE's 32-bit MAC response into the wire image of a
+    /// single-flit response packet, through the session's link codec (a
+    /// one-flit stream, so every codec transmits the data bits verbatim;
+    /// bus-invert still carries its invert line as an extra wire).
+    #[must_use]
+    pub fn encode_response<W: DataWord>(&self, bits: u64) -> PayloadBits {
+        let mut image = PayloadBits::zero(self.config.data_width_bits::<W>());
+        image.set_field(0, 32, bits);
+        self.config
+            .codec
+            .codec()
+            .encode_stream(std::slice::from_ref(&image))
+            .pop()
+            .expect("one flit in, one wire image out")
+    }
+
+    /// Decodes a delivered response packet's wire images back into the
+    /// 32-bit MAC response (inverse of [`CodedTransport::encode_response`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Codec`] if the wire images do not match
+    /// the session's link width, or [`TransportError::EmptyResponse`] if
+    /// the packet carried no payload flits.
+    pub fn decode_response<W: DataWord>(
+        &self,
+        wire: &[PayloadBits],
+    ) -> Result<u64, TransportError> {
+        let plain = self
+            .config
+            .codec
+            .codec()
+            .decode_stream(wire, self.config.data_width_bits::<W>())?;
+        let image = plain.first().ok_or(TransportError::EmptyResponse)?;
+        Ok(image.field(0, 32))
+    }
 }
 
-impl<W: DataWord> TransportSession<W> for OrderedTransport {
+impl<W: DataWord> TransportSession<W> for CodedTransport {
     fn transport_config(&self) -> &TransportConfig {
         &self.config
     }
@@ -206,7 +299,16 @@ impl<W: DataWord> TransportSession<W> for OrderedTransport {
             self.config.values_per_flit,
             self.config.tiebreak,
         )?;
-        Ok(EncodedTask { ordered })
+        let wire_flits = self
+            .config
+            .codec
+            .codec()
+            .encode_stream(&ordered.payload_flits());
+        Ok(EncodedTask {
+            ordered,
+            wire_flits,
+            codec: self.config.codec,
+        })
     }
 
     fn decode_task(
@@ -214,19 +316,27 @@ impl<W: DataWord> TransportSession<W> for OrderedTransport {
         meta: &TaskWireMeta,
         flits: &[PayloadBits],
     ) -> Result<RecoveredTask<W>, TransportError> {
+        let plain = self
+            .config
+            .codec
+            .codec()
+            .decode_stream(flits, self.config.data_width_bits::<W>())?;
         let ordered = OrderedTask::<W>::from_payload_flits(
             self.config.ordering,
             meta.num_pairs,
             self.config.values_per_flit,
             meta.pair_index.clone(),
-            flits,
+            &plain,
         )?;
         Ok(ordered.recover()?)
     }
 }
 
-/// A total-only [`TransitionRecorder`] for a `values_per_flit`-lane link
-/// of word type `W`.
+/// A total-only [`TransitionRecorder`] for an *unencoded*
+/// `values_per_flit`-lane link of word type `W` (no codec side-channel
+/// wires; sessions with a codec use
+/// [`TransportSession::link_recorder`], which covers the full wire
+/// width).
 #[must_use]
 pub fn link_recorder<W: DataWord>(values_per_flit: usize) -> TransitionRecorder {
     TransitionRecorder::total_only(values_per_flit as u32 * W::WIDTH)
@@ -377,27 +487,105 @@ mod tests {
     }
 
     #[test]
-    fn session_roundtrips_all_methods_and_tiebreaks() {
+    fn session_roundtrips_all_methods_tiebreaks_and_codecs() {
         for n in [1usize, 7, 25, 100] {
             let task = fx_task(n);
             for ordering in OrderingMethod::ALL {
                 for tiebreak in [TieBreak::Stable, TieBreak::Value] {
-                    let session = OrderedTransport::new(TransportConfig {
-                        ordering,
-                        tiebreak,
-                        values_per_flit: 16,
-                    });
-                    let enc = session.encode_task(&task).unwrap();
-                    let rec = session
-                        .decode_task(&enc.wire_meta(), &enc.payload_flits())
-                        .unwrap();
-                    assert_eq!(
-                        rec.mac_i64(),
-                        task.mac_i64(),
-                        "{ordering} {tiebreak:?} n={n}"
-                    );
+                    for codec in CodecKind::ALL {
+                        let session = CodedTransport::new(TransportConfig {
+                            ordering,
+                            tiebreak,
+                            values_per_flit: 16,
+                            codec,
+                        });
+                        let enc = session.encode_task(&task).unwrap();
+                        let rec = session
+                            .decode_task(&enc.wire_meta(), &enc.payload_flits())
+                            .unwrap();
+                        assert_eq!(
+                            rec.mac_i64(),
+                            task.mac_i64(),
+                            "{ordering} {tiebreak:?} {codec} n={n}"
+                        );
+                    }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn codec_widens_the_wire_and_accounts_side_channel_bits() {
+        let task = fx_task(25);
+        let config = TransportConfig::new(OrderingMethod::Affiliated, 16);
+        let plain = CodedTransport::new(config);
+        let coded = CodedTransport::new(config.with_codec(CodecKind::BusInvert));
+        let enc_plain = TransportSession::<Fx8Word>::encode_task(&plain, &task).unwrap();
+        let enc_coded = TransportSession::<Fx8Word>::encode_task(&coded, &task).unwrap();
+        // Same flit count, one extra invert-line wire per flit.
+        assert_eq!(
+            enc_plain.payload_flits().len(),
+            enc_coded.payload_flits().len()
+        );
+        assert!(enc_plain.payload_flits().iter().all(|f| f.width() == 128));
+        assert!(enc_coded.payload_flits().iter().all(|f| f.width() == 129));
+        assert_eq!(config.data_width_bits::<Fx8Word>(), 128);
+        assert_eq!(config.link_width_bits::<Fx8Word>(), 128);
+        assert_eq!(
+            config
+                .with_codec(CodecKind::BusInvert)
+                .link_width_bits::<Fx8Word>(),
+            129
+        );
+        // The codec input is the ordered stream either way.
+        assert_eq!(enc_plain.plain_flits(), enc_coded.plain_flits());
+        assert_eq!(enc_plain.codec_overhead_bits(), 0);
+        assert_eq!(
+            enc_coded.codec_overhead_bits(),
+            enc_coded.payload_flits().len() as u64
+        );
+        // Delta-XOR adds no wires and no side-channel bits.
+        let xor = CodedTransport::new(config.with_codec(CodecKind::DeltaXor));
+        let enc_xor = TransportSession::<Fx8Word>::encode_task(&xor, &task).unwrap();
+        assert!(enc_xor.payload_flits().iter().all(|f| f.width() == 128));
+        assert_eq!(enc_xor.codec_overhead_bits(), 0);
+    }
+
+    #[test]
+    fn decode_rejects_codec_width_mismatch() {
+        let task = fx_task(9);
+        let plain = CodedTransport::new(TransportConfig::new(OrderingMethod::Baseline, 8));
+        let coded = CodedTransport::new(
+            TransportConfig::new(OrderingMethod::Baseline, 8).with_codec(CodecKind::BusInvert),
+        );
+        let enc = TransportSession::<Fx8Word>::encode_task(&plain, &task).unwrap();
+        // Unencoded wire images (64-bit) into a bus-invert session (65-bit).
+        let err = TransportSession::<Fx8Word>::decode_task(
+            &coded,
+            &enc.wire_meta(),
+            &enc.payload_flits(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, TransportError::Codec(_)));
+        assert!(err.to_string().contains("link decode failed"));
+    }
+
+    #[test]
+    fn response_roundtrips_through_every_codec() {
+        for codec in CodecKind::ALL {
+            let session = CodedTransport::new(
+                TransportConfig::new(OrderingMethod::Baseline, 16).with_codec(codec),
+            );
+            let wire = session.encode_response::<Fx8Word>(0xdead_beef);
+            assert_eq!(wire.width(), 128 + codec.extra_wires());
+            let bits = session
+                .decode_response::<Fx8Word>(std::slice::from_ref(&wire))
+                .unwrap();
+            assert_eq!(bits, 0xdead_beef, "{codec}");
+            // A response with no payload flits is an error, not a 0 MAC.
+            let err = session.decode_response::<Fx8Word>(&[]).unwrap_err();
+            assert_eq!(err, TransportError::EmptyResponse);
+            assert!(err.to_string().contains("no payload flits"));
         }
     }
 
@@ -405,7 +593,7 @@ mod tests {
     fn wire_meta_carries_index_only_for_separated() {
         let task = fx_task(9);
         let enc = |m| {
-            let s = OrderedTransport::new(TransportConfig::new(m, 8));
+            let s = CodedTransport::new(TransportConfig::new(m, 8));
             TransportSession::<Fx8Word>::encode_task(&s, &task).unwrap()
         };
         assert!(enc(OrderingMethod::Baseline)
@@ -423,7 +611,7 @@ mod tests {
 
     #[test]
     fn decode_rejects_bad_geometry() {
-        let session = OrderedTransport::new(TransportConfig::new(OrderingMethod::Baseline, 8));
+        let session = CodedTransport::new(TransportConfig::new(OrderingMethod::Baseline, 8));
         let task = fx_task(9);
         let enc = TransportSession::<Fx8Word>::encode_task(&session, &task).unwrap();
         let flits = enc.payload_flits();
@@ -436,7 +624,7 @@ mod tests {
 
     #[test]
     fn recorder_matches_link_width() {
-        let session = OrderedTransport::new(TransportConfig::new(OrderingMethod::Separated, 16));
+        let session = CodedTransport::new(TransportConfig::new(OrderingMethod::Separated, 16));
         let rec = TransportSession::<Fx8Word>::link_recorder(&session);
         assert_eq!(rec.width(), 128);
         let task = fx_task(25);

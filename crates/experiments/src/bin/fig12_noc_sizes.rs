@@ -15,6 +15,7 @@
 //! [--sequential] [--json fig12.json]`
 
 use btr_bits::word::DataFormat;
+use btr_core::codec::CodecKind;
 use btr_core::ordering::{OrderingMethod, TieBreak};
 use btr_dnn::data::SyntheticDigits;
 use experiments::cli;
@@ -48,6 +49,7 @@ fn main() {
         &OrderingMethod::ALL,
         &[tiebreak],
         &[fx8_global],
+        &[CodecKind::Unencoded],
     );
     let outcomes = run_cells(&workloads, cells, sequential);
 

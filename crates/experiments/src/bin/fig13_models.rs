@@ -14,6 +14,7 @@
 //! [--json fig13.json]`
 
 use btr_bits::word::DataFormat;
+use btr_core::codec::CodecKind;
 use btr_core::ordering::{OrderingMethod, TieBreak};
 use btr_dnn::data::{SyntheticDigits, SyntheticRgb};
 use btr_dnn::models::darknet;
@@ -65,6 +66,7 @@ fn main() {
         &OrderingMethod::ALL,
         &[tiebreak],
         &[fx8_global],
+        &[CodecKind::Unencoded],
     );
     let outcomes = run_cells(&workloads, cells, sequential);
 

@@ -1,29 +1,112 @@
 //! The general sweep front-end: any `(model × mesh × format × ordering ×
-//! tiebreak × fx8 scheme)` grid, fanned out in parallel, with
+//! tiebreak × fx8 scheme × codec)` grid, fanned out in parallel, with
 //! machine-readable JSON results.
 //!
 //! This is the scaling successor to the per-figure binaries: one command
-//! covers Fig. 12 (mesh sizes), Fig. 13 (models) and the sensitivity
-//! grids, at any subset of the cross product.
+//! covers Fig. 12 (mesh sizes), Fig. 13 (models), the sensitivity grids
+//! and the `{ordering × codec}` ablations, at any subset of the cross
+//! product.
 //!
 //! Usage:
 //! `cargo run --release -p experiments --bin sweep -- \
+//!     [--preset smoke|ablation_orderings|ablation_codecs] \
 //!     [--models lenet,darknet] [--weights trained] [--seed 42] \
 //!     [--meshes 4x4x2,8x8x4,8x8x8] [--formats f32,fx8] \
 //!     [--orderings O0,O1,O2] [--ties stable,value] [--fx8-global] \
+//!     [--codecs none,bus-invert,delta-xor] [--shard 0/4] \
 //!     [--darknet-width 8] [--sequential] [--json sweep.json]`
 //!
-//! `--json` writes the `btr-sweep-v1` schema described in EXPERIMENTS.md.
+//! A `--preset` sets the grid axes (explicit flags still override);
+//! `--shard i/n` runs the deterministic `i mod n` slice of the expanded
+//! cells so one grid can span processes or hosts; and
+//! `--merge a.json,b.json --json out.json` skips simulation entirely and
+//! concatenates/validates previously written result files.
+//!
+//! `--json` writes the `btr-sweep-v2` schema described in EXPERIMENTS.md.
 
 use btr_bits::word::DataFormat;
+use btr_core::codec::CodecKind;
 use btr_core::ordering::{OrderingMethod, TieBreak};
 use btr_dnn::data::{SyntheticDigits, SyntheticRgb};
 use btr_dnn::models::darknet;
 use experiments::cli;
-use experiments::sweep::{baseline_of, expand_grid, outcomes_json, run_cells, MeshSpec, Workload};
+use experiments::json::Json;
+use experiments::sweep::{
+    baseline_of, expand_grid, merge_sweep_json, outcomes_json, run_cells, MeshSpec, Shard, Workload,
+};
 use experiments::workloads::{lenet, WeightSource};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Axis defaults a `--preset` installs (explicit flags still win).
+struct Preset {
+    models: Vec<String>,
+    weights: WeightSource,
+    meshes: Vec<MeshSpec>,
+    formats: Vec<DataFormat>,
+    orderings: Vec<OrderingMethod>,
+    tiebreaks: Vec<TieBreak>,
+    codecs: Vec<CodecKind>,
+}
+
+impl Preset {
+    fn general() -> Self {
+        Preset {
+            models: vec!["lenet".into()],
+            weights: WeightSource::Trained,
+            meshes: MeshSpec::PAPER.to_vec(),
+            formats: vec![DataFormat::Float32, DataFormat::Fixed8],
+            orderings: OrderingMethod::ALL.to_vec(),
+            tiebreaks: vec![TieBreak::Stable],
+            codecs: vec![CodecKind::Unencoded],
+        }
+    }
+
+    fn resolve(name: &str) -> Self {
+        let small_mesh = vec![MeshSpec {
+            width: 4,
+            height: 4,
+            mc_count: 2,
+        }];
+        match name {
+            "general" => Self::general(),
+            // Fast CI-sized slice exercising the codec axis end to end:
+            // random weights (no training), one mesh, fixed-8 only.
+            "smoke" => Preset {
+                weights: WeightSource::Random,
+                meshes: small_mesh,
+                formats: vec![DataFormat::Fixed8],
+                orderings: vec![OrderingMethod::Baseline, OrderingMethod::Separated],
+                codecs: CodecKind::ALL.to_vec(),
+                ..Self::general()
+            },
+            // The ordering ablation (successor of the retired
+            // `ablation_orderings` binary): O0/O1/O2 × tiebreaks on the
+            // unencoded link, full inference instead of a weight stream.
+            "ablation_orderings" => Preset {
+                meshes: small_mesh,
+                formats: vec![DataFormat::Fixed8],
+                tiebreaks: vec![TieBreak::Stable, TieBreak::Value],
+                ..Self::general()
+            },
+            // Does ordering still win once the link is coded, and do
+            // they compose? {O0,O1,O2} × {none, bus-invert, delta-xor}.
+            "ablation_codecs" => Preset {
+                meshes: small_mesh,
+                formats: vec![DataFormat::Fixed8],
+                codecs: CodecKind::ALL.to_vec(),
+                ..Self::general()
+            },
+            other => {
+                eprintln!(
+                    "error: unknown preset {other:?}; use \
+                     general|smoke|ablation_orderings|ablation_codecs"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+}
 
 fn build_workload(name: &str, source: WeightSource, seed: u64, darknet_width: usize) -> Workload {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -45,19 +128,67 @@ fn build_workload(name: &str, source: WeightSource, seed: u64, darknet_width: us
     }
 }
 
+/// `--merge a.json,b.json --json out.json`: concatenate + validate
+/// previously written sweep results (for sharded grids).
+fn run_merge(inputs: Vec<String>, json_path: Option<String>) -> ! {
+    let mut docs = Vec::new();
+    for path in inputs {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("error: could not read {path}: {e}");
+            std::process::exit(2);
+        });
+        let doc = Json::parse(&text).unwrap_or_else(|e| {
+            eprintln!("error: {path} is not valid JSON: {e}");
+            std::process::exit(2);
+        });
+        docs.push((path, doc));
+    }
+    let merged = merge_sweep_json(&docs).unwrap_or_else(|e| {
+        eprintln!("error: merge failed: {e}");
+        std::process::exit(2);
+    });
+    let cells = match merged.get("cells") {
+        Some(Json::Arr(items)) => items.len(),
+        _ => 0,
+    };
+    let Some(path) = json_path else {
+        eprintln!("error: --merge needs --json OUT to write the merged file");
+        std::process::exit(2);
+    };
+    experiments::json::write_file(std::path::Path::new(&path), &merged).unwrap_or_else(|e| {
+        eprintln!("error: could not write {path}: {e}");
+        std::process::exit(2);
+    });
+    println!("# merged {} docs, {cells} cells -> {path}", docs.len());
+    std::process::exit(0);
+}
+
 fn main() {
+    let json_path: Option<String> = cli::opt_arg("json");
+    if let Some(inputs) = cli::opt_arg::<String>("merge") {
+        let inputs: Vec<String> = inputs
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect();
+        run_merge(inputs, json_path);
+    }
+
+    let preset_name: String = cli::arg("preset", "general".to_string());
+    let preset = Preset::resolve(&preset_name);
+
     let seed: u64 = cli::arg("seed", 42);
-    let source: WeightSource = cli::arg("weights", WeightSource::Trained);
+    let source: WeightSource = cli::arg("weights", preset.weights);
     let darknet_width: usize = cli::arg("darknet-width", 8);
     let sequential = cli::flag("sequential");
-    let json_path: Option<String> = cli::opt_arg("json");
+    let shard: Shard = cli::arg("shard", Shard::WHOLE);
 
-    let models: Vec<String> = cli::list_arg("models", vec!["lenet".into()]);
-    let meshes: Vec<MeshSpec> = cli::list_arg("meshes", MeshSpec::PAPER.to_vec());
-    let formats: Vec<DataFormat> =
-        cli::list_arg("formats", vec![DataFormat::Float32, DataFormat::Fixed8]);
-    let orderings: Vec<OrderingMethod> = cli::list_arg("orderings", OrderingMethod::ALL.to_vec());
-    let tiebreaks: Vec<TieBreak> = cli::list_arg("ties", vec![TieBreak::Stable]);
+    let models: Vec<String> = cli::list_arg("models", preset.models);
+    let meshes: Vec<MeshSpec> = cli::list_arg("meshes", preset.meshes);
+    let formats: Vec<DataFormat> = cli::list_arg("formats", preset.formats);
+    let orderings: Vec<OrderingMethod> = cli::list_arg("orderings", preset.orderings);
+    let tiebreaks: Vec<TieBreak> = cli::list_arg("ties", preset.tiebreaks);
+    let codecs: Vec<CodecKind> = cli::list_arg("codecs", preset.codecs);
     let fx8_globals = if cli::flag("fx8-global") {
         vec![true]
     } else {
@@ -76,27 +207,45 @@ fn main() {
         &orderings,
         &tiebreaks,
         &fx8_globals,
+        &codecs,
     );
+    let total = cells.len();
+    let cells = shard.select(cells);
     eprintln!(
-        "# sweep: {} workloads x {} meshes x {} formats x {} orderings x {} ties = {} cells",
+        "# sweep [{preset_name}]: {} workloads x {} meshes x {} formats x {} orderings x {} ties \
+         x {} codecs = {total} cells (shard {shard}: {} cells)",
         workloads.len(),
         meshes.len(),
         formats.len(),
         orderings.len(),
         tiebreaks.len(),
+        codecs.len(),
         cells.len()
     );
     let outcomes = run_cells(&workloads, cells, sequential);
 
     println!(
-        "{:<24} {:<9} {:<9} {:>4} {:>7} {:>16} {:>10} {:>10} {:>8}",
-        "workload", "NoC", "format", "ord", "ties", "total BTs", "reduction", "cycles", "wall"
+        "{:<24} {:<9} {:<9} {:>4} {:>7} {:>11} {:>16} {:>10} {:>10} {:>8}",
+        "workload",
+        "NoC",
+        "format",
+        "ord",
+        "ties",
+        "codec",
+        "total BTs",
+        "reduction",
+        "cycles",
+        "wall"
     );
     for o in &outcomes {
         if let Some(e) = &o.error {
             eprintln!(
-                "error: {} {} {} {}: {e}",
-                workloads[o.cell.workload].name, o.cell.mesh, o.cell.format, o.cell.ordering
+                "error: {} {} {} {} {}: {e}",
+                workloads[o.cell.workload].name,
+                o.cell.mesh,
+                o.cell.format,
+                o.cell.ordering,
+                o.cell.codec
             );
             continue;
         }
@@ -106,12 +255,13 @@ fn main() {
                 (b.transitions as f64 - o.transitions as f64) / b.transitions as f64 * 100.0
             });
         println!(
-            "{:<24} {:<9} {:<9} {:>4} {:>7} {:>16} {:>9.2}% {:>10} {:>6}ms",
+            "{:<24} {:<9} {:<9} {:>4} {:>7} {:>11} {:>16} {:>9.2}% {:>10} {:>6}ms",
             workloads[o.cell.workload].name,
             o.cell.mesh.label(),
             o.cell.format.name(),
             o.cell.ordering.label(),
             format!("{:?}", o.cell.tiebreak).to_lowercase(),
+            o.cell.codec.label(),
             o.transitions,
             reduction,
             o.cycles,

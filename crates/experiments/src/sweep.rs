@@ -2,25 +2,31 @@
 //! with rayon, results as machine-readable JSON.
 //!
 //! A sweep is a grid over `(workload × mesh × data format × ordering ×
-//! tiebreak × fx8 scheme)`. Every cell runs a complete inference through
-//! its own flat-array simulator (cells share nothing, so they
-//! parallelize perfectly), and the outcome carries the figures the
-//! paper's evaluation reports: total bit transitions, cycles, flit-hops,
-//! latency, index overhead.
+//! tiebreak × fx8 scheme × link codec)`. Every cell runs a complete
+//! inference through its own flat-array simulator (cells share nothing,
+//! so they parallelize perfectly), and the outcome carries the figures
+//! the paper's evaluation reports: total bit transitions, cycles,
+//! flit-hops, latency, index/codec side-channel overhead.
 //!
 //! `fig12_noc_sizes`, `fig13_models` and the `sweep` binary are all thin
 //! front-ends over [`expand_grid`] + [`run_cells`] +
 //! [`outcomes_json`]; see `EXPERIMENTS.md` for the JSON schema
-//! (`btr-sweep-v1`) and usage examples.
+//! (`btr-sweep-v2`) and usage examples. Grids can span machines: a
+//! [`Shard`] selects a deterministic subset of the expanded cells and
+//! [`merge_sweep_json`] recombines the per-shard result files.
 
 use crate::json::Json;
 use btr_accel::config::AccelConfig;
 use btr_accel::driver::run_inference;
 use btr_bits::word::DataFormat;
+use btr_core::codec::CodecKind;
 use btr_core::ordering::{OrderingMethod, TieBreak};
 use btr_dnn::model::InferenceOp;
 use btr_dnn::tensor::Tensor;
 use rayon::prelude::*;
+
+/// The sweep result schema version (`codec` axis added in v2).
+pub const SWEEP_SCHEMA: &str = "btr-sweep-v2";
 
 /// A named inference workload (model lowered to ops + input tensor).
 #[derive(Debug, Clone)]
@@ -113,6 +119,8 @@ pub struct SweepCell {
     pub tiebreak: TieBreak,
     /// Global Q0.7 fixed-8 weight quantization (sensitivity variant).
     pub fx8_global: bool,
+    /// Link-coding backend on every link.
+    pub codec: CodecKind,
 }
 
 /// The measured outcome of one cell.
@@ -132,6 +140,8 @@ pub struct CellOutcome {
     pub mean_latency: f64,
     /// O2 index side-channel overhead in bits.
     pub index_overhead_bits: u64,
+    /// Link-codec side-channel overhead in bits (the bus-invert line).
+    pub codec_overhead_bits: u64,
     /// Wall-clock milliseconds the cell took.
     pub wall_ms: u64,
     /// Error message if the cell failed (metrics are zero then).
@@ -147,6 +157,7 @@ pub fn expand_grid(
     orderings: &[OrderingMethod],
     tiebreaks: &[TieBreak],
     fx8_globals: &[bool],
+    codecs: &[CodecKind],
 ) -> Vec<SweepCell> {
     let mut cells = Vec::new();
     for w in 0..workloads {
@@ -155,14 +166,17 @@ pub fn expand_grid(
                 for &ordering in orderings {
                     for &tiebreak in tiebreaks {
                         for &fx8_global in fx8_globals {
-                            cells.push(SweepCell {
-                                workload: w,
-                                mesh,
-                                format,
-                                ordering,
-                                tiebreak,
-                                fx8_global,
-                            });
+                            for &codec in codecs {
+                                cells.push(SweepCell {
+                                    workload: w,
+                                    mesh,
+                                    format,
+                                    ordering,
+                                    tiebreak,
+                                    fx8_global,
+                                    codec,
+                                });
+                            }
                         }
                     }
                 }
@@ -183,7 +197,8 @@ pub fn run_cell(workloads: &[Workload], cell: SweepCell) -> CellOutcome {
         cell.mesh.mc_count,
         cell.format,
         cell.ordering,
-    );
+    )
+    .with_codec(cell.codec);
     config.tiebreak = cell.tiebreak;
     config.global_fx8_weights = cell.fx8_global;
     match run_inference(&workload.ops, &workload.input, &config) {
@@ -195,6 +210,7 @@ pub fn run_cell(workloads: &[Workload], cell: SweepCell) -> CellOutcome {
             request_packets: result.total_request_packets(),
             mean_latency: result.stats.latency.mean,
             index_overhead_bits: result.index_overhead_bits,
+            codec_overhead_bits: result.codec_overhead_bits,
             wall_ms: start.elapsed().as_millis() as u64,
             error: None,
         },
@@ -206,6 +222,7 @@ pub fn run_cell(workloads: &[Workload], cell: SweepCell) -> CellOutcome {
             request_packets: 0,
             mean_latency: 0.0,
             index_overhead_bits: 0,
+            codec_overhead_bits: 0,
             wall_ms: start.elapsed().as_millis() as u64,
             error: Some(e.to_string()),
         },
@@ -236,8 +253,10 @@ pub fn run_cells(
     par_run(cells, sequential, |cell| run_cell(workloads, cell))
 }
 
-/// Finds the baseline (O0) outcome matching a cell's other coordinates,
-/// for normalization/reduction reporting.
+/// Finds the baseline (O0, same codec) outcome matching a cell's other
+/// coordinates, for normalization/reduction reporting — so
+/// `reduction_vs_baseline` answers "what does ordering buy on this
+/// (possibly coded) link".
 #[must_use]
 pub fn baseline_of<'a>(outcomes: &'a [CellOutcome], cell: &SweepCell) -> Option<&'a CellOutcome> {
     outcomes.iter().find(|o| {
@@ -246,6 +265,7 @@ pub fn baseline_of<'a>(outcomes: &'a [CellOutcome], cell: &SweepCell) -> Option<
             && o.cell.format == cell.format
             && o.cell.tiebreak == cell.tiebreak
             && o.cell.fx8_global == cell.fx8_global
+            && o.cell.codec == cell.codec
             && o.cell.ordering == OrderingMethod::Baseline
     })
 }
@@ -272,12 +292,14 @@ pub fn outcomes_json(workloads: &[Workload], outcomes: &[CellOutcome]) -> Json {
                     Json::str(format!("{:?}", o.cell.tiebreak).to_lowercase()),
                 ),
                 ("fx8_global", Json::Bool(o.cell.fx8_global)),
+                ("codec", Json::str(o.cell.codec.label())),
                 ("transitions", Json::U64(o.transitions)),
                 ("cycles", Json::U64(o.cycles)),
                 ("flit_hops", Json::U64(o.flit_hops)),
                 ("request_packets", Json::U64(o.request_packets)),
                 ("mean_latency", Json::F64(o.mean_latency)),
                 ("index_overhead_bits", Json::U64(o.index_overhead_bits)),
+                ("codec_overhead_bits", Json::U64(o.codec_overhead_bits)),
                 (
                     "reduction_vs_baseline",
                     reduction.map_or(Json::Null, Json::F64),
@@ -288,9 +310,166 @@ pub fn outcomes_json(workloads: &[Workload], outcomes: &[CellOutcome]) -> Json {
         })
         .collect();
     Json::obj(vec![
-        ("schema", Json::str("btr-sweep-v1")),
+        ("schema", Json::str(SWEEP_SCHEMA)),
         ("cells", Json::Arr(cells)),
     ])
+}
+
+/// A deterministic `index/count` slice of a cell list, so one grid can
+/// span processes or hosts: shard `i/n` keeps the cells whose expansion
+/// index is `i` modulo `n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// This shard's index, `0 <= index < count`.
+    pub index: usize,
+    /// Total number of shards.
+    pub count: usize,
+}
+
+impl Shard {
+    /// The whole grid as one shard.
+    pub const WHOLE: Shard = Shard { index: 0, count: 1 };
+
+    /// Keeps this shard's cells (modulo split over the expansion order).
+    #[must_use]
+    pub fn select<T>(&self, cells: Vec<T>) -> Vec<T> {
+        cells
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| i % self.count == self.index)
+            .map(|(_, cell)| cell)
+            .collect()
+    }
+}
+
+impl std::fmt::Display for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+impl std::str::FromStr for Shard {
+    type Err = String;
+
+    /// Parses `"i/n"` with `i < n`, e.g. `"0/4"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let Some((index, count)) = s.split_once('/') else {
+            return Err(format!("shard {s:?} is not i/n (e.g. 0/4)"));
+        };
+        let index: usize = index
+            .parse()
+            .map_err(|e| format!("bad shard index in {s:?}: {e}"))?;
+        let count: usize = count
+            .parse()
+            .map_err(|e| format!("bad shard count in {s:?}: {e}"))?;
+        if count == 0 {
+            return Err("shard count must be positive".into());
+        }
+        if index >= count {
+            return Err(format!("shard index {index} must be < count {count}"));
+        }
+        Ok(Shard { index, count })
+    }
+}
+
+/// Merges sweep result documents produced by sharded runs: validates
+/// that every input carries the same `schema` string and a `cells`
+/// array, concatenates the cells in input order, and recomputes
+/// `reduction_vs_baseline` across the merged set — sharding splits a
+/// cell from its O0 baseline, so per-shard files carry `null` there
+/// until the shards are recombined.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed or mismatched input
+/// (`label` names the offending document in the message).
+pub fn merge_sweep_json(docs: &[(String, Json)]) -> Result<Json, String> {
+    let mut schema: Option<&str> = None;
+    let mut cells = Vec::new();
+    for (label, doc) in docs {
+        let got = doc
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{label}: missing \"schema\" string"))?;
+        match schema {
+            None => schema = Some(got),
+            Some(want) if want == got => {}
+            Some(want) => {
+                return Err(format!("{label}: schema {got:?} does not match {want:?}"));
+            }
+        }
+        match doc.get("cells") {
+            Some(Json::Arr(items)) => cells.extend(items.iter().cloned()),
+            _ => return Err(format!("{label}: missing \"cells\" array")),
+        }
+    }
+    let schema = schema.ok_or_else(|| "no input documents".to_string())?;
+    recompute_reductions(&mut cells);
+    Ok(Json::obj(vec![
+        ("schema", Json::str(schema)),
+        ("cells", Json::Arr(cells)),
+    ]))
+}
+
+/// The non-ordering coordinates identifying a cell's baseline row, as
+/// serialized in the result JSON.
+const BASELINE_KEY_FIELDS: [&str; 6] = [
+    "workload",
+    "mesh",
+    "format",
+    "tiebreak",
+    "fx8_global",
+    "codec",
+];
+
+fn baseline_key(cell: &Json) -> String {
+    let mut key = String::new();
+    for field in BASELINE_KEY_FIELDS {
+        // v1 files predate the codec axis; treat the field as absent
+        // uniformly so their keys still line up.
+        let value = cell
+            .get(field)
+            .map_or_else(String::new, Json::to_string_compact);
+        key.push_str(&value);
+        key.push('\u{1f}');
+    }
+    key
+}
+
+/// Recomputes every cell's `reduction_vs_baseline` against the O0 cell
+/// with the same coordinates anywhere in `cells` (the merged-document
+/// equivalent of [`baseline_of`]). Cells without an `ordering`/
+/// `transitions` field are left untouched.
+fn recompute_reductions(cells: &mut [Json]) {
+    let mut baselines: std::collections::HashMap<String, u64> = std::collections::HashMap::new();
+    for cell in cells.iter() {
+        if cell.get("ordering").and_then(Json::as_str) == Some(OrderingMethod::Baseline.label()) {
+            if let Some(&Json::U64(t)) = cell.get("transitions") {
+                if t > 0 {
+                    baselines.insert(baseline_key(cell), t);
+                }
+            }
+        }
+    }
+    for cell in cells.iter_mut() {
+        let Some(&Json::U64(t)) = cell.get("transitions") else {
+            continue;
+        };
+        if cell.get("ordering").and_then(Json::as_str).is_none() {
+            continue;
+        }
+        let reduction = baselines
+            .get(&baseline_key(cell))
+            .map(|&base| 1.0 - t as f64 / base as f64);
+        if let Json::Obj(fields) = cell {
+            if let Some((_, slot)) = fields
+                .iter_mut()
+                .find(|(k, _)| k == "reduction_vs_baseline")
+            {
+                *slot = reduction.map_or(Json::Null, Json::F64);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -347,8 +526,124 @@ mod tests {
             &OrderingMethod::ALL,
             &[TieBreak::Stable],
             &[false],
+            &CodecKind::ALL,
         );
-        assert_eq!(cells.len(), 2 * 3 * 2 * 3);
+        assert_eq!(cells.len(), 2 * 3 * 2 * 3 * 3);
+    }
+
+    #[test]
+    fn shards_partition_the_grid() {
+        let cells = expand_grid(
+            1,
+            &MeshSpec::PAPER,
+            &[DataFormat::Fixed8],
+            &OrderingMethod::ALL,
+            &[TieBreak::Stable],
+            &[false],
+            &CodecKind::ALL,
+        );
+        let shards: Vec<Vec<SweepCell>> = (0..4)
+            .map(|i| Shard { index: i, count: 4 }.select(cells.clone()))
+            .collect();
+        // Every cell lands in exactly one shard, order preserved.
+        let total: usize = shards.iter().map(Vec::len).sum();
+        assert_eq!(total, cells.len());
+        let mut merged: Vec<SweepCell> = shards.into_iter().flatten().collect();
+        merged.sort_by_key(|c| cells.iter().position(|x| x == c).unwrap());
+        assert_eq!(merged, cells);
+        assert_eq!(Shard::WHOLE.select(cells.clone()), cells);
+    }
+
+    #[test]
+    fn shard_parses_and_rejects() {
+        assert_eq!("0/4".parse::<Shard>(), Ok(Shard { index: 0, count: 4 }));
+        assert_eq!("3/4".parse::<Shard>().unwrap().to_string(), "3/4");
+        assert!("4/4".parse::<Shard>().is_err());
+        assert!("1/0".parse::<Shard>().is_err());
+        assert!("1".parse::<Shard>().is_err());
+        assert!("a/b".parse::<Shard>().is_err());
+    }
+
+    #[test]
+    fn merge_concatenates_and_validates() {
+        let doc = |n: u64| {
+            Json::obj(vec![
+                ("schema", Json::str(SWEEP_SCHEMA)),
+                ("cells", Json::Arr(vec![Json::U64(n)])),
+            ])
+        };
+        let merged =
+            merge_sweep_json(&[("a.json".into(), doc(1)), ("b.json".into(), doc(2))]).unwrap();
+        assert_eq!(
+            merged.get("cells"),
+            Some(&Json::Arr(vec![Json::U64(1), Json::U64(2)]))
+        );
+        assert_eq!(
+            merged.get("schema").and_then(Json::as_str),
+            Some(SWEEP_SCHEMA)
+        );
+        // Schema mismatch and malformed docs are rejected with the label.
+        let old = Json::obj(vec![
+            ("schema", Json::str("btr-sweep-v1")),
+            ("cells", Json::Arr(vec![])),
+        ]);
+        let err =
+            merge_sweep_json(&[("a.json".into(), doc(1)), ("old.json".into(), old)]).unwrap_err();
+        assert!(err.contains("old.json"), "{err}");
+        assert!(merge_sweep_json(&[("x".into(), Json::U64(3))]).is_err());
+        assert!(merge_sweep_json(&[]).is_err());
+    }
+
+    #[test]
+    fn merge_recomputes_cross_shard_reductions() {
+        // Sharding splits a cell from its O0 baseline: each per-shard
+        // file carries `reduction_vs_baseline: null`, and the merge must
+        // recompute it over the recombined set.
+        let cell = |ordering: &str, codec: &str, transitions: u64, reduction: Json| {
+            Json::obj(vec![
+                ("workload", Json::str("LeNet")),
+                ("mesh", Json::str("4x4 MC2")),
+                ("format", Json::str("fixed-8")),
+                ("ordering", Json::str(ordering)),
+                ("tiebreak", Json::str("stable")),
+                ("fx8_global", Json::Bool(false)),
+                ("codec", Json::str(codec)),
+                ("transitions", Json::U64(transitions)),
+                ("reduction_vs_baseline", reduction),
+                ("error", Json::Null),
+            ])
+        };
+        let shard = |cells: Vec<Json>| {
+            Json::obj(vec![
+                ("schema", Json::str(SWEEP_SCHEMA)),
+                ("cells", Json::Arr(cells)),
+            ])
+        };
+        let merged = merge_sweep_json(&[
+            (
+                "part0.json".into(),
+                shard(vec![
+                    cell("O0", "none", 1000, Json::F64(0.0)),
+                    cell("O2", "delta-xor", 600, Json::Null),
+                ]),
+            ),
+            (
+                "part1.json".into(),
+                shard(vec![
+                    cell("O0", "delta-xor", 800, Json::Null),
+                    cell("O2", "none", 750, Json::Null),
+                ]),
+            ),
+        ])
+        .unwrap();
+        let Some(Json::Arr(cells)) = merged.get("cells") else {
+            panic!("merged cells missing");
+        };
+        let reduction = |i: usize| cells[i].get("reduction_vs_baseline").unwrap().clone();
+        assert_eq!(reduction(0), Json::F64(0.0)); // O0/none vs itself
+        assert_eq!(reduction(1), Json::F64(1.0 - 600.0 / 800.0)); // O2 vs O0, same codec
+        assert_eq!(reduction(2), Json::F64(0.0)); // O0/delta-xor vs itself
+        assert_eq!(reduction(3), Json::F64(0.25)); // O2/none vs O0/none
     }
 
     #[test]
@@ -365,6 +660,7 @@ mod tests {
             &OrderingMethod::ALL,
             &[TieBreak::Stable],
             &[false],
+            &[CodecKind::Unencoded],
         );
         let outcomes = run_cells(&workloads, cells.clone(), false);
         assert_eq!(outcomes.len(), 3);
@@ -381,9 +677,61 @@ mod tests {
         }
         let json = outcomes_json(&workloads, &outcomes);
         let text = json.to_string_compact();
-        assert!(text.contains("\"schema\":\"btr-sweep-v1\""));
+        assert!(text.contains("\"schema\":\"btr-sweep-v2\""));
         assert!(text.contains("\"ordering\":\"O2\""));
+        assert!(text.contains("\"codec\":\"none\""));
+        assert!(text.contains("\"codec_overhead_bits\":0"));
         assert!(text.contains("\"reduction_vs_baseline\""));
+        // The writer output parses back (what sweep-merge consumes).
+        assert_eq!(
+            Json::parse(&text)
+                .unwrap()
+                .get("schema")
+                .and_then(Json::as_str),
+            Some(SWEEP_SCHEMA)
+        );
+    }
+
+    #[test]
+    fn codec_axis_runs_and_normalizes_within_codec() {
+        let workloads = vec![tiny_workload()];
+        let cells = expand_grid(
+            1,
+            &[MeshSpec {
+                width: 4,
+                height: 4,
+                mc_count: 2,
+            }],
+            &[DataFormat::Fixed8],
+            &[OrderingMethod::Baseline, OrderingMethod::Separated],
+            &[TieBreak::Stable],
+            &[false],
+            &CodecKind::ALL,
+        );
+        let outcomes = run_cells(&workloads, cells, true);
+        assert_eq!(outcomes.len(), 6);
+        assert!(outcomes.iter().all(|o| o.error.is_none()));
+        for o in &outcomes {
+            // Each cell normalizes against the same-codec O0 cell.
+            let base = baseline_of(&outcomes, &o.cell).unwrap();
+            assert_eq!(base.cell.codec, o.cell.codec);
+            if o.cell.ordering == OrderingMethod::Separated {
+                assert!(
+                    o.transitions < base.transitions,
+                    "ordering should still win under {}: {} vs {}",
+                    o.cell.codec,
+                    o.transitions,
+                    base.transitions
+                );
+            }
+            let expect_overhead = o.cell.codec == CodecKind::BusInvert;
+            assert_eq!(
+                o.codec_overhead_bits > 0,
+                expect_overhead,
+                "{}",
+                o.cell.codec
+            );
+        }
     }
 
     #[test]
@@ -401,6 +749,7 @@ mod tests {
             ordering: OrderingMethod::Baseline,
             tiebreak: TieBreak::Stable,
             fx8_global: false,
+            codec: CodecKind::Unencoded,
         }];
         let outcomes = run_cells(&workloads, cells, true);
         assert!(outcomes[0].error.is_some());

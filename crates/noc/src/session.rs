@@ -1,25 +1,28 @@
 //! NoC injection over the shared transport pipeline.
 //!
 //! [`TaskPort`] binds a [`TransportSession`] (the MC-side ordering unit +
-//! PE-side recovery logic from `btr_core::transport`) to the mesh
-//! simulator: tasks are encoded once by the session, injected as
-//! [`Packet`]s, and decoded off the delivered wire images. The
-//! accelerator driver and the standalone NoC harnesses both go through
-//! this port, so flitization/recovery logic exists exactly once.
+//! link codec + PE-side recovery logic from `btr_core::transport`) to the
+//! mesh simulator: tasks are encoded once by the session, injected as
+//! [`Packet`]s carrying the *coded* wire images — so every per-link
+//! transition recorder in the simulator observes the coded wire,
+//! including any codec side-channel wires the link width covers — and
+//! decoded bit-exactly off the delivered images. The accelerator driver
+//! and the standalone NoC harnesses both go through this port, so
+//! flitization/codec/recovery logic exists exactly once.
 //!
 //! # Example
 //!
 //! ```
 //! use btr_core::ordering::OrderingMethod;
 //! use btr_core::task::NeuronTask;
-//! use btr_core::transport::{OrderedTransport, TransportConfig};
+//! use btr_core::transport::{CodedTransport, TransportConfig};
 //! use btr_bits::word::Fx8Word;
 //! use btr_noc::config::NocConfig;
 //! use btr_noc::session::TaskPort;
 //! use btr_noc::sim::Simulator;
 //!
 //! let mut sim = Simulator::new(NocConfig::mesh(4, 4, 128));
-//! let port = TaskPort::new(OrderedTransport::new(TransportConfig::new(
+//! let port = TaskPort::new(CodedTransport::new(TransportConfig::new(
 //!     OrderingMethod::Separated,
 //!     16,
 //! )));
@@ -138,6 +141,7 @@ impl<S> TaskPort<S> {
         let encoded = self.session.encode_task(task)?;
         let meta = encoded.wire_meta();
         let index_overhead_bits = encoded.index_overhead_bits();
+        let codec_overhead_bits = encoded.codec_overhead_bits();
         let payload = encoded.payload_flits();
         let flit_count = payload.len() + 1;
         sim.inject(Packet::new(src, dst, payload, tag))?;
@@ -145,6 +149,7 @@ impl<S> TaskPort<S> {
             meta,
             flit_count,
             index_overhead_bits,
+            codec_overhead_bits,
         })
     }
 
@@ -175,6 +180,9 @@ pub struct SentTask {
     pub flit_count: usize,
     /// O2 index side-channel overhead in bits (zero for O0/O1).
     pub index_overhead_bits: u64,
+    /// Link-codec side-channel overhead in bits (the bus-invert line;
+    /// zero for unencoded and delta-XOR sessions).
+    pub codec_overhead_bits: u64,
 }
 
 #[cfg(test)]
@@ -182,8 +190,9 @@ mod tests {
     use super::*;
     use crate::config::NocConfig;
     use btr_bits::word::Fx8Word;
+    use btr_core::codec::CodecKind;
     use btr_core::ordering::OrderingMethod;
-    use btr_core::transport::{OrderedTransport, TransportConfig};
+    use btr_core::transport::{CodedTransport, TransportConfig};
 
     fn task(n: usize) -> NeuronTask<Fx8Word> {
         let inputs: Vec<Fx8Word> = (0..n).map(|i| Fx8Word::new(i as i8)).collect();
@@ -195,7 +204,7 @@ mod tests {
     fn roundtrip_over_the_mesh_for_all_orderings() {
         for ordering in OrderingMethod::ALL {
             let mut sim = Simulator::new(NocConfig::mesh(4, 4, 128));
-            let port = TaskPort::new(OrderedTransport::new(TransportConfig::new(ordering, 16)));
+            let port = TaskPort::new(CodedTransport::new(TransportConfig::new(ordering, 16)));
             let t = task(25);
             let meta = port.send_task(&mut sim, 2, 13, &t, 9).unwrap();
             sim.run_until_idle(10_000).unwrap();
@@ -208,9 +217,37 @@ mod tests {
     }
 
     #[test]
+    fn coded_wire_roundtrips_over_the_mesh() {
+        // Every codec delivers decoded payloads bit-exactly while the
+        // simulator records transitions on the coded wire image (the
+        // bus-invert link is one wire wider).
+        let config = TransportConfig::new(OrderingMethod::Separated, 16);
+        let mut totals = Vec::new();
+        for codec in CodecKind::ALL {
+            let link_width = config.with_codec(codec).link_width_bits::<Fx8Word>();
+            let mut sim = Simulator::new(NocConfig::mesh(4, 4, link_width));
+            let port = TaskPort::new(CodedTransport::new(config.with_codec(codec)));
+            let t = task(25);
+            let meta = port.send_task(&mut sim, 2, 13, &t, 9).unwrap();
+            sim.run_until_idle(10_000).unwrap();
+            let delivered = sim.drain_delivered(13).pop().expect("delivered");
+            assert!(delivered
+                .payload_flits
+                .iter()
+                .all(|f| f.width() == link_width));
+            let rec: btr_core::task::RecoveredTask<Fx8Word> =
+                port.receive_task(&meta, &delivered).unwrap();
+            assert_eq!(rec.mac_i64(), t.mac_i64(), "{codec}");
+            totals.push(sim.stats().total_transitions);
+        }
+        // The coded wires genuinely differ from the unencoded wire.
+        assert_ne!(totals[0], totals[2], "delta-XOR must change the wire BTs");
+    }
+
+    #[test]
     fn accounted_send_reports_flits_and_overhead() {
         let mut sim = Simulator::new(NocConfig::mesh(4, 4, 128));
-        let port = TaskPort::new(OrderedTransport::new(TransportConfig::new(
+        let port = TaskPort::new(CodedTransport::new(TransportConfig::new(
             OrderingMethod::Separated,
             16,
         )));
@@ -219,13 +256,21 @@ mod tests {
         // 25 pairs at 8+8 lanes -> 4 payload flits + head.
         assert_eq!(sent.flit_count, 5);
         assert!(sent.index_overhead_bits > 0);
+        assert_eq!(sent.codec_overhead_bits, 0);
         assert_eq!(sent.meta.num_pairs, 25);
+        // A bus-invert session reports one side-channel bit per payload flit.
+        let mut sim = Simulator::new(NocConfig::mesh(4, 4, 129));
+        let port = TaskPort::new(CodedTransport::new(
+            TransportConfig::new(OrderingMethod::Separated, 16).with_codec(CodecKind::BusInvert),
+        ));
+        let sent = port.send_task_accounted(&mut sim, 0, 5, &t, 1).unwrap();
+        assert_eq!(sent.codec_overhead_bits, 4);
     }
 
     #[test]
     fn send_surfaces_inject_errors() {
         let mut sim = Simulator::new(NocConfig::mesh(4, 4, 64));
-        let port = TaskPort::new(OrderedTransport::new(TransportConfig::new(
+        let port = TaskPort::new(CodedTransport::new(TransportConfig::new(
             OrderingMethod::Baseline,
             16,
         )));

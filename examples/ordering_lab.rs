@@ -4,12 +4,29 @@
 //! Run with: `cargo run --release --example ordering_lab`
 
 use noc_btr::bits::word::Fx8Word;
+use noc_btr::bits::PayloadBits;
 use noc_btr::core::encoding::{bus_invert, delta_xor, unencoded};
+use noc_btr::core::ordering::{ascending_popcount_order, greedy_nearest_order};
 use noc_btr::core::stream::{
     build_stream_flits, measure_flits, Comparison, Placement, TieBreak, WindowConfig,
 };
+use noc_btr::core::transport::pack_window_with_order;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Packs the stream with an arbitrary per-window permutation rule (the
+/// ablation counterpart of `build_stream_flits`).
+fn flits_with_order(
+    packets: &[Vec<Fx8Word>],
+    window: usize,
+    order: impl Fn(&[Fx8Word]) -> Vec<usize> + Copy,
+) -> Vec<PayloadBits> {
+    let mut flits = Vec::new();
+    for group in packets.chunks(window) {
+        flits.extend(pack_window_with_order(group, 8, order));
+    }
+    flits
+}
 
 fn main() {
     // Trained-like weight stream: codes concentrated near zero.
@@ -65,6 +82,20 @@ fn main() {
             bt,
         );
     }
+
+    // Alternative ordering rules (ablation): ascending popcount puts the
+    // heavy values next to the zero-padded packet tails; greedy
+    // nearest-popcount ties descending, showing popcount adjacency is
+    // what matters.
+    let measure = |flits: &[PayloadBits]| measure_flits::<Fx8Word>(flits, 8, comparison, 0);
+    show(
+        "ascending popcount (window 64)",
+        measure(&flits_with_order(&packets, 64, ascending_popcount_order)).transitions,
+    );
+    show(
+        "greedy nearest-popcount (window 64)",
+        measure(&flits_with_order(&packets, 64, greedy_nearest_order)).transitions,
+    );
 
     // Classic link encodings over the *unordered* stream.
     show(

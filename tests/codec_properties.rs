@@ -1,0 +1,81 @@
+//! Property-based tests (proptest) over the link-codec invariants.
+//!
+//! Pinned here:
+//!
+//! * **Round-trip losslessness** for all three codecs:
+//!   `decode_stream(encode_stream(s), w) == s` across random widths and
+//!   streams.
+//! * **Bus-invert's bound**: on the wire (data wires + the invert line),
+//!   no flit boundary ever toggles more than `⌈w/2⌉ + 1` wires.
+
+use noc_btr::bits::PayloadBits;
+use noc_btr::core::codec::CodecKind;
+use proptest::prelude::*;
+
+/// Builds a `width`-bit image from up to two raw words.
+fn image(width: u32, lo: u64, hi: u64) -> PayloadBits {
+    let mut p = PayloadBits::zero(width);
+    let lo_len = 64.min(width);
+    p.set_field(0, lo_len, lo);
+    if width > 64 {
+        p.set_field(64, 64.min(width - 64), hi);
+    }
+    p
+}
+
+proptest! {
+    /// `decode(encode(s)) == s` for every codec, any width, any stream —
+    /// including the empty and single-flit streams.
+    #[test]
+    fn codec_round_trip_is_lossless(
+        width in 1u32..=128,
+        raw in prop::collection::vec((any::<u64>(), any::<u64>()), 0..=40),
+        codec_idx in 0usize..3,
+    ) {
+        let kind = CodecKind::ALL[codec_idx];
+        let codec = kind.codec();
+        let stream: Vec<PayloadBits> = raw.iter().map(|&(lo, hi)| image(width, lo, hi)).collect();
+        let wire = codec.encode_stream(&stream);
+        prop_assert_eq!(wire.len(), stream.len());
+        for w in &wire {
+            prop_assert_eq!(w.width(), width + kind.extra_wires());
+        }
+        let back = codec.decode_stream(&wire, width).unwrap();
+        prop_assert_eq!(back, stream);
+    }
+
+    /// Bus-invert never exceeds `⌈w/2⌉ + 1` wire toggles per flit
+    /// boundary: at most half the data wires (else the flit would have
+    /// been inverted) plus the invert line itself.
+    #[test]
+    fn bus_invert_bounds_per_flit_wire_transitions(
+        width in 1u32..=128,
+        raw in prop::collection::vec((any::<u64>(), any::<u64>()), 2..=40),
+    ) {
+        let codec = CodecKind::BusInvert.codec();
+        let stream: Vec<PayloadBits> = raw.iter().map(|&(lo, hi)| image(width, lo, hi)).collect();
+        let wire = codec.encode_stream(&stream);
+        let bound = width.div_ceil(2) + 1;
+        for pair in wire.windows(2) {
+            let toggles = pair[1].transitions_to(&pair[0]);
+            prop_assert!(
+                toggles <= bound,
+                "{toggles} toggles on a {width}-wide data bus exceeds {bound}"
+            );
+        }
+    }
+
+    /// The codec stage preserves flit counts: no codec adds or removes
+    /// flits, so packet shapes (and cycle counts for equal widths) are
+    /// codec-independent.
+    #[test]
+    fn codecs_preserve_flit_counts(
+        width in 1u32..=96,
+        raw in prop::collection::vec(any::<u64>(), 0..=30),
+        codec_idx in 0usize..3,
+    ) {
+        let codec = CodecKind::ALL[codec_idx].codec();
+        let stream: Vec<PayloadBits> = raw.iter().map(|&lo| image(width, lo, 0)).collect();
+        prop_assert_eq!(codec.encode_stream(&stream).len(), stream.len());
+    }
+}

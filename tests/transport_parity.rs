@@ -1,7 +1,7 @@
 //! Parity tests for the unified transport pipeline and the flat-array
 //! NoC engine.
 //!
-//! Two guarantees are pinned here:
+//! Three guarantees are pinned here:
 //!
 //! 1. **Transport round-trip**: for every `OrderingMethod × TieBreak`
 //!    combination, encoding a task through the shared
@@ -13,12 +13,19 @@
 //!    totals, cycles, latency and delivered payloads — on seeded 4×4
 //!    mesh workloads, both for raw traffic and for transport-encoded
 //!    task packets.
+//! 3. **Codec parity**: `CodedTransport` with `CodecKind::Unencoded`
+//!    produces bit-identical wire images, per-link BT totals, cycles
+//!    and recovered tasks to the pre-refactor ordered-transport path
+//!    (ordering + flitization with no codec stage), and both coded
+//!    backends are lossless at the PE across the mesh.
 
 use noc_btr::bits::word::{DataWord, F32Word, Fx8Word};
 use noc_btr::bits::PayloadBits;
+use noc_btr::core::codec::CodecKind;
+use noc_btr::core::flitize::order_task_with;
 use noc_btr::core::ordering::{OrderingMethod, TieBreak};
 use noc_btr::core::task::NeuronTask;
-use noc_btr::core::transport::{OrderedTransport, TransportConfig, TransportSession};
+use noc_btr::core::transport::{CodedTransport, TransportConfig, TransportSession};
 use noc_btr::noc::config::NocConfig;
 use noc_btr::noc::legacy::LegacySimulator;
 use noc_btr::noc::packet::Packet;
@@ -42,10 +49,11 @@ fn transport_roundtrip_mac_equality_all_orderings_and_tiebreaks() {
         for ordering in OrderingMethod::ALL {
             for tiebreak in [TieBreak::Stable, TieBreak::Value] {
                 for vpf in [4usize, 8, 16] {
-                    let session = OrderedTransport::new(TransportConfig {
+                    let session = CodedTransport::new(TransportConfig {
                         ordering,
                         tiebreak,
                         values_per_flit: vpf,
+                        codec: CodecKind::Unencoded,
                     });
                     let enc = session.encode_task(&task).unwrap();
                     let rec = session
@@ -76,10 +84,11 @@ fn transport_roundtrip_f32_within_reassociation_tolerance() {
         let task = NeuronTask::new(inputs, weights, F32Word::new(0.5)).unwrap();
         for ordering in OrderingMethod::ALL {
             for tiebreak in [TieBreak::Stable, TieBreak::Value] {
-                let session = OrderedTransport::new(TransportConfig {
+                let session = CodedTransport::new(TransportConfig {
                     ordering,
                     tiebreak,
                     values_per_flit: 16,
+                    codec: CodecKind::Unencoded,
                 });
                 let enc = session.encode_task(&task).unwrap();
                 let rec = session
@@ -151,7 +160,7 @@ fn flat_engine_matches_legacy_on_seeded_traffic() {
 #[test]
 fn flat_engine_matches_legacy_on_transport_tasks() {
     let config = NocConfig::mesh(4, 4, 128);
-    let session = OrderedTransport::new(TransportConfig::new(OrderingMethod::Separated, 16));
+    let session = CodedTransport::new(TransportConfig::new(OrderingMethod::Separated, 16));
     let port = TaskPort::new(session);
     let mut rng = StdRng::seed_from_u64(99);
 
@@ -207,5 +216,98 @@ fn stream_and_transport_packing_agree() {
         let total: u32 = a.iter().map(PayloadBits::popcount).sum();
         let expect: u32 = values.iter().map(|w| w.popcount()).sum();
         assert_eq!(total, expect);
+    }
+}
+
+/// Codec-parity satellite: `CodedTransport` with the unencoded codec is
+/// bit-identical to the pre-refactor ordered-transport path — the wire
+/// images equal plain `order_task_with(..).payload_flits()`, and a full
+/// NoC run over those images yields the same per-link BT totals, cycles
+/// and recovered tasks.
+#[test]
+fn coded_unencoded_matches_pre_refactor_ordered_path() {
+    let mut rng = StdRng::seed_from_u64(1234);
+    let config = NocConfig::mesh(4, 4, 128);
+    let session = CodedTransport::new(TransportConfig::new(OrderingMethod::Separated, 16));
+    let port = TaskPort::new(session);
+
+    let mut coded_sim = Simulator::new(config.clone());
+    let mut plain_sim = Simulator::new(config);
+    let mut tasks = Vec::new();
+    for tag in 0..100u64 {
+        let n = rng.gen_range(1..60usize);
+        let task = random_fx8_task(&mut rng, n);
+        let src = rng.gen_range(0..16);
+        let dst = rng.gen_range(0..16);
+        // New pipeline: ordering + (identity) codec through the session.
+        let enc = port.session().encode_task(&task).unwrap();
+        // Pre-refactor pipeline: ordering + flitization, no codec stage.
+        let pre = order_task_with(&task, OrderingMethod::Separated, 16, TieBreak::Stable)
+            .unwrap()
+            .payload_flits();
+        assert_eq!(enc.payload_flits(), pre, "wire images must be identical");
+        assert_eq!(enc.codec_overhead_bits(), 0);
+        let meta = port
+            .send_task(&mut coded_sim, src, dst, &task, tag)
+            .unwrap();
+        plain_sim.inject(Packet::new(src, dst, pre, tag)).unwrap();
+        tasks.push((task, meta));
+    }
+    coded_sim.run_until_idle(1_000_000).unwrap();
+    plain_sim.run_until_idle(1_000_000).unwrap();
+
+    let (cs, ps) = (coded_sim.stats(), plain_sim.stats());
+    assert_eq!(cs.cycles, ps.cycles);
+    assert_eq!(cs.total_transitions, ps.total_transitions);
+    assert_eq!(
+        cs.per_link, ps.per_link,
+        "per-link BT totals must be bit-exact"
+    );
+
+    let mut delivered = coded_sim.drain_all_delivered();
+    delivered.sort_by_key(|d| d.tag);
+    assert_eq!(delivered.len(), tasks.len());
+    for d in delivered {
+        let (task, meta) = &tasks[d.tag as usize];
+        let rec: noc_btr::core::task::RecoveredTask<Fx8Word> = port.receive_task(meta, &d).unwrap();
+        assert_eq!(rec.mac_i64(), task.mac_i64(), "task {}", d.tag);
+    }
+}
+
+/// Both coded backends are lossless at the PE: tasks sent over the mesh
+/// through bus-invert / delta-XOR sessions decode to the exact operand
+/// pairing, while the per-link recorders observe the coded wire (the
+/// bus-invert mesh is one wire wider).
+#[test]
+fn coded_backends_are_lossless_at_the_pe() {
+    for codec in [CodecKind::BusInvert, CodecKind::DeltaXor] {
+        let tconfig = TransportConfig::new(OrderingMethod::Separated, 16).with_codec(codec);
+        let link_width = tconfig.link_width_bits::<Fx8Word>();
+        let config = NocConfig::mesh(4, 4, link_width);
+        let port = TaskPort::new(CodedTransport::new(tconfig));
+        let mut rng = StdRng::seed_from_u64(5678);
+        let mut sim = Simulator::new(config);
+        let mut tasks = Vec::new();
+        for tag in 0..60u64 {
+            let n = rng.gen_range(1..60usize);
+            let task = random_fx8_task(&mut rng, n);
+            let src = rng.gen_range(0..16);
+            let dst = rng.gen_range(0..16);
+            let meta = port.send_task(&mut sim, src, dst, &task, tag).unwrap();
+            tasks.push((task, meta));
+        }
+        sim.run_until_idle(1_000_000).unwrap();
+        let stats = sim.stats();
+        assert!(stats.total_transitions > 0);
+        let mut delivered = sim.drain_all_delivered();
+        delivered.sort_by_key(|d| d.tag);
+        assert_eq!(delivered.len(), tasks.len());
+        for d in delivered {
+            assert!(d.payload_flits.iter().all(|f| f.width() == link_width));
+            let (task, meta) = &tasks[d.tag as usize];
+            let rec: noc_btr::core::task::RecoveredTask<Fx8Word> =
+                port.receive_task(meta, &d).unwrap();
+            assert_eq!(rec.mac_i64(), task.mac_i64(), "{codec} task {}", d.tag);
+        }
     }
 }
