@@ -5,23 +5,49 @@
 //! assembled activations. One simulator instance persists across layers so
 //! link recorders accumulate the complete inference's bit transitions —
 //! the quantity Figs. 12–13 report.
+//!
+//! # The staged pipeline
+//!
+//! The paper's ordering unit sits *beside* the memory controller precisely
+//! so that sorting and flitizing never stall the link (Sec. V, Fig. 14).
+//! The driver models the same overlap in software: with
+//! [`DriverMode::Pipelined`] each MC gets an encoder running on its own
+//! thread — building tasks from the layer operands, sorting (with the
+//! weight permutation cached per kernel, so a layer's weights are ordered
+//! once, not once per output pixel or batch element), flitizing and
+//! link-coding into a bounded ready-queue — while the cycle loop steps the
+//! mesh and only pops finished packets. Encoding for packets the prefetch
+//! buffers have not yet requested proceeds concurrently with simulation;
+//! layer *L+1* still waits on layer *L*'s outputs (its activations are a
+//! data dependency), so the overlap window is the thousands of tasks
+//! within each layer.
+//!
+//! Both driver modes inject the identical packet sequence, so they are
+//! bit-exact with each other — same per-link bit transitions, cycle
+//! counts, recovered MACs and overhead accounting (pinned by
+//! `tests/driver_parity.rs`). Batching ([`AccelConfig::batch_size`]) runs
+//! N inputs through each layer as one traffic phase on the same mesh.
 
-use crate::config::AccelConfig;
-use crate::report::{InferenceResult, LayerTrafficReport};
-use crate::tasks::{
-    conv_tasks, f32_mappers, fx8_mappers, linear_tasks, ConvGeometry, IndexedTask, LayerQuantizers,
-};
+use crate::config::{AccelConfig, DriverMode};
+use crate::report::{BatchInferenceResult, InferenceResult, LayerTrafficReport};
+use crate::tasks::{ConvGeometry, LayerQuantizers, LayerTasks};
 use btr_bits::word::{DataFormat, DataWord, F32Word, Fx8Word};
 use btr_core::flitize::FlitizeError;
+use btr_core::ordering::{OrderingMethod, TieBreak};
 use btr_core::task::RecoveredTask;
-use btr_core::transport::{CodedTransport, TaskWireMeta, TransportConfig};
+use btr_core::transport::{
+    CodedTransport, EncodedTask, TaskWireMeta, TransportConfig, TransportScratch,
+};
 use btr_dnn::model::InferenceOp;
 use btr_dnn::tensor::Tensor;
 use btr_noc::packet::Packet;
 use btr_noc::session::{SendError, TaskPort};
-use btr_noc::sim::{InjectError, Simulator};
+use btr_noc::sim::{DeliveredPacket, InjectError, Simulator};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::time::Duration;
 
 /// Errors from [`run_inference`].
 #[derive(Debug)]
@@ -43,6 +69,8 @@ pub enum AccelError {
     },
     /// The fixed-16 extension format is not wired into the accelerator.
     UnsupportedFormat(DataFormat),
+    /// A pipelined encoder thread died (panicked) mid-layer.
+    EncoderDied,
 }
 
 impl std::fmt::Display for AccelError {
@@ -57,6 +85,9 @@ impl std::fmt::Display for AccelError {
             }
             AccelError::UnsupportedFormat(fmt) => {
                 write!(f, "format {fmt} is not supported by the accelerator")
+            }
+            AccelError::EncoderDied => {
+                write!(f, "a pipelined encoder thread panicked mid-layer")
             }
         }
     }
@@ -86,8 +117,10 @@ impl From<SendError> for AccelError {
 }
 
 /// Words the accelerator can compute on: defines how a PE encodes its MAC
-/// result into the 32-bit response image.
-pub trait AccelWord: DataWord {
+/// result into the 32-bit response image. `Send + Sync` because the
+/// pipelined driver encodes tasks of type `W` on the per-MC encoder
+/// threads.
+pub trait AccelWord: DataWord + Send + Sync {
     /// Encodes the recovered task's MAC result (32-bit field, LSB-first).
     fn response_bits(rec: &RecoveredTask<Self>) -> u64;
 }
@@ -109,7 +142,10 @@ impl AccelWord for Fx8Word {
     }
 }
 
-/// Runs a complete inference over the NoC.
+/// Runs a complete single-input inference over the NoC.
+///
+/// Requires `config.batch_size == 1`; use [`run_inference_batch`] to run
+/// several inputs as one traffic phase per layer.
 ///
 /// # Errors
 ///
@@ -120,9 +156,56 @@ pub fn run_inference(
     input: &Tensor,
     config: &AccelConfig,
 ) -> Result<InferenceResult, AccelError> {
+    if config.batch_size != 1 {
+        return Err(AccelError::Config(format!(
+            "run_inference requires batch_size 1 (got {}); use run_inference_batch",
+            config.batch_size
+        )));
+    }
+    Ok(run_inference_batch(ops, std::slice::from_ref(input), config)?.into_single())
+}
+
+/// Runs a batch of inputs through the network, each conv/linear layer
+/// transmitting the whole batch's tasks as **one traffic phase**: weight
+/// kernels are materialized and sorted once per layer instead of once per
+/// input, and the mesh stays busy across inputs instead of draining at
+/// every per-input layer boundary.
+///
+/// `inputs.len()` must equal `config.batch_size`. With `batch_size == 1`
+/// this is exactly the single-input driver (pinned by
+/// `tests/driver_parity.rs`), and each batched output is bit-identical to
+/// the output of a sequential single-input run: every task's MAC depends
+/// only on its own operands, never on how the batch's packets interleave
+/// in the mesh.
+///
+/// # Errors
+///
+/// Returns [`AccelError`] on invalid configuration or batch size,
+/// flitization failure, a stalled layer, or a decode failure.
+pub fn run_inference_batch(
+    ops: &[InferenceOp],
+    inputs: &[Tensor],
+    config: &AccelConfig,
+) -> Result<BatchInferenceResult, AccelError> {
     config.validate().map_err(AccelError::Config)?;
+    if inputs.is_empty() || inputs.len() != config.batch_size {
+        return Err(AccelError::Config(format!(
+            "batch_size {} does not match the {} inputs provided",
+            config.batch_size,
+            inputs.len()
+        )));
+    }
+    // Layer geometry and window indexing derive from element 0; a
+    // mismatched tensor would read the wrong pixels silently.
+    if let Some(bad) = inputs.iter().find(|x| x.shape() != inputs[0].shape()) {
+        return Err(AccelError::Config(format!(
+            "batch inputs must share one shape: got {:?} and {:?}",
+            inputs[0].shape(),
+            bad.shape()
+        )));
+    }
     let mut sim = Simulator::new(config.noc.clone());
-    let mut x = input.clone();
+    let mut xs: Vec<Tensor> = inputs.to_vec();
     let mut per_layer = Vec::new();
     let mut overhead = WireOverhead::default();
 
@@ -134,16 +217,23 @@ pub fn run_inference(
                 stride,
                 padding,
             } => {
-                let geo = ConvGeometry::from_shapes(&x, weight, *stride, *padding);
+                let geo = ConvGeometry::from_shapes(&xs[0], weight, *stride, *padding);
                 let out_shape = [geo.out_channels, geo.out_h, geo.out_w];
                 let values = match config.format {
                     DataFormat::Float32 => {
-                        let (ti, tw, tb) = f32_mappers();
-                        let tasks = conv_tasks(&x, weight, bias, &geo, ti, tw, tb);
+                        let source = LayerTasks::conv(
+                            &xs,
+                            weight,
+                            bias,
+                            geo,
+                            f32_input_mappers(xs.len()),
+                            F32Word::new,
+                            F32Word::new,
+                        );
                         run_noc_layer_f32(
                             op_index,
                             "conv",
-                            &tasks,
+                            &source,
                             config,
                             &mut sim,
                             &mut per_layer,
@@ -151,19 +241,22 @@ pub fn run_inference(
                         )?
                     }
                     DataFormat::Fixed8 => {
-                        let q = LayerQuantizers::derive_with(
-                            &x,
+                        let qs = layer_quantizers(&xs, weight, bias, config);
+                        let q0 = qs[0];
+                        let source = LayerTasks::conv(
+                            &xs,
                             weight,
                             bias,
-                            config.global_fx8_weights,
+                            geo,
+                            fx8_input_mappers(&qs),
+                            move |w| q0.weight.quantize_fx8(w),
+                            move |b| q0.bias.quantize_fx8(b),
                         );
-                        let (ti, tw, tb) = fx8_mappers(q);
-                        let tasks = conv_tasks(&x, weight, bias, &geo, ti, tw, tb);
                         run_noc_layer_fx8(
                             op_index,
                             "conv",
-                            &tasks,
-                            q,
+                            &source,
+                            &qs,
                             config,
                             &mut sim,
                             &mut per_layer,
@@ -172,18 +265,24 @@ pub fn run_inference(
                     }
                     other => return Err(AccelError::UnsupportedFormat(other)),
                 };
-                x = Tensor::from_vec(&out_shape, values).expect("task count matches shape");
+                xs = tensors_from(values, &out_shape);
             }
             InferenceOp::Linear { weight, bias } => {
                 let out_shape = [weight.shape()[0]];
                 let values = match config.format {
                     DataFormat::Float32 => {
-                        let (ti, tw, tb) = f32_mappers();
-                        let tasks = linear_tasks(&x, weight, bias, ti, tw, tb);
+                        let source = LayerTasks::linear(
+                            &xs,
+                            weight,
+                            bias,
+                            f32_input_mappers(xs.len()),
+                            F32Word::new,
+                            F32Word::new,
+                        );
                         run_noc_layer_f32(
                             op_index,
                             "linear",
-                            &tasks,
+                            &source,
                             config,
                             &mut sim,
                             &mut per_layer,
@@ -191,19 +290,21 @@ pub fn run_inference(
                         )?
                     }
                     DataFormat::Fixed8 => {
-                        let q = LayerQuantizers::derive_with(
-                            &x,
+                        let qs = layer_quantizers(&xs, weight, bias, config);
+                        let q0 = qs[0];
+                        let source = LayerTasks::linear(
+                            &xs,
                             weight,
                             bias,
-                            config.global_fx8_weights,
+                            fx8_input_mappers(&qs),
+                            move |w| q0.weight.quantize_fx8(w),
+                            move |b| q0.bias.quantize_fx8(b),
                         );
-                        let (ti, tw, tb) = fx8_mappers(q);
-                        let tasks = linear_tasks(&x, weight, bias, ti, tw, tb);
                         run_noc_layer_fx8(
                             op_index,
                             "linear",
-                            &tasks,
-                            q,
+                            &source,
+                            &qs,
                             config,
                             &mut sim,
                             &mut per_layer,
@@ -212,15 +313,15 @@ pub fn run_inference(
                     }
                     other => return Err(AccelError::UnsupportedFormat(other)),
                 };
-                x = Tensor::from_vec(&out_shape, values).expect("task count matches shape");
+                xs = tensors_from(values, &out_shape);
             }
             // Memory-side ops run between layers (the layer-level interval).
-            other => x = other.execute(&x),
+            other => xs = xs.iter().map(|x| other.execute(x)).collect(),
         }
     }
 
-    Ok(InferenceResult {
-        output: x,
+    Ok(BatchInferenceResult {
+        outputs: xs,
         stats: sim.stats(),
         total_cycles: sim.cycle(),
         per_layer,
@@ -229,20 +330,67 @@ pub fn run_inference(
     })
 }
 
+/// One float-32 input mapper per batch element (the identity encoding).
+fn f32_input_mappers<'a>(batch: usize) -> Vec<Box<dyn Fn(f32) -> F32Word + Send + Sync + 'a>> {
+    (0..batch)
+        .map(|_| Box::new(F32Word::new) as Box<dyn Fn(f32) -> F32Word + Send + Sync + 'a>)
+        .collect()
+}
+
+/// One fixed-8 activation mapper per batch element (activation scales are
+/// per-element; weight/bias scales are shared).
+fn fx8_input_mappers<'a>(
+    qs: &[LayerQuantizers],
+) -> Vec<Box<dyn Fn(f32) -> Fx8Word + Send + Sync + 'a>> {
+    qs.iter()
+        .map(|&q| {
+            Box::new(move |x| q.input.quantize_fx8(x))
+                as Box<dyn Fn(f32) -> Fx8Word + Send + Sync + 'a>
+        })
+        .collect()
+}
+
+/// Per-batch-element quantizers for one fixed-8 layer: activation scales
+/// derive from each element's own tensor, weight/bias scales from the
+/// shared parameters.
+fn layer_quantizers(
+    xs: &[Tensor],
+    weight: &Tensor,
+    bias: &Tensor,
+    config: &AccelConfig,
+) -> Vec<LayerQuantizers> {
+    xs.iter()
+        .map(|x| LayerQuantizers::derive_with(x, weight, bias, config.global_fx8_weights))
+        .collect()
+}
+
+/// Reassembles per-element value vectors into output tensors.
+fn tensors_from(values: Vec<Vec<f32>>, shape: &[usize]) -> Vec<Tensor> {
+    values
+        .into_iter()
+        .map(|v| Tensor::from_vec(shape, v).expect("task count matches shape"))
+        .collect()
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_noc_layer_f32(
     op_index: usize,
     op_name: &'static str,
-    tasks: &[IndexedTask<F32Word>],
+    source: &LayerTasks<F32Word>,
     config: &AccelConfig,
     sim: &mut Simulator,
     per_layer: &mut Vec<LayerTrafficReport>,
     overhead: &mut WireOverhead,
-) -> Result<Vec<f32>, AccelError> {
-    let responses = simulate_layer(op_index, op_name, tasks, config, sim, per_layer, overhead)?;
+) -> Result<Vec<Vec<f32>>, AccelError> {
+    let responses = run_layer(op_index, op_name, source, config, sim, per_layer, overhead)?;
     Ok(responses
-        .into_iter()
-        .map(|bits| f32::from_bits(bits as u32))
+        .chunks(source.per_input())
+        .map(|chunk| {
+            chunk
+                .iter()
+                .map(|&bits| f32::from_bits(bits as u32))
+                .collect()
+        })
         .collect())
 }
 
@@ -250,37 +398,32 @@ fn run_noc_layer_f32(
 fn run_noc_layer_fx8(
     op_index: usize,
     op_name: &'static str,
-    tasks: &[IndexedTask<Fx8Word>],
-    q: LayerQuantizers,
+    source: &LayerTasks<Fx8Word>,
+    qs: &[LayerQuantizers],
     config: &AccelConfig,
     sim: &mut Simulator,
     per_layer: &mut Vec<LayerTrafficReport>,
     overhead: &mut WireOverhead,
-) -> Result<Vec<f32>, AccelError> {
-    let responses = simulate_layer(op_index, op_name, tasks, config, sim, per_layer, overhead)?;
-    // Bias codes by output index, to separate the integer dot product from
-    // the bias during dequantization.
-    let mut bias_codes = vec![0i8; tasks.len()];
-    for t in tasks {
-        bias_codes[t.out_index] = t.task.bias().code();
-    }
+) -> Result<Vec<Vec<f32>>, AccelError> {
+    let responses = run_layer(op_index, op_name, source, config, sim, per_layer, overhead)?;
+    // The bias code separates the integer dot product from the bias
+    // during dequantization; it is per weight group, shared across the
+    // batch.
     Ok(responses
-        .into_iter()
-        .zip(bias_codes)
-        .map(|(bits, bias_code)| {
-            let mac = i64::from(bits as u32 as i32);
-            q.dequantize_response(mac, bias_code)
+        .chunks(source.per_input())
+        .enumerate()
+        .map(|(b, chunk)| {
+            chunk
+                .iter()
+                .enumerate()
+                .map(|(local, &bits)| {
+                    let mac = i64::from(bits as u32 as i32);
+                    let bias_code = source.bias_word(source.weight_group(local)).code();
+                    qs[b].dequantize_response(mac, bias_code)
+                })
+                .collect()
         })
         .collect())
-}
-
-/// Per-task routing metadata kept MC-side: destination PE/MC plus the
-/// transport wire metadata (the extended head flit fields and, for O2,
-/// the index side channel).
-struct TaskMeta {
-    pe: usize,
-    mc: usize,
-    wire: TaskWireMeta,
 }
 
 /// Partitions the PEs into one balanced region per MC, each PE joining the
@@ -330,13 +473,293 @@ struct WireOverhead {
     codec_bits: u64,
 }
 
-/// Runs one conv/linear layer's traffic to completion. Returns the 32-bit
-/// response images ordered by `out_index`.
+/// The MC-side encode stage: task construction + ordering + flitization +
+/// link coding, with the weight permutation cached per kernel group. One
+/// instance per layer, shared (`&self`) by every encoder thread and by
+/// the synchronous feed.
+struct EncodeStage<'a, W: AccelWord> {
+    source: &'a LayerTasks<W>,
+    session: CodedTransport,
+    ordering: OrderingMethod,
+    tiebreak: TieBreak,
+    /// Lazily computed descending order of each kernel group's weights —
+    /// the "weights are ordered once per layer" amortization. Computing a
+    /// permutation twice under a race is harmless: the sort is
+    /// deterministic, so every thread derives the identical vector.
+    wperms: Vec<OnceLock<Vec<usize>>>,
+}
+
+impl<'a, W: AccelWord> EncodeStage<'a, W> {
+    fn new(source: &'a LayerTasks<W>, config: &AccelConfig) -> Self {
+        Self {
+            source,
+            session: CodedTransport::new(TransportConfig {
+                ordering: config.ordering,
+                tiebreak: config.tiebreak,
+                values_per_flit: config.values_per_flit,
+                codec: config.codec,
+            }),
+            ordering: config.ordering,
+            tiebreak: config.tiebreak,
+            wperms: (0..source.group_count()).map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    /// Builds and encodes global task `j` the pre-pipeline way: eager
+    /// slot-level materialization, full per-task sort, fresh scratch —
+    /// the [`DriverMode::Synchronous`] reference the bench trajectory
+    /// measures the pipeline against.
+    fn encode_reference(&self, j: usize) -> Result<EncodedTask<W>, FlitizeError> {
+        self.session.encode_task_reference(&self.source.build(j))
+    }
+
+    /// Builds and encodes global task `j` — bit-identical to the plain
+    /// `encode_task` path, through the allocation-free operand view
+    /// (`input_buf` is the reused per-thread window buffer).
+    fn encode(
+        &self,
+        j: usize,
+        scratch: &mut TransportScratch,
+        input_buf: &mut Vec<W>,
+    ) -> Result<EncodedTask<W>, FlitizeError> {
+        let (weights, bias) = self.source.operands_into(j, input_buf);
+        let wperm = match self.ordering {
+            OrderingMethod::Baseline => None,
+            OrderingMethod::Affiliated | OrderingMethod::Separated => {
+                let group = self.source.weight_group(j);
+                Some(
+                    self.wperms[group]
+                        .get_or_init(|| {
+                            self.tiebreak
+                                .descending_order(self.source.group_weights(group))
+                        })
+                        .as_slice(),
+                )
+            }
+        };
+        self.session
+            .encode_parts_cached(input_buf, weights, bias, wperm, scratch)
+    }
+}
+
+/// A bounded MPSC hand-off between one MC's encoder and the cycle loop.
+/// Encode errors travel through the queue as values so the consumer
+/// surfaces them in injection order.
+struct ReadyQueue<W> {
+    state: Mutex<VecDeque<Result<EncodedTask<W>, FlitizeError>>>,
+    avail: Condvar,
+    space: Condvar,
+    cap: usize,
+}
+
+impl<W: DataWord> ReadyQueue<W> {
+    fn new(cap: usize) -> Self {
+        Self {
+            state: Mutex::new(VecDeque::with_capacity(cap)),
+            avail: Condvar::new(),
+            space: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// Blocking push; returns `false` if the consumer aborted while this
+    /// producer was waiting for space.
+    fn push(&self, item: Result<EncodedTask<W>, FlitizeError>, abort: &AtomicBool) -> bool {
+        let mut q = self.state.lock().expect("ready-queue poisoned");
+        while q.len() >= self.cap {
+            if abort.load(AtomicOrdering::Acquire) {
+                return false;
+            }
+            // Timed wait so an abort set after the check still wakes us.
+            let (guard, _) = self
+                .space
+                .wait_timeout(q, Duration::from_millis(1))
+                .expect("ready-queue poisoned");
+            q = guard;
+        }
+        q.push_back(item);
+        drop(q);
+        self.avail.notify_one();
+        true
+    }
+
+    /// Non-blocking push for encoder threads multiplexing several MCs.
+    fn try_push(
+        &self,
+        item: Result<EncodedTask<W>, FlitizeError>,
+    ) -> Result<(), Result<EncodedTask<W>, FlitizeError>> {
+        let mut q = self.state.lock().expect("ready-queue poisoned");
+        if q.len() >= self.cap {
+            return Err(item);
+        }
+        q.push_back(item);
+        drop(q);
+        self.avail.notify_one();
+        Ok(())
+    }
+
+    /// Blocking pop (consumer side): the consumer pops exactly as many
+    /// items as the MC has tasks, so a live producer always eventually
+    /// delivers. `producer_died` is the escape for the one case where
+    /// it cannot — an encoder thread panicking mid-layer — turning a
+    /// would-be permanent hang into `None` (the panic itself then
+    /// propagates when the scope joins the dead thread).
+    fn pop(&self, producer_died: &AtomicBool) -> Option<Result<EncodedTask<W>, FlitizeError>> {
+        let mut q = self.state.lock().expect("ready-queue poisoned");
+        loop {
+            if let Some(item) = q.pop_front() {
+                drop(q);
+                self.space.notify_one();
+                return Some(item);
+            }
+            if producer_died.load(AtomicOrdering::Acquire) {
+                return None;
+            }
+            // Timed wait so a death flag set after the check still
+            // wakes us.
+            let (guard, _) = self
+                .avail
+                .wait_timeout(q, Duration::from_millis(1))
+                .expect("ready-queue poisoned");
+            q = guard;
+        }
+    }
+}
+
+/// Encoder-thread body: encodes its MCs' tasks in per-MC order into the
+/// ready-queues until done, an encode error, or a consumer abort.
+fn encoder_loop<W: AccelWord>(
+    stage: &EncodeStage<'_, W>,
+    queues: &[ReadyQueue<W>],
+    per_mc_tasks: &[Vec<usize>],
+    owned: &[usize],
+    abort: &AtomicBool,
+) {
+    let mut scratch = TransportScratch::default();
+    let mut input_buf: Vec<W> = Vec::new();
+    if let [mi] = *owned {
+        // One MC per thread (the default): simple blocking pushes.
+        for &j in &per_mc_tasks[mi] {
+            if abort.load(AtomicOrdering::Acquire) {
+                return;
+            }
+            let item = stage.encode(j, &mut scratch, &mut input_buf);
+            let failed = item.is_err();
+            if !queues[mi].push(item, abort) || failed {
+                return;
+            }
+        }
+        return;
+    }
+    // Multiplexed: round-robin over the owned MCs with one stash slot
+    // each, never blocking on a single full queue (a blocked push here
+    // could starve a sibling MC the consumer is waiting on).
+    let mut cursors = vec![0usize; owned.len()];
+    let mut stash: Vec<Option<Result<EncodedTask<W>, FlitizeError>>> =
+        (0..owned.len()).map(|_| None).collect();
+    loop {
+        if abort.load(AtomicOrdering::Acquire) {
+            return;
+        }
+        let mut progressed = false;
+        let mut done = true;
+        for (k, &mi) in owned.iter().enumerate() {
+            if let Some(item) = stash[k].take() {
+                match queues[mi].try_push(item) {
+                    Ok(()) => progressed = true,
+                    Err(item) => {
+                        stash[k] = Some(item);
+                        done = false;
+                        continue;
+                    }
+                }
+            }
+            if cursors[k] < per_mc_tasks[mi].len() {
+                done = false;
+                let j = per_mc_tasks[mi][cursors[k]];
+                cursors[k] += 1;
+                let item = stage.encode(j, &mut scratch, &mut input_buf);
+                let failed = item.is_err();
+                if let Err(item) = queues[mi].try_push(item) {
+                    stash[k] = Some(item);
+                }
+                if failed {
+                    // Stop this MC's stream; the consumer aborts on pop.
+                    cursors[k] = per_mc_tasks[mi].len();
+                }
+                progressed = true;
+            }
+        }
+        if done {
+            return;
+        }
+        if !progressed {
+            std::thread::park_timeout(Duration::from_micros(100));
+        }
+    }
+}
+
+/// Where the cycle loop gets its next wire-ready packet from.
+enum TaskFeed<'a, W: AccelWord> {
+    /// Uncached inline encode, serialized with the simulation — the
+    /// legacy-faithful [`DriverMode::Synchronous`] reference.
+    Reference { stage: &'a EncodeStage<'a, W> },
+    /// Cached inline encode: the pipelined encode stage without threads,
+    /// used when the host has no spare hardware threads to overlap on.
+    Inline {
+        stage: &'a EncodeStage<'a, W>,
+        scratch: TransportScratch,
+        input_buf: Vec<W>,
+    },
+    /// Pop from the per-MC encoder ready-queues.
+    Queues {
+        queues: &'a [ReadyQueue<W>],
+        producer_died: &'a AtomicBool,
+    },
+}
+
+impl<W: AccelWord> TaskFeed<'_, W> {
+    fn next(&mut self, mi: usize, j: usize) -> Result<EncodedTask<W>, AccelError> {
+        match self {
+            TaskFeed::Reference { stage } => Ok(stage.encode_reference(j)?),
+            TaskFeed::Inline {
+                stage,
+                scratch,
+                input_buf,
+            } => Ok(stage.encode(j, scratch, input_buf)?),
+            TaskFeed::Queues {
+                queues,
+                producer_died,
+            } => match queues[mi].pop(producer_died) {
+                Some(item) => Ok(item?),
+                None => Err(AccelError::EncoderDied),
+            },
+        }
+    }
+
+    /// True in the legacy-faithful reference mode, which also decodes
+    /// deliveries through the preserved slot-level path.
+    fn is_reference(&self) -> bool {
+        matches!(self, TaskFeed::Reference { .. })
+    }
+}
+
+/// Accounting the cycle loop hands back to [`run_layer`].
+struct LayerRun {
+    responses: Vec<u64>,
+    request_flits: u64,
+    index_bits: u64,
+    codec_bits: u64,
+}
+
+/// Runs one conv/linear layer's batch of traffic to completion. Returns
+/// the 32-bit response images indexed by global task id (batch-major,
+/// then flat output index).
 #[allow(clippy::too_many_arguments)]
-fn simulate_layer<W: AccelWord>(
+fn run_layer<W: AccelWord>(
     op_index: usize,
     op_name: &'static str,
-    tasks: &[IndexedTask<W>],
+    source: &LayerTasks<W>,
     config: &AccelConfig,
     sim: &mut Simulator,
     per_layer: &mut Vec<LayerTrafficReport>,
@@ -344,79 +767,205 @@ fn simulate_layer<W: AccelWord>(
 ) -> Result<Vec<u64>, AccelError> {
     let mcs = &config.noc.mc_nodes;
     let regions = partition_pes_by_mc(&config.noc);
+    let total = source.total();
+
+    // Static assignment: task j -> MC round-robin, then round-robin over
+    // that MC's own PE region. O0/O1/O2 runs, both driver modes and every
+    // batch element use identical assignments, so BT comparisons are
+    // apples-to-apples.
+    let dests: Vec<(usize, usize)> = (0..total)
+        .map(|j| {
+            let mi = j % mcs.len();
+            let region = &regions[mi];
+            (region[(j / mcs.len()) % region.len()], mcs[mi])
+        })
+        .collect();
+    let mut per_mc_tasks: Vec<Vec<usize>> = vec![Vec::new(); mcs.len()];
+    for j in 0..total {
+        per_mc_tasks[j % mcs.len()].push(j);
+    }
+
     // The MC-side ordering unit, the link codec and PE-side recovery all
     // live in the shared transport session; the NoC port binds it to the
     // simulator, so both the request and response paths ride the coded
     // wire.
-    let port = TaskPort::new(CodedTransport::new(TransportConfig {
-        ordering: config.ordering,
-        tiebreak: config.tiebreak,
-        values_per_flit: config.values_per_flit,
-        codec: config.codec,
-    }));
-
-    // Static assignment: task j -> MC round-robin, then round-robin over
-    // that MC's own PE region. O0/O1/O2 runs use identical assignments,
-    // so BT comparisons are apples-to-apples.
-    let mut metas: Vec<TaskMeta> = tasks
-        .iter()
-        .enumerate()
-        .map(|(j, t)| {
-            let mi = j % mcs.len();
-            let region = &regions[mi];
-            TaskMeta {
-                pe: region[(j / mcs.len()) % region.len()],
-                mc: mcs[mi],
-                wire: TaskWireMeta {
-                    num_pairs: t.task.len(),
-                    pair_index: None,
-                },
-            }
-        })
-        .collect();
-    let mut per_mc_tasks: Vec<Vec<usize>> = vec![Vec::new(); mcs.len()];
-    for j in 0..tasks.len() {
-        per_mc_tasks[j % mcs.len()].push(j);
-    }
-    let mut cursors = vec![0usize; mcs.len()];
-
-    let mut responses: Vec<Option<u64>> = vec![None; tasks.len()];
-    let mut remaining = tasks.len();
-    // (ready_cycle, tag, response_bits) min-heap for PE compute latency.
-    let mut compute_queue: BinaryHeap<Reverse<(u64, usize, u64)>> = BinaryHeap::new();
+    let stage = EncodeStage::new(source, config);
+    let port = TaskPort::new(stage.session);
 
     let start_cycle = sim.cycle();
     let transitions_before = sim.stats().total_transitions;
-    let mut request_flits = 0u64;
+
+    // Spare hardware threads are what make encoder threads an overlap
+    // instead of a context-switch tax; without them (or with an explicit
+    // encode_threads override) the pipelined encode runs inline.
+    let host_parallel = std::thread::available_parallelism().map_or(1, std::num::NonZero::get) > 1;
+    let run = match config.driver {
+        DriverMode::Synchronous => {
+            let mut feed = TaskFeed::Reference { stage: &stage };
+            cycle_loop(
+                op_index,
+                config,
+                sim,
+                &port,
+                &dests,
+                &per_mc_tasks,
+                &mut feed,
+            )
+        }
+        DriverMode::Pipelined
+            if config.encode_inline || (config.encode_threads == 0 && !host_parallel) =>
+        {
+            let mut feed = TaskFeed::Inline {
+                stage: &stage,
+                scratch: TransportScratch::default(),
+                input_buf: Vec::new(),
+            };
+            cycle_loop(
+                op_index,
+                config,
+                sim,
+                &port,
+                &dests,
+                &per_mc_tasks,
+                &mut feed,
+            )
+        }
+        DriverMode::Pipelined => {
+            let queues: Vec<ReadyQueue<W>> = (0..mcs.len())
+                .map(|_| ReadyQueue::new(config.encode_queue_depth))
+                .collect();
+            let abort = AtomicBool::new(false);
+            let producer_died = AtomicBool::new(false);
+            let threads = config.encoder_threads_for(mcs.len());
+            let owned_sets: Vec<Vec<usize>> = (0..threads)
+                .map(|t| (0..mcs.len()).filter(|mi| mi % threads == t).collect())
+                .collect();
+            rayon::scope(|s| {
+                for owned in &owned_sets {
+                    let (stage, queues, per_mc_tasks, abort, producer_died) =
+                        (&stage, &queues, &per_mc_tasks, &abort, &producer_died);
+                    s.spawn(move |_| {
+                        // Flag a panicking encoder so the cycle loop's
+                        // pops stop waiting for it; the panic itself
+                        // resurfaces when the scope joins this thread.
+                        struct DeathFlag<'f>(&'f AtomicBool);
+                        impl Drop for DeathFlag<'_> {
+                            fn drop(&mut self) {
+                                if std::thread::panicking() {
+                                    self.0.store(true, AtomicOrdering::Release);
+                                }
+                            }
+                        }
+                        let _flag = DeathFlag(producer_died);
+                        encoder_loop(stage, queues, per_mc_tasks, owned, abort);
+                    });
+                }
+                let mut feed = TaskFeed::Queues {
+                    queues: &queues,
+                    producer_died: &producer_died,
+                };
+                let run = cycle_loop(
+                    op_index,
+                    config,
+                    sim,
+                    &port,
+                    &dests,
+                    &per_mc_tasks,
+                    &mut feed,
+                );
+                // Release any producer still waiting for queue space
+                // (error paths leave tasks unconsumed) before the scope
+                // joins the encoder threads.
+                abort.store(true, AtomicOrdering::Release);
+                run
+            })
+        }
+    }?;
+
+    let transitions_after = sim.stats().total_transitions;
+    per_layer.push(LayerTrafficReport {
+        op_index,
+        op_name,
+        request_packets: total as u64,
+        request_flits: run.request_flits,
+        cycles: sim.cycle() - start_cycle,
+        transitions: transitions_after - transitions_before,
+        pairs_per_task: source.pairs_per_task(),
+    });
+    overhead.index_bits += run.index_bits;
+    overhead.codec_bits += run.codec_bits;
+    Ok(run.responses)
+}
+
+/// The per-cycle half of a layer: keep the MC prefetch buffers topped up
+/// from the feed, step the mesh, decode deliveries, inject PE responses.
+/// Allocation-free per cycle: deliveries drain into one reused buffer and
+/// the synchronous feed encodes through reused scratch.
+#[allow(clippy::too_many_arguments)]
+fn cycle_loop<W: AccelWord>(
+    op_index: usize,
+    config: &AccelConfig,
+    sim: &mut Simulator,
+    port: &TaskPort<CodedTransport>,
+    dests: &[(usize, usize)],
+    per_mc_tasks: &[Vec<usize>],
+    feed: &mut TaskFeed<'_, W>,
+) -> Result<LayerRun, AccelError> {
+    let mcs = &config.noc.mc_nodes;
+    let total = dests.len();
+    let mut cursors = vec![0usize; mcs.len()];
+    let mut wires: Vec<Option<TaskWireMeta>> = vec![None; total];
+    let mut responses: Vec<Option<u64>> = vec![None; total];
+    let mut remaining = total;
+    // (ready_cycle, tag, response_bits) min-heap for PE compute latency.
+    let mut compute_queue: BinaryHeap<Reverse<(u64, usize, u64)>> = BinaryHeap::new();
+    let mut delivered: Vec<DeliveredPacket> = Vec::new();
+    let mut decode_scratch = TransportScratch::default();
+    // Reused across packets: the fully allocation-free receiver path.
+    let mut recovered = RecoveredTask::<W> {
+        pairs: Vec::new(),
+        bias: W::from_bits_u64(0),
+    };
+
+    let start_cycle = sim.cycle();
+    let mut run = LayerRun {
+        responses: Vec::new(),
+        request_flits: 0,
+        index_bits: 0,
+        codec_bits: 0,
+    };
 
     while remaining > 0 {
-        // MC-side: keep each prefetch buffer topped up with ordered packets.
+        // MC-side: keep each prefetch buffer topped up with ordered
+        // packets from the feed.
         for (mi, &mc) in mcs.iter().enumerate() {
             while sim.pending_at(mc) < config.mc_prefetch_packets {
                 let Some(&j) = per_mc_tasks[mi].get(cursors[mi]) else {
                     break;
                 };
                 cursors[mi] += 1;
-                let sent =
-                    port.send_task_accounted(sim, mc, metas[j].pe, &tasks[j].task, j as u64)?;
-                overhead.index_bits += sent.index_overhead_bits;
-                overhead.codec_bits += sent.codec_overhead_bits;
-                request_flits += sent.flit_count as u64;
-                metas[j].wire = sent.meta;
+                let encoded = feed.next(mi, j)?;
+                let (pe, mc_node) = dests[j];
+                let sent = port.send_encoded(sim, mc_node, pe, encoded, j as u64)?;
+                run.index_bits += sent.index_overhead_bits;
+                run.codec_bits += sent.codec_overhead_bits;
+                run.request_flits += sent.flit_count as u64;
+                wires[j] = Some(sent.meta);
             }
         }
 
         sim.step();
 
         // Deliveries: requests at PEs, responses at MCs.
-        for delivered in sim.drain_all_delivered() {
-            let j = delivered.tag as usize;
-            if config.noc.is_mc(delivered.dst) {
+        sim.drain_all_delivered_into(&mut delivered);
+        for d in &delivered {
+            let j = d.tag as usize;
+            if config.noc.is_mc(d.dst) {
                 // Response arrived back at its MC: decode off the coded
                 // wire through the same session.
                 let bits = port
                     .session()
-                    .decode_response::<W>(&delivered.payload_flits)
+                    .decode_response::<W>(&d.payload_flits)
                     .map_err(|e| AccelError::Decode(e.to_string()))?;
                 debug_assert!(responses[j].is_none(), "duplicate response for task {j}");
                 responses[j] = Some(bits);
@@ -424,12 +973,24 @@ fn simulate_layer<W: AccelWord>(
             } else {
                 // Request arrived at a PE: decode off the wires, recover
                 // pairing, schedule the MAC result.
-                let meta = &metas[j];
-                let recovered = port
-                    .receive_task::<W>(&meta.wire, &delivered)
-                    .map_err(|e| AccelError::Decode(e.to_string()))?;
+                let wire = wires[j].as_ref().expect("request was sent before delivery");
+                if feed.is_reference() {
+                    recovered = port
+                        .session()
+                        .decode_task_reference::<W>(wire, &d.payload_flits)
+                        .map_err(|e| AccelError::Decode(e.to_string()))?;
+                } else {
+                    port.session()
+                        .decode_task_into::<W>(
+                            wire,
+                            &d.payload_flits,
+                            &mut decode_scratch,
+                            &mut recovered,
+                        )
+                        .map_err(|e| AccelError::Decode(e.to_string()))?;
+                }
                 let bits = W::response_bits(&recovered);
-                let ready = sim.cycle() + config.pe_latency(meta.wire.num_pairs);
+                let ready = sim.cycle() + config.pe_latency(wire.num_pairs);
                 compute_queue.push(Reverse((ready, j, bits)));
             }
         }
@@ -441,8 +1002,9 @@ fn simulate_layer<W: AccelWord>(
             }
             compute_queue.pop();
             let image = port.session().encode_response::<W>(bits);
-            overhead.codec_bits += u64::from(config.codec.extra_wires());
-            sim.inject(Packet::new(metas[j].pe, metas[j].mc, vec![image], j as u64))?;
+            run.codec_bits += u64::from(config.codec.extra_wires());
+            let (pe, mc_node) = dests[j];
+            sim.inject(Packet::new(pe, mc_node, vec![image], j as u64))?;
         }
 
         if sim.cycle() - start_cycle > config.max_cycles_per_layer {
@@ -453,23 +1015,11 @@ fn simulate_layer<W: AccelWord>(
         }
     }
 
-    let transitions_after = sim.stats().total_transitions;
-    per_layer.push(LayerTrafficReport {
-        op_index,
-        op_name,
-        request_packets: tasks.len() as u64,
-        request_flits,
-        cycles: sim.cycle() - start_cycle,
-        transitions: transitions_after - transitions_before,
-        pairs_per_task: tasks.first().map_or(0, |t| t.task.len()),
-    });
-
-    let mut out = vec![0u64; tasks.len()];
-    for (j, bits) in responses.into_iter().enumerate() {
-        let bits = bits.expect("all responses collected");
-        out[tasks[j].out_index] = bits;
-    }
-    Ok(out)
+    run.responses = responses
+        .into_iter()
+        .map(|bits| bits.expect("all responses collected"))
+        .collect();
+    Ok(run)
 }
 
 #[cfg(test)]

@@ -56,3 +56,54 @@ impl InferenceResult {
         self.per_layer.iter().map(|l| l.request_flits).sum()
     }
 }
+
+/// Result of a batched inference: `batch_size` inputs ran through every
+/// layer as one traffic phase on one simulator, so `stats`, `per_layer`
+/// and the overhead counters aggregate the whole batch's traffic.
+#[derive(Debug, Clone)]
+pub struct BatchInferenceResult {
+    /// One network output (logits) per batch element, in input order.
+    pub outputs: Vec<Tensor>,
+    /// Aggregate NoC statistics over the complete batch.
+    pub stats: NocStats,
+    /// Per-NoC-layer traffic breakdown (each entry covers the batch).
+    pub per_layer: Vec<LayerTrafficReport>,
+    /// Total simulated cycles.
+    pub total_cycles: u64,
+    /// Separated-ordering index side-channel overhead, in bits.
+    pub index_overhead_bits: u64,
+    /// Link-codec side-channel overhead, in bits.
+    pub codec_overhead_bits: u64,
+}
+
+impl BatchInferenceResult {
+    /// Total request packets across layers.
+    #[must_use]
+    pub fn total_request_packets(&self) -> u64 {
+        self.per_layer.iter().map(|l| l.request_packets).sum()
+    }
+
+    /// Total request flits across layers.
+    #[must_use]
+    pub fn total_request_flits(&self) -> u64 {
+        self.per_layer.iter().map(|l| l.request_flits).sum()
+    }
+
+    /// Collapses a single-element batch into an [`InferenceResult`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch holds more than one output.
+    #[must_use]
+    pub fn into_single(mut self) -> InferenceResult {
+        assert_eq!(self.outputs.len(), 1, "batch result holds multiple outputs");
+        InferenceResult {
+            output: self.outputs.pop().expect("one output"),
+            stats: self.stats,
+            per_layer: self.per_layer,
+            total_cycles: self.total_cycles,
+            index_overhead_bits: self.index_overhead_bits,
+            codec_overhead_bits: self.codec_overhead_bits,
+        }
+    }
+}

@@ -129,31 +129,35 @@ impl ConvGeometry {
     }
 }
 
-/// Extracts the input window for conv output `(oy, ox)` in `(ic, kh, kw)`
-/// order, producing words via `to_word` (zero padding outside the input).
-fn conv_window<W: DataWord>(
-    input: &Tensor,
+/// Gathers the input window for conv output `(oy, ox)` in `(ic, kh, kw)`
+/// order into `out` from a pre-mapped word tensor (`zero` outside the
+/// input — the mapped image of `0.0` padding).
+#[allow(clippy::too_many_arguments)]
+fn gather_window<W: DataWord>(
+    words: &[W],
+    h: usize,
+    w: usize,
     geo: &ConvGeometry,
     oy: usize,
     ox: usize,
-    to_word: &impl Fn(f32) -> W,
-) -> Vec<W> {
-    let (h, w) = (input.shape()[1], input.shape()[2]);
-    let mut out = Vec::with_capacity(geo.pairs_per_task());
+    zero: W,
+    out: &mut Vec<W>,
+) {
+    out.reserve(geo.pairs_per_task());
     for ic in 0..geo.in_channels {
+        let channel = &words[ic * h * w..(ic + 1) * h * w];
         for kh in 0..geo.kernel {
             for kw in 0..geo.kernel {
                 let iy = oy * geo.stride + kh;
                 let ix = ox * geo.stride + kw;
-                let value = match (iy.checked_sub(geo.padding), ix.checked_sub(geo.padding)) {
-                    (Some(iy), Some(ix)) if iy < h && ix < w => input.at3(ic, iy, ix),
-                    _ => 0.0,
+                let word = match (iy.checked_sub(geo.padding), ix.checked_sub(geo.padding)) {
+                    (Some(iy), Some(ix)) if iy < h && ix < w => channel[iy * w + ix],
+                    _ => zero,
                 };
-                out.push(to_word(value));
+                out.push(word);
             }
         }
     }
-    out
 }
 
 /// Flattens the weights of output channel `oc` in `(ic, kh, kw)` order.
@@ -174,60 +178,294 @@ fn conv_kernel<W: DataWord>(
     out
 }
 
+/// The input half of a [`LayerTasks`] source: how a task's paired inputs
+/// are materialized for a given batch element. Activations are mapped to
+/// words **once per tensor** at construction — a conv input pixel sits in
+/// up to `k²` overlapping windows, so mapping at window-extraction time
+/// would quantize the same value `k²` times.
+enum LayerInputs<W> {
+    /// Conv windows are gathered lazily per task (deferred to the encode
+    /// stage) from the pre-mapped word tensors.
+    Conv {
+        /// Per batch element: the input tensor as words, `(ic, iy, ix)`
+        /// row-major.
+        words: Vec<Vec<W>>,
+        /// Spatial height/width of the input tensors.
+        in_h: usize,
+        in_w: usize,
+        geo: ConvGeometry,
+        /// The mapped image of `0.0` — what zero padding drives onto the
+        /// wires, per batch element.
+        zero_words: Vec<W>,
+    },
+    /// Linear layers reuse one word vector per batch element.
+    Linear { words: Vec<Vec<W>> },
+}
+
+/// Random-access task source for one conv/linear layer over a batch of
+/// inputs — the MC-side half of the driver's encode stage.
+///
+/// Global task id `j` enumerates `batch × tasks-per-input` tasks,
+/// batch-major, in exactly the order [`conv_tasks`]/[`linear_tasks`]
+/// produce for each input; `j % per_input` equals the task's flat output
+/// index. Weight kernels and bias words are materialized **once per
+/// layer** at construction (they are shared by every output pixel and
+/// every batch element), so [`LayerTasks::build`] only extracts the
+/// per-task inputs. `build` is `&self` and the source is `Sync`, so
+/// encoder threads construct tasks concurrently off the cycle-loop
+/// thread.
+pub struct LayerTasks<W> {
+    inputs: LayerInputs<W>,
+    /// Weight words per group (conv: one per output channel; linear: one
+    /// per output neuron).
+    kernels: Vec<Vec<W>>,
+    /// Bias word per group.
+    bias_words: Vec<W>,
+    per_input: usize,
+    batch: usize,
+}
+
+impl<W: DataWord> LayerTasks<W> {
+    /// Builds the source for a convolution layer. `input_mappers` holds
+    /// one word mapper per batch element (fixed-8 activation scales are
+    /// per-element); weights and biases use the shared mappers.
+    pub fn conv<'a>(
+        xs: &[Tensor],
+        weight: &Tensor,
+        bias: &Tensor,
+        geo: ConvGeometry,
+        input_mappers: Vec<Box<dyn Fn(f32) -> W + Send + Sync + 'a>>,
+        to_weight: impl Fn(f32) -> W,
+        to_bias: impl Fn(f32) -> W,
+    ) -> Self {
+        assert_eq!(
+            xs.len(),
+            input_mappers.len(),
+            "one input mapper per batch element"
+        );
+        let kernels: Vec<Vec<W>> = (0..geo.out_channels)
+            .map(|oc| conv_kernel(weight, &geo, oc, &to_weight))
+            .collect();
+        let bias_words: Vec<W> = bias.data().iter().map(|&b| to_bias(b)).collect();
+        let words: Vec<Vec<W>> = xs
+            .iter()
+            .zip(&input_mappers)
+            .map(|(x, m)| x.data().iter().map(|&v| m(v)).collect())
+            .collect();
+        let zero_words: Vec<W> = input_mappers.iter().map(|m| m(0.0)).collect();
+        Self {
+            per_input: geo.task_count(),
+            batch: xs.len(),
+            inputs: LayerInputs::Conv {
+                words,
+                in_h: xs[0].shape()[1],
+                in_w: xs[0].shape()[2],
+                geo,
+                zero_words,
+            },
+            kernels,
+            bias_words,
+        }
+    }
+
+    /// Builds the source for a linear layer.
+    pub fn linear<'a>(
+        xs: &[Tensor],
+        weight: &Tensor,
+        bias: &Tensor,
+        input_mappers: Vec<Box<dyn Fn(f32) -> W + Send + Sync + 'a>>,
+        to_weight: impl Fn(f32) -> W,
+        to_bias: impl Fn(f32) -> W,
+    ) -> Self {
+        assert_eq!(
+            xs.len(),
+            input_mappers.len(),
+            "one input mapper per batch element"
+        );
+        let (out_f, in_f) = (weight.shape()[0], weight.shape()[1]);
+        let words: Vec<Vec<W>> = xs
+            .iter()
+            .zip(&input_mappers)
+            .map(|(x, m)| {
+                assert_eq!(x.len(), in_f, "linear input length mismatch");
+                x.data().iter().map(|&v| m(v)).collect()
+            })
+            .collect();
+        let kernels: Vec<Vec<W>> = (0..out_f)
+            .map(|o| {
+                weight.data()[o * in_f..(o + 1) * in_f]
+                    .iter()
+                    .map(|&v| to_weight(v))
+                    .collect()
+            })
+            .collect();
+        let bias_words: Vec<W> = bias.data().iter().map(|&b| to_bias(b)).collect();
+        Self {
+            per_input: out_f,
+            batch: xs.len(),
+            inputs: LayerInputs::Linear { words },
+            kernels,
+            bias_words,
+        }
+    }
+
+    /// Total tasks across the batch.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.batch * self.per_input
+    }
+
+    /// Tasks per batch element.
+    #[must_use]
+    pub fn per_input(&self) -> usize {
+        self.per_input
+    }
+
+    /// Batch elements.
+    #[must_use]
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Operand pairs per task.
+    #[must_use]
+    pub fn pairs_per_task(&self) -> usize {
+        self.kernels.first().map_or(0, Vec::len)
+    }
+
+    /// The weight group (shared-kernel id) of global task `j`: its weight
+    /// vector is `group_weights(weight_group(j))` for every batch element,
+    /// which is what lets the encode stage sort each kernel once per
+    /// layer.
+    #[must_use]
+    pub fn weight_group(&self, j: usize) -> usize {
+        let local = j % self.per_input;
+        match &self.inputs {
+            LayerInputs::Conv { geo, .. } => local / (geo.out_h * geo.out_w),
+            LayerInputs::Linear { .. } => local,
+        }
+    }
+
+    /// Number of distinct weight groups.
+    #[must_use]
+    pub fn group_count(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// The shared weight words of a group.
+    #[must_use]
+    pub fn group_weights(&self, group: usize) -> &[W] {
+        &self.kernels[group]
+    }
+
+    /// The bias word of a group (same across batch elements: bias scales
+    /// derive from the bias tensor alone).
+    #[must_use]
+    pub fn bias_word(&self, group: usize) -> W {
+        self.bias_words[group]
+    }
+
+    /// Materializes global task `j` (batch element `j / per_input`, local
+    /// task `j % per_input`).
+    #[must_use]
+    pub fn build(&self, j: usize) -> NeuronTask<W> {
+        let mut inputs = Vec::new();
+        let (weights, bias) = self.operands_into(j, &mut inputs);
+        NeuronTask::new(inputs, weights.to_vec(), bias)
+            .expect("layer inputs and kernel have equal length")
+    }
+
+    /// The allocation-free view of global task `j`: writes the task's
+    /// inputs into `input_buf` (cleared first, capacity reused) and
+    /// returns the shared kernel slice plus the bias word. The encode
+    /// stage feeds these straight to
+    /// `CodedTransport::encode_parts_cached`, so per-task construction
+    /// neither clones the kernel nor allocates an input vector.
+    pub fn operands_into<'s>(&'s self, j: usize, input_buf: &mut Vec<W>) -> (&'s [W], W) {
+        let (b, local) = (j / self.per_input, j % self.per_input);
+        let group = self.weight_group(j);
+        input_buf.clear();
+        match &self.inputs {
+            LayerInputs::Conv {
+                words,
+                in_h,
+                in_w,
+                geo,
+                zero_words,
+            } => {
+                let pixel = local % (geo.out_h * geo.out_w);
+                let (oy, ox) = (pixel / geo.out_w, pixel % geo.out_w);
+                gather_window(
+                    &words[b],
+                    *in_h,
+                    *in_w,
+                    geo,
+                    oy,
+                    ox,
+                    zero_words[b],
+                    input_buf,
+                );
+            }
+            LayerInputs::Linear { words } => input_buf.extend_from_slice(&words[b]),
+        }
+        (&self.kernels[group], self.bias_words[group])
+    }
+}
+
 /// Builds every task of a convolution layer using the given word mappers.
 ///
-/// `out_index` is the flat index into the `[out_c, out_h, out_w]` output.
-pub fn conv_tasks<W: DataWord>(
-    input: &Tensor,
+/// `out_index` is the flat index into the `[out_c, out_h, out_w]` output
+/// (equal to the task's position in the returned list). Thin eager
+/// wrapper over [`LayerTasks`] for single-input callers and tests.
+pub fn conv_tasks<'a, W: DataWord>(
+    input: &'a Tensor,
     weight: &Tensor,
     bias: &Tensor,
     geo: &ConvGeometry,
-    to_input: impl Fn(f32) -> W,
+    to_input: impl Fn(f32) -> W + Send + Sync + 'a,
     to_weight: impl Fn(f32) -> W,
     to_bias: impl Fn(f32) -> W,
 ) -> Vec<IndexedTask<W>> {
-    let mut tasks = Vec::with_capacity(geo.task_count());
-    for oc in 0..geo.out_channels {
-        let weights = conv_kernel(weight, geo, oc, &to_weight);
-        let bias_word = to_bias(bias.data()[oc]);
-        for oy in 0..geo.out_h {
-            for ox in 0..geo.out_w {
-                let inputs = conv_window(input, geo, oy, ox, &to_input);
-                let task = NeuronTask::new(inputs, weights.clone(), bias_word)
-                    .expect("conv window and kernel have equal length");
-                tasks.push(IndexedTask {
-                    task,
-                    out_index: (oc * geo.out_h + oy) * geo.out_w + ox,
-                });
-            }
-        }
-    }
-    tasks
+    let source = LayerTasks::conv(
+        std::slice::from_ref(input),
+        weight,
+        bias,
+        *geo,
+        vec![Box::new(to_input)],
+        to_weight,
+        to_bias,
+    );
+    (0..source.total())
+        .map(|j| IndexedTask {
+            task: source.build(j),
+            out_index: j,
+        })
+        .collect()
 }
 
 /// Builds every task of a linear layer.
-pub fn linear_tasks<W: DataWord>(
-    input: &Tensor,
+pub fn linear_tasks<'a, W: DataWord>(
+    input: &'a Tensor,
     weight: &Tensor,
     bias: &Tensor,
-    to_input: impl Fn(f32) -> W,
+    to_input: impl Fn(f32) -> W + Send + Sync + 'a,
     to_weight: impl Fn(f32) -> W,
     to_bias: impl Fn(f32) -> W,
 ) -> Vec<IndexedTask<W>> {
-    let (out_f, in_f) = (weight.shape()[0], weight.shape()[1]);
-    assert_eq!(input.len(), in_f, "linear input length mismatch");
-    let input_words: Vec<W> = input.data().iter().map(|&x| to_input(x)).collect();
-    let mut tasks = Vec::with_capacity(out_f);
-    for o in 0..out_f {
-        let weights: Vec<W> = weight.data()[o * in_f..(o + 1) * in_f]
-            .iter()
-            .map(|&x| to_weight(x))
-            .collect();
-        let task = NeuronTask::new(input_words.clone(), weights, to_bias(bias.data()[o]))
-            .expect("linear rows match the input length");
-        tasks.push(IndexedTask { task, out_index: o });
-    }
-    tasks
+    let source = LayerTasks::linear(
+        std::slice::from_ref(input),
+        weight,
+        bias,
+        vec![Box::new(to_input)],
+        to_weight,
+        to_bias,
+    );
+    (0..source.total())
+        .map(|j| IndexedTask {
+            task: source.build(j),
+            out_index: j,
+        })
+        .collect()
 }
 
 /// Float-32 word mappers (identity encoding).

@@ -150,6 +150,24 @@ impl PayloadBits {
         self.width.div_ceil(64) as usize
     }
 
+    /// Overwrites this image with `other`, copying only the words
+    /// `other`'s width covers — the hot-path alternative to a full
+    /// 1024-bit struct copy for per-hop link recording.
+    ///
+    /// The skipped high words must already be zero in `self`, which holds
+    /// whenever `self` was built at (or previously assigned from) the
+    /// same width: all mutators keep bits at or above `width` zero.
+    #[inline]
+    pub fn clone_used_from(&mut self, other: &PayloadBits) {
+        debug_assert!(
+            self.words[other.words_used()..].iter().all(|&w| w == 0),
+            "stale high words would survive a partial copy"
+        );
+        let used = other.words_used();
+        self.words[..used].copy_from_slice(&other.words[..used]);
+        self.width = other.width;
+    }
+
     /// Total number of `'1'` bits in the image.
     #[must_use]
     pub fn popcount(&self) -> u32 {

@@ -12,9 +12,11 @@
 //! identical except for the transmission order of the same values.
 
 use crate::ordering::{
-    placement_by_original_index, round_robin_assignment, OrderingMethod, TieBreak,
+    placement_by_original_index_into, round_robin_assignment, round_robin_assignment_into,
+    OrderingMethod, TieBreak,
 };
 use crate::task::{NeuronTask, RecoveredTask};
+use crate::transport::TransportScratch;
 use btr_bits::payload::{PayloadBits, MAX_WIDTH_BITS};
 use btr_bits::word::DataWord;
 use serde::{Deserialize, Serialize};
@@ -244,18 +246,7 @@ impl<W: DataWord> OrderedTask<W> {
     /// `N · ceil(log2 N)` (zero for O0/O1).
     #[must_use]
     pub fn index_overhead_bits(&self) -> u64 {
-        match self.method {
-            OrderingMethod::Separated => {
-                let n = self.num_pairs as u64;
-                let width = if self.num_pairs <= 1 {
-                    0
-                } else {
-                    u64::from(usize::BITS - (self.num_pairs - 1).leading_zeros())
-                };
-                n * width
-            }
-            _ => 0,
-        }
+        index_overhead_bits_for(self.method, self.num_pairs)
     }
 
     /// Reconstructs the paired operands at the receiver, exercising the
@@ -420,6 +411,38 @@ pub fn order_task_with<W: DataWord>(
     values_per_flit: usize,
     tiebreak: TieBreak,
 ) -> Result<OrderedTask<W>, FlitizeError> {
+    order_task_cached(
+        task,
+        method,
+        values_per_flit,
+        tiebreak,
+        None,
+        &mut TransportScratch::default(),
+    )
+}
+
+/// [`order_task_with`] with reusable scratch buffers and an optional
+/// precomputed weight permutation — the accelerator's hot encode path.
+///
+/// `weight_perm`, when given, must equal
+/// `tiebreak.descending_order(task.weights())`; the driver caches it per
+/// weight kernel so a layer's weights are sorted once, not once per task
+/// (the kernel is shared by every output pixel and every batch element).
+/// `scratch` hosts the permutation/assignment buffers so repeated encodes
+/// do not allocate. The produced packet is bit-identical to
+/// [`order_task_with`].
+///
+/// # Errors
+///
+/// Same conditions as [`order_task`].
+pub fn order_task_cached<W: DataWord>(
+    task: &NeuronTask<W>,
+    method: OrderingMethod,
+    values_per_flit: usize,
+    tiebreak: TieBreak,
+    weight_perm: Option<&[usize]>,
+    scratch: &mut TransportScratch,
+) -> Result<OrderedTask<W>, FlitizeError> {
     if values_per_flit < 2 || !values_per_flit.is_multiple_of(2) {
         return Err(FlitizeError::OddValuesPerFlit(values_per_flit));
     }
@@ -442,6 +465,20 @@ pub fn order_task_with<W: DataWord>(
     let (bf, bs) = layout.bias_position;
     flits[bf].slots[half + bs] = Slot::Bias(task.bias());
 
+    let TransportScratch {
+        keys,
+        wperm: wperm_buf,
+        iperm,
+        assign,
+        wdest,
+        idest,
+        inv_wperm,
+    } = scratch;
+    debug_assert!(
+        weight_perm.is_none_or(|p| p.len() == n),
+        "cached weight permutation does not cover the task"
+    );
+
     let mut pair_index = None;
     match method {
         OrderingMethod::Baseline => {
@@ -454,8 +491,14 @@ pub fn order_task_with<W: DataWord>(
             }
         }
         OrderingMethod::Affiliated => {
-            let wperm = tiebreak.descending_order(task.weights());
-            let assign = round_robin_assignment(&layout.weight_occupancy);
+            let wperm: &[usize] = match weight_perm {
+                Some(p) => p,
+                None => {
+                    tiebreak.descending_order_into(task.weights(), keys, wperm_buf);
+                    wperm_buf
+                }
+            };
+            round_robin_assignment_into(&layout.weight_occupancy, assign);
             for (rank, &orig) in wperm.iter().enumerate() {
                 let (f, s) = assign[rank];
                 flits[f].slots[half + s] = Slot::Weight(task.weights()[orig]);
@@ -465,19 +508,26 @@ pub fn order_task_with<W: DataWord>(
             }
         }
         OrderingMethod::Separated => {
-            let wperm = tiebreak.descending_order(task.weights());
-            let iperm = tiebreak.descending_order(task.inputs());
-            let assign = round_robin_assignment(&layout.weight_occupancy);
-            let wdest = placement_by_original_index(&wperm, &assign);
+            let wperm: &[usize] = match weight_perm {
+                Some(p) => p,
+                None => {
+                    tiebreak.descending_order_into(task.weights(), keys, wperm_buf);
+                    wperm_buf
+                }
+            };
+            tiebreak.descending_order_into(task.inputs(), keys, iperm);
+            round_robin_assignment_into(&layout.weight_occupancy, assign);
+            placement_by_original_index_into(wperm, assign, wdest);
             for (orig, &(f, s)) in wdest.iter().enumerate() {
                 flits[f].slots[half + s] = Slot::Weight(task.weights()[orig]);
             }
-            let idest = placement_by_original_index(&iperm, &assign);
+            placement_by_original_index_into(iperm, assign, idest);
             for (orig, &(f, s)) in idest.iter().enumerate() {
                 flits[f].slots[s] = Slot::Input(task.inputs()[orig]);
             }
             // inverse weight permutation: original index -> weight rank.
-            let mut inv_wperm = vec![0u16; n];
+            inv_wperm.clear();
+            inv_wperm.resize(n, 0);
             for (rank, &orig) in wperm.iter().enumerate() {
                 inv_wperm[orig] = rank as u16;
             }
@@ -492,6 +542,171 @@ pub fn order_task_with<W: DataWord>(
         flits,
         pair_index,
     })
+}
+
+/// Side-channel overhead of the separated-ordering re-pairing index for a
+/// task of `num_pairs` pairs: `N · ceil(log2 N)` bits (zero for O0/O1).
+#[must_use]
+pub fn index_overhead_bits_for(method: OrderingMethod, num_pairs: usize) -> u64 {
+    match method {
+        OrderingMethod::Separated => {
+            let width = if num_pairs <= 1 {
+                0
+            } else {
+                u64::from(usize::BITS - (num_pairs - 1).leading_zeros())
+            };
+            num_pairs as u64 * width
+        }
+        OrderingMethod::Baseline | OrderingMethod::Affiliated => 0,
+    }
+}
+
+/// Orders and renders a task **directly into link images** — the hot
+/// encode path. Produces exactly
+/// `order_task_with(task, method, values_per_flit, tiebreak).payload_flits()`
+/// (pinned by `tests/transport_parity.rs`) plus the O2 pair index, without
+/// materializing the slot-level [`OrderedTask`]: values are written
+/// straight into [`PayloadBits`] lanes, padding stays zero.
+///
+/// `weight_perm` and `scratch` as in [`order_task_cached`].
+///
+/// # Errors
+///
+/// Same conditions as [`order_task`].
+#[allow(clippy::type_complexity)]
+pub fn order_task_images<W: DataWord>(
+    task: &NeuronTask<W>,
+    method: OrderingMethod,
+    values_per_flit: usize,
+    tiebreak: TieBreak,
+    weight_perm: Option<&[usize]>,
+    scratch: &mut TransportScratch,
+) -> Result<(Vec<PayloadBits>, Option<Vec<u16>>), FlitizeError> {
+    order_images_from_parts(
+        task.inputs(),
+        task.weights(),
+        task.bias(),
+        method,
+        values_per_flit,
+        tiebreak,
+        weight_perm,
+        scratch,
+    )
+}
+
+/// [`order_task_images`] over bare operand slices, so hot callers (the
+/// accelerator's encode stage) can feed a reused input buffer and the
+/// layer's shared kernel without materializing a [`NeuronTask`] per task.
+///
+/// # Errors
+///
+/// Same conditions as [`order_task`].
+///
+/// # Panics
+///
+/// Panics if `inputs` and `weights` have different lengths (the
+/// [`NeuronTask`] invariant the task-based entry points establish).
+#[allow(clippy::too_many_arguments, clippy::type_complexity)]
+pub fn order_images_from_parts<W: DataWord>(
+    inputs: &[W],
+    weights: &[W],
+    bias: W,
+    method: OrderingMethod,
+    values_per_flit: usize,
+    tiebreak: TieBreak,
+    weight_perm: Option<&[usize]>,
+    scratch: &mut TransportScratch,
+) -> Result<(Vec<PayloadBits>, Option<Vec<u16>>), FlitizeError> {
+    assert_eq!(inputs.len(), weights.len(), "operand slices must pair up");
+    if values_per_flit < 2 || !values_per_flit.is_multiple_of(2) {
+        return Err(FlitizeError::OddValuesPerFlit(values_per_flit));
+    }
+    let width = values_per_flit as u32 * W::WIDTH;
+    if width > MAX_WIDTH_BITS {
+        return Err(FlitizeError::LinkTooWide { requested: width });
+    }
+    let n = inputs.len();
+    if n > usize::from(u16::MAX) {
+        return Err(FlitizeError::TooManyValues(n));
+    }
+
+    let layout = half_half_layout(n, values_per_flit);
+    let half = values_per_flit / 2;
+    let mut flits = vec![PayloadBits::zero(width); layout.num_flits];
+    let lane = |flits: &mut [PayloadBits], f: usize, slot: usize, w: W| {
+        flits[f].set_field(slot as u32 * W::WIDTH, W::WIDTH, w.bits_u64());
+    };
+
+    // Bias keeps its baseline position in all methods.
+    let (bf, bs) = layout.bias_position;
+    lane(&mut flits, bf, half + bs, bias);
+
+    let TransportScratch {
+        keys,
+        wperm: wperm_buf,
+        iperm,
+        assign,
+        wdest,
+        idest,
+        inv_wperm,
+    } = scratch;
+    debug_assert!(
+        weight_perm.is_none_or(|p| p.len() == n),
+        "cached weight permutation does not cover the task"
+    );
+
+    let mut pair_index = None;
+    match method {
+        OrderingMethod::Baseline => {
+            for (l, (&input, &weight)) in inputs.iter().zip(weights.iter()).enumerate() {
+                let (f, s) = (l / half, l % half);
+                lane(&mut flits, f, s, input);
+                lane(&mut flits, f, half + s, weight);
+            }
+        }
+        OrderingMethod::Affiliated => {
+            let wperm: &[usize] = match weight_perm {
+                Some(p) => p,
+                None => {
+                    tiebreak.descending_order_into(weights, keys, wperm_buf);
+                    wperm_buf
+                }
+            };
+            round_robin_assignment_into(&layout.weight_occupancy, assign);
+            for (rank, &orig) in wperm.iter().enumerate() {
+                let (f, s) = assign[rank];
+                lane(&mut flits, f, half + s, weights[orig]);
+                lane(&mut flits, f, s, inputs[orig]);
+            }
+        }
+        OrderingMethod::Separated => {
+            let wperm: &[usize] = match weight_perm {
+                Some(p) => p,
+                None => {
+                    tiebreak.descending_order_into(weights, keys, wperm_buf);
+                    wperm_buf
+                }
+            };
+            tiebreak.descending_order_into(inputs, keys, iperm);
+            round_robin_assignment_into(&layout.weight_occupancy, assign);
+            placement_by_original_index_into(wperm, assign, wdest);
+            for (orig, &(f, s)) in wdest.iter().enumerate() {
+                lane(&mut flits, f, half + s, weights[orig]);
+            }
+            placement_by_original_index_into(iperm, assign, idest);
+            for (orig, &(f, s)) in idest.iter().enumerate() {
+                lane(&mut flits, f, s, inputs[orig]);
+            }
+            inv_wperm.clear();
+            inv_wperm.resize(n, 0);
+            for (rank, &orig) in wperm.iter().enumerate() {
+                inv_wperm[orig] = rank as u16;
+            }
+            pair_index = Some(iperm.iter().map(|&orig| inv_wperm[orig]).collect());
+        }
+    }
+
+    Ok((flits, pair_index))
 }
 
 /// Flitizes a flat value stream (weights-only packets, as in the "without
@@ -791,6 +1006,40 @@ mod tests {
     fn flitize_values_empty() {
         let vals: Vec<Fx8Word> = Vec::new();
         assert!(flitize_values(&vals, 8, true).is_empty());
+    }
+
+    #[test]
+    fn direct_image_emission_matches_slot_level_path() {
+        // The hot encode path writes PayloadBits lanes directly; it must
+        // be bit-identical to the slot-level OrderedTask rendering, pair
+        // index included, for every method, tiebreak, and task size.
+        let mut scratch = crate::transport::TransportScratch::default();
+        for n in [1usize, 2, 7, 8, 25, 150] {
+            let task = fx_task(n);
+            for method in OrderingMethod::ALL {
+                for tiebreak in [TieBreak::Stable, TieBreak::Value] {
+                    let slotted = order_task_with(&task, method, 16, tiebreak).unwrap();
+                    let (images, pair_index) =
+                        order_task_images(&task, method, 16, tiebreak, None, &mut scratch).unwrap();
+                    assert_eq!(
+                        images,
+                        slotted.payload_flits(),
+                        "{method:?} {tiebreak:?} n={n}"
+                    );
+                    assert_eq!(
+                        pair_index.as_deref(),
+                        slotted.pair_index(),
+                        "{method:?} {tiebreak:?} n={n}"
+                    );
+                    // A precomputed weight permutation changes nothing.
+                    let wperm = tiebreak.descending_order(task.weights());
+                    let (cached, _) =
+                        order_task_images(&task, method, 16, tiebreak, Some(&wperm), &mut scratch)
+                            .unwrap();
+                    assert_eq!(cached, images, "{method:?} {tiebreak:?} n={n} cached");
+                }
+            }
+        }
     }
 
     #[test]

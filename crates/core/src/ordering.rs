@@ -117,16 +117,54 @@ impl TieBreak {
             TieBreak::Value => descending_popcount_value_order(values),
         }
     }
+
+    /// [`TieBreak::descending_order`] into caller-owned buffers: `keys` is
+    /// the reusable `(popcount, bits, index)` scratch and `out` receives
+    /// the permutation. Both are cleared first, so hot paths (the
+    /// accelerator's per-task encode stage) sort without allocating.
+    pub fn descending_order_into<W: DataWord>(
+        self,
+        values: &[W],
+        keys: &mut Vec<SortKey>,
+        out: &mut Vec<usize>,
+    ) {
+        keys.clear();
+        out.clear();
+        // One key computation per value instead of one per comparison;
+        // `bits` is zeroed for the stable rule so the (stable) sort
+        // compares popcounts only and ties keep their original order.
+        keys.extend(values.iter().enumerate().map(|(i, v)| SortKey {
+            popcount: v.popcount(),
+            bits: match self {
+                TieBreak::Stable => 0,
+                TieBreak::Value => v.bits_u64(),
+            },
+            index: i as u32,
+        }));
+        keys.sort_by_key(|k| (std::cmp::Reverse(k.popcount), std::cmp::Reverse(k.bits)));
+        out.extend(keys.iter().map(|k| k.index as usize));
+    }
+}
+
+/// Precomputed comparison key of one value: popcount, (optional) raw bit
+/// image, and the original index the permutation reports.
+#[derive(Debug, Clone, Copy)]
+pub struct SortKey {
+    popcount: u32,
+    bits: u64,
+    index: u32,
 }
 
 /// Returns the permutation that sorts `values` by **descending** popcount.
 ///
 /// `perm[rank] = original index`; the sort is stable (ties keep their
-/// original relative order) so the transformation is deterministic.
+/// original relative order) so the transformation is deterministic. Keys
+/// are computed once per value, not once per comparison.
 #[must_use]
 pub fn descending_popcount_order<W: DataWord>(values: &[W]) -> Vec<usize> {
-    let mut perm: Vec<usize> = (0..values.len()).collect();
-    perm.sort_by_key(|&i| std::cmp::Reverse(values[i].popcount()));
+    let mut keys = Vec::new();
+    let mut perm = Vec::new();
+    TieBreak::Stable.descending_order_into(values, &mut keys, &mut perm);
     perm
 }
 
@@ -143,13 +181,9 @@ pub fn descending_popcount_order<W: DataWord>(values: &[W]) -> Vec<usize> {
 /// EXPERIMENTS.md).
 #[must_use]
 pub fn descending_popcount_value_order<W: DataWord>(values: &[W]) -> Vec<usize> {
-    let mut perm: Vec<usize> = (0..values.len()).collect();
-    perm.sort_by_key(|&i| {
-        (
-            std::cmp::Reverse(values[i].popcount()),
-            std::cmp::Reverse(values[i].bits_u64()),
-        )
-    });
+    let mut keys = Vec::new();
+    let mut perm = Vec::new();
+    TieBreak::Value.descending_order_into(values, &mut keys, &mut perm);
     perm
 }
 
@@ -218,20 +252,30 @@ pub fn greedy_nearest_order<W: DataWord>(values: &[W]) -> Vec<usize> {
 /// i.e. Fig. 3's column-major placement.
 #[must_use]
 pub fn round_robin_assignment(capacities: &[usize]) -> Vec<(usize, usize)> {
+    let mut assign = Vec::new();
+    round_robin_assignment_into(capacities, &mut assign);
+    assign
+}
+
+/// [`round_robin_assignment`] into a caller-owned buffer (cleared first),
+/// for allocation-free hot paths.
+pub fn round_robin_assignment_into(capacities: &[usize], assign: &mut Vec<(usize, usize)>) {
     let total: usize = capacities.iter().sum();
-    let mut assign = Vec::with_capacity(total);
-    let mut filled = vec![0usize; capacities.len()];
+    assign.clear();
+    assign.reserve(total);
+    let mut offset = 0usize;
+    // Deal one slot per non-full flit per round until every slot is used;
+    // `offset` is the round number (== slots already filled per flit).
     while assign.len() < total {
         let before = assign.len();
         for (f, &cap) in capacities.iter().enumerate() {
-            if filled[f] < cap {
-                assign.push((f, filled[f]));
-                filled[f] += 1;
+            if offset < cap {
+                assign.push((f, offset));
             }
         }
+        offset += 1;
         debug_assert!(assign.len() > before, "round-robin made no progress");
     }
-    assign
 }
 
 /// Applies a rank permutation and a slot assignment to produce, for each
@@ -248,13 +292,29 @@ pub fn placement_by_original_index(
     perm: &[usize],
     assign: &[(usize, usize)],
 ) -> Vec<(usize, usize)> {
+    let mut dest = Vec::new();
+    placement_by_original_index_into(perm, assign, &mut dest);
+    dest
+}
+
+/// [`placement_by_original_index`] into a caller-owned buffer (cleared
+/// first), for allocation-free hot paths.
+///
+/// # Panics
+///
+/// Panics if the two inputs have different lengths.
+pub fn placement_by_original_index_into(
+    perm: &[usize],
+    assign: &[(usize, usize)],
+    dest: &mut Vec<(usize, usize)>,
+) {
     assert_eq!(perm.len(), assign.len(), "perm/assignment length mismatch");
-    let mut dest = vec![(usize::MAX, usize::MAX); perm.len()];
+    dest.clear();
+    dest.resize(perm.len(), (usize::MAX, usize::MAX));
     for (rank, &orig) in perm.iter().enumerate() {
         dest[orig] = assign[rank];
     }
     debug_assert!(dest.iter().all(|&(f, _)| f != usize::MAX));
-    dest
 }
 
 #[cfg(test)]

@@ -28,8 +28,11 @@
 //!   flits (Fig. 8).
 
 use crate::codec::{CodecError, CodecKind};
-use crate::flitize::{order_task_with, FlitizeError, OrderedTask, RecoverError};
-use crate::ordering::{round_robin_assignment, OrderingMethod, TieBreak};
+use crate::flitize::{
+    index_overhead_bits_for, order_images_from_parts, order_task_with, FlitizeError, OrderedTask,
+    RecoverError,
+};
+use crate::ordering::{round_robin_assignment, OrderingMethod, SortKey, TieBreak};
 use crate::task::{NeuronTask, RecoveredTask};
 use btr_bits::payload::{PayloadBits, MAX_WIDTH_BITS};
 use btr_bits::transition::TransitionRecorder;
@@ -86,6 +89,29 @@ impl TransportConfig {
     }
 }
 
+/// Reusable scratch buffers for the encode half of the transport
+/// pipeline: the ordering permutations, slot assignments and inverse-index
+/// tables `order → flitize` needs per task. One instance per encoder
+/// thread keeps the per-task encode loop free of scratch allocations
+/// (buffers grow to the largest task seen and are then reused).
+#[derive(Debug, Default)]
+pub struct TransportScratch {
+    /// Sort keys of the value currently being ordered.
+    pub(crate) keys: Vec<SortKey>,
+    /// Weight permutation (when not provided precomputed).
+    pub(crate) wperm: Vec<usize>,
+    /// Input permutation (separated-ordering only).
+    pub(crate) iperm: Vec<usize>,
+    /// Round-robin `rank → (flit, slot)` assignment.
+    pub(crate) assign: Vec<(usize, usize)>,
+    /// Weight destinations by original index.
+    pub(crate) wdest: Vec<(usize, usize)>,
+    /// Input destinations by original index.
+    pub(crate) idest: Vec<(usize, usize)>,
+    /// Inverse weight permutation for the O2 pair index.
+    pub(crate) inv_wperm: Vec<u16>,
+}
+
 /// The metadata a packet carries out-of-band of its payload flits: the
 /// extended head-flit fields plus, for separated-ordering, the
 /// minimal-bit-width re-pairing index (Sec. IV-B).
@@ -101,10 +127,15 @@ pub struct TaskWireMeta {
 /// metadata and side-channel accounting.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EncodedTask<W> {
-    ordered: OrderedTask<W>,
-    /// The codec output — what is actually driven onto the link wires.
-    wire_flits: Vec<PayloadBits>,
+    meta: TaskWireMeta,
+    index_overhead_bits: u64,
+    /// The ordered flit images before link coding (the codec input).
+    plain: Vec<PayloadBits>,
+    /// The codec output — `None` when the codec is the identity, so the
+    /// unencoded pipeline stores (and moves) one image vector, not two.
+    wire: Option<Vec<PayloadBits>>,
     codec: CodecKind,
+    _word: std::marker::PhantomData<W>,
 }
 
 impl<W: DataWord> EncodedTask<W> {
@@ -113,28 +144,25 @@ impl<W: DataWord> EncodedTask<W> {
     /// recorders observe).
     #[must_use]
     pub fn payload_flits(&self) -> Vec<PayloadBits> {
-        self.wire_flits.clone()
+        self.wire.as_ref().unwrap_or(&self.plain).clone()
     }
 
     /// The ordered flit images *before* link coding (the codec input).
     #[must_use]
     pub fn plain_flits(&self) -> Vec<PayloadBits> {
-        self.ordered.payload_flits()
+        self.plain.clone()
     }
 
     /// The metadata the receiver needs to decode the packet.
     #[must_use]
     pub fn wire_meta(&self) -> TaskWireMeta {
-        TaskWireMeta {
-            num_pairs: self.ordered.num_pairs(),
-            pair_index: self.ordered.pair_index().map(<[u16]>::to_vec),
-        }
+        self.meta.clone()
     }
 
     /// Side-channel overhead of the separated-ordering index in bits.
     #[must_use]
     pub fn index_overhead_bits(&self) -> u64 {
-        self.ordered.index_overhead_bits()
+        self.index_overhead_bits
     }
 
     /// Side-channel overhead of the link codec in bits: one bit per extra
@@ -142,13 +170,27 @@ impl<W: DataWord> EncodedTask<W> {
     /// delta-XOR).
     #[must_use]
     pub fn codec_overhead_bits(&self) -> u64 {
-        u64::from(self.codec.extra_wires()) * self.wire_flits.len() as u64
+        let wire_flits = self.wire.as_ref().unwrap_or(&self.plain).len() as u64;
+        u64::from(self.codec.extra_wires()) * wire_flits
     }
 
-    /// The underlying ordered task (slot-level view).
+    /// Consumes the encoded task into its wire images without cloning —
+    /// the injection path hands these straight to the packet.
     #[must_use]
-    pub fn ordered(&self) -> &OrderedTask<W> {
-        &self.ordered
+    pub fn into_wire_flits(self) -> Vec<PayloadBits> {
+        self.wire.unwrap_or(self.plain)
+    }
+
+    /// Consumes the encoded task into `(wire metadata, wire images,
+    /// index overhead bits, codec overhead bits)` — everything the
+    /// injection path needs, with no clone of the images or the O2 pair
+    /// index.
+    #[must_use]
+    pub fn into_parts(self) -> (TaskWireMeta, Vec<PayloadBits>, u64, u64) {
+        let index_overhead_bits = self.index_overhead_bits;
+        let codec_overhead_bits = self.codec_overhead_bits();
+        let wire = self.wire.unwrap_or(self.plain);
+        (self.meta, wire, index_overhead_bits, codec_overhead_bits)
     }
 }
 
@@ -249,6 +291,79 @@ impl CodedTransport {
         Self { config }
     }
 
+    /// [`TransportSession::encode_task`] with reusable scratch buffers and
+    /// an optional precomputed weight permutation (see
+    /// [`order_task_cached`]). The session itself is `Copy`, so encoder
+    /// threads each take their own handle plus a private scratch and
+    /// encode off the cycle-loop thread; the output is bit-identical to
+    /// the plain encode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlitizeError`] for invalid geometry, like
+    /// [`TransportSession::encode_task`].
+    pub fn encode_task_cached<W: DataWord>(
+        &self,
+        task: &NeuronTask<W>,
+        weight_perm: Option<&[usize]>,
+        scratch: &mut TransportScratch,
+    ) -> Result<EncodedTask<W>, FlitizeError> {
+        self.encode_parts_cached(
+            task.inputs(),
+            task.weights(),
+            task.bias(),
+            weight_perm,
+            scratch,
+        )
+    }
+
+    /// [`CodedTransport::encode_task_cached`] over bare operand slices —
+    /// the innermost encode path, letting the driver's encode stage feed
+    /// a reused input buffer and the layer's shared kernel with no
+    /// per-task `NeuronTask` materialization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlitizeError`] for invalid geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` and `weights` have different lengths.
+    pub fn encode_parts_cached<W: DataWord>(
+        &self,
+        inputs: &[W],
+        weights: &[W],
+        bias: W,
+        weight_perm: Option<&[usize]>,
+        scratch: &mut TransportScratch,
+    ) -> Result<EncodedTask<W>, FlitizeError> {
+        let (plain, pair_index) = order_images_from_parts(
+            inputs,
+            weights,
+            bias,
+            self.config.ordering,
+            self.config.values_per_flit,
+            self.config.tiebreak,
+            weight_perm,
+            scratch,
+        )?;
+        let wire = match self.config.codec {
+            CodecKind::Unencoded => None,
+            coded => Some(coded.codec().encode_stream(&plain)),
+        };
+        Ok(EncodedTask {
+            meta: TaskWireMeta {
+                num_pairs: inputs.len(),
+                pair_index,
+            },
+            index_overhead_bits: index_overhead_bits_for(self.config.ordering, inputs.len()),
+            plain,
+            wire,
+            codec: self.config.codec,
+            _word: std::marker::PhantomData,
+        })
+    }
+
     /// Encodes a PE's 32-bit MAC response into the wire image of a
     /// single-flit response packet, through the session's link codec (a
     /// one-flit stream, so every codec transmits the data bits verbatim;
@@ -257,61 +372,67 @@ impl CodedTransport {
     pub fn encode_response<W: DataWord>(&self, bits: u64) -> PayloadBits {
         let mut image = PayloadBits::zero(self.config.data_width_bits::<W>());
         image.set_field(0, 32, bits);
-        self.config
-            .codec
-            .codec()
-            .encode_stream(std::slice::from_ref(&image))
-            .pop()
-            .expect("one flit in, one wire image out")
+        match self.config.codec {
+            // Identity codec: skip the stream round-trip (hot path — one
+            // response per task).
+            CodecKind::Unencoded => image,
+            coded => coded
+                .codec()
+                .encode_stream(std::slice::from_ref(&image))
+                .pop()
+                .expect("one flit in, one wire image out"),
+        }
     }
 
-    /// Decodes a delivered response packet's wire images back into the
-    /// 32-bit MAC response (inverse of [`CodedTransport::encode_response`]).
+    /// The pre-pipeline encode path, preserved verbatim as a bit-exact
+    /// oracle (the `btr_noc::legacy` idiom): slot-level [`OrderedTask`]
+    /// materialization via [`order_task_with`], then the codec over the
+    /// rendered images. [`CodedTransport::encode_task_cached`] must
+    /// produce identical wire images, metadata and accounting — pinned by
+    /// `tests/driver_parity.rs` and `tests/transport_parity.rs`.
     ///
     /// # Errors
     ///
-    /// Returns [`TransportError::Codec`] if the wire images do not match
-    /// the session's link width, or [`TransportError::EmptyResponse`] if
-    /// the packet carried no payload flits.
-    pub fn decode_response<W: DataWord>(
+    /// Returns [`FlitizeError`] for invalid geometry.
+    pub fn encode_task_reference<W: DataWord>(
         &self,
-        wire: &[PayloadBits],
-    ) -> Result<u64, TransportError> {
-        let plain = self
-            .config
-            .codec
-            .codec()
-            .decode_stream(wire, self.config.data_width_bits::<W>())?;
-        let image = plain.first().ok_or(TransportError::EmptyResponse)?;
-        Ok(image.field(0, 32))
-    }
-}
-
-impl<W: DataWord> TransportSession<W> for CodedTransport {
-    fn transport_config(&self) -> &TransportConfig {
-        &self.config
-    }
-
-    fn encode_task(&self, task: &NeuronTask<W>) -> Result<EncodedTask<W>, FlitizeError> {
+        task: &NeuronTask<W>,
+    ) -> Result<EncodedTask<W>, FlitizeError> {
         let ordered = order_task_with(
             task,
             self.config.ordering,
             self.config.values_per_flit,
             self.config.tiebreak,
         )?;
-        let wire_flits = self
-            .config
-            .codec
-            .codec()
-            .encode_stream(&ordered.payload_flits());
+        let plain = ordered.payload_flits();
+        let wire = match self.config.codec {
+            CodecKind::Unencoded => None,
+            coded => Some(coded.codec().encode_stream(&plain)),
+        };
         Ok(EncodedTask {
-            ordered,
-            wire_flits,
+            meta: TaskWireMeta {
+                num_pairs: ordered.num_pairs(),
+                pair_index: ordered.pair_index().map(<[u16]>::to_vec),
+            },
+            index_overhead_bits: ordered.index_overhead_bits(),
+            plain,
+            wire,
             codec: self.config.codec,
+            _word: std::marker::PhantomData,
         })
     }
 
-    fn decode_task(
+    /// The pre-pipeline decode path, preserved verbatim as a bit-exact
+    /// oracle: codec inverse, slot-level
+    /// [`OrderedTask::from_payload_flits`] reconstruction, then
+    /// [`OrderedTask::recover`]. Produces the identical pairing (same
+    /// pair order) as [`TransportSession::decode_task`]'s direct path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError`] under the same conditions as
+    /// [`TransportSession::decode_task`].
+    pub fn decode_task_reference<W: DataWord>(
         &self,
         meta: &TaskWireMeta,
         flits: &[PayloadBits],
@@ -330,6 +451,187 @@ impl<W: DataWord> TransportSession<W> for CodedTransport {
         )?;
         Ok(ordered.recover()?)
     }
+
+    /// [`TransportSession::decode_task`] with reusable scratch buffers —
+    /// the receiver's hot path, bit-identical to the plain decode.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TransportSession::decode_task`].
+    pub fn decode_task_cached<W: DataWord>(
+        &self,
+        meta: &TaskWireMeta,
+        flits: &[PayloadBits],
+        scratch: &mut TransportScratch,
+    ) -> Result<RecoveredTask<W>, TransportError> {
+        let mut out = RecoveredTask {
+            pairs: Vec::new(),
+            bias: W::from_bits_u64(0),
+        };
+        self.decode_task_into(meta, flits, scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`CodedTransport::decode_task_cached`] into a caller-owned
+    /// [`RecoveredTask`] (pairs buffer reused across packets) — the
+    /// fully allocation-free receiver path.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TransportSession::decode_task`].
+    pub fn decode_task_into<W: DataWord>(
+        &self,
+        meta: &TaskWireMeta,
+        flits: &[PayloadBits],
+        scratch: &mut TransportScratch,
+        out: &mut RecoveredTask<W>,
+    ) -> Result<(), TransportError> {
+        let data_width = self.config.data_width_bits::<W>();
+        let decoded;
+        let plain: &[PayloadBits] = match self.config.codec {
+            CodecKind::Unencoded => {
+                for flit in flits {
+                    if flit.width() != data_width {
+                        return Err(CodecError::WireWidth {
+                            got: flit.width(),
+                            want: data_width,
+                        }
+                        .into());
+                    }
+                }
+                flits
+            }
+            coded => {
+                decoded = coded.codec().decode_stream(flits, data_width)?;
+                &decoded
+            }
+        };
+        recover_from_images(
+            self.config.ordering,
+            meta,
+            self.config.values_per_flit,
+            plain,
+            &mut scratch.assign,
+            out,
+        )
+    }
+
+    /// Decodes a delivered response packet's wire images back into the
+    /// 32-bit MAC response (inverse of [`CodedTransport::encode_response`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Codec`] if the wire images do not match
+    /// the session's link width, or [`TransportError::EmptyResponse`] if
+    /// the packet carried no payload flits.
+    pub fn decode_response<W: DataWord>(
+        &self,
+        wire: &[PayloadBits],
+    ) -> Result<u64, TransportError> {
+        let data_width = self.config.data_width_bits::<W>();
+        if self.config.codec == CodecKind::Unencoded {
+            // Identity codec: read the field in place (hot path — one
+            // response per task).
+            let image = wire.first().ok_or(TransportError::EmptyResponse)?;
+            if image.width() != data_width {
+                return Err(CodecError::WireWidth {
+                    got: image.width(),
+                    want: data_width,
+                }
+                .into());
+            }
+            return Ok(image.field(0, 32));
+        }
+        let plain = self.config.codec.codec().decode_stream(wire, data_width)?;
+        let image = plain.first().ok_or(TransportError::EmptyResponse)?;
+        Ok(image.field(0, 32))
+    }
+}
+
+impl<W: DataWord> TransportSession<W> for CodedTransport {
+    fn transport_config(&self) -> &TransportConfig {
+        &self.config
+    }
+
+    fn encode_task(&self, task: &NeuronTask<W>) -> Result<EncodedTask<W>, FlitizeError> {
+        self.encode_task_cached(task, None, &mut TransportScratch::default())
+    }
+
+    fn decode_task(
+        &self,
+        meta: &TaskWireMeta,
+        flits: &[PayloadBits],
+    ) -> Result<RecoveredTask<W>, TransportError> {
+        self.decode_task_cached(meta, flits, &mut TransportScratch::default())
+    }
+}
+
+/// The receiver's hot decode path: re-types the occupied lanes straight
+/// off the plain flit images, producing the identical pairing (same pair
+/// *order*, so float MACs re-associate identically) as
+/// [`OrderedTask::from_payload_flits`] + [`OrderedTask::recover`],
+/// without materializing the slot-level task.
+fn recover_from_images<W: DataWord>(
+    method: OrderingMethod,
+    meta: &TaskWireMeta,
+    values_per_flit: usize,
+    plain: &[PayloadBits],
+    assign_scratch: &mut Vec<(usize, usize)>,
+    out: &mut RecoveredTask<W>,
+) -> Result<(), TransportError> {
+    use crate::flitize::half_half_layout;
+    use crate::ordering::round_robin_assignment_into;
+    let n = meta.num_pairs;
+    if values_per_flit < 2 || !values_per_flit.is_multiple_of(2) {
+        return Err(FlitizeError::OddValuesPerFlit(values_per_flit).into());
+    }
+    if n == 0 || n > usize::from(u16::MAX) {
+        return Err(FlitizeError::TooManyValues(n).into());
+    }
+    let layout = half_half_layout(n, values_per_flit);
+    if plain.len() != layout.num_flits {
+        return Err(FlitizeError::TooManyValues(plain.len()).into());
+    }
+    let half = values_per_flit / 2;
+    let lane = |f: usize, s: usize| -> W {
+        W::from_bits_u64(plain[f].field(s as u32 * W::WIDTH, W::WIDTH))
+    };
+
+    // Occupied-slot geometry is fully determined by (num_pairs, lanes):
+    // the same assignment the sender used.
+    let pairs = &mut out.pairs;
+    pairs.clear();
+    pairs.reserve(n);
+    match method {
+        OrderingMethod::Baseline => {
+            for rank in 0..n {
+                let (f, s) = (rank / half, rank % half);
+                pairs.push((lane(f, s), lane(f, half + s)));
+            }
+        }
+        OrderingMethod::Affiliated => {
+            round_robin_assignment_into(&layout.weight_occupancy, assign_scratch);
+            for &(f, s) in assign_scratch.iter().take(n) {
+                pairs.push((lane(f, s), lane(f, half + s)));
+            }
+        }
+        OrderingMethod::Separated => {
+            let index = meta
+                .pair_index
+                .as_ref()
+                .ok_or(RecoverError::MissingPairIndex)?;
+            round_robin_assignment_into(&layout.weight_occupancy, assign_scratch);
+            for (rank, &partner) in index.iter().enumerate() {
+                let (inf, ins) = assign_scratch[rank];
+                let (wf, ws) = assign_scratch[partner as usize];
+                pairs.push((lane(inf, ins), lane(wf, half + ws)));
+            }
+        }
+    }
+
+    let (bf, bs) = layout.bias_position;
+    out.bias = lane(bf, half + bs);
+    Ok(())
 }
 
 /// A total-only [`TransitionRecorder`] for an *unencoded*
@@ -509,6 +811,33 @@ mod tests {
                             "{ordering} {tiebreak:?} {codec} n={n}"
                         );
                     }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reference_and_fast_paths_agree() {
+        // The preserved pre-pipeline encode/decode and the direct hot
+        // paths must be indistinguishable: same wire images, metadata,
+        // accounting, and the same recovered pairing in the same order.
+        for n in [1usize, 7, 25, 100] {
+            let task = fx_task(n);
+            for ordering in OrderingMethod::ALL {
+                for codec in CodecKind::ALL {
+                    let session =
+                        CodedTransport::new(TransportConfig::new(ordering, 16).with_codec(codec));
+                    let fast = TransportSession::<Fx8Word>::encode_task(&session, &task).unwrap();
+                    let reference = session.encode_task_reference::<Fx8Word>(&task).unwrap();
+                    assert_eq!(fast, reference, "{ordering} {codec} n={n}");
+                    let rec_fast: RecoveredTask<Fx8Word> = session
+                        .decode_task(&fast.wire_meta(), &fast.payload_flits())
+                        .unwrap();
+                    let rec_ref: RecoveredTask<Fx8Word> = session
+                        .decode_task_reference(&reference.wire_meta(), &reference.payload_flits())
+                        .unwrap();
+                    assert_eq!(rec_fast.pairs, rec_ref.pairs, "{ordering} {codec} n={n}");
+                    assert_eq!(rec_fast.bias, rec_ref.bias);
                 }
             }
         }

@@ -1,19 +1,21 @@
 //! The general sweep front-end: any `(model × mesh × format × ordering ×
-//! tiebreak × fx8 scheme × codec)` grid, fanned out in parallel, with
-//! machine-readable JSON results.
+//! tiebreak × fx8 scheme × codec × batch)` grid, fanned out in parallel,
+//! with machine-readable JSON results.
 //!
-//! This is the scaling successor to the per-figure binaries: one command
-//! covers Fig. 12 (mesh sizes), Fig. 13 (models), the sensitivity grids
-//! and the `{ordering × codec}` ablations, at any subset of the cross
+//! This is the scaling successor to the per-figure binaries: the
+//! `fig12_noc_sizes` and `fig13_models` presets replace the binaries of
+//! the same names, and further presets cover the sensitivity grids and
+//! the `{ordering × codec}` ablations, at any subset of the cross
 //! product.
 //!
 //! Usage:
 //! `cargo run --release -p experiments --bin sweep -- \
-//!     [--preset smoke|ablation_orderings|ablation_codecs] \
+//!     [--preset smoke|fig12_noc_sizes|fig13_models|ablation_orderings|ablation_codecs] \
 //!     [--models lenet,darknet] [--weights trained] [--seed 42] \
 //!     [--meshes 4x4x2,8x8x4,8x8x8] [--formats f32,fx8] \
 //!     [--orderings O0,O1,O2] [--ties stable,value] [--fx8-global] \
-//!     [--codecs none,bus-invert,delta-xor] [--shard 0/4] \
+//!     [--codecs none,bus-invert,delta-xor] [--batch 1,4,16] \
+//!     [--driver pipelined|sync] [--shard 0/4] \
 //!     [--darknet-width 8] [--sequential] [--json sweep.json]`
 //!
 //! A `--preset` sets the grid axes (explicit flags still override);
@@ -22,8 +24,9 @@
 //! `--merge a.json,b.json --json out.json` skips simulation entirely and
 //! concatenates/validates previously written result files.
 //!
-//! `--json` writes the `btr-sweep-v2` schema described in EXPERIMENTS.md.
+//! `--json` writes the `btr-sweep-v3` schema described in EXPERIMENTS.md.
 
+use btr_accel::config::DriverMode;
 use btr_bits::word::DataFormat;
 use btr_core::codec::CodecKind;
 use btr_core::ordering::{OrderingMethod, TieBreak};
@@ -32,11 +35,16 @@ use btr_dnn::models::darknet;
 use experiments::cli;
 use experiments::json::Json;
 use experiments::sweep::{
-    baseline_of, expand_grid, merge_sweep_json, outcomes_json, run_cells, MeshSpec, Shard, Workload,
+    baseline_of, expand_grid, merge_sweep_json, outcomes_json, run_cells_with, MeshSpec, Shard,
+    Workload,
 };
 use experiments::workloads::{lenet, WeightSource};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Input tensors generated per workload — the pool batched cells cycle
+/// through (distinct samples, deterministic per seed).
+const INPUT_POOL: usize = 16;
 
 /// Axis defaults a `--preset` installs (explicit flags still win).
 struct Preset {
@@ -47,6 +55,7 @@ struct Preset {
     orderings: Vec<OrderingMethod>,
     tiebreaks: Vec<TieBreak>,
     codecs: Vec<CodecKind>,
+    batches: Vec<usize>,
 }
 
 impl Preset {
@@ -59,6 +68,7 @@ impl Preset {
             orderings: OrderingMethod::ALL.to_vec(),
             tiebreaks: vec![TieBreak::Stable],
             codecs: vec![CodecKind::Unencoded],
+            batches: vec![1],
         }
     }
 
@@ -78,6 +88,22 @@ impl Preset {
                 formats: vec![DataFormat::Fixed8],
                 orderings: vec![OrderingMethod::Baseline, OrderingMethod::Separated],
                 codecs: CodecKind::ALL.to_vec(),
+                ..Self::general()
+            },
+            // Fig. 12 — BTs across NoC sizes (successor of the retired
+            // `fig12_noc_sizes` binary): full LeNet inference on all
+            // three paper meshes × both formats × O0/O1/O2.
+            // Paper: O1 12.09–18.58% (f32) / 7.88–17.75% (fx8);
+            // O2 23.30–32.01% (f32) / 16.95–35.93% (fx8); MC4 highest
+            // absolute BTs (more hops per MC).
+            "fig12_noc_sizes" => Self::general(),
+            // Fig. 13 — normalized BTs across models (successor of the
+            // retired `fig13_models` binary): LeNet vs the reduced
+            // DarkNet on the 4×4 MC2 mesh. Paper: up to 35.93% (LeNet)
+            // and 40.85% (DarkNet); separated-ordering always wins.
+            "fig13_models" => Preset {
+                models: vec!["lenet".into(), "darknet".into()],
+                meshes: small_mesh,
                 ..Self::general()
             },
             // The ordering ablation (successor of the retired
@@ -100,7 +126,8 @@ impl Preset {
             other => {
                 eprintln!(
                     "error: unknown preset {other:?}; use \
-                     general|smoke|ablation_orderings|ablation_codecs"
+                     general|smoke|fig12_noc_sizes|fig13_models|\
+                     ablation_orderings|ablation_codecs"
                 );
                 std::process::exit(2);
             }
@@ -111,16 +138,26 @@ impl Preset {
 fn build_workload(name: &str, source: WeightSource, seed: u64, darknet_width: usize) -> Workload {
     let mut rng = StdRng::seed_from_u64(seed);
     match name {
-        "lenet" => Workload {
-            name: format!("LeNet ({} weights)", source.name()),
-            ops: lenet(source, seed).inference_ops(),
-            input: SyntheticDigits::new().sample(7, &mut rng).input,
-        },
-        "darknet" => Workload {
-            name: format!("DarkNet (width {darknet_width})"),
-            ops: darknet::build_with_width(seed, darknet_width).inference_ops(),
-            input: SyntheticRgb::new().sample(2, &mut rng).input,
-        },
+        "lenet" => {
+            let digits = SyntheticDigits::new();
+            Workload {
+                name: format!("LeNet ({} weights)", source.name()),
+                ops: lenet(source, seed).inference_ops(),
+                inputs: (0..INPUT_POOL)
+                    .map(|i| digits.sample((7 + i) % 10, &mut rng).input)
+                    .collect(),
+            }
+        }
+        "darknet" => {
+            let rgb = SyntheticRgb::new();
+            Workload {
+                name: format!("DarkNet (width {darknet_width})"),
+                ops: darknet::build_with_width(seed, darknet_width).inference_ops(),
+                inputs: (0..INPUT_POOL)
+                    .map(|i| rgb.sample((2 + i) % 10, &mut rng).input)
+                    .collect(),
+            }
+        }
         other => {
             eprintln!("error: unknown model {other:?}; use lenet|darknet");
             std::process::exit(2);
@@ -182,6 +219,7 @@ fn main() {
     let darknet_width: usize = cli::arg("darknet-width", 8);
     let sequential = cli::flag("sequential");
     let shard: Shard = cli::arg("shard", Shard::WHOLE);
+    let driver: DriverMode = cli::arg("driver", DriverMode::Pipelined);
 
     let models: Vec<String> = cli::list_arg("models", preset.models);
     let meshes: Vec<MeshSpec> = cli::list_arg("meshes", preset.meshes);
@@ -189,6 +227,7 @@ fn main() {
     let orderings: Vec<OrderingMethod> = cli::list_arg("orderings", preset.orderings);
     let tiebreaks: Vec<TieBreak> = cli::list_arg("ties", preset.tiebreaks);
     let codecs: Vec<CodecKind> = cli::list_arg("codecs", preset.codecs);
+    let batches: Vec<usize> = cli::list_arg("batch", preset.batches);
     let fx8_globals = if cli::flag("fx8-global") {
         vec![true]
     } else {
@@ -208,30 +247,33 @@ fn main() {
         &tiebreaks,
         &fx8_globals,
         &codecs,
+        &batches,
     );
     let total = cells.len();
     let cells = shard.select(cells);
     eprintln!(
         "# sweep [{preset_name}]: {} workloads x {} meshes x {} formats x {} orderings x {} ties \
-         x {} codecs = {total} cells (shard {shard}: {} cells)",
+         x {} codecs x {} batches = {total} cells (shard {shard}: {} cells, {driver} driver)",
         workloads.len(),
         meshes.len(),
         formats.len(),
         orderings.len(),
         tiebreaks.len(),
         codecs.len(),
+        batches.len(),
         cells.len()
     );
-    let outcomes = run_cells(&workloads, cells, sequential);
+    let outcomes = run_cells_with(&workloads, cells, sequential, driver);
 
     println!(
-        "{:<24} {:<9} {:<9} {:>4} {:>7} {:>11} {:>16} {:>10} {:>10} {:>8}",
+        "{:<24} {:<9} {:<9} {:>4} {:>7} {:>11} {:>5} {:>16} {:>10} {:>10} {:>8}",
         "workload",
         "NoC",
         "format",
         "ord",
         "ties",
         "codec",
+        "batch",
         "total BTs",
         "reduction",
         "cycles",
@@ -240,12 +282,13 @@ fn main() {
     for o in &outcomes {
         if let Some(e) = &o.error {
             eprintln!(
-                "error: {} {} {} {} {}: {e}",
+                "error: {} {} {} {} {} b{}: {e}",
                 workloads[o.cell.workload].name,
                 o.cell.mesh,
                 o.cell.format,
                 o.cell.ordering,
-                o.cell.codec
+                o.cell.codec,
+                o.cell.batch
             );
             continue;
         }
@@ -255,13 +298,14 @@ fn main() {
                 (b.transitions as f64 - o.transitions as f64) / b.transitions as f64 * 100.0
             });
         println!(
-            "{:<24} {:<9} {:<9} {:>4} {:>7} {:>11} {:>16} {:>9.2}% {:>10} {:>6}ms",
+            "{:<24} {:<9} {:<9} {:>4} {:>7} {:>11} {:>5} {:>16} {:>9.2}% {:>10} {:>6}ms",
             workloads[o.cell.workload].name,
             o.cell.mesh.label(),
             o.cell.format.name(),
             o.cell.ordering.label(),
             format!("{:?}", o.cell.tiebreak).to_lowercase(),
             o.cell.codec.label(),
+            o.cell.batch,
             o.transitions,
             reduction,
             o.cycles,

@@ -2,22 +2,24 @@
 //! with rayon, results as machine-readable JSON.
 //!
 //! A sweep is a grid over `(workload × mesh × data format × ordering ×
-//! tiebreak × fx8 scheme × link codec)`. Every cell runs a complete
-//! inference through its own flat-array simulator (cells share nothing,
-//! so they parallelize perfectly), and the outcome carries the figures
-//! the paper's evaluation reports: total bit transitions, cycles,
-//! flit-hops, latency, index/codec side-channel overhead.
+//! tiebreak × fx8 scheme × link codec × batch size)`. Every cell runs a
+//! complete (batched) inference through its own flat-array simulator
+//! (cells share nothing, so they parallelize perfectly), and the outcome
+//! carries the figures the paper's evaluation reports: total bit
+//! transitions, cycles, flit-hops, latency, index/codec side-channel
+//! overhead.
 //!
-//! `fig12_noc_sizes`, `fig13_models` and the `sweep` binary are all thin
-//! front-ends over [`expand_grid`] + [`run_cells`] +
-//! [`outcomes_json`]; see `EXPERIMENTS.md` for the JSON schema
-//! (`btr-sweep-v2`) and usage examples. Grids can span machines: a
-//! [`Shard`] selects a deterministic subset of the expanded cells and
-//! [`merge_sweep_json`] recombines the per-shard result files.
+//! The `sweep` binary (including its `fig12_noc_sizes` / `fig13_models`
+//! presets, the retired per-figure binaries) is a thin front-end over
+//! [`expand_grid`] + [`run_cells`] + [`outcomes_json`]; see
+//! `EXPERIMENTS.md` for the JSON schema (`btr-sweep-v3`) and usage
+//! examples. Grids can span machines: a [`Shard`] selects a deterministic
+//! subset of the expanded cells and [`merge_sweep_json`] recombines the
+//! per-shard result files.
 
 use crate::json::Json;
-use btr_accel::config::AccelConfig;
-use btr_accel::driver::run_inference;
+use btr_accel::config::{AccelConfig, DriverMode};
+use btr_accel::driver::run_inference_batch;
 use btr_bits::word::DataFormat;
 use btr_core::codec::CodecKind;
 use btr_core::ordering::{OrderingMethod, TieBreak};
@@ -25,18 +27,34 @@ use btr_dnn::model::InferenceOp;
 use btr_dnn::tensor::Tensor;
 use rayon::prelude::*;
 
-/// The sweep result schema version (`codec` axis added in v2).
-pub const SWEEP_SCHEMA: &str = "btr-sweep-v2";
+/// The sweep result schema version (`codec` axis added in v2, `batch`
+/// axis in v3).
+pub const SWEEP_SCHEMA: &str = "btr-sweep-v3";
 
-/// A named inference workload (model lowered to ops + input tensor).
+/// A named inference workload (model lowered to ops + a pool of input
+/// tensors batched cells draw from).
 #[derive(Debug, Clone)]
 pub struct Workload {
     /// Display name (`"LeNet"`, `"DarkNet"`, ...).
     pub name: String,
     /// The lowered inference graph.
     pub ops: Vec<InferenceOp>,
-    /// The input tensor.
-    pub input: Tensor,
+    /// Input tensors; a cell with batch `N` uses the first `N`, cycling
+    /// if the pool is smaller.
+    pub inputs: Vec<Tensor>,
+}
+
+impl Workload {
+    /// The first `batch` inputs, cycling through the pool if needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload has no inputs.
+    #[must_use]
+    pub fn batch_inputs(&self, batch: usize) -> Vec<Tensor> {
+        assert!(!self.inputs.is_empty(), "workload has no inputs");
+        self.inputs.iter().cycle().take(batch).cloned().collect()
+    }
 }
 
 /// A mesh geometry: `width × height` with `mc_count` memory controllers.
@@ -121,6 +139,8 @@ pub struct SweepCell {
     pub fx8_global: bool,
     /// Link-coding backend on every link.
     pub codec: CodecKind,
+    /// Inputs run through each layer as one traffic phase.
+    pub batch: usize,
 }
 
 /// The measured outcome of one cell.
@@ -149,6 +169,7 @@ pub struct CellOutcome {
 }
 
 /// Expands the full cross product into cells.
+#[allow(clippy::too_many_arguments)]
 #[must_use]
 pub fn expand_grid(
     workloads: usize,
@@ -158,6 +179,7 @@ pub fn expand_grid(
     tiebreaks: &[TieBreak],
     fx8_globals: &[bool],
     codecs: &[CodecKind],
+    batches: &[usize],
 ) -> Vec<SweepCell> {
     let mut cells = Vec::new();
     for w in 0..workloads {
@@ -167,15 +189,18 @@ pub fn expand_grid(
                     for &tiebreak in tiebreaks {
                         for &fx8_global in fx8_globals {
                             for &codec in codecs {
-                                cells.push(SweepCell {
-                                    workload: w,
-                                    mesh,
-                                    format,
-                                    ordering,
-                                    tiebreak,
-                                    fx8_global,
-                                    codec,
-                                });
+                                for &batch in batches {
+                                    cells.push(SweepCell {
+                                        workload: w,
+                                        mesh,
+                                        format,
+                                        ordering,
+                                        tiebreak,
+                                        fx8_global,
+                                        codec,
+                                        batch,
+                                    });
+                                }
                             }
                         }
                     }
@@ -186,9 +211,32 @@ pub fn expand_grid(
     cells
 }
 
-/// Runs one cell on its own simulator.
+/// Runs one cell on its own simulator with the default (pipelined)
+/// driver. Batched cells run `cell.batch` inputs through each layer as
+/// one traffic phase.
 #[must_use]
 pub fn run_cell(workloads: &[Workload], cell: SweepCell) -> CellOutcome {
+    run_cell_with(workloads, cell, DriverMode::Pipelined)
+}
+
+/// [`run_cell`] with an explicit driver mode (both modes produce
+/// bit-identical metrics; `sync` exists for timing the unpipelined
+/// reference).
+#[must_use]
+pub fn run_cell_with(workloads: &[Workload], cell: SweepCell, driver: DriverMode) -> CellOutcome {
+    run_cell_impl(workloads, cell, driver, false)
+}
+
+/// `inline_encode` forces the pipelined driver's encode stage inline —
+/// the parallel cell fan-out already claims every core, so per-cell
+/// encoder threads would only contend (results are bit-exact either
+/// way).
+fn run_cell_impl(
+    workloads: &[Workload],
+    cell: SweepCell,
+    driver: DriverMode,
+    inline_encode: bool,
+) -> CellOutcome {
     let start = std::time::Instant::now();
     let workload = &workloads[cell.workload];
     let mut config = AccelConfig::paper(
@@ -201,7 +249,11 @@ pub fn run_cell(workloads: &[Workload], cell: SweepCell) -> CellOutcome {
     .with_codec(cell.codec);
     config.tiebreak = cell.tiebreak;
     config.global_fx8_weights = cell.fx8_global;
-    match run_inference(&workload.ops, &workload.input, &config) {
+    config.batch_size = cell.batch;
+    config.driver = driver;
+    config.encode_inline = inline_encode;
+    let inputs = workload.batch_inputs(cell.batch);
+    match run_inference_batch(&workload.ops, &inputs, &config) {
         Ok(result) => CellOutcome {
             cell,
             transitions: result.stats.total_transitions,
@@ -253,6 +305,22 @@ pub fn run_cells(
     par_run(cells, sequential, |cell| run_cell(workloads, cell))
 }
 
+/// [`run_cells`] with an explicit driver mode. When the cells fan out
+/// in parallel, each cell's pipelined encode runs inline: the runner
+/// already saturates the cores with one simulator per cell.
+#[must_use]
+pub fn run_cells_with(
+    workloads: &[Workload],
+    cells: Vec<SweepCell>,
+    sequential: bool,
+    driver: DriverMode,
+) -> Vec<CellOutcome> {
+    let parallel_cells = !sequential && cells.len() > 1;
+    par_run(cells, sequential, |cell| {
+        run_cell_impl(workloads, cell, driver, parallel_cells)
+    })
+}
+
 /// Finds the baseline (O0, same codec) outcome matching a cell's other
 /// coordinates, for normalization/reduction reporting — so
 /// `reduction_vs_baseline` answers "what does ordering buy on this
@@ -266,6 +334,7 @@ pub fn baseline_of<'a>(outcomes: &'a [CellOutcome], cell: &SweepCell) -> Option<
             && o.cell.tiebreak == cell.tiebreak
             && o.cell.fx8_global == cell.fx8_global
             && o.cell.codec == cell.codec
+            && o.cell.batch == cell.batch
             && o.cell.ordering == OrderingMethod::Baseline
     })
 }
@@ -293,6 +362,7 @@ pub fn outcomes_json(workloads: &[Workload], outcomes: &[CellOutcome]) -> Json {
                 ),
                 ("fx8_global", Json::Bool(o.cell.fx8_global)),
                 ("codec", Json::str(o.cell.codec.label())),
+                ("batch", Json::U64(o.cell.batch as u64)),
                 ("transitions", Json::U64(o.transitions)),
                 ("cycles", Json::U64(o.cycles)),
                 ("flit_hops", Json::U64(o.flit_hops)),
@@ -413,13 +483,14 @@ pub fn merge_sweep_json(docs: &[(String, Json)]) -> Result<Json, String> {
 
 /// The non-ordering coordinates identifying a cell's baseline row, as
 /// serialized in the result JSON.
-const BASELINE_KEY_FIELDS: [&str; 6] = [
+const BASELINE_KEY_FIELDS: [&str; 7] = [
     "workload",
     "mesh",
     "format",
     "tiebreak",
     "fx8_global",
     "codec",
+    "batch",
 ];
 
 fn baseline_key(cell: &Json) -> String {
@@ -497,7 +568,7 @@ mod tests {
         Workload {
             name: "tiny".into(),
             ops: model.inference_ops(),
-            input,
+            inputs: vec![input],
         }
     }
 
@@ -527,6 +598,7 @@ mod tests {
             &[TieBreak::Stable],
             &[false],
             &CodecKind::ALL,
+            &[1],
         );
         assert_eq!(cells.len(), 2 * 3 * 2 * 3 * 3);
     }
@@ -541,6 +613,7 @@ mod tests {
             &[TieBreak::Stable],
             &[false],
             &CodecKind::ALL,
+            &[1],
         );
         let shards: Vec<Vec<SweepCell>> = (0..4)
             .map(|i| Shard { index: i, count: 4 }.select(cells.clone()))
@@ -661,6 +734,7 @@ mod tests {
             &[TieBreak::Stable],
             &[false],
             &[CodecKind::Unencoded],
+            &[1],
         );
         let outcomes = run_cells(&workloads, cells.clone(), false);
         assert_eq!(outcomes.len(), 3);
@@ -677,7 +751,8 @@ mod tests {
         }
         let json = outcomes_json(&workloads, &outcomes);
         let text = json.to_string_compact();
-        assert!(text.contains("\"schema\":\"btr-sweep-v2\""));
+        assert!(text.contains("\"schema\":\"btr-sweep-v3\""));
+        assert!(text.contains("\"batch\":1"));
         assert!(text.contains("\"ordering\":\"O2\""));
         assert!(text.contains("\"codec\":\"none\""));
         assert!(text.contains("\"codec_overhead_bits\":0"));
@@ -707,6 +782,7 @@ mod tests {
             &[TieBreak::Stable],
             &[false],
             &CodecKind::ALL,
+            &[1],
         );
         let outcomes = run_cells(&workloads, cells, true);
         assert_eq!(outcomes.len(), 6);
@@ -735,6 +811,40 @@ mod tests {
     }
 
     #[test]
+    fn batched_cells_scale_traffic_and_match_sync_driver() {
+        let workloads = vec![tiny_workload()];
+        let cell = |batch: usize| SweepCell {
+            workload: 0,
+            mesh: MeshSpec {
+                width: 4,
+                height: 4,
+                mc_count: 2,
+            },
+            format: DataFormat::Fixed8,
+            ordering: OrderingMethod::Separated,
+            tiebreak: TieBreak::Stable,
+            fx8_global: false,
+            codec: CodecKind::Unencoded,
+            batch,
+        };
+        let b1 = run_cell(&workloads, cell(1));
+        let b4 = run_cell(&workloads, cell(4));
+        assert!(b1.error.is_none() && b4.error.is_none());
+        // One traffic phase per layer carries the whole batch.
+        assert_eq!(b4.request_packets, 4 * b1.request_packets);
+        assert!(b4.cycles > b1.cycles);
+        assert!(b4.transitions > b1.transitions);
+        // Amortized layer boundaries: a batched phase needs fewer cycles
+        // than the same inputs run back-to-back.
+        assert!(b4.cycles < 4 * b1.cycles);
+        // The sync driver produces bit-identical metrics.
+        let sync = run_cell_with(&workloads, cell(4), DriverMode::Synchronous);
+        assert_eq!(sync.transitions, b4.transitions);
+        assert_eq!(sync.cycles, b4.cycles);
+        assert_eq!(sync.index_overhead_bits, b4.index_overhead_bits);
+    }
+
+    #[test]
     fn failed_cells_report_errors() {
         let workloads = vec![tiny_workload()];
         // fixed-16 is not wired into the accelerator -> cell error.
@@ -750,6 +860,7 @@ mod tests {
             tiebreak: TieBreak::Stable,
             fx8_global: false,
             codec: CodecKind::Unencoded,
+            batch: 1,
         }];
         let outcomes = run_cells(&workloads, cells, true);
         assert!(outcomes[0].error.is_some());

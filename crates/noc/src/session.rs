@@ -139,10 +139,26 @@ impl<S> TaskPort<S> {
         S: TransportSession<W>,
     {
         let encoded = self.session.encode_task(task)?;
-        let meta = encoded.wire_meta();
-        let index_overhead_bits = encoded.index_overhead_bits();
-        let codec_overhead_bits = encoded.codec_overhead_bits();
-        let payload = encoded.payload_flits();
+        Ok(self.send_encoded(sim, src, dst, encoded, tag)?)
+    }
+
+    /// Injects an already-encoded task (e.g. one popped from a pipelined
+    /// encoder's ready-queue) as a packet `src → dst`, consuming the wire
+    /// images without cloning them. The accounting record is identical to
+    /// what [`TaskPort::send_task_accounted`] reports for the same task.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InjectError`] if the simulator rejects the packet.
+    pub fn send_encoded<W: DataWord>(
+        &self,
+        sim: &mut Simulator,
+        src: usize,
+        dst: usize,
+        encoded: btr_core::transport::EncodedTask<W>,
+        tag: u64,
+    ) -> Result<SentTask, InjectError> {
+        let (meta, payload, index_overhead_bits, codec_overhead_bits) = encoded.into_parts();
         let flit_count = payload.len() + 1;
         sim.inject(Packet::new(src, dst, payload, tag))?;
         Ok(SentTask {

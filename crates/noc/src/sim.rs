@@ -205,6 +205,15 @@ pub struct Simulator {
     /// phase 3, and the allocation/arbitration loops visit only set bits.
     active_vcs: Vec<u64>,
 
+    /// Per-`(router, output port)` bitmask of the input VCs whose
+    /// head-of-line packet is routed to that port (bit
+    /// `in_port * num_vcs + in_vc`; set at route computation, cleared
+    /// when the tail departs). Switch allocation arbitrates over
+    /// `active_vcs & routed_to` instead of filtering every occupied VC
+    /// by its route — the same candidates in the same round-robin
+    /// order, without the misses.
+    routed_to: Vec<u64>,
+
     /// Precomputed mesh adjacency per `node * 5 + port`: the neighbor
     /// router on that side and the facing port. Because mesh links are
     /// symmetric, one table answers both lookups the traversal loop
@@ -217,6 +226,8 @@ pub struct Simulator {
 
     // --- NI state ---
     ni_pending: Vec<VecDeque<PendingPacket>>,
+    /// Packets queued across all NIs (fast-path skip for phase 2).
+    ni_pending_total: u64,
     ni_current_vc: Vec<usize>,
     ni_vc_rr: Vec<usize>,
     /// Credits toward the router's local input VCs: `node * num_vcs + vc`.
@@ -302,10 +313,12 @@ impl Simulator {
             sw_rr: vec![0; n * NUM_PORTS],
             vc_rr: vec![0; n * NUM_PORTS],
             active_vcs: vec![0; n],
+            routed_to: vec![0; n * NUM_PORTS],
             port_of: (0..NUM_PORTS * num_vcs)
                 .map(|k| (k / num_vcs) as u8)
                 .collect(),
             ni_pending: (0..n).map(|_| VecDeque::new()).collect(),
+            ni_pending_total: 0,
             ni_current_vc: vec![0; n],
             ni_vc_rr: vec![0; n],
             ni_credits: vec![depth; n * num_vcs],
@@ -372,6 +385,7 @@ impl Simulator {
             packet: id as u32,
             next: 0,
         });
+        self.ni_pending_total += 1;
         self.packets.push(PacketSlot {
             inject_cycle: self.cycle,
             flits,
@@ -409,15 +423,23 @@ impl Simulator {
     /// then delivery order). Cheaper than per-node draining for callers
     /// that poll every cycle.
     pub fn drain_all_delivered(&mut self) -> Vec<DeliveredPacket> {
+        let mut out = Vec::new();
+        self.drain_all_delivered_into(&mut out);
+        out
+    }
+
+    /// [`Simulator::drain_all_delivered`] into a caller-owned buffer
+    /// (cleared first), so per-cycle polling loops reuse one allocation
+    /// for the lifetime of a run.
+    pub fn drain_all_delivered_into(&mut self, out: &mut Vec<DeliveredPacket>) {
+        out.clear();
         if self.delivered_pending == 0 {
-            return Vec::new();
+            return;
         }
         self.delivered_pending = 0;
-        let mut out = Vec::new();
         for ni in &mut self.ni_delivered {
             out.extend(ni.drain(..));
         }
-        out
     }
 
     /// Number of packets queued at `node`'s NI that have not finished
@@ -494,6 +516,9 @@ impl Simulator {
 
     /// Phase 2: each NI pushes at most one flit into its router.
     fn inject_from_nis(&mut self) {
+        if self.ni_pending_total == 0 {
+            return;
+        }
         for node in 0..self.config.num_nodes() {
             let Some(front) = self.ni_pending[node].front().copied() else {
                 continue;
@@ -520,6 +545,7 @@ impl Simulator {
             queue.next += 1;
             if queue.next as usize == self.packets[front.packet as usize].flits.len() {
                 self.ni_pending[node].pop_front();
+                self.ni_pending_total -= 1;
             }
             self.ni_credits[node * self.num_vcs + vc] -= 1;
             self.inject_links.observe(
@@ -551,22 +577,39 @@ impl Simulator {
                 continue;
             }
             let vbase = r * NUM_PORTS * num_vcs;
-            // 3a. Route computation for fresh head flits.
-            let mut m = active;
+            let rbase = r * NUM_PORTS;
+            // Union of the per-port candidate masks: exactly the VCs
+            // whose head-of-line packet already holds a route.
+            let routed_union = self.routed_to[rbase]
+                | self.routed_to[rbase + 1]
+                | self.routed_to[rbase + 2]
+                | self.routed_to[rbase + 3]
+                | self.routed_to[rbase + 4];
+            // 3a. Route computation for fresh head flits — only occupied
+            // VCs without a route can need one.
+            let mut m = active & !routed_union;
             while m != 0 {
                 let k = m.trailing_zeros() as usize;
                 m &= m - 1;
                 let vi = vbase + k;
-                if self.route_port[vi] == UNSET {
-                    let fref = self.fifo[vi * self.depth + self.fifo_head[vi]];
-                    let front = &self.packets[fref.packet as usize].flits[fref.seq as usize];
-                    if front.kind.is_head() {
-                        self.route_port[vi] = route(&self.config, r, front.dst).index();
-                    }
+                debug_assert_eq!(self.route_port[vi], UNSET, "routed_to mask out of sync");
+                let fref = self.fifo[vi * self.depth + self.fifo_head[vi]];
+                let front = &self.packets[fref.packet as usize].flits[fref.seq as usize];
+                if front.kind.is_head() {
+                    let op = route(&self.config, r, front.dst).index();
+                    self.route_port[vi] = op;
+                    self.routed_to[rbase + op] |= 1u64 << k;
                 }
             }
-            // 3b. Output-VC allocation for routed heads without a VC.
-            let mut m = active;
+            // 3b. Output-VC allocation for routed heads without a VC
+            // (a routed head-of-line flit *is* a head: routes are
+            // computed at heads and cleared at tails).
+            let mut m = active
+                & (self.routed_to[rbase]
+                    | self.routed_to[rbase + 1]
+                    | self.routed_to[rbase + 2]
+                    | self.routed_to[rbase + 3]
+                    | self.routed_to[rbase + 4]);
             while m != 0 {
                 let k = m.trailing_zeros() as usize;
                 m &= m - 1;
@@ -580,9 +623,7 @@ impl Simulator {
                     continue;
                 }
                 let op = self.route_port[vi];
-                if op == UNSET {
-                    continue;
-                }
+                debug_assert_ne!(op, UNSET, "candidate without a route");
                 let obase = (r * NUM_PORTS + op) * num_vcs;
                 let mut ovc = self.vc_rr[r * NUM_PORTS + op];
                 for _ in 0..num_vcs {
@@ -606,21 +647,29 @@ impl Simulator {
             // traversal.
             let mut input_port_used = [false; NUM_PORTS];
             for op in 0..NUM_PORTS {
+                // Only VCs whose head-of-line packet is routed to this
+                // output are candidates; the route filter below becomes
+                // an invariant instead of a per-bit miss.
+                let candidates = active & self.routed_to[r * NUM_PORTS + op];
+                if candidates == 0 {
+                    continue;
+                }
                 let obase = (r * NUM_PORTS + op) * num_vcs;
                 let start = self.sw_rr[r * NUM_PORTS + op];
-                // Visit occupied VCs in round-robin order from `start`:
+                // Visit candidate VCs in round-robin order from `start`:
                 // first the set bits at positions >= start, then the
                 // wrapped-around set bits below it.
                 let start_mask = !0u64 << start;
                 let mut winner = None;
-                'search: for part in [active & start_mask, active & !start_mask] {
+                'search: for part in [candidates & start_mask, candidates & !start_mask] {
                     let mut m = part;
                     while m != 0 {
                         let k = m.trailing_zeros() as usize;
                         m &= m - 1;
                         let vi = vbase + k;
+                        debug_assert_eq!(self.route_port[vi], op, "routed_to mask out of sync");
                         let p = self.port_of[k] as usize;
-                        if input_port_used[p] || self.route_port[vi] != op {
+                        if input_port_used[p] {
                             continue;
                         }
                         let ovc = self.out_vc[vi];
@@ -661,6 +710,7 @@ impl Simulator {
                     self.out_alloc[obase + ovc] = UNSET;
                     self.route_port[vi] = UNSET;
                     self.out_vc[vi] = UNSET;
+                    self.routed_to[r * NUM_PORTS + op] &= !(1u64 << idx);
                 }
                 // Transmit on the link + record transitions (Fig. 8).
                 self.out_links.observe(

@@ -61,7 +61,7 @@ impl LinkSlab {
         if self.flits[link] > 0 {
             self.transitions[link] += u64::from(flit.transitions_to(&self.prev[link]));
         }
-        self.prev[link] = *flit;
+        self.prev[link].clone_used_from(flit);
         self.flits[link] += 1;
     }
 

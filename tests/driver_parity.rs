@@ -1,0 +1,283 @@
+//! Parity tests for the pipelined batch-inference driver.
+//!
+//! Three guarantees are pinned here:
+//!
+//! 1. **Driver-mode parity**: the pipelined driver (cached encode,
+//!    per-MC encoder threads or their inline fallback) is bit-exact with
+//!    the legacy-faithful synchronous reference across every
+//!    `OrderingMethod × CodecKind` combination — identical per-link bit
+//!    transitions, total cycles, outputs, and index/codec side-channel
+//!    accounting. The threaded and multiplexed encoder configurations are
+//!    forced explicitly so the parity holds regardless of the host's
+//!    core count.
+//! 2. **Batch-1 parity**: `run_inference_batch` with one input is the
+//!    single-input driver, bit for bit.
+//! 3. **Batch decomposition**: a batched run's per-element outputs equal
+//!    the outputs of sequential single-input runs — each task's MAC
+//!    depends only on its own operands, never on how the batch's packets
+//!    interleave in the mesh (property-tested over random models).
+
+use noc_btr::accel::config::{AccelConfig, DriverMode};
+use noc_btr::accel::driver::{run_inference, run_inference_batch};
+use noc_btr::bits::word::DataFormat;
+use noc_btr::core::codec::CodecKind;
+use noc_btr::core::OrderingMethod;
+use noc_btr::dnn::layer::{ActKind, Activation, Conv2d, Flatten, Linear, MaxPool2d};
+use noc_btr::dnn::model::{Layer, Sequential};
+use noc_btr::dnn::tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn tiny_model(seed: u64) -> Sequential {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Sequential::new(vec![
+        Layer::Conv2d(Conv2d::new(1, 3, 3, 1, 1, &mut rng)),
+        Layer::Activation(Activation::new(ActKind::ReLU)),
+        Layer::MaxPool2d(MaxPool2d::new(2, 2)),
+        Layer::Flatten(Flatten::new()),
+        Layer::Linear(Linear::new(3 * 4 * 4, 5, &mut rng)),
+    ])
+}
+
+fn tiny_input(seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Tensor::from_vec(
+        &[1, 8, 8],
+        (0..64).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+    )
+    .unwrap()
+}
+
+fn config(
+    format: DataFormat,
+    ordering: OrderingMethod,
+    codec: CodecKind,
+    driver: DriverMode,
+) -> AccelConfig {
+    let mut c = AccelConfig::paper(4, 4, 2, format, ordering).with_codec(codec);
+    c.driver = driver;
+    c
+}
+
+/// Asserts two inference results are indistinguishable down to the
+/// per-link transition totals.
+fn assert_bit_exact(
+    a: &noc_btr::accel::report::InferenceResult,
+    b: &noc_btr::accel::report::InferenceResult,
+    what: &str,
+) {
+    assert_eq!(a.output.data(), b.output.data(), "{what}: outputs");
+    assert_eq!(a.total_cycles, b.total_cycles, "{what}: cycles");
+    assert_eq!(
+        a.stats.total_transitions, b.stats.total_transitions,
+        "{what}: total BTs"
+    );
+    assert_eq!(a.stats.per_link, b.stats.per_link, "{what}: per-link BTs");
+    assert_eq!(
+        a.index_overhead_bits, b.index_overhead_bits,
+        "{what}: index overhead"
+    );
+    assert_eq!(
+        a.codec_overhead_bits, b.codec_overhead_bits,
+        "{what}: codec overhead"
+    );
+    assert_eq!(
+        a.total_request_flits(),
+        b.total_request_flits(),
+        "{what}: request flits"
+    );
+}
+
+#[test]
+fn pipelined_matches_synchronous_across_orderings_and_codecs() {
+    let model = tiny_model(11);
+    let ops = model.inference_ops();
+    let input = tiny_input(12);
+    for ordering in OrderingMethod::ALL {
+        for codec in CodecKind::ALL {
+            let sync = run_inference(
+                &ops,
+                &input,
+                &config(DataFormat::Fixed8, ordering, codec, DriverMode::Synchronous),
+            )
+            .unwrap();
+            let pipelined = run_inference(
+                &ops,
+                &input,
+                &config(DataFormat::Fixed8, ordering, codec, DriverMode::Pipelined),
+            )
+            .unwrap();
+            assert_bit_exact(&sync, &pipelined, &format!("{ordering} {codec}"));
+        }
+    }
+    // Float-32 exercises the other response-encoding path.
+    let sync = run_inference(
+        &ops,
+        &input,
+        &config(
+            DataFormat::Float32,
+            OrderingMethod::Separated,
+            CodecKind::Unencoded,
+            DriverMode::Synchronous,
+        ),
+    )
+    .unwrap();
+    let pipelined = run_inference(
+        &ops,
+        &input,
+        &config(
+            DataFormat::Float32,
+            OrderingMethod::Separated,
+            CodecKind::Unencoded,
+            DriverMode::Pipelined,
+        ),
+    )
+    .unwrap();
+    assert_bit_exact(&sync, &pipelined, "f32 O2");
+}
+
+#[test]
+fn forced_encoder_threads_match_inline_fallback() {
+    // An explicit encode_threads always spawns threads (even on a
+    // single-core host, where encode_threads == 0 would fall back to
+    // inline encode); one thread over two MCs exercises the multiplexed
+    // try-push path. All three schedules must be bit-exact.
+    let model = tiny_model(21);
+    let ops = model.inference_ops();
+    let input = tiny_input(22);
+    let base = config(
+        DataFormat::Fixed8,
+        OrderingMethod::Separated,
+        CodecKind::Unencoded,
+        DriverMode::Pipelined,
+    );
+    let auto = run_inference(&ops, &input, &base).unwrap();
+    for (threads, depth) in [(2usize, 32usize), (1, 32), (1, 2), (2, 1)] {
+        let mut c = base.clone();
+        c.encode_threads = threads;
+        c.encode_queue_depth = depth;
+        let forced = run_inference(&ops, &input, &c).unwrap();
+        assert_bit_exact(&auto, &forced, &format!("threads={threads} depth={depth}"));
+    }
+}
+
+#[test]
+fn batch_one_equals_single_input_driver() {
+    let model = tiny_model(31);
+    let ops = model.inference_ops();
+    let input = tiny_input(32);
+    for driver in [DriverMode::Synchronous, DriverMode::Pipelined] {
+        let c = config(
+            DataFormat::Fixed8,
+            OrderingMethod::Separated,
+            CodecKind::Unencoded,
+            driver,
+        );
+        let single = run_inference(&ops, &input, &c).unwrap();
+        let batch = run_inference_batch(&ops, std::slice::from_ref(&input), &c).unwrap();
+        assert_eq!(batch.outputs.len(), 1);
+        assert_eq!(batch.outputs[0].data(), single.output.data());
+        assert_eq!(batch.total_cycles, single.total_cycles);
+        assert_eq!(
+            batch.stats.total_transitions,
+            single.stats.total_transitions
+        );
+        assert_eq!(batch.stats.per_link, single.stats.per_link);
+        assert_eq!(batch.index_overhead_bits, single.index_overhead_bits);
+    }
+}
+
+#[test]
+fn batched_runs_match_sequential_outputs_fx8() {
+    let model = tiny_model(41);
+    let ops = model.inference_ops();
+    let inputs: Vec<Tensor> = (0..4).map(|i| tiny_input(100 + i)).collect();
+    let mut c = config(
+        DataFormat::Fixed8,
+        OrderingMethod::Separated,
+        CodecKind::Unencoded,
+        DriverMode::Pipelined,
+    );
+    c.batch_size = inputs.len();
+    let batched = run_inference_batch(&ops, &inputs, &c).unwrap();
+    let mut single_config = c.clone();
+    single_config.batch_size = 1;
+    for (b, input) in inputs.iter().enumerate() {
+        let single = run_inference(&ops, input, &single_config).unwrap();
+        // Fixed-8 MACs are integer-exact: batched outputs are bit-equal
+        // to sequential per-input runs.
+        assert_eq!(
+            batched.outputs[b].data(),
+            single.output.data(),
+            "batch element {b}"
+        );
+    }
+    // One traffic phase per layer for the whole batch.
+    assert_eq!(batched.per_layer.len(), 2);
+    let singles_packets: u64 = inputs
+        .iter()
+        .map(|i| {
+            run_inference(&ops, i, &single_config)
+                .unwrap()
+                .total_request_packets()
+        })
+        .sum();
+    assert_eq!(batched.total_request_packets(), singles_packets);
+}
+
+#[test]
+fn batch_size_must_match_inputs() {
+    let model = tiny_model(51);
+    let ops = model.inference_ops();
+    let input = tiny_input(52);
+    let mut c = config(
+        DataFormat::Fixed8,
+        OrderingMethod::Baseline,
+        CodecKind::Unencoded,
+        DriverMode::Pipelined,
+    );
+    c.batch_size = 3;
+    let err = run_inference_batch(&ops, std::slice::from_ref(&input), &c).unwrap_err();
+    assert!(err.to_string().contains("batch_size 3"));
+    let err = run_inference(&ops, &input, &c).unwrap_err();
+    assert!(err.to_string().contains("batch_size 1"));
+    // Mismatched batch shapes are rejected, not silently mis-windowed:
+    // layer geometry derives from element 0 alone.
+    c.batch_size = 2;
+    let odd = Tensor::from_vec(&[1, 10, 10], vec![0.0; 100]).unwrap();
+    let err = run_inference_batch(&ops, &[input, odd], &c).unwrap_err();
+    assert!(err.to_string().contains("share one shape"), "{err}");
+}
+
+proptest! {
+    /// Batched MAC results equal per-input sequential results: over
+    /// random tiny models, inputs, orderings and batch sizes, every
+    /// batched output tensor is bit-identical (fixed-8) to its
+    /// sequential single-input run.
+    #[test]
+    fn batched_macs_equal_sequential(
+        model_seed in 0u64..1000,
+        input_seed in 0u64..1000,
+        method_idx in 0usize..3,
+        batch in 2usize..=4,
+    ) {
+        let model = tiny_model(model_seed);
+        let ops = model.inference_ops();
+        let inputs: Vec<Tensor> = (0..batch as u64).map(|i| tiny_input(input_seed + i)).collect();
+        let mut c = config(
+            DataFormat::Fixed8,
+            OrderingMethod::ALL[method_idx],
+            CodecKind::Unencoded,
+            DriverMode::Pipelined,
+        );
+        c.batch_size = batch;
+        let batched = run_inference_batch(&ops, &inputs, &c).unwrap();
+        let mut single_config = c.clone();
+        single_config.batch_size = 1;
+        for (b, input) in inputs.iter().enumerate() {
+            let single = run_inference(&ops, input, &single_config).unwrap();
+            prop_assert_eq!(batched.outputs[b].data(), single.output.data(), "element {}", b);
+        }
+    }
+}

@@ -62,6 +62,39 @@ fn parallel_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> V
         .collect()
 }
 
+/// A scope for spawning borrowing tasks, mirroring `rayon::scope`.
+///
+/// Backed by `std::thread::scope`: every spawned task runs on its own OS
+/// thread (fine for the coarse, long-lived tasks this workspace spawns —
+/// per-MC encoder stages, not fine-grained recursion) and is joined
+/// before [`scope`] returns.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task that may borrow from outside the scope; it completes
+    /// before the enclosing [`scope`] call returns.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }));
+    }
+}
+
+/// Creates a scope in which tasks can be spawned that borrow from the
+/// enclosing stack frame; returns the closure's result after every
+/// spawned task has finished. A panic in any spawned task propagates.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R + Send,
+    R: Send,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
+}
+
 /// Runs two closures, potentially in parallel, returning both results.
 pub fn join<A: Send, B: Send>(
     a: impl FnOnce() -> A + Send,
