@@ -142,6 +142,117 @@ impl AccelWord for Fx8Word {
     }
 }
 
+/// Whether this host has more than one hardware thread — the condition
+/// under which pipelined encoder threads are an overlap instead of a
+/// context-switch tax. Probed once per process: long-lived serving
+/// sessions must not re-probe per request, and the decision must not
+/// flip mid-stream if the OS changes the process's CPU affinity.
+fn host_parallel() -> bool {
+    static HOST_PARALLEL: OnceLock<bool> = OnceLock::new();
+    *HOST_PARALLEL
+        .get_or_init(|| std::thread::available_parallelism().map_or(1, std::num::NonZero::get) > 1)
+}
+
+/// How a session schedules MC-side encoding, resolved **once** from an
+/// [`AccelConfig`] at session construction (not per inference call, and
+/// not per layer): the host-parallelism probe behind the
+/// inline-vs-threaded choice runs once per process, so a long-lived
+/// server session answers every request with the same schedule.
+///
+/// All three plans are bit-exact with each other (`tests/driver_parity.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncodePlan {
+    /// [`DriverMode::Synchronous`]: uncached slot-level encode,
+    /// serialized with the cycle loop — the legacy-faithful reference.
+    Reference,
+    /// Pipelined cached encode running inline in the cycle loop (forced
+    /// by `encode_inline`, or the auto fallback on single-hart hosts).
+    Inline,
+    /// Pipelined encode on this many per-MC encoder threads.
+    Threads(usize),
+}
+
+impl EncodePlan {
+    /// Resolves the schedule a session built from `config` will use for
+    /// every inference it serves.
+    #[must_use]
+    pub fn resolve(config: &AccelConfig) -> Self {
+        match config.driver {
+            DriverMode::Synchronous => EncodePlan::Reference,
+            DriverMode::Pipelined
+                if config.encode_inline || (config.encode_threads == 0 && !host_parallel()) =>
+            {
+                EncodePlan::Inline
+            }
+            DriverMode::Pipelined => {
+                EncodePlan::Threads(config.encoder_threads_for(config.noc.mc_nodes.len()))
+            }
+        }
+    }
+}
+
+/// A reusable inference session: one validated [`AccelConfig`] plus the
+/// encode schedule resolved once at construction, serving any number of
+/// [`run`](InferenceSession::run) calls over the same lowered ops.
+///
+/// This is the building block of the multi-session service
+/// (`btr_serve`): each pool worker owns one session and answers every
+/// dispatched batch through it — config validation and the
+/// inline-vs-threaded probe happen at pool construction, never on the
+/// request hot path. Each `run` call simulates on a fresh mesh, so the
+/// reported stats cover exactly that call's traffic.
+pub struct InferenceSession<'a> {
+    ops: &'a [InferenceOp],
+    config: AccelConfig,
+    plan: EncodePlan,
+}
+
+impl<'a> InferenceSession<'a> {
+    /// Validates `config` once and resolves the encode schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::Config`] when the configuration is
+    /// internally inconsistent.
+    pub fn new(ops: &'a [InferenceOp], config: AccelConfig) -> Result<Self, AccelError> {
+        config.validate().map_err(AccelError::Config)?;
+        let plan = EncodePlan::resolve(&config);
+        Ok(Self { ops, config, plan })
+    }
+
+    /// The session's configuration.
+    #[must_use]
+    pub fn config(&self) -> &AccelConfig {
+        &self.config
+    }
+
+    /// The encode schedule resolved at construction.
+    #[must_use]
+    pub fn plan(&self) -> EncodePlan {
+        self.plan
+    }
+
+    /// Runs one dispatch of `1..=config.batch_size` inputs as a batched
+    /// inference (the batching window coalesces *up to* `batch_size`
+    /// requests, so a bounded-wait flush may dispatch fewer).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError`] on an empty or oversized batch, mismatched
+    /// input shapes, flitization failure, a stalled layer, or a decode
+    /// failure.
+    pub fn run(&self, inputs: &[Tensor]) -> Result<BatchInferenceResult, AccelError> {
+        if inputs.is_empty() || inputs.len() > self.config.batch_size {
+            return Err(AccelError::Config(format!(
+                "a session dispatch takes 1..={} inputs (got {})",
+                self.config.batch_size,
+                inputs.len()
+            )));
+        }
+        run_batch_resolved(self.ops, inputs, &self.config, self.plan)
+    }
+}
+
 /// Runs a complete single-input inference over the NoC.
 ///
 /// Requires `config.batch_size == 1`; use [`run_inference_batch`] to run
@@ -187,14 +298,25 @@ pub fn run_inference_batch(
     inputs: &[Tensor],
     config: &AccelConfig,
 ) -> Result<BatchInferenceResult, AccelError> {
-    config.validate().map_err(AccelError::Config)?;
-    if inputs.is_empty() || inputs.len() != config.batch_size {
+    if inputs.len() != config.batch_size {
         return Err(AccelError::Config(format!(
             "batch_size {} does not match the {} inputs provided",
             config.batch_size,
             inputs.len()
         )));
     }
+    InferenceSession::new(ops, config.clone())?.run(inputs)
+}
+
+/// The per-call body shared by [`InferenceSession::run`] (and through it
+/// every one-shot entry point): `config` is already validated and `plan`
+/// already resolved.
+fn run_batch_resolved(
+    ops: &[InferenceOp],
+    inputs: &[Tensor],
+    config: &AccelConfig,
+    plan: EncodePlan,
+) -> Result<BatchInferenceResult, AccelError> {
     // Layer geometry and window indexing derive from element 0; a
     // mismatched tensor would read the wrong pixels silently.
     if let Some(bad) = inputs.iter().find(|x| x.shape() != inputs[0].shape()) {
@@ -238,6 +360,7 @@ pub fn run_inference_batch(
                             &mut sim,
                             &mut per_layer,
                             &mut overhead,
+                            plan,
                         )?
                     }
                     DataFormat::Fixed8 => {
@@ -261,6 +384,7 @@ pub fn run_inference_batch(
                             &mut sim,
                             &mut per_layer,
                             &mut overhead,
+                            plan,
                         )?
                     }
                     other => return Err(AccelError::UnsupportedFormat(other)),
@@ -287,6 +411,7 @@ pub fn run_inference_batch(
                             &mut sim,
                             &mut per_layer,
                             &mut overhead,
+                            plan,
                         )?
                     }
                     DataFormat::Fixed8 => {
@@ -309,6 +434,7 @@ pub fn run_inference_batch(
                             &mut sim,
                             &mut per_layer,
                             &mut overhead,
+                            plan,
                         )?
                     }
                     other => return Err(AccelError::UnsupportedFormat(other)),
@@ -381,8 +507,11 @@ fn run_noc_layer_f32(
     sim: &mut Simulator,
     per_layer: &mut Vec<LayerTrafficReport>,
     overhead: &mut WireOverhead,
+    plan: EncodePlan,
 ) -> Result<Vec<Vec<f32>>, AccelError> {
-    let responses = run_layer(op_index, op_name, source, config, sim, per_layer, overhead)?;
+    let responses = run_layer(
+        op_index, op_name, source, config, sim, per_layer, overhead, plan,
+    )?;
     Ok(responses
         .chunks(source.per_input())
         .map(|chunk| {
@@ -404,8 +533,11 @@ fn run_noc_layer_fx8(
     sim: &mut Simulator,
     per_layer: &mut Vec<LayerTrafficReport>,
     overhead: &mut WireOverhead,
+    plan: EncodePlan,
 ) -> Result<Vec<Vec<f32>>, AccelError> {
-    let responses = run_layer(op_index, op_name, source, config, sim, per_layer, overhead)?;
+    let responses = run_layer(
+        op_index, op_name, source, config, sim, per_layer, overhead, plan,
+    )?;
     // The bias code separates the integer dot product from the bias
     // during dequantization; it is per weight group, shared across the
     // batch.
@@ -764,6 +896,7 @@ fn run_layer<W: AccelWord>(
     sim: &mut Simulator,
     per_layer: &mut Vec<LayerTrafficReport>,
     overhead: &mut WireOverhead,
+    plan: EncodePlan,
 ) -> Result<Vec<u64>, AccelError> {
     let mcs = &config.noc.mc_nodes;
     let regions = partition_pes_by_mc(&config.noc);
@@ -795,12 +928,10 @@ fn run_layer<W: AccelWord>(
     let start_cycle = sim.cycle();
     let transitions_before = sim.stats().total_transitions;
 
-    // Spare hardware threads are what make encoder threads an overlap
-    // instead of a context-switch tax; without them (or with an explicit
-    // encode_threads override) the pipelined encode runs inline.
-    let host_parallel = std::thread::available_parallelism().map_or(1, std::num::NonZero::get) > 1;
-    let run = match config.driver {
-        DriverMode::Synchronous => {
+    // The schedule was resolved once at session construction
+    // ([`EncodePlan::resolve`]); per-layer code never re-probes the host.
+    let run = match plan {
+        EncodePlan::Reference => {
             let mut feed = TaskFeed::Reference { stage: &stage };
             cycle_loop(
                 op_index,
@@ -812,9 +943,7 @@ fn run_layer<W: AccelWord>(
                 &mut feed,
             )
         }
-        DriverMode::Pipelined
-            if config.encode_inline || (config.encode_threads == 0 && !host_parallel) =>
-        {
+        EncodePlan::Inline => {
             let mut feed = TaskFeed::Inline {
                 stage: &stage,
                 scratch: TransportScratch::default(),
@@ -830,13 +959,15 @@ fn run_layer<W: AccelWord>(
                 &mut feed,
             )
         }
-        DriverMode::Pipelined => {
+        EncodePlan::Threads(threads) => {
             let queues: Vec<ReadyQueue<W>> = (0..mcs.len())
                 .map(|_| ReadyQueue::new(config.encode_queue_depth))
                 .collect();
             let abort = AtomicBool::new(false);
             let producer_died = AtomicBool::new(false);
-            let threads = config.encoder_threads_for(mcs.len());
+            // The schedule is resolved (and clamped) in exactly one
+            // place: EncodePlan::resolve.
+            debug_assert!(threads >= 1 && threads <= mcs.len());
             let owned_sets: Vec<Vec<usize>> = (0..threads)
                 .map(|t| (0..mcs.len()).filter(|mi| mi % threads == t).collect())
                 .collect();
@@ -1347,6 +1478,66 @@ mod tests {
                 assert!(avg(&config, &regions) > avg(&c8, &r8));
             }
         }
+    }
+
+    #[test]
+    fn encode_plan_resolves_once_from_config() {
+        let base = config(DataFormat::Fixed8, OrderingMethod::Separated);
+        // Synchronous is always the reference schedule.
+        let mut c = base.clone();
+        c.driver = DriverMode::Synchronous;
+        assert_eq!(EncodePlan::resolve(&c), EncodePlan::Reference);
+        // Forced inline beats every other knob.
+        let mut c = base.clone();
+        c.encode_inline = true;
+        c.encode_threads = 2;
+        assert_eq!(EncodePlan::resolve(&c), EncodePlan::Inline);
+        // An explicit thread count always spawns threads (clamped to the
+        // MC count), regardless of host parallelism.
+        let mut c = base.clone();
+        c.encode_threads = 1;
+        assert_eq!(EncodePlan::resolve(&c), EncodePlan::Threads(1));
+        c.encode_threads = 64;
+        assert_eq!(EncodePlan::resolve(&c), EncodePlan::Threads(2));
+        // Auto resolves from the process-wide host probe: inline on a
+        // single-hart host, one thread per MC otherwise — and the session
+        // pins whichever it was.
+        let auto = EncodePlan::resolve(&base);
+        assert!(matches!(auto, EncodePlan::Inline | EncodePlan::Threads(2)));
+        let session = InferenceSession::new(&[], base).unwrap();
+        assert_eq!(session.plan(), auto);
+    }
+
+    #[test]
+    fn session_serves_repeated_and_partial_batches() {
+        let model = tiny_model(61);
+        let ops = model.inference_ops();
+        let inputs: Vec<Tensor> = (0..3).map(|i| tiny_input(70 + i)).collect();
+        let mut c = config(DataFormat::Fixed8, OrderingMethod::Separated);
+        c.batch_size = 4; // the coalescing window, not an exact size
+        let session = InferenceSession::new(&ops, c.clone()).unwrap();
+        // A partial window dispatch works; each call simulates on a
+        // fresh mesh, so repeated calls are bit-identical.
+        let a = session.run(&inputs).unwrap();
+        let b = session.run(&inputs).unwrap();
+        assert_eq!(a.outputs.len(), 3);
+        for (x, y) in a.outputs.iter().zip(b.outputs.iter()) {
+            assert_eq!(x.data(), y.data());
+        }
+        assert_eq!(a.stats.total_transitions, b.stats.total_transitions);
+        assert_eq!(a.total_cycles, b.total_cycles);
+        // ... and matches the one-shot entry point at the exact size.
+        let mut exact = c.clone();
+        exact.batch_size = 3;
+        let oneshot = run_inference_batch(&ops, &inputs, &exact).unwrap();
+        for (x, y) in a.outputs.iter().zip(oneshot.outputs.iter()) {
+            assert_eq!(x.data(), y.data());
+        }
+        // Empty and oversized dispatches are rejected.
+        assert!(session.run(&[]).is_err());
+        let five: Vec<Tensor> = (0..5).map(|i| tiny_input(80 + i)).collect();
+        let err = session.run(&five).unwrap_err();
+        assert!(err.to_string().contains("1..=4"), "{err}");
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //! `--merge a.json,b.json --json out.json` skips simulation entirely and
 //! concatenates/validates previously written result files.
 //!
-//! `--json` writes the `btr-sweep-v3` schema described in EXPERIMENTS.md.
+//! `--json` writes the `btr-sweep-v4` schema described in EXPERIMENTS.md.
 
 use btr_accel::config::DriverMode;
 use btr_bits::word::DataFormat;
@@ -35,16 +35,18 @@ use btr_dnn::models::darknet;
 use experiments::cli;
 use experiments::json::Json;
 use experiments::sweep::{
-    baseline_of, expand_grid, merge_sweep_json, outcomes_json, run_cells_with, MeshSpec, Shard,
-    Workload,
+    baseline_index, expand_grid, merge_sweep_json, outcomes_json, reduction_vs_baseline,
+    run_cells_with, MeshSpec, Shard, Workload,
 };
 use experiments::workloads::{lenet, WeightSource};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// Input tensors generated per workload — the pool batched cells cycle
-/// through (distinct samples, deterministic per seed).
-const INPUT_POOL: usize = 16;
+/// Minimum input-pool size per workload. The actual pool is sized to
+/// the largest `--batch` value (distinct samples, deterministic per
+/// seed), so batched cells never replay an input — `batch_inputs`
+/// errors loudly rather than cycling.
+const INPUT_POOL_MIN: usize = 16;
 
 /// Axis defaults a `--preset` installs (explicit flags still win).
 struct Preset {
@@ -135,7 +137,13 @@ impl Preset {
     }
 }
 
-fn build_workload(name: &str, source: WeightSource, seed: u64, darknet_width: usize) -> Workload {
+fn build_workload(
+    name: &str,
+    source: WeightSource,
+    seed: u64,
+    darknet_width: usize,
+    pool: usize,
+) -> Workload {
     let mut rng = StdRng::seed_from_u64(seed);
     match name {
         "lenet" => {
@@ -143,7 +151,7 @@ fn build_workload(name: &str, source: WeightSource, seed: u64, darknet_width: us
             Workload {
                 name: format!("LeNet ({} weights)", source.name()),
                 ops: lenet(source, seed).inference_ops(),
-                inputs: (0..INPUT_POOL)
+                inputs: (0..pool)
                     .map(|i| digits.sample((7 + i) % 10, &mut rng).input)
                     .collect(),
             }
@@ -153,7 +161,7 @@ fn build_workload(name: &str, source: WeightSource, seed: u64, darknet_width: us
             Workload {
                 name: format!("DarkNet (width {darknet_width})"),
                 ops: darknet::build_with_width(seed, darknet_width).inference_ops(),
-                inputs: (0..INPUT_POOL)
+                inputs: (0..pool)
                     .map(|i| rgb.sample((2 + i) % 10, &mut rng).input)
                     .collect(),
             }
@@ -234,9 +242,12 @@ fn main() {
         vec![false]
     };
 
+    // Size every workload's input pool to the largest batch so no cell
+    // can fall back to replaying inputs.
+    let pool = INPUT_POOL_MIN.max(batches.iter().copied().max().unwrap_or(1));
     let workloads: Vec<Workload> = models
         .iter()
-        .map(|m| build_workload(m, source, seed, darknet_width))
+        .map(|m| build_workload(m, source, seed, darknet_width, pool))
         .collect();
 
     let cells = expand_grid(
@@ -264,6 +275,7 @@ fn main() {
         cells.len()
     );
     let outcomes = run_cells_with(&workloads, cells, sequential, driver);
+    let baselines = baseline_index(&outcomes);
 
     println!(
         "{:<24} {:<9} {:<9} {:>4} {:>7} {:>11} {:>5} {:>16} {:>10} {:>10} {:>8}",
@@ -292,11 +304,7 @@ fn main() {
             );
             continue;
         }
-        let reduction = baseline_of(&outcomes, &o.cell)
-            .filter(|b| b.transitions > 0)
-            .map_or(0.0, |b| {
-                (b.transitions as f64 - o.transitions as f64) / b.transitions as f64 * 100.0
-            });
+        let reduction = reduction_vs_baseline(&baselines, o).map_or(0.0, |r| r * 100.0);
         println!(
             "{:<24} {:<9} {:<9} {:>4} {:>7} {:>11} {:>5} {:>16} {:>9.2}% {:>10} {:>6}ms",
             workloads[o.cell.workload].name,

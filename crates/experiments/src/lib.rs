@@ -5,13 +5,15 @@
 //! pieces: deterministic weight sources (random-initialized and trained
 //! LeNet), packet pools for the "without NoC" experiments, a tiny
 //! CLI-argument parser so the binaries stay dependency-light, the
-//! parallel sweep runner, and the JSON writer behind the machine-readable
-//! result files.
+//! parallel sweep runner, the JSON writer behind the machine-readable
+//! result files, and the `btr-serve-v1` schema for the multi-session
+//! service front-end.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cli;
 pub mod json;
+pub mod serve_json;
 pub mod sweep;
 pub mod workloads;

@@ -12,7 +12,7 @@
 //! The `sweep` binary (including its `fig12_noc_sizes` / `fig13_models`
 //! presets, the retired per-figure binaries) is a thin front-end over
 //! [`expand_grid`] + [`run_cells`] + [`outcomes_json`]; see
-//! `EXPERIMENTS.md` for the JSON schema (`btr-sweep-v3`) and usage
+//! `EXPERIMENTS.md` for the JSON schema (`btr-sweep-v4`) and usage
 //! examples. Grids can span machines: a [`Shard`] selects a deterministic
 //! subset of the expanded cells and [`merge_sweep_json`] recombines the
 //! per-shard result files.
@@ -28,8 +28,8 @@ use btr_dnn::tensor::Tensor;
 use rayon::prelude::*;
 
 /// The sweep result schema version (`codec` axis added in v2, `batch`
-/// axis in v3).
-pub const SWEEP_SCHEMA: &str = "btr-sweep-v3";
+/// axis in v3, `distinct_inputs` in v4).
+pub const SWEEP_SCHEMA: &str = "btr-sweep-v4";
 
 /// A named inference workload (model lowered to ops + a pool of input
 /// tensors batched cells draw from).
@@ -39,26 +39,36 @@ pub struct Workload {
     pub name: String,
     /// The lowered inference graph.
     pub ops: Vec<InferenceOp>,
-    /// Input tensors; a cell with batch `N` uses the first `N`, cycling
-    /// if the pool is smaller.
+    /// Input tensors; a cell with batch `N` uses the first `N`. The pool
+    /// must hold at least the max sweep batch — cells never cycle it.
     pub inputs: Vec<Tensor>,
 }
 
 impl Workload {
-    /// The first `batch` inputs, cycling through the pool if needed.
+    /// The first `batch` inputs from the pool.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the workload has no inputs.
-    #[must_use]
-    pub fn batch_inputs(&self, batch: usize) -> Vec<Tensor> {
-        assert!(!self.inputs.is_empty(), "workload has no inputs");
-        self.inputs.iter().cycle().take(batch).cloned().collect()
+    /// Errors when the pool holds fewer than `batch` inputs. The old
+    /// behavior — silently cycling the pool — replayed identical inputs
+    /// in large-batch cells, and that correlated traffic flattered the
+    /// reduction numbers; workload builders must size the pool to the
+    /// max sweep batch instead (the `sweep` binary does).
+    pub fn batch_inputs(&self, batch: usize) -> Result<Vec<Tensor>, String> {
+        if self.inputs.len() < batch {
+            return Err(format!(
+                "workload {:?} has {} distinct inputs but the cell needs batch {batch}; \
+                 size the input pool to the max sweep batch",
+                self.name,
+                self.inputs.len()
+            ));
+        }
+        Ok(self.inputs[..batch].to_vec())
     }
 }
 
 /// A mesh geometry: `width × height` with `mc_count` memory controllers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MeshSpec {
     /// Mesh columns.
     pub width: usize,
@@ -123,7 +133,7 @@ impl std::str::FromStr for MeshSpec {
 }
 
 /// One cell of the sweep grid.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SweepCell {
     /// Index into the workload list.
     pub workload: usize,
@@ -162,6 +172,9 @@ pub struct CellOutcome {
     pub index_overhead_bits: u64,
     /// Link-codec side-channel overhead in bits (the bus-invert line).
     pub codec_overhead_bits: u64,
+    /// Distinct inputs the batch ran (equals `batch` since pools no
+    /// longer cycle; recorded so result files are auditable).
+    pub distinct_inputs: u64,
     /// Wall-clock milliseconds the cell took.
     pub wall_ms: u64,
     /// Error message if the cell failed (metrics are zero then).
@@ -238,6 +251,19 @@ fn run_cell_impl(
     inline_encode: bool,
 ) -> CellOutcome {
     let start = std::time::Instant::now();
+    let error_outcome = |e: String| CellOutcome {
+        cell,
+        transitions: 0,
+        cycles: 0,
+        flit_hops: 0,
+        request_packets: 0,
+        mean_latency: 0.0,
+        index_overhead_bits: 0,
+        codec_overhead_bits: 0,
+        distinct_inputs: 0,
+        wall_ms: start.elapsed().as_millis() as u64,
+        error: Some(e),
+    };
     let workload = &workloads[cell.workload];
     let mut config = AccelConfig::paper(
         cell.mesh.width,
@@ -252,7 +278,10 @@ fn run_cell_impl(
     config.batch_size = cell.batch;
     config.driver = driver;
     config.encode_inline = inline_encode;
-    let inputs = workload.batch_inputs(cell.batch);
+    let inputs = match workload.batch_inputs(cell.batch) {
+        Ok(inputs) => inputs,
+        Err(e) => return error_outcome(e),
+    };
     match run_inference_batch(&workload.ops, &inputs, &config) {
         Ok(result) => CellOutcome {
             cell,
@@ -263,21 +292,11 @@ fn run_cell_impl(
             mean_latency: result.stats.latency.mean,
             index_overhead_bits: result.index_overhead_bits,
             codec_overhead_bits: result.codec_overhead_bits,
+            distinct_inputs: inputs.len() as u64,
             wall_ms: start.elapsed().as_millis() as u64,
             error: None,
         },
-        Err(e) => CellOutcome {
-            cell,
-            transitions: 0,
-            cycles: 0,
-            flit_hops: 0,
-            request_packets: 0,
-            mean_latency: 0.0,
-            index_overhead_bits: 0,
-            codec_overhead_bits: 0,
-            wall_ms: start.elapsed().as_millis() as u64,
-            error: Some(e.to_string()),
-        },
+        Err(e) => error_outcome(e.to_string()),
     }
 }
 
@@ -321,33 +340,60 @@ pub fn run_cells_with(
     })
 }
 
+/// The cell's coordinates with the ordering axis normalized to O0 — the
+/// key under which its baseline row lives.
+fn baseline_cell_of(cell: &SweepCell) -> SweepCell {
+    SweepCell {
+        ordering: OrderingMethod::Baseline,
+        ..*cell
+    }
+}
+
+/// Indexes every baseline (O0) outcome's transitions by the non-ordering
+/// coordinates, in one pass — the in-memory counterpart of the merge
+/// path's baseline map, shared by [`outcomes_json`] consumers that need
+/// reductions without re-scanning the outcome list per cell.
+#[must_use]
+pub fn baseline_index(outcomes: &[CellOutcome]) -> std::collections::HashMap<SweepCell, u64> {
+    outcomes
+        .iter()
+        .filter(|o| o.cell.ordering == OrderingMethod::Baseline && o.transitions > 0)
+        .map(|o| (o.cell, o.transitions))
+        .collect()
+}
+
+/// `reduction_vs_baseline` for one outcome against a prebuilt
+/// [`baseline_index`].
+#[must_use]
+pub fn reduction_vs_baseline(
+    index: &std::collections::HashMap<SweepCell, u64>,
+    outcome: &CellOutcome,
+) -> Option<f64> {
+    index
+        .get(&baseline_cell_of(&outcome.cell))
+        .map(|&base| 1.0 - outcome.transitions as f64 / base as f64)
+}
+
 /// Finds the baseline (O0, same codec) outcome matching a cell's other
 /// coordinates, for normalization/reduction reporting — so
 /// `reduction_vs_baseline` answers "what does ordering buy on this
-/// (possibly coded) link".
+/// (possibly coded) link". Linear scan; for whole-list serialization use
+/// [`baseline_index`] / [`outcomes_json`], which index once.
 #[must_use]
 pub fn baseline_of<'a>(outcomes: &'a [CellOutcome], cell: &SweepCell) -> Option<&'a CellOutcome> {
-    outcomes.iter().find(|o| {
-        o.cell.workload == cell.workload
-            && o.cell.mesh == cell.mesh
-            && o.cell.format == cell.format
-            && o.cell.tiebreak == cell.tiebreak
-            && o.cell.fx8_global == cell.fx8_global
-            && o.cell.codec == cell.codec
-            && o.cell.batch == cell.batch
-            && o.cell.ordering == OrderingMethod::Baseline
-    })
+    let key = baseline_cell_of(cell);
+    outcomes.iter().find(|o| o.cell == key)
 }
 
-/// Serializes outcomes to the `btr-sweep-v1` schema.
+/// Serializes outcomes to the sweep schema. Baselines are resolved
+/// through the same single-pass recompute the shard merge uses
+/// ([`merge_sweep_json`]), so serialization is O(cells), not O(cells²),
+/// and the two paths cannot drift.
 #[must_use]
 pub fn outcomes_json(workloads: &[Workload], outcomes: &[CellOutcome]) -> Json {
-    let cells: Vec<Json> = outcomes
+    let mut cells: Vec<Json> = outcomes
         .iter()
         .map(|o| {
-            let reduction = baseline_of(outcomes, &o.cell)
-                .filter(|b| b.transitions > 0)
-                .map(|b| 1.0 - o.transitions as f64 / b.transitions as f64);
             Json::obj(vec![
                 (
                     "workload",
@@ -370,15 +416,14 @@ pub fn outcomes_json(workloads: &[Workload], outcomes: &[CellOutcome]) -> Json {
                 ("mean_latency", Json::F64(o.mean_latency)),
                 ("index_overhead_bits", Json::U64(o.index_overhead_bits)),
                 ("codec_overhead_bits", Json::U64(o.codec_overhead_bits)),
-                (
-                    "reduction_vs_baseline",
-                    reduction.map_or(Json::Null, Json::F64),
-                ),
+                ("distinct_inputs", Json::U64(o.distinct_inputs)),
+                ("reduction_vs_baseline", Json::Null),
                 ("wall_ms", Json::U64(o.wall_ms)),
                 ("error", o.error.clone().map_or(Json::Null, Json::Str)),
             ])
         })
         .collect();
+    recompute_reductions(&mut cells);
     Json::obj(vec![
         ("schema", Json::str(SWEEP_SCHEMA)),
         ("cells", Json::Arr(cells)),
@@ -560,15 +605,21 @@ mod tests {
             Layer::Flatten(Flatten::new()),
             Layer::Linear(Linear::new(2 * 4 * 4, 4, &mut rng)),
         ]);
-        let input = Tensor::from_vec(
-            &[1, 8, 8],
-            (0..64).map(|_| rng.gen_range(-1.0..1.0)).collect(),
-        )
-        .unwrap();
+        // A pool of distinct inputs sized for the largest batch a test
+        // uses: batched cells must never replay an input.
+        let inputs: Vec<Tensor> = (0..4)
+            .map(|_| {
+                Tensor::from_vec(
+                    &[1, 8, 8],
+                    (0..64).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+                )
+                .unwrap()
+            })
+            .collect();
         Workload {
             name: "tiny".into(),
             ops: model.inference_ops(),
-            inputs: vec![input],
+            inputs,
         }
     }
 
@@ -751,8 +802,9 @@ mod tests {
         }
         let json = outcomes_json(&workloads, &outcomes);
         let text = json.to_string_compact();
-        assert!(text.contains("\"schema\":\"btr-sweep-v3\""));
+        assert!(text.contains("\"schema\":\"btr-sweep-v4\""));
         assert!(text.contains("\"batch\":1"));
+        assert!(text.contains("\"distinct_inputs\":1"));
         assert!(text.contains("\"ordering\":\"O2\""));
         assert!(text.contains("\"codec\":\"none\""));
         assert!(text.contains("\"codec_overhead_bits\":0"));
@@ -842,6 +894,61 @@ mod tests {
         assert_eq!(sync.transitions, b4.transitions);
         assert_eq!(sync.cycles, b4.cycles);
         assert_eq!(sync.index_overhead_bits, b4.index_overhead_bits);
+    }
+
+    #[test]
+    fn oversized_batch_errors_instead_of_cycling() {
+        // A batch larger than the input pool used to silently replay
+        // inputs; now the cell fails loudly.
+        let workloads = vec![tiny_workload()];
+        let cell = SweepCell {
+            workload: 0,
+            mesh: MeshSpec {
+                width: 4,
+                height: 4,
+                mc_count: 2,
+            },
+            format: DataFormat::Fixed8,
+            ordering: OrderingMethod::Baseline,
+            tiebreak: TieBreak::Stable,
+            fx8_global: false,
+            codec: CodecKind::Unencoded,
+            batch: 5,
+        };
+        let outcome = run_cell(&workloads, cell);
+        let err = outcome.error.expect("oversized batch must fail");
+        assert!(err.contains("4 distinct inputs"), "{err}");
+        assert!(err.contains("batch 5"), "{err}");
+        assert_eq!(outcome.distinct_inputs, 0);
+    }
+
+    #[test]
+    fn baseline_index_matches_linear_scan() {
+        let workloads = vec![tiny_workload()];
+        let cells = expand_grid(
+            1,
+            &[MeshSpec {
+                width: 4,
+                height: 4,
+                mc_count: 2,
+            }],
+            &[DataFormat::Fixed8],
+            &[OrderingMethod::Baseline, OrderingMethod::Separated],
+            &[TieBreak::Stable],
+            &[false],
+            &CodecKind::ALL,
+            &[1],
+        );
+        let outcomes = run_cells(&workloads, cells, true);
+        let index = baseline_index(&outcomes);
+        assert_eq!(index.len(), CodecKind::ALL.len());
+        for o in &outcomes {
+            let via_index = reduction_vs_baseline(&index, o);
+            let via_scan = baseline_of(&outcomes, &o.cell)
+                .filter(|b| b.transitions > 0)
+                .map(|b| 1.0 - o.transitions as f64 / b.transitions as f64);
+            assert_eq!(via_index, via_scan, "{:?}", o.cell);
+        }
     }
 
     #[test]

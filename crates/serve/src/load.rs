@@ -1,0 +1,55 @@
+//! The deterministic synthetic client.
+//!
+//! Load generation is separated from the service so benches, the CI
+//! smoke job and the parity tests all drive the pool with the *same*
+//! request stream: ids are sequential, inputs draw round-robin from a
+//! caller-provided pool, and nothing depends on wall time — two runs
+//! over the same pool enqueue bit-identical work.
+
+use btr_dnn::tensor::Tensor;
+
+/// One inference request: a dense id (also the slot of its output in
+/// [`crate::ServeReport::outputs`]) and the input tensor.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Sequential id, `0..count`.
+    pub id: u64,
+    /// The input tensor to run.
+    pub input: Tensor,
+}
+
+/// Generates `count` requests drawing inputs round-robin from `pool`:
+/// distinct inputs until the pool wraps, ids `0..count`, deterministic.
+///
+/// # Panics
+///
+/// Panics if the pool is empty.
+#[must_use]
+pub fn synthetic_requests(pool: &[Tensor], count: usize) -> Vec<Request> {
+    assert!(!pool.is_empty(), "input pool is empty");
+    (0..count)
+        .map(|i| Request {
+            id: i as u64,
+            input: pool[i % pool.len()].clone(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_are_dense_and_round_robin() {
+        let pool = vec![
+            Tensor::from_vec(&[2], vec![0.0, 1.0]).unwrap(),
+            Tensor::from_vec(&[2], vec![2.0, 3.0]).unwrap(),
+        ];
+        let reqs = synthetic_requests(&pool, 5);
+        assert_eq!(reqs.len(), 5);
+        for (i, r) in reqs.iter().enumerate() {
+            assert_eq!(r.id, i as u64);
+            assert_eq!(r.input.data(), pool[i % 2].data());
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Log2-bucketed histograms for the service's aggregate report.
+//!
+//! Fixed 65 buckets (zero + one per power of two) make `record` a
+//! leading-zero count, `merge` a vector add, and the whole struct small
+//! enough to keep per-worker copies that merge once at shutdown — no
+//! locks on the dispatch hot path.
+
+/// A histogram of `u64` samples in logarithmic buckets: bucket 0 holds
+/// zeros, bucket `k >= 1` holds values in `[2^(k-1), 2^k)`.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// The inclusive `[lo, hi]` value range of bucket `index`.
+    fn bucket_range(index: usize) -> (u64, u64) {
+        if index == 0 {
+            (0, 0)
+        } else {
+            (
+                1 << (index - 1),
+                ((1u128 << index) - 1).min(u64::MAX as u128) as u64,
+            )
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += u128::from(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Folds another histogram into this one (per-worker locals merge
+    /// into the fleet totals at shutdown).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded samples (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the `p`-quantile
+    /// (`0.0 <= p <= 1.0`), clamped to the observed max — a log2-grained
+    /// percentile, exact enough for tail-latency reporting.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (p.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (index, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_range(index).1.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The non-empty buckets as `(lo, hi, count)` rows (the JSON shape).
+    #[must_use]
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(index, &n)| {
+                let (lo, hi) = Self::bucket_range(index);
+                (lo, hi, n)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_summarizes() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 1, 3, 200] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 200);
+        assert!((h.mean() - 41.0).abs() < 1e-9);
+        // Buckets: 0 -> [0,0], two 1s -> [1,1], 3 -> [2,3], 200 -> [128,255].
+        assert_eq!(
+            h.nonzero_buckets(),
+            vec![(0, 0, 1), (1, 1, 2), (2, 3, 1), (128, 255, 1)]
+        );
+        // p50 of 5 samples is the 3rd: the [1,1] bucket.
+        assert_eq!(h.percentile(0.5), 1);
+        // The tail percentile clamps to the observed max.
+        assert_eq!(h.percentile(1.0), 200);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(0.99), 0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn merge_is_a_union() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(4);
+        b.record(1000);
+        b.record(0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), 0);
+        assert_eq!(a.max(), 1000);
+        assert_eq!(a.nonzero_buckets().len(), 3);
+    }
+
+    #[test]
+    fn extreme_values_stay_in_range() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.percentile(0.5), u64::MAX);
+    }
+}

@@ -1,0 +1,251 @@
+//! The bounded MPMC request queue feeding the session pool.
+//!
+//! Producers block while the queue is full (admission control — a slow
+//! fleet pushes back on the client instead of buffering unboundedly);
+//! consumers pop *batches*, coalescing up to a window of requests per
+//! dispatch. A consumer that finds the queue short of a full window
+//! waits a **bounded number of poll cycles** for stragglers before
+//! flushing what it has: the flush bound is an iteration count of the
+//! dispatch loop, not an open-ended wall-clock timer, so tail latency
+//! under a trickle load is capped and deterministic in scheduler cycles.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// One poll cycle of the batch-coalescing wait.
+pub const FLUSH_POLL: Duration = Duration::from_micros(200);
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer / multi-consumer FIFO with batch-coalescing
+/// pop. Close it to signal end-of-load: blocked producers fail fast and
+/// consumers drain the remainder, then receive empty batches.
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    cap: usize,
+}
+
+/// What [`BoundedQueue::pop_batch`] hands a worker: the coalesced batch
+/// plus the queue depth observed when the first item was claimed (the
+/// sample behind the service's queue-depth histogram).
+pub struct PoppedBatch<T> {
+    /// Up to `max` items in FIFO order; empty once the queue is closed
+    /// and drained (the worker-exit signal).
+    pub items: Vec<T>,
+    /// Queue depth at the moment the batch started forming.
+    pub depth: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue admitting at most `cap` queued items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "queue capacity must be positive");
+        Self {
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(cap),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// Enqueues `item`, blocking while the queue is full. Returns the
+    /// item back as `Err` if the queue was closed (the service aborts a
+    /// failed run by closing early).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(item)` when the queue is closed.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if state.closed {
+                return Err(item);
+            }
+            if state.items.len() < self.cap {
+                break;
+            }
+            state = self.not_full.wait(state).expect("queue poisoned");
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Pops a coalesced batch of up to `max` items: blocks until at
+    /// least one item is available (or the queue is closed and drained —
+    /// then the batch is empty), then waits at most `flush_polls` poll
+    /// cycles of [`FLUSH_POLL`] each for the window to fill before
+    /// flushing short.
+    pub fn pop_batch(&self, max: usize, flush_polls: u32) -> PoppedBatch<T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if !state.items.is_empty() {
+                break;
+            }
+            if state.closed {
+                return PoppedBatch {
+                    items: Vec::new(),
+                    depth: 0,
+                };
+            }
+            state = self.not_empty.wait(state).expect("queue poisoned");
+        }
+        let depth = state.items.len();
+        let mut items = Vec::with_capacity(max.min(depth));
+        let mut polls_left = flush_polls;
+        while items.len() < max {
+            if let Some(item) = state.items.pop_front() {
+                items.push(item);
+                continue;
+            }
+            if state.closed || polls_left == 0 {
+                break;
+            }
+            polls_left -= 1;
+            // The pops above freed slots: wake blocked producers *before*
+            // sleeping for stragglers, or a full-blocked producer and this
+            // coalescing consumer would sleep on each other for the whole
+            // flush budget whenever the capacity is below the window.
+            self.not_full.notify_all();
+            let (guard, _) = self
+                .not_empty
+                .wait_timeout(state, FLUSH_POLL)
+                .expect("queue poisoned");
+            state = guard;
+        }
+        drop(state);
+        // A batch frees up to `max` slots; wake every blocked producer.
+        self.not_full.notify_all();
+        PoppedBatch { items, depth }
+    }
+
+    /// Closes the queue: producers fail fast, consumers drain what
+    /// remains and then see empty batches.
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Closes the queue **and discards** everything still queued — the
+    /// failure path, where remaining requests must not keep producers or
+    /// consumers alive.
+    pub fn abort(&self) {
+        let mut state = self.state.lock().expect("queue poisoned");
+        state.closed = true;
+        state.items.clear();
+        drop(state);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Items currently queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// True when nothing is queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn fifo_batches_and_close_drain() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        let b = q.pop_batch(3, 0);
+        assert_eq!(b.items, vec![0, 1, 2]);
+        assert_eq!(b.depth, 5);
+        q.close();
+        // Remaining items drain after close...
+        assert_eq!(q.pop_batch(3, 0).items, vec![3, 4]);
+        // ...then batches come back empty, and pushes fail fast.
+        assert!(q.pop_batch(3, 0).items.is_empty());
+        assert_eq!(q.push(9), Err(9));
+    }
+
+    #[test]
+    fn short_flush_is_bounded() {
+        let q = BoundedQueue::new(4);
+        q.push(1).unwrap();
+        // One queued item, window of 4: the bounded flush gives up after
+        // its poll budget instead of waiting for a full window.
+        let b = q.pop_batch(4, 2);
+        assert_eq!(b.items, vec![1]);
+    }
+
+    #[test]
+    fn capacity_blocks_producers_until_consumed() {
+        let q = BoundedQueue::new(2);
+        let pushed = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for i in 0..6 {
+                    q.push(i).unwrap();
+                    pushed.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+            let mut got = Vec::new();
+            while got.len() < 6 {
+                got.extend(q.pop_batch(2, 1).items);
+            }
+            assert_eq!(got, (0..6).collect::<Vec<_>>());
+        });
+        assert_eq!(pushed.load(Ordering::SeqCst), 6);
+    }
+
+    #[test]
+    fn window_fills_past_capacity_while_coalescing() {
+        // Capacity below the batch window: the coalescing pop must wake
+        // the full-blocked producer after draining, so a SINGLE pop still
+        // fills the whole window instead of both sides sleeping out the
+        // flush budget and flushing short at the capacity.
+        let q = BoundedQueue::new(2);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for i in 0..6 {
+                    q.push(i).unwrap();
+                }
+                q.close();
+            });
+            std::thread::sleep(Duration::from_millis(20));
+            let b = q.pop_batch(6, 1000);
+            assert_eq!(b.items, (0..6).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn abort_discards_queued_items() {
+        let q = BoundedQueue::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.abort();
+        assert!(q.pop_batch(4, 0).items.is_empty());
+        assert!(q.is_empty());
+    }
+}

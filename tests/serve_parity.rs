@@ -1,0 +1,187 @@
+//! Serve-vs-sequential parity for the multi-session inference service.
+//!
+//! The service coalesces queued requests into batched dispatches across
+//! a pool of sessions, so a request's batch companions and its session
+//! assignment are scheduling accidents — but its *output* must not be:
+//! every task's MAC depends only on its own operands (pinned per-driver
+//! by `tests/driver_parity.rs`), so N requests through the service
+//! produce bit-identical outputs to N sequential `run_inference_batch`
+//! calls, for any pool shape.
+
+use btr_serve::{serve, synthetic_requests, ServeConfig, ServeError};
+use noc_btr::accel::config::{AccelConfig, DriverMode};
+use noc_btr::accel::driver::run_inference;
+use noc_btr::bits::word::DataFormat;
+use noc_btr::core::OrderingMethod;
+use noc_btr::dnn::layer::{ActKind, Activation, Conv2d, Flatten, Linear, MaxPool2d};
+use noc_btr::dnn::model::{Layer, Sequential};
+use noc_btr::dnn::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn tiny_model(seed: u64) -> Sequential {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Sequential::new(vec![
+        Layer::Conv2d(Conv2d::new(1, 3, 3, 1, 1, &mut rng)),
+        Layer::Activation(Activation::new(ActKind::ReLU)),
+        Layer::MaxPool2d(MaxPool2d::new(2, 2)),
+        Layer::Flatten(Flatten::new()),
+        Layer::Linear(Linear::new(3 * 4 * 4, 5, &mut rng)),
+    ])
+}
+
+fn tiny_input(seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Tensor::from_vec(
+        &[1, 8, 8],
+        (0..64).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+    )
+    .unwrap()
+}
+
+fn accel_config(window: usize) -> AccelConfig {
+    let mut c = AccelConfig::paper(4, 4, 2, DataFormat::Fixed8, OrderingMethod::Separated);
+    c.batch_size = window;
+    c
+}
+
+#[test]
+fn serve_outputs_match_sequential_inference() {
+    let model = tiny_model(7);
+    let ops = model.inference_ops();
+    let pool: Vec<Tensor> = (0..3).map(|i| tiny_input(40 + i)).collect();
+    let requests = 7usize; // odd count: forces a short final flush
+                           // Sequential reference: one synchronous single-input call per request.
+    let mut sequential = accel_config(1);
+    sequential.driver = DriverMode::Synchronous;
+    let expected: Vec<Tensor> = (0..requests)
+        .map(|i| {
+            run_inference(&ops, &pool[i % pool.len()], &sequential)
+                .unwrap()
+                .output
+        })
+        .collect();
+
+    // Several pool shapes: single session, more sessions than a batch
+    // can fill, window larger than the remainder.
+    for (sessions, window) in [(1usize, 2usize), (2, 2), (3, 4)] {
+        let config = ServeConfig {
+            accel: accel_config(window),
+            sessions,
+            queue_capacity: 4,
+            flush_polls: 2,
+        };
+        let report = serve(&ops, &config, synthetic_requests(&pool, requests)).unwrap();
+        assert_eq!(report.completed, requests as u64);
+        assert_eq!(report.outputs.len(), requests);
+        for (i, (got, want)) in report.outputs.iter().zip(expected.iter()).enumerate() {
+            assert_eq!(
+                got.data(),
+                want.data(),
+                "request {i} diverged under {sessions} sessions x window {window}"
+            );
+        }
+    }
+}
+
+#[test]
+fn serve_report_accounts_the_whole_fleet() {
+    let model = tiny_model(9);
+    let ops = model.inference_ops();
+    let pool: Vec<Tensor> = (0..4).map(|i| tiny_input(60 + i)).collect();
+    let requests = 8usize;
+    let config = ServeConfig {
+        accel: accel_config(2),
+        sessions: 2,
+        queue_capacity: 8,
+        flush_polls: 2,
+    };
+    let report = serve(&ops, &config, synthetic_requests(&pool, requests)).unwrap();
+    assert_eq!(report.completed, 8);
+    assert!(report.inferences_per_sec > 0.0);
+    // Fleet totals are the sum of the per-session slices.
+    assert_eq!(report.per_session.len(), 2);
+    let sum =
+        |f: fn(&btr_serve::SessionReport) -> u64| -> u64 { report.per_session.iter().map(f).sum() };
+    assert_eq!(report.transitions, sum(|s| s.transitions));
+    assert!(report.transitions > 0);
+    assert_eq!(report.index_overhead_bits, sum(|s| s.index_overhead_bits));
+    assert!(report.index_overhead_bits > 0); // O2 carries the index channel
+    assert_eq!(sum(|s| s.inferences), 8);
+    // Every request contributes one latency sample; every dispatch one
+    // queue-depth and one batch-fill sample, each within the window.
+    assert_eq!(report.latency_us.count(), 8);
+    assert_eq!(report.batch_fill.count(), sum(|s| s.dispatches));
+    assert_eq!(report.queue_depth.count(), sum(|s| s.dispatches));
+    assert!(report.batch_fill.max() <= 2);
+    assert!(report.batch_fill.min() >= 1);
+}
+
+#[test]
+fn serve_handles_an_empty_request_stream() {
+    let model = tiny_model(11);
+    let ops = model.inference_ops();
+    let config = ServeConfig {
+        accel: accel_config(2),
+        sessions: 2,
+        queue_capacity: 2,
+        flush_polls: 0,
+    };
+    let report = serve(&ops, &config, Vec::new()).unwrap();
+    assert_eq!(report.completed, 0);
+    assert!(report.outputs.is_empty());
+    assert_eq!(report.inferences_per_sec, 0.0);
+    assert_eq!(report.latency_us.count(), 0);
+}
+
+#[test]
+fn serve_propagates_session_failures() {
+    let model = tiny_model(13);
+    let ops = model.inference_ops();
+    let pool = vec![tiny_input(70)];
+    // Fixed-16 passes config validation (with a matching link width) but
+    // is not wired into the accelerator: the first dispatch fails and
+    // the run aborts instead of hanging.
+    let mut accel = accel_config(2);
+    accel.format = DataFormat::Fixed16;
+    accel.noc.link_width_bits = 256;
+    let config = ServeConfig {
+        accel,
+        sessions: 2,
+        queue_capacity: 4,
+        flush_polls: 1,
+    };
+    let err = serve(&ops, &config, synthetic_requests(&pool, 4)).unwrap_err();
+    match err {
+        ServeError::Session { error, .. } => {
+            assert!(error.to_string().contains("not supported"), "{error}");
+        }
+        other => panic!("expected a session error, got {other}"),
+    }
+}
+
+#[test]
+fn serve_rejects_bad_configs_and_ids() {
+    let model = tiny_model(15);
+    let ops = model.inference_ops();
+    let pool = vec![tiny_input(80)];
+    let good = ServeConfig {
+        accel: accel_config(2),
+        sessions: 2,
+        queue_capacity: 4,
+        flush_polls: 1,
+    };
+    let mut no_sessions = good.clone();
+    no_sessions.sessions = 0;
+    assert!(matches!(
+        serve(&ops, &no_sessions, synthetic_requests(&pool, 2)),
+        Err(ServeError::Config(_))
+    ));
+    // Non-dense request ids cannot be mapped onto output slots.
+    let mut requests = synthetic_requests(&pool, 2);
+    requests[1].id = 7;
+    assert!(matches!(
+        serve(&ops, &good, requests),
+        Err(ServeError::Config(_))
+    ));
+}
