@@ -1,7 +1,7 @@
 //! Accelerator configuration.
 
 use btr_bits::word::DataFormat;
-use btr_core::codec::CodecKind;
+use btr_core::codec::{CodecKind, CodecScope};
 use btr_core::ordering::TieBreak;
 use btr_core::OrderingMethod;
 use btr_noc::config::NocConfig;
@@ -74,6 +74,13 @@ pub struct AccelConfig {
     /// Link-coding backend on every link (the NoC link width covers the
     /// codec's extra wires; see [`AccelConfig::with_codec`]).
     pub codec: CodecKind,
+    /// Where the codec state lives: re-seeded per packet by the MC-side
+    /// transport ([`CodecScope::PerPacket`], the bit-exact reference), or
+    /// owned by each directed NoC link and persistent across packets,
+    /// batches and layers ([`CodecScope::PerLink`]; see
+    /// [`AccelConfig::with_codec_scope`], which keeps
+    /// [`NocConfig::link_codec`] in sync).
+    pub codec_scope: CodecScope,
     /// Popcount-tie handling in the ordering unit (`Stable` = the paper's
     /// popcount-only comparator; `Value` = wider comparator sensitivity
     /// variant, see EXPERIMENTS.md).
@@ -136,6 +143,7 @@ impl AccelConfig {
             format,
             ordering,
             codec: CodecKind::Unencoded,
+            codec_scope: CodecScope::PerPacket,
             tiebreak: TieBreak::Stable,
             global_fx8_weights: false,
             values_per_flit,
@@ -153,13 +161,44 @@ impl AccelConfig {
 
     /// The same configuration with a different link codec, the NoC link
     /// width re-derived to cover the codec's side-channel wires (one
-    /// extra invert-line wire for bus-invert).
+    /// extra invert-line wire for bus-invert) and the NoC's per-link
+    /// codec kept in sync with the current scope.
     #[must_use]
     pub fn with_codec(mut self, codec: CodecKind) -> Self {
         self.codec = codec;
         self.noc.link_width_bits =
             self.values_per_flit as u32 * self.format.bits_per_value() + codec.extra_wires();
+        self.sync_link_codec();
         self
+    }
+
+    /// The same configuration with a different codec scope:
+    /// [`CodecScope::PerLink`] moves the codec (and its state) onto the
+    /// NoC links, where it persists across packets, batches and layers;
+    /// [`CodecScope::PerPacket`] restores the transport-side per-packet
+    /// codec. The link width is scope-independent — the side-channel
+    /// wires exist on the physical link either way.
+    #[must_use]
+    pub fn with_codec_scope(mut self, scope: CodecScope) -> Self {
+        self.codec_scope = scope;
+        self.sync_link_codec();
+        self
+    }
+
+    /// The [`NocConfig::link_codec`] implied by `(codec, codec_scope)`:
+    /// links own state exactly when the scope is per-link and the codec
+    /// is stateful. The one derivation both [`AccelConfig::with_codec`] /
+    /// [`AccelConfig::with_codec_scope`] and [`AccelConfig::validate`]
+    /// use, so they cannot drift.
+    fn derived_link_codec(&self) -> Option<CodecKind> {
+        match self.codec_scope {
+            CodecScope::PerLink => Some(self.codec).filter(|c| c.is_stateful()),
+            CodecScope::PerPacket => None,
+        }
+    }
+
+    fn sync_link_codec(&mut self) {
+        self.noc.link_codec = self.derived_link_codec();
     }
 
     /// Validates internal consistency.
@@ -181,6 +220,12 @@ impl AccelConfig {
                 self.values_per_flit,
                 self.format.bits_per_value(),
                 self.codec.extra_wires()
+            ));
+        }
+        if self.noc.link_codec != self.derived_link_codec() {
+            return Err(format!(
+                "noc.link_codec {:?} does not match codec {} at {} scope (use with_codec_scope)",
+                self.noc.link_codec, self.codec, self.codec_scope
             ));
         }
         if self.noc.mc_nodes.is_empty() {

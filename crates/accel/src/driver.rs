@@ -630,6 +630,7 @@ impl<'a, W: AccelWord> EncodeStage<'a, W> {
                 tiebreak: config.tiebreak,
                 values_per_flit: config.values_per_flit,
                 codec: config.codec,
+                scope: config.codec_scope,
             }),
             ordering: config.ordering,
             tiebreak: config.tiebreak,

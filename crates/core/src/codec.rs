@@ -1,22 +1,36 @@
 //! Pluggable link-coding backends for the transport pipeline.
 //!
 //! The paper positions transmission *ordering* against classic low-power
-//! link coding (bus-invert, delta/XOR). [`crate::encoding`] holds the
-//! stream-level primitives; this module packages them as [`LinkCodec`]
-//! implementations a [`crate::transport::CodedTransport`] composes with
-//! the ordering stage, so the NoC and the accelerator measure the *coded*
-//! wire and the sweep runner can answer "does ordering still win once the
-//! link is coded, and do they compose?".
+//! link coding (bus-invert, delta/XOR). This module holds the one
+//! implementation of those schemes, split into two halves:
 //!
-//! A codec maps a packet's plain payload-flit stream (all images
-//! `data_width` bits wide) to the wire images actually driven onto the
-//! link, `data_width + extra_wires` bits wide — bus-invert appends its
-//! invert line as one extra wire above the data MSB — and decodes the wire
-//! stream back losslessly. Codec state is per-packet (the first flit of
-//! every packet re-seeds the scheme), matching how the ordering stage is
-//! also applied per packet.
+//! * [`CodecKind`] — the **stateless scheme**: which transform runs on the
+//!   wires, how many side-channel wires it adds, and the per-packet stream
+//!   conveniences ([`CodecKind::encode_stream`] /
+//!   [`CodecKind::decode_stream`]) that seed a fresh state per call;
+//! * [`LinkCodecState`] — the **explicit state object** (seed / step /
+//!   inverse): the running wire memory a real encoder flip-flop holds.
+//!   [`CodecKind::seed_state`] seeds it, [`LinkCodecState::encode_step`]
+//!   advances the transmit side one flit, [`LinkCodecState::decode_step`]
+//!   is the mirrored inverse on the receive side, and
+//!   [`LinkCodecState::reset`] returns it to the seeded state.
+//!
+//! *Where* the state lives is the [`CodecScope`] axis:
+//!
+//! * [`CodecScope::PerPacket`] — the MC-side transport
+//!   ([`crate::transport::CodedTransport`]) seeds a fresh state for every
+//!   packet, so the modeled wire forgets itself at packet boundaries;
+//! * [`CodecScope::PerLink`] — every directed physical link owns one
+//!   persistent [`LinkCodecState`] pair that survives across packets,
+//!   batches and layers (`btr_noc::stats::LinkSlab` holds them), modeling
+//!   the real wires whose charge state does not reset between packets.
+//!
+//! A codec maps a plain payload-flit stream (all images `data_width` bits
+//! wide) to the wire images actually driven onto the link, `data_width +
+//! extra_wires` bits wide — bus-invert appends its invert line as one
+//! extra wire above the data MSB — and decodes the wire stream back
+//! losslessly.
 
-use crate::encoding::{bus_invert_decode, bus_invert_wire_stream, delta_xor_decode};
 use btr_bits::payload::PayloadBits;
 use serde::{Deserialize, Serialize};
 
@@ -63,14 +77,59 @@ impl CodecKind {
         }
     }
 
-    /// The backend implementation for this kind.
+    /// True when the scheme carries running state between flits (so a
+    /// per-link instance is observable at all): everything but the
+    /// identity codec.
     #[must_use]
-    pub fn codec(self) -> &'static dyn LinkCodec {
-        match self {
-            CodecKind::Unencoded => &Unencoded,
-            CodecKind::BusInvert => &BusInvert,
-            CodecKind::DeltaXor => &DeltaXor,
-        }
+    pub fn is_stateful(self) -> bool {
+        self != CodecKind::Unencoded
+    }
+
+    /// Seeds a fresh codec state for a link of `data_width` data wires
+    /// (the state of a wire that has not carried a coded flit yet).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widened wire image would exceed
+    /// [`btr_bits::payload::MAX_WIDTH_BITS`] or `data_width` is zero.
+    #[must_use]
+    pub fn seed_state(self, data_width: u32) -> LinkCodecState {
+        LinkCodecState::new(self, data_width)
+    }
+
+    /// Encodes a plain flit stream (every image `data_width` bits) into
+    /// wire images of `data_width + extra_wires` bits, in order, with
+    /// **per-packet** state: a fresh [`LinkCodecState`] is seeded for the
+    /// call, so the first flit re-seeds the scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widened wire image would exceed
+    /// [`btr_bits::payload::MAX_WIDTH_BITS`] or the stream mixes widths.
+    #[must_use]
+    pub fn encode_stream(self, plain: &[PayloadBits]) -> Vec<PayloadBits> {
+        let Some(first) = plain.first() else {
+            return Vec::new();
+        };
+        let mut state = self.seed_state(first.width());
+        plain.iter().map(|p| state.encode_step(p)).collect()
+    }
+
+    /// Decodes a packet's wire images back into the plain flit stream of
+    /// `data_width`-bit images (**per-packet** state, the inverse of
+    /// [`CodecKind::encode_stream`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] if a wire image's width is not
+    /// `data_width + extra_wires`.
+    pub fn decode_stream(
+        self,
+        wire: &[PayloadBits],
+        data_width: u32,
+    ) -> Result<Vec<PayloadBits>, CodecError> {
+        let mut state = self.seed_state(data_width);
+        wire.iter().map(|w| state.decode_step(w)).collect()
     }
 }
 
@@ -97,6 +156,57 @@ impl std::str::FromStr for CodecKind {
     }
 }
 
+/// Where link-codec state lives — the ownership axis of the codec stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum CodecScope {
+    /// Codec state is seeded fresh for every packet by the MC-side
+    /// transport: the first flit of each packet re-seeds the scheme, so
+    /// the modeled wire forgets itself at packet boundaries (the
+    /// pre-refactor behavior, kept as the bit-exact reference).
+    #[default]
+    PerPacket,
+    /// Every directed physical link owns one persistent
+    /// [`LinkCodecState`] pair that survives across packets, batches and
+    /// layers within an inference phase — the transport defers the codec
+    /// to the wires and the NoC links encode/decode at traversal time.
+    PerLink,
+}
+
+impl CodecScope {
+    /// Both scopes, in ablation order.
+    pub const ALL: [CodecScope; 2] = [CodecScope::PerPacket, CodecScope::PerLink];
+
+    /// Short label used in tables and JSON (`"per-packet"`, `"per-link"`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            CodecScope::PerPacket => "per-packet",
+            CodecScope::PerLink => "per-link",
+        }
+    }
+}
+
+impl std::fmt::Display for CodecScope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for CodecScope {
+    type Err = String;
+
+    /// Parses `"per-packet"`/`"packet"` or `"per-link"`/`"link"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "per-packet" | "perpacket" | "packet" => Ok(CodecScope::PerPacket),
+            "per-link" | "perlink" | "link" => Ok(CodecScope::PerLink),
+            other => Err(format!(
+                "unknown codec scope {other:?}; use per-packet|per-link"
+            )),
+        }
+    }
+}
+
 /// Errors from the decode half of a link codec.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CodecError {
@@ -107,6 +217,12 @@ pub enum CodecError {
         /// Expected wire width.
         want: u32,
     },
+    /// A link-aligned *plain* image carried non-zero side-channel wires —
+    /// it was already coded, and narrowing it would corrupt the data.
+    SideChannel {
+        /// Index of the offending flit in the stream.
+        flit: usize,
+    },
 }
 
 impl std::fmt::Display for CodecError {
@@ -115,140 +231,204 @@ impl std::fmt::Display for CodecError {
             CodecError::WireWidth { got, want } => {
                 write!(f, "wire image is {got} bits, codec expects {want}")
             }
+            CodecError::SideChannel { flit } => {
+                write!(
+                    f,
+                    "plain flit {flit} carries non-zero codec side-channel wires"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for CodecError {}
 
-/// A link-coding scheme: encodes a packet's plain flit stream into the
-/// wire images (data wires + side-channel wires) and decodes losslessly.
+/// The running state of one link codec endpoint: the wire memory a real
+/// encoder (or its mirrored decoder) holds between flits.
 ///
-/// Implementations must round-trip: for any stream of equal-width flits,
-/// `decode_stream(&encode_stream(s), w) == s`.
-pub trait LinkCodec: std::fmt::Debug + Sync {
-    /// The codec's identity.
-    fn kind(&self) -> CodecKind;
+/// One instance per *directed physical link* models [`CodecScope::PerLink`]
+/// (the state lives for the link's lifetime); one instance per packet —
+/// what [`CodecKind::encode_stream`] seeds internally — models
+/// [`CodecScope::PerPacket`].
+///
+/// The transmit and receive ends of a link hold separate instances that
+/// evolve through the identical sequence of images, so
+/// `rx.decode_step(tx.encode_step(p)) == p` for every flit, at any point
+/// in the stream, with no packet-boundary reset required.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkCodecState {
+    kind: CodecKind,
+    data_width: u32,
+    /// The wire memory, `None` until the first flit seeds it: the previous
+    /// *plain* image for delta-XOR, the previous *wire data* image
+    /// (post-inversion, invert line excluded) for bus-invert. Always
+    /// `data_width` wide.
+    prev: Option<PayloadBits>,
+}
 
-    /// Encodes a plain flit stream (every image `data_width` bits) into
-    /// wire images of `data_width + extra_wires` bits, in order.
+impl LinkCodecState {
+    /// Seeds the state for a link of `data_width` data wires.
     ///
     /// # Panics
     ///
-    /// Panics if the widened wire image would exceed
-    /// [`btr_bits::payload::MAX_WIDTH_BITS`] or the stream mixes widths.
-    fn encode_stream(&self, plain: &[PayloadBits]) -> Vec<PayloadBits>;
+    /// Panics if `data_width` is zero or `data_width + extra_wires`
+    /// exceeds [`btr_bits::payload::MAX_WIDTH_BITS`].
+    #[must_use]
+    pub fn new(kind: CodecKind, data_width: u32) -> Self {
+        assert!(data_width > 0, "codec state needs at least one data wire");
+        assert!(
+            data_width + kind.extra_wires() <= btr_bits::payload::MAX_WIDTH_BITS,
+            "wire width {} exceeds maximum {}",
+            data_width + kind.extra_wires(),
+            btr_bits::payload::MAX_WIDTH_BITS
+        );
+        Self {
+            kind,
+            data_width,
+            prev: None,
+        }
+    }
 
-    /// Decodes a packet's wire images back into the plain flit stream of
-    /// `data_width`-bit images.
+    /// The scheme this state runs.
+    #[must_use]
+    pub fn kind(&self) -> CodecKind {
+        self.kind
+    }
+
+    /// Width of the data wires.
+    #[must_use]
+    pub fn data_width(&self) -> u32 {
+        self.data_width
+    }
+
+    /// Width of the wire images this state produces and consumes
+    /// (`data_width + extra_wires`).
+    #[must_use]
+    pub fn wire_width(&self) -> u32 {
+        self.data_width + self.kind.extra_wires()
+    }
+
+    /// True once a flit has seeded the wire memory.
+    #[must_use]
+    pub fn is_seeded(&self) -> bool {
+        self.prev.is_some()
+    }
+
+    /// Returns the state to its seeded (packet-boundary) condition — the
+    /// step a per-packet scope takes between packets and a per-link scope
+    /// deliberately does not.
+    pub fn reset(&mut self) {
+        self.prev = None;
+    }
+
+    /// Narrows an incoming plain image to the data wires. Accepts the
+    /// image at `data_width`, or at `wire_width` with zeroed side-channel
+    /// wires (the NoC re-aligns narrower payload images onto the full
+    /// link width at injection).
+    fn data_image(&self, plain: &PayloadBits) -> PayloadBits {
+        if plain.width() == self.data_width {
+            *plain
+        } else {
+            assert_eq!(
+                plain.width(),
+                self.wire_width(),
+                "plain image width {} matches neither the {} data wires nor the {}-bit wire",
+                plain.width(),
+                self.data_width,
+                self.wire_width()
+            );
+            // A set side-channel wire here means the caller handed us an
+            // already-coded wire image (e.g. a per-packet-coded stream
+            // routed onto per-link coded wires); truncating it would
+            // silently corrupt the data, so fail loudly instead.
+            assert_eq!(
+                plain.field(self.data_width, self.wire_width() - self.data_width),
+                0,
+                "plain image carries non-zero codec side-channel wires"
+            );
+            plain.resized(self.data_width)
+        }
+    }
+
+    /// Advances the transmit side one flit: encodes `plain` against the
+    /// wire memory and returns the `wire_width` image actually driven
+    /// onto the link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plain` is neither `data_width` nor `wire_width` bits
+    /// wide (the latter with zeroed side-channel wires).
+    #[must_use]
+    pub fn encode_step(&mut self, plain: &PayloadBits) -> PayloadBits {
+        let data = self.data_image(plain);
+        match self.kind {
+            CodecKind::Unencoded => data,
+            CodecKind::DeltaXor => {
+                let wire = match &self.prev {
+                    None => data,
+                    Some(prev) => data.xor(prev),
+                };
+                self.prev = Some(data);
+                wire
+            }
+            CodecKind::BusInvert => {
+                // Invert exactly when that strictly reduces data-wire
+                // toggles against the previous wire image.
+                let (wire_data, invert) = match &self.prev {
+                    None => (data, false),
+                    Some(prev) => {
+                        let inverted = data.invert();
+                        if inverted.transitions_to(prev) < data.transitions_to(prev) {
+                            (inverted, true)
+                        } else {
+                            (data, false)
+                        }
+                    }
+                };
+                self.prev = Some(wire_data);
+                let mut wire = wire_data.resized(self.data_width + 1);
+                wire.set_field(self.data_width, 1, u64::from(invert));
+                wire
+            }
+        }
+    }
+
+    /// Advances the receive side one flit: decodes a `wire_width` image
+    /// against the mirrored wire memory and returns the `data_width`
+    /// plain image.
     ///
     /// # Errors
     ///
-    /// Returns [`CodecError`] if a wire image's width is not
-    /// `data_width + extra_wires`.
-    fn decode_stream(
-        &self,
-        wire: &[PayloadBits],
-        data_width: u32,
-    ) -> Result<Vec<PayloadBits>, CodecError>;
-}
-
-fn check_wire_widths(wire: &[PayloadBits], data_width: u32, extra: u32) -> Result<(), CodecError> {
-    let want = data_width + extra;
-    for w in wire {
-        if w.width() != want {
+    /// Returns [`CodecError::WireWidth`] if `wire` is not `wire_width`
+    /// bits wide.
+    pub fn decode_step(&mut self, wire: &PayloadBits) -> Result<PayloadBits, CodecError> {
+        if wire.width() != self.wire_width() {
             return Err(CodecError::WireWidth {
-                got: w.width(),
-                want,
+                got: wire.width(),
+                want: self.wire_width(),
             });
         }
-    }
-    Ok(())
-}
-
-/// The identity codec: wire images are the ordered flit images.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct Unencoded;
-
-impl LinkCodec for Unencoded {
-    fn kind(&self) -> CodecKind {
-        CodecKind::Unencoded
-    }
-
-    fn encode_stream(&self, plain: &[PayloadBits]) -> Vec<PayloadBits> {
-        plain.to_vec()
-    }
-
-    fn decode_stream(
-        &self,
-        wire: &[PayloadBits],
-        data_width: u32,
-    ) -> Result<Vec<PayloadBits>, CodecError> {
-        check_wire_widths(wire, data_width, 0)?;
-        Ok(wire.to_vec())
-    }
-}
-
-/// Bus-invert coding over one extra invert-line wire (bit `data_width` of
-/// every wire image).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct BusInvert;
-
-impl LinkCodec for BusInvert {
-    fn kind(&self) -> CodecKind {
-        CodecKind::BusInvert
-    }
-
-    fn encode_stream(&self, plain: &[PayloadBits]) -> Vec<PayloadBits> {
-        let Some(first) = plain.first() else {
-            return Vec::new();
-        };
-        let data_width = first.width();
-        bus_invert_wire_stream(plain)
-            .into_iter()
-            .map(|(data, invert)| {
-                let mut wire = data.resized(data_width + 1);
-                wire.set_field(data_width, 1, u64::from(invert));
-                wire
-            })
-            .collect()
-    }
-
-    fn decode_stream(
-        &self,
-        wire: &[PayloadBits],
-        data_width: u32,
-    ) -> Result<Vec<PayloadBits>, CodecError> {
-        check_wire_widths(wire, data_width, 1)?;
-        let pairs: Vec<(PayloadBits, bool)> = wire
-            .iter()
-            .map(|w| (w.resized(data_width), w.bit(data_width)))
-            .collect();
-        Ok(bus_invert_decode(&pairs))
-    }
-}
-
-/// Delta/XOR coding: wire image `i` is `flit[i] XOR flit[i-1]` (the first
-/// flit is sent as-is). No extra wires.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct DeltaXor;
-
-impl LinkCodec for DeltaXor {
-    fn kind(&self) -> CodecKind {
-        CodecKind::DeltaXor
-    }
-
-    fn encode_stream(&self, plain: &[PayloadBits]) -> Vec<PayloadBits> {
-        crate::encoding::delta_xor_wire_stream(plain)
-    }
-
-    fn decode_stream(
-        &self,
-        wire: &[PayloadBits],
-        data_width: u32,
-    ) -> Result<Vec<PayloadBits>, CodecError> {
-        check_wire_widths(wire, data_width, 0)?;
-        Ok(delta_xor_decode(wire))
+        Ok(match self.kind {
+            CodecKind::Unencoded => *wire,
+            CodecKind::DeltaXor => {
+                let plain = match &self.prev {
+                    None => *wire,
+                    Some(prev) => wire.xor(prev),
+                };
+                self.prev = Some(plain);
+                plain
+            }
+            CodecKind::BusInvert => {
+                let wire_data = wire.resized(self.data_width);
+                let invert = wire.bit(self.data_width);
+                self.prev = Some(wire_data);
+                if invert {
+                    wire_data.invert()
+                } else {
+                    wire_data
+                }
+            }
+        })
     }
 }
 
@@ -275,16 +455,14 @@ mod tests {
     #[test]
     fn all_codecs_round_trip() {
         for kind in CodecKind::ALL {
-            let codec = kind.codec();
-            assert_eq!(codec.kind(), kind);
             for (n, width, seed) in [(1usize, 8u32, 1u64), (7, 64, 2), (40, 128, 3), (13, 96, 4)] {
                 let stream = random_stream(n, width, seed);
-                let wire = codec.encode_stream(&stream);
+                let wire = kind.encode_stream(&stream);
                 assert_eq!(wire.len(), stream.len());
                 for w in &wire {
                     assert_eq!(w.width(), width + kind.extra_wires());
                 }
-                let back = codec.decode_stream(&wire, width).unwrap();
+                let back = kind.decode_stream(&wire, width).unwrap();
                 assert_eq!(back, stream, "{kind} n={n} w={width}");
             }
         }
@@ -293,9 +471,8 @@ mod tests {
     #[test]
     fn empty_streams_encode_and_decode() {
         for kind in CodecKind::ALL {
-            let codec = kind.codec();
-            assert!(codec.encode_stream(&[]).is_empty());
-            assert!(codec.decode_stream(&[], 64).unwrap().is_empty());
+            assert!(kind.encode_stream(&[]).is_empty());
+            assert!(kind.decode_stream(&[], 64).unwrap().is_empty());
         }
     }
 
@@ -303,11 +480,68 @@ mod tests {
     fn decode_rejects_wrong_wire_width() {
         let stream = random_stream(4, 64, 9);
         for kind in CodecKind::ALL {
-            let codec = kind.codec();
-            let wire = codec.encode_stream(&stream);
-            let err = codec.decode_stream(&wire, 32).unwrap_err();
+            let wire = kind.encode_stream(&stream);
+            let err = kind.decode_stream(&wire, 32).unwrap_err();
             assert!(matches!(err, CodecError::WireWidth { .. }));
             assert!(err.to_string().contains("codec expects"));
+        }
+    }
+
+    #[test]
+    fn state_steps_match_the_stream_functions() {
+        // encode_stream/decode_stream are exactly a fresh state folded
+        // over the packet — the per-packet scope in state-object form.
+        for kind in CodecKind::ALL {
+            let stream = random_stream(23, 96, 17);
+            let mut tx = kind.seed_state(96);
+            let stepped: Vec<PayloadBits> = stream.iter().map(|p| tx.encode_step(p)).collect();
+            assert_eq!(stepped, kind.encode_stream(&stream), "{kind}");
+            let mut rx = kind.seed_state(96);
+            let decoded: Vec<PayloadBits> =
+                stepped.iter().map(|w| rx.decode_step(w).unwrap()).collect();
+            assert_eq!(decoded, stream, "{kind}");
+        }
+    }
+
+    #[test]
+    fn persistent_state_survives_packet_boundaries() {
+        // A tx/rx pair fed multiple packets without reset stays lossless
+        // (the per-link scope), and reset() restores per-packet behavior.
+        for kind in CodecKind::ALL {
+            let packets: Vec<Vec<PayloadBits>> = (0..5)
+                .map(|i| random_stream(4 + i, 64, 100 + i as u64))
+                .collect();
+            let mut tx = kind.seed_state(64);
+            let mut rx = kind.seed_state(64);
+            for packet in &packets {
+                for plain in packet {
+                    let wire = tx.encode_step(plain);
+                    assert_eq!(&rx.decode_step(&wire).unwrap(), plain, "{kind}");
+                }
+            }
+            assert_eq!(tx.is_seeded(), kind.is_stateful());
+            // Resetting both ends at every boundary reproduces the
+            // per-packet stream encode exactly.
+            let mut tx = kind.seed_state(64);
+            for packet in &packets {
+                tx.reset();
+                let stepped: Vec<PayloadBits> = packet.iter().map(|p| tx.encode_step(p)).collect();
+                assert_eq!(stepped, kind.encode_stream(packet), "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn encode_accepts_link_aligned_plain_images() {
+        // The NoC re-aligns narrower payload images onto the full link
+        // width; the state must accept the wire-width image with zeroed
+        // side-channel wires and produce the identical wire.
+        let stream = random_stream(9, 64, 33);
+        let mut narrow = CodecKind::BusInvert.seed_state(64);
+        let mut wide = CodecKind::BusInvert.seed_state(64);
+        for plain in &stream {
+            let aligned = plain.resized(65);
+            assert_eq!(narrow.encode_step(plain), wide.encode_step(&aligned));
         }
     }
 
@@ -325,13 +559,16 @@ mod tests {
                 }
             })
             .collect();
-        let wire = BusInvert.encode_stream(&stream);
+        let wire = CodecKind::BusInvert.encode_stream(&stream);
         let transitions: u64 = wire
             .windows(2)
             .map(|w| u64::from(w[1].transitions_to(&w[0])))
             .sum();
         assert_eq!(transitions, 9, "one invert-line toggle per boundary");
-        assert_eq!(BusInvert.decode_stream(&wire, 64).unwrap(), stream);
+        assert_eq!(
+            CodecKind::BusInvert.decode_stream(&wire, 64).unwrap(),
+            stream
+        );
     }
 
     #[test]
@@ -345,5 +582,17 @@ mod tests {
         assert!("hamming".parse::<CodecKind>().is_err());
         assert_eq!(CodecKind::default(), CodecKind::Unencoded);
         assert_eq!(CodecKind::BusInvert.to_string(), "bus-invert");
+    }
+
+    #[test]
+    fn scope_parses_and_prints() {
+        for scope in CodecScope::ALL {
+            assert_eq!(scope.label().parse::<CodecScope>(), Ok(scope));
+        }
+        assert_eq!("link".parse::<CodecScope>(), Ok(CodecScope::PerLink));
+        assert_eq!("packet".parse::<CodecScope>(), Ok(CodecScope::PerPacket));
+        assert!("per-flit".parse::<CodecScope>().is_err());
+        assert_eq!(CodecScope::default(), CodecScope::PerPacket);
+        assert_eq!(CodecScope::PerLink.to_string(), "per-link");
     }
 }

@@ -14,6 +14,7 @@
 //!   consecutive flits, which concentrates `'1'` bits when the stream is
 //!   correlated. (Decoding needs the running state; overhead-free on wires.)
 
+use crate::codec::CodecKind;
 use btr_bits::payload::PayloadBits;
 use serde::{Deserialize, Serialize};
 
@@ -82,28 +83,24 @@ pub fn bus_invert(stream: &[PayloadBits]) -> EncodedStream {
 /// alongside it. The first flit is always sent direct; after that a flit
 /// is inverted exactly when inversion strictly reduces the data-wire
 /// toggles relative to the previous *wire* image.
+///
+/// Thin wrapper over [`crate::codec::LinkCodecState`] — the one bus-invert
+/// implementation, shared with the per-link coded-wire observation in
+/// `btr_noc::stats::LinkSlab`.
 #[must_use]
 pub fn bus_invert_wire_stream(stream: &[PayloadBits]) -> Vec<(PayloadBits, bool)> {
-    let mut out = Vec::with_capacity(stream.len());
-    let mut prev_wire: Option<PayloadBits> = None;
-    for flit in stream {
-        let (wire, invert) = match &prev_wire {
-            None => (*flit, false),
-            Some(prev) => {
-                let direct = flit.transitions_to(prev);
-                let inverted_flit = flit.invert();
-                let inverted = inverted_flit.transitions_to(prev);
-                if inverted < direct {
-                    (inverted_flit, true)
-                } else {
-                    (*flit, false)
-                }
-            }
-        };
-        prev_wire = Some(wire);
-        out.push((wire, invert));
-    }
-    out
+    let Some(first) = stream.first() else {
+        return Vec::new();
+    };
+    let data_width = first.width();
+    let mut state = CodecKind::BusInvert.seed_state(data_width);
+    stream
+        .iter()
+        .map(|flit| {
+            let wire = state.encode_step(flit);
+            (wire.resized(data_width), wire.bit(data_width))
+        })
+        .collect()
 }
 
 /// Decodes a bus-invert wire stream back to the plain flits (inverse of
@@ -111,9 +108,20 @@ pub fn bus_invert_wire_stream(stream: &[PayloadBits]) -> Vec<(PayloadBits, bool)
 /// inverted back, independently of its neighbors.
 #[must_use]
 pub fn bus_invert_decode(wire_stream: &[(PayloadBits, bool)]) -> Vec<PayloadBits> {
+    let Some((first, _)) = wire_stream.first() else {
+        return Vec::new();
+    };
+    let data_width = first.width();
+    let mut state = CodecKind::BusInvert.seed_state(data_width);
     wire_stream
         .iter()
-        .map(|(wire, invert)| if *invert { wire.invert() } else { *wire })
+        .map(|(data, invert)| {
+            let mut wire = data.resized(data_width + 1);
+            wire.set_field(data_width, 1, u64::from(*invert));
+            state
+                .decode_step(&wire)
+                .expect("wire rebuilt at the state's wire width")
+        })
         .collect()
 }
 
@@ -123,21 +131,19 @@ pub fn bus_invert_decode(wire_stream: &[(PayloadBits, bool)]) -> Vec<PayloadBits
 #[must_use]
 pub fn delta_xor(stream: &[PayloadBits]) -> EncodedStream {
     let mut transitions = 0u64;
-    let mut prev_plain: Option<PayloadBits> = None;
-    let mut prev_wire: Option<PayloadBits> = None;
-
-    for flit in stream {
-        let wire = match &prev_plain {
-            None => *flit,
-            Some(prev) => flit.xor(prev),
-        };
-        if let Some(pw) = &prev_wire {
-            transitions += u64::from(wire.transitions_to(pw));
+    if let Some(first) = stream.first() {
+        // Single pass over the shared LinkCodecState implementation: no
+        // materialized wire stream, transitions accumulated inline.
+        let mut state = CodecKind::DeltaXor.seed_state(first.width());
+        let mut prev_wire: Option<PayloadBits> = None;
+        for flit in stream {
+            let wire = state.encode_step(flit);
+            if let Some(pw) = &prev_wire {
+                transitions += u64::from(wire.transitions_to(pw));
+            }
+            prev_wire = Some(wire);
         }
-        prev_plain = Some(*flit);
-        prev_wire = Some(wire);
     }
-
     EncodedStream {
         transitions,
         control_transitions: 0,
@@ -146,35 +152,28 @@ pub fn delta_xor(stream: &[PayloadBits]) -> EncodedStream {
 }
 
 /// Decodes a delta-XOR wire stream back to the plain flits, verifying the
-/// scheme is lossless.
+/// scheme is lossless (thin wrapper over [`crate::codec::LinkCodecState`]).
 #[must_use]
 pub fn delta_xor_decode(wire_stream: &[PayloadBits]) -> Vec<PayloadBits> {
-    let mut out = Vec::with_capacity(wire_stream.len());
-    let mut state: Option<PayloadBits> = None;
-    for wire in wire_stream {
-        let plain = match &state {
-            None => *wire,
-            Some(prev) => wire.xor(prev),
-        };
-        out.push(plain);
-        state = Some(plain);
-    }
-    out
+    let Some(first) = wire_stream.first() else {
+        return Vec::new();
+    };
+    let mut state = CodecKind::DeltaXor.seed_state(first.width());
+    wire_stream
+        .iter()
+        .map(|wire| {
+            state
+                .decode_step(wire)
+                .expect("delta-XOR wire width equals the data width")
+        })
+        .collect()
 }
 
-/// Produces the delta-XOR wire stream (the images actually transmitted).
+/// Produces the delta-XOR wire stream (the images actually transmitted;
+/// thin wrapper over [`crate::codec::LinkCodecState`]).
 #[must_use]
 pub fn delta_xor_wire_stream(stream: &[PayloadBits]) -> Vec<PayloadBits> {
-    let mut out = Vec::with_capacity(stream.len());
-    let mut prev: Option<PayloadBits> = None;
-    for flit in stream {
-        out.push(match &prev {
-            None => *flit,
-            Some(p) => flit.xor(p),
-        });
-        prev = Some(*flit);
-    }
-    out
+    CodecKind::DeltaXor.encode_stream(stream)
 }
 
 #[cfg(test)]

@@ -473,6 +473,7 @@ pub fn order_task_cached<W: DataWord>(
         wdest,
         idest,
         inv_wperm,
+        plain_buf: _,
     } = scratch;
     debug_assert!(
         weight_perm.is_none_or(|p| p.len() == n),
@@ -649,6 +650,7 @@ pub fn order_images_from_parts<W: DataWord>(
         wdest,
         idest,
         inv_wperm,
+        plain_buf: _,
     } = scratch;
     debug_assert!(
         weight_perm.is_none_or(|p| p.len() == n),

@@ -28,10 +28,13 @@
 //!   Figs. 9–11: packet streams on a single link.
 //! * [`encoding`] — bus-invert and delta-encoding baselines from the related
 //!   work, used for ablation comparisons (not part of the paper's method).
-//! * [`codec`] — those encodings packaged as pluggable [`codec::LinkCodec`]
-//!   backends, composed with the ordering stage by
-//!   [`transport::CodedTransport`] so the NoC/accelerator measure the
-//!   coded wire and sweeps can ablate `{ordering × codec}`.
+//! * [`codec`] — those encodings packaged as pluggable backends: the
+//!   stateless scheme ([`codec::CodecKind`]) plus the explicit per-link
+//!   state object ([`codec::LinkCodecState`]), composed with the ordering
+//!   stage by [`transport::CodedTransport`] (per-packet scope) or owned
+//!   by the NoC links themselves (per-link scope,
+//!   [`codec::CodecScope::PerLink`]) so sweeps can ablate
+//!   `{ordering × codec × scope}`.
 //!
 //! # Quickstart
 //!
@@ -66,7 +69,7 @@ pub mod theory;
 pub mod transport;
 pub mod unit;
 
-pub use codec::{CodecKind, LinkCodec};
+pub use codec::{CodecKind, CodecScope, LinkCodecState};
 pub use flitize::{order_task, FlitRow, OrderedTask, RecoverError, Slot};
 pub use ordering::OrderingMethod;
 pub use task::NeuronTask;

@@ -27,7 +27,7 @@
 //!   lifecycle: a per-link [`TransitionRecorder`] observing the encoded
 //!   flits (Fig. 8).
 
-use crate::codec::{CodecError, CodecKind};
+use crate::codec::{CodecError, CodecKind, CodecScope};
 use crate::flitize::{
     index_overhead_bits_for, order_images_from_parts, order_task_with, FlitizeError, OrderedTask,
     RecoverError,
@@ -52,6 +52,11 @@ pub struct TransportConfig {
     pub values_per_flit: usize,
     /// Link-coding backend applied to the ordered flit stream.
     pub codec: CodecKind,
+    /// Where the codec state lives. With [`CodecScope::PerPacket`] this
+    /// session applies the codec itself (fresh state per packet); with
+    /// [`CodecScope::PerLink`] it emits the plain ordered images and the
+    /// NoC links code the wires with their own persistent state.
+    pub scope: CodecScope,
 }
 
 impl TransportConfig {
@@ -64,6 +69,7 @@ impl TransportConfig {
             tiebreak: TieBreak::Stable,
             values_per_flit,
             codec: CodecKind::Unencoded,
+            scope: CodecScope::PerPacket,
         }
     }
 
@@ -72,6 +78,20 @@ impl TransportConfig {
     pub fn with_codec(mut self, codec: CodecKind) -> Self {
         self.codec = codec;
         self
+    }
+
+    /// The same configuration with a different codec scope.
+    #[must_use]
+    pub fn with_scope(mut self, scope: CodecScope) -> Self {
+        self.scope = scope;
+        self
+    }
+
+    /// True when this session applies the codec itself (per-packet
+    /// scope); false when the codec is deferred to the NoC links.
+    #[must_use]
+    pub fn codes_in_transport(&self) -> bool {
+        self.codec != CodecKind::Unencoded && self.scope == CodecScope::PerPacket
     }
 
     /// Width of the data wires for word type `W`: `values_per_flit`
@@ -110,6 +130,9 @@ pub struct TransportScratch {
     pub(crate) idest: Vec<(usize, usize)>,
     /// Inverse weight permutation for the O2 pair index.
     pub(crate) inv_wperm: Vec<u16>,
+    /// Plain images recovered from delivered wire images (per-packet
+    /// codec inverse, or the per-link re-alignment narrow).
+    pub(crate) plain_buf: Vec<PayloadBits>,
 }
 
 /// The metadata a packet carries out-of-band of its payload flits: the
@@ -347,9 +370,12 @@ impl CodedTransport {
             weight_perm,
             scratch,
         )?;
-        let wire = match self.config.codec {
-            CodecKind::Unencoded => None,
-            coded => Some(coded.codec().encode_stream(&plain)),
+        let wire = if self.config.codes_in_transport() {
+            Some(self.config.codec.encode_stream(&plain))
+        } else {
+            // Identity codec, or per-link scope: the plain ordered images
+            // go onto the wire (the links code them with their own state).
+            None
         };
         Ok(EncodedTask {
             meta: TaskWireMeta {
@@ -372,15 +398,16 @@ impl CodedTransport {
     pub fn encode_response<W: DataWord>(&self, bits: u64) -> PayloadBits {
         let mut image = PayloadBits::zero(self.config.data_width_bits::<W>());
         image.set_field(0, 32, bits);
-        match self.config.codec {
-            // Identity codec: skip the stream round-trip (hot path — one
-            // response per task).
-            CodecKind::Unencoded => image,
-            coded => coded
-                .codec()
+        if self.config.codes_in_transport() {
+            self.config
+                .codec
                 .encode_stream(std::slice::from_ref(&image))
                 .pop()
-                .expect("one flit in, one wire image out"),
+                .expect("one flit in, one wire image out")
+        } else {
+            // Identity codec (hot path — one response per task), or
+            // per-link scope where the links code the wire themselves.
+            image
         }
     }
 
@@ -405,9 +432,10 @@ impl CodedTransport {
             self.config.tiebreak,
         )?;
         let plain = ordered.payload_flits();
-        let wire = match self.config.codec {
-            CodecKind::Unencoded => None,
-            coded => Some(coded.codec().encode_stream(&plain)),
+        let wire = if self.config.codes_in_transport() {
+            Some(self.config.codec.encode_stream(&plain))
+        } else {
+            None
         };
         Ok(EncodedTask {
             meta: TaskWireMeta {
@@ -420,6 +448,60 @@ impl CodedTransport {
             codec: self.config.codec,
             _word: std::marker::PhantomData,
         })
+    }
+
+    /// Recovers the plain flit images from what the mesh delivered, per
+    /// the session's codec scope. Per-packet scope runs the codec
+    /// inverse; per-link scope receives images the links already decoded,
+    /// possibly re-aligned onto the full link width with the side-channel
+    /// wires zeroed (the NoC widens narrower payload images at
+    /// injection). Returns `false` when `flits` already are the plain
+    /// `data_width` images and can be borrowed as-is; `true` when the
+    /// plain images were written into `buf` (cleared first; capacity is
+    /// reused across packets, keeping the receiver path allocation-free
+    /// in steady state).
+    fn plain_images_into(
+        &self,
+        flits: &[PayloadBits],
+        data_width: u32,
+        buf: &mut Vec<PayloadBits>,
+    ) -> Result<bool, CodecError> {
+        if self.config.codes_in_transport() {
+            buf.clear();
+            buf.reserve(flits.len());
+            let mut state = self.config.codec.seed_state(data_width);
+            for wire in flits {
+                buf.push(state.decode_step(wire)?);
+            }
+            return Ok(true);
+        }
+        let extra = match self.config.scope {
+            CodecScope::PerLink => self.config.codec.extra_wires(),
+            CodecScope::PerPacket => 0, // identity codec
+        };
+        if extra > 0 && flits.iter().all(|f| f.width() == data_width + extra) {
+            // Link-aligned plain images: drop the side-channel wires the
+            // mesh padded in — refusing images whose side channel is not
+            // zero (those are coded wires, not plain images).
+            buf.clear();
+            buf.reserve(flits.len());
+            for (i, flit) in flits.iter().enumerate() {
+                if flit.field(data_width, extra) != 0 {
+                    return Err(CodecError::SideChannel { flit: i });
+                }
+                buf.push(flit.resized(data_width));
+            }
+            return Ok(true);
+        }
+        for flit in flits {
+            if flit.width() != data_width {
+                return Err(CodecError::WireWidth {
+                    got: flit.width(),
+                    want: data_width,
+                });
+            }
+        }
+        Ok(false)
     }
 
     /// The pre-pipeline decode path, preserved verbatim as a bit-exact
@@ -437,17 +519,16 @@ impl CodedTransport {
         meta: &TaskWireMeta,
         flits: &[PayloadBits],
     ) -> Result<RecoveredTask<W>, TransportError> {
-        let plain = self
-            .config
-            .codec
-            .codec()
-            .decode_stream(flits, self.config.data_width_bits::<W>())?;
+        let data_width = self.config.data_width_bits::<W>();
+        let mut buf = Vec::new();
+        let decoded = self.plain_images_into(flits, data_width, &mut buf)?;
+        let plain: &[PayloadBits] = if decoded { &buf } else { flits };
         let ordered = OrderedTask::<W>::from_payload_flits(
             self.config.ordering,
             meta.num_pairs,
             self.config.values_per_flit,
             meta.pair_index.clone(),
-            &plain,
+            plain,
         )?;
         Ok(ordered.recover()?)
     }
@@ -487,25 +568,10 @@ impl CodedTransport {
         out: &mut RecoveredTask<W>,
     ) -> Result<(), TransportError> {
         let data_width = self.config.data_width_bits::<W>();
-        let decoded;
-        let plain: &[PayloadBits] = match self.config.codec {
-            CodecKind::Unencoded => {
-                for flit in flits {
-                    if flit.width() != data_width {
-                        return Err(CodecError::WireWidth {
-                            got: flit.width(),
-                            want: data_width,
-                        }
-                        .into());
-                    }
-                }
-                flits
-            }
-            coded => {
-                decoded = coded.codec().decode_stream(flits, data_width)?;
-                &decoded
-            }
-        };
+        // Field-disjoint scratch borrows: the plain-image buffer is
+        // filled here, the assignment buffer inside the recovery.
+        let decoded = self.plain_images_into(flits, data_width, &mut scratch.plain_buf)?;
+        let plain: &[PayloadBits] = if decoded { &scratch.plain_buf } else { flits };
         recover_from_images(
             self.config.ordering,
             meta,
@@ -529,21 +595,34 @@ impl CodedTransport {
         wire: &[PayloadBits],
     ) -> Result<u64, TransportError> {
         let data_width = self.config.data_width_bits::<W>();
-        if self.config.codec == CodecKind::Unencoded {
-            // Identity codec: read the field in place (hot path — one
-            // response per task).
-            let image = wire.first().ok_or(TransportError::EmptyResponse)?;
-            if image.width() != data_width {
-                return Err(CodecError::WireWidth {
-                    got: image.width(),
-                    want: data_width,
-                }
-                .into());
+        let image = wire.first().ok_or(TransportError::EmptyResponse)?;
+        if self.config.codes_in_transport() {
+            // Responses are single-flit packets, so decoding the first
+            // wire image against a fresh (per-packet) state is the whole
+            // codec inverse.
+            let mut state = self.config.codec.seed_state(data_width);
+            return Ok(state.decode_step(image)?.field(0, 32));
+        }
+        // Plain image (identity codec, or per-link scope where the links
+        // already decoded the wire): read the 32-bit field in place —
+        // hot path, one response per task, no allocation.
+        let extra = match self.config.scope {
+            CodecScope::PerLink => self.config.codec.extra_wires(),
+            CodecScope::PerPacket => 0,
+        };
+        if extra > 0 && image.width() == data_width + extra {
+            if image.field(data_width, extra) != 0 {
+                return Err(CodecError::SideChannel { flit: 0 }.into());
             }
             return Ok(image.field(0, 32));
         }
-        let plain = self.config.codec.codec().decode_stream(wire, data_width)?;
-        let image = plain.first().ok_or(TransportError::EmptyResponse)?;
+        if image.width() != data_width {
+            return Err(CodecError::WireWidth {
+                got: image.width(),
+                want: data_width,
+            }
+            .into());
+        }
         Ok(image.field(0, 32))
     }
 }
@@ -800,6 +879,7 @@ mod tests {
                             tiebreak,
                             values_per_flit: 16,
                             codec,
+                            scope: CodecScope::PerPacket,
                         });
                         let enc = session.encode_task(&task).unwrap();
                         let rec = session
@@ -878,6 +958,55 @@ mod tests {
         let enc_xor = TransportSession::<Fx8Word>::encode_task(&xor, &task).unwrap();
         assert!(enc_xor.payload_flits().iter().all(|f| f.width() == 128));
         assert_eq!(enc_xor.codec_overhead_bits(), 0);
+    }
+
+    #[test]
+    fn per_link_scope_defers_the_codec_to_the_wires() {
+        let task = fx_task(25);
+        let config = TransportConfig::new(OrderingMethod::Separated, 16);
+        for codec in CodecKind::ALL {
+            let per_packet = CodedTransport::new(config.with_codec(codec));
+            let per_link =
+                CodedTransport::new(config.with_codec(codec).with_scope(CodecScope::PerLink));
+            let pp = TransportSession::<Fx8Word>::encode_task(&per_packet, &task).unwrap();
+            let pl = TransportSession::<Fx8Word>::encode_task(&per_link, &task).unwrap();
+            // Per-link sessions put the plain ordered images on the wire
+            // (the links code them with their own persistent state)...
+            assert_eq!(pl.payload_flits(), pl.plain_flits(), "{codec}");
+            assert_eq!(pl.plain_flits(), pp.plain_flits(), "{codec}");
+            // ...while the side-channel accounting is unchanged: the
+            // invert line exists on the physical link in either scope.
+            assert_eq!(pl.codec_overhead_bits(), pp.codec_overhead_bits());
+            assert_eq!(pl.index_overhead_bits(), pp.index_overhead_bits());
+            // The plain images decode directly...
+            let rec: RecoveredTask<Fx8Word> = per_link
+                .decode_task(&pl.wire_meta(), &pl.payload_flits())
+                .unwrap();
+            assert_eq!(rec.mac_i64(), task.mac_i64(), "{codec}");
+            // ...and so do the same images re-aligned onto the full link
+            // width with zeroed side-channel wires, which is how the
+            // mesh delivers them.
+            let link_width = config.with_codec(codec).link_width_bits::<Fx8Word>();
+            let aligned: Vec<PayloadBits> = pl
+                .payload_flits()
+                .iter()
+                .map(|f| f.resized(link_width))
+                .collect();
+            let rec2: RecoveredTask<Fx8Word> =
+                per_link.decode_task(&pl.wire_meta(), &aligned).unwrap();
+            assert_eq!(rec2.pairs, rec.pairs, "{codec}");
+            // Responses likewise travel plain and decode at either width.
+            let resp = per_link.encode_response::<Fx8Word>(0xabcd);
+            assert_eq!(resp.width(), 128);
+            let bits = per_link
+                .decode_response::<Fx8Word>(std::slice::from_ref(&resp))
+                .unwrap();
+            assert_eq!(bits, 0xabcd);
+            let bits = per_link
+                .decode_response::<Fx8Word>(&[resp.resized(link_width)])
+                .unwrap();
+            assert_eq!(bits, 0xabcd, "{codec}");
+        }
     }
 
     #[test]

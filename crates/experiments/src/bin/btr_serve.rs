@@ -13,12 +13,13 @@
 //!     [--flush-polls 64] [--model lenet|darknet] [--weights random|trained] \
 //!     [--mesh 4x4x2] [--formats... see sweep] [--format f32|fx8] \
 //!     [--ordering O0|O1|O2] [--codec none|bus-invert|delta-xor] \
+//!     [--codec-scope per-packet|per-link] \
 //!     [--driver pipelined|sync] [--darknet-width 8] [--seed 42] \
 //!     [--json serve.json]`
 
 use btr_accel::config::{AccelConfig, DriverMode};
 use btr_bits::word::DataFormat;
-use btr_core::codec::CodecKind;
+use btr_core::codec::{CodecKind, CodecScope};
 use btr_core::ordering::OrderingMethod;
 use btr_dnn::data::{SyntheticDigits, SyntheticRgb};
 use btr_dnn::models::darknet;
@@ -50,6 +51,7 @@ fn main() {
     let format: DataFormat = cli::arg("format", DataFormat::Fixed8);
     let ordering: OrderingMethod = cli::arg("ordering", OrderingMethod::Separated);
     let codec: CodecKind = cli::arg("codec", CodecKind::Unencoded);
+    let codec_scope: CodecScope = cli::arg("codec-scope", CodecScope::PerPacket);
     let driver: DriverMode = cli::arg("driver", DriverMode::Pipelined);
     let darknet_width: usize = cli::arg("darknet-width", 8);
     let seed: u64 = cli::arg("seed", 42);
@@ -85,7 +87,8 @@ fn main() {
     };
 
     let mut accel = AccelConfig::paper(mesh.width, mesh.height, mesh.mc_count, format, ordering)
-        .with_codec(codec);
+        .with_codec(codec)
+        .with_codec_scope(codec_scope);
     accel.batch_size = batch;
     accel.driver = driver;
     // A pool of concurrent sessions already claims the host's harts;
@@ -101,8 +104,9 @@ fn main() {
     };
 
     eprintln!(
-        "# btr-serve: {workload_name} on {mesh}, {format} {ordering} {codec} ({driver} driver), \
-         {sessions} sessions x window {batch}, queue cap {queue_cap}, {requests} requests"
+        "# btr-serve: {workload_name} on {mesh}, {format} {ordering} {codec} {codec_scope} \
+         ({driver} driver), {sessions} sessions x window {batch}, queue cap {queue_cap}, \
+         {requests} requests"
     );
     let report = match serve(&ops, &config, synthetic_requests(&pool, requests)) {
         Ok(report) => report,

@@ -1,6 +1,6 @@
 //! The general sweep front-end: any `(model × mesh × format × ordering ×
-//! tiebreak × fx8 scheme × codec × batch)` grid, fanned out in parallel,
-//! with machine-readable JSON results.
+//! tiebreak × fx8 scheme × codec × codec scope × batch)` grid, fanned
+//! out in parallel, with machine-readable JSON results.
 //!
 //! This is the scaling successor to the per-figure binaries: the
 //! `fig12_noc_sizes` and `fig13_models` presets replace the binaries of
@@ -10,11 +10,12 @@
 //!
 //! Usage:
 //! `cargo run --release -p experiments --bin sweep -- \
-//!     [--preset smoke|fig12_noc_sizes|fig13_models|ablation_orderings|ablation_codecs] \
+//!     [--preset smoke|fig12_noc_sizes|fig13_models|ablation_orderings|ablation_codecs|ablation_scopes] \
 //!     [--models lenet,darknet] [--weights trained] [--seed 42] \
 //!     [--meshes 4x4x2,8x8x4,8x8x8] [--formats f32,fx8] \
 //!     [--orderings O0,O1,O2] [--ties stable,value] [--fx8-global] \
-//!     [--codecs none,bus-invert,delta-xor] [--batch 1,4,16] \
+//!     [--codecs none,bus-invert,delta-xor] \
+//!     [--codec-scope per-packet,per-link] [--batch 1,4,16] \
 //!     [--driver pipelined|sync] [--shard 0/4] \
 //!     [--darknet-width 8] [--sequential] [--json sweep.json]`
 //!
@@ -24,11 +25,11 @@
 //! `--merge a.json,b.json --json out.json` skips simulation entirely and
 //! concatenates/validates previously written result files.
 //!
-//! `--json` writes the `btr-sweep-v4` schema described in EXPERIMENTS.md.
+//! `--json` writes the `btr-sweep-v5` schema described in EXPERIMENTS.md.
 
 use btr_accel::config::DriverMode;
 use btr_bits::word::DataFormat;
-use btr_core::codec::CodecKind;
+use btr_core::codec::{CodecKind, CodecScope};
 use btr_core::ordering::{OrderingMethod, TieBreak};
 use btr_dnn::data::{SyntheticDigits, SyntheticRgb};
 use btr_dnn::models::darknet;
@@ -57,6 +58,7 @@ struct Preset {
     orderings: Vec<OrderingMethod>,
     tiebreaks: Vec<TieBreak>,
     codecs: Vec<CodecKind>,
+    scopes: Vec<CodecScope>,
     batches: Vec<usize>,
 }
 
@@ -70,6 +72,7 @@ impl Preset {
             orderings: OrderingMethod::ALL.to_vec(),
             tiebreaks: vec![TieBreak::Stable],
             codecs: vec![CodecKind::Unencoded],
+            scopes: vec![CodecScope::PerPacket],
             batches: vec![1],
         }
     }
@@ -125,11 +128,24 @@ impl Preset {
                 codecs: CodecKind::ALL.to_vec(),
                 ..Self::general()
             },
+            // Does codec state ownership matter? {O0,O2} × every codec ×
+            // {per-packet, per-link}: per-packet re-seeds the codec on
+            // each packet (the pre-refactor model), per-link gives every
+            // directed link persistent state across packets/batches/
+            // layers — the wires the related work measures power on.
+            "ablation_scopes" => Preset {
+                meshes: small_mesh,
+                formats: vec![DataFormat::Fixed8],
+                orderings: vec![OrderingMethod::Baseline, OrderingMethod::Separated],
+                codecs: CodecKind::ALL.to_vec(),
+                scopes: CodecScope::ALL.to_vec(),
+                ..Self::general()
+            },
             other => {
                 eprintln!(
                     "error: unknown preset {other:?}; use \
                      general|smoke|fig12_noc_sizes|fig13_models|\
-                     ablation_orderings|ablation_codecs"
+                     ablation_orderings|ablation_codecs|ablation_scopes"
                 );
                 std::process::exit(2);
             }
@@ -235,6 +251,7 @@ fn main() {
     let orderings: Vec<OrderingMethod> = cli::list_arg("orderings", preset.orderings);
     let tiebreaks: Vec<TieBreak> = cli::list_arg("ties", preset.tiebreaks);
     let codecs: Vec<CodecKind> = cli::list_arg("codecs", preset.codecs);
+    let scopes: Vec<CodecScope> = cli::list_arg("codec-scope", preset.scopes);
     let batches: Vec<usize> = cli::list_arg("batch", preset.batches);
     let fx8_globals = if cli::flag("fx8-global") {
         vec![true]
@@ -258,19 +275,22 @@ fn main() {
         &tiebreaks,
         &fx8_globals,
         &codecs,
+        &scopes,
         &batches,
     );
     let total = cells.len();
     let cells = shard.select(cells);
     eprintln!(
         "# sweep [{preset_name}]: {} workloads x {} meshes x {} formats x {} orderings x {} ties \
-         x {} codecs x {} batches = {total} cells (shard {shard}: {} cells, {driver} driver)",
+         x {} codecs x {} scopes x {} batches = {total} cells (shard {shard}: {} cells, \
+         {driver} driver)",
         workloads.len(),
         meshes.len(),
         formats.len(),
         orderings.len(),
         tiebreaks.len(),
         codecs.len(),
+        scopes.len(),
         batches.len(),
         cells.len()
     );
@@ -278,44 +298,49 @@ fn main() {
     let baselines = baseline_index(&outcomes);
 
     println!(
-        "{:<24} {:<9} {:<9} {:>4} {:>7} {:>11} {:>5} {:>16} {:>10} {:>10} {:>8}",
+        "{:<24} {:<9} {:<9} {:>4} {:>7} {:>11} {:>10} {:>5} {:>16} {:>10} {:>11} {:>10} {:>8}",
         "workload",
         "NoC",
         "format",
         "ord",
         "ties",
         "codec",
+        "scope",
         "batch",
         "total BTs",
         "reduction",
+        "energy mJ",
         "cycles",
         "wall"
     );
     for o in &outcomes {
         if let Some(e) = &o.error {
             eprintln!(
-                "error: {} {} {} {} {} b{}: {e}",
+                "error: {} {} {} {} {} {} b{}: {e}",
                 workloads[o.cell.workload].name,
                 o.cell.mesh,
                 o.cell.format,
                 o.cell.ordering,
                 o.cell.codec,
+                o.cell.scope,
                 o.cell.batch
             );
             continue;
         }
         let reduction = reduction_vs_baseline(&baselines, o).map_or(0.0, |r| r * 100.0);
         println!(
-            "{:<24} {:<9} {:<9} {:>4} {:>7} {:>11} {:>5} {:>16} {:>9.2}% {:>10} {:>6}ms",
+            "{:<24} {:<9} {:<9} {:>4} {:>7} {:>11} {:>10} {:>5} {:>16} {:>9.2}% {:>11.4} {:>10} {:>6}ms",
             workloads[o.cell.workload].name,
             o.cell.mesh.label(),
             o.cell.format.name(),
             o.cell.ordering.label(),
             format!("{:?}", o.cell.tiebreak).to_lowercase(),
             o.cell.codec.label(),
+            o.cell.scope.label(),
             o.cell.batch,
             o.transitions,
             reduction,
+            o.link_energy_mj,
             o.cycles,
             o.wall_ms
         );

@@ -67,6 +67,7 @@ pub fn report_json(workload: &str, config: &ServeConfig, report: &ServeReport) -
         ("format", Json::str(config.accel.format.name())),
         ("ordering", Json::str(config.accel.ordering.label())),
         ("codec", Json::str(config.accel.codec.label())),
+        ("codec_scope", Json::str(config.accel.codec_scope.label())),
         ("driver", Json::str(config.accel.driver.label())),
         ("sessions", Json::U64(config.sessions as u64)),
         ("batch_window", Json::U64(config.accel.batch_size as u64)),

@@ -2,8 +2,9 @@
 //! with rayon, results as machine-readable JSON.
 //!
 //! A sweep is a grid over `(workload × mesh × data format × ordering ×
-//! tiebreak × fx8 scheme × link codec × batch size)`. Every cell runs a
-//! complete (batched) inference through its own flat-array simulator
+//! tiebreak × fx8 scheme × link codec × codec scope × batch size)`.
+//! Every cell runs a complete (batched) inference through its own
+//! flat-array simulator
 //! (cells share nothing, so they parallelize perfectly), and the outcome
 //! carries the figures the paper's evaluation reports: total bit
 //! transitions, cycles, flit-hops, latency, index/codec side-channel
@@ -12,7 +13,7 @@
 //! The `sweep` binary (including its `fig12_noc_sizes` / `fig13_models`
 //! presets, the retired per-figure binaries) is a thin front-end over
 //! [`expand_grid`] + [`run_cells`] + [`outcomes_json`]; see
-//! `EXPERIMENTS.md` for the JSON schema (`btr-sweep-v4`) and usage
+//! `EXPERIMENTS.md` for the JSON schema (`btr-sweep-v5`) and usage
 //! examples. Grids can span machines: a [`Shard`] selects a deterministic
 //! subset of the expanded cells and [`merge_sweep_json`] recombines the
 //! per-shard result files.
@@ -21,15 +22,16 @@ use crate::json::Json;
 use btr_accel::config::{AccelConfig, DriverMode};
 use btr_accel::driver::run_inference_batch;
 use btr_bits::word::DataFormat;
-use btr_core::codec::CodecKind;
+use btr_core::codec::{CodecKind, CodecScope};
 use btr_core::ordering::{OrderingMethod, TieBreak};
 use btr_dnn::model::InferenceOp;
 use btr_dnn::tensor::Tensor;
 use rayon::prelude::*;
 
 /// The sweep result schema version (`codec` axis added in v2, `batch`
-/// axis in v3, `distinct_inputs` in v4).
-pub const SWEEP_SCHEMA: &str = "btr-sweep-v4";
+/// axis in v3, `distinct_inputs` in v4, `codec_scope` + `link_energy_mj`
+/// in v5).
+pub const SWEEP_SCHEMA: &str = "btr-sweep-v5";
 
 /// A named inference workload (model lowered to ops + a pool of input
 /// tensors batched cells draw from).
@@ -149,6 +151,9 @@ pub struct SweepCell {
     pub fx8_global: bool,
     /// Link-coding backend on every link.
     pub codec: CodecKind,
+    /// Where the codec state lives: re-seeded per packet at the MC, or
+    /// persistent on each directed link across packets/batches/layers.
+    pub scope: CodecScope,
     /// Inputs run through each layer as one traffic phase.
     pub batch: usize,
 }
@@ -172,6 +177,11 @@ pub struct CellOutcome {
     pub index_overhead_bits: u64,
     /// Link-codec side-channel overhead in bits (the bus-invert line).
     pub codec_overhead_bits: u64,
+    /// Link energy of the recorded (coded-wire) transitions in
+    /// millijoules, under the paper's extracted 0.173 pJ/transition model
+    /// (`btr_hw::link_energy`) — computed from the transitions the
+    /// simulated scope actually put on the wires.
+    pub link_energy_mj: f64,
     /// Distinct inputs the batch ran (equals `batch` since pools no
     /// longer cycle; recorded so result files are auditable).
     pub distinct_inputs: u64,
@@ -192,6 +202,7 @@ pub fn expand_grid(
     tiebreaks: &[TieBreak],
     fx8_globals: &[bool],
     codecs: &[CodecKind],
+    scopes: &[CodecScope],
     batches: &[usize],
 ) -> Vec<SweepCell> {
     let mut cells = Vec::new();
@@ -202,17 +213,20 @@ pub fn expand_grid(
                     for &tiebreak in tiebreaks {
                         for &fx8_global in fx8_globals {
                             for &codec in codecs {
-                                for &batch in batches {
-                                    cells.push(SweepCell {
-                                        workload: w,
-                                        mesh,
-                                        format,
-                                        ordering,
-                                        tiebreak,
-                                        fx8_global,
-                                        codec,
-                                        batch,
-                                    });
+                                for &scope in scopes {
+                                    for &batch in batches {
+                                        cells.push(SweepCell {
+                                            workload: w,
+                                            mesh,
+                                            format,
+                                            ordering,
+                                            tiebreak,
+                                            fx8_global,
+                                            codec,
+                                            scope,
+                                            batch,
+                                        });
+                                    }
                                 }
                             }
                         }
@@ -260,6 +274,7 @@ fn run_cell_impl(
         mean_latency: 0.0,
         index_overhead_bits: 0,
         codec_overhead_bits: 0,
+        link_energy_mj: 0.0,
         distinct_inputs: 0,
         wall_ms: start.elapsed().as_millis() as u64,
         error: Some(e),
@@ -272,7 +287,8 @@ fn run_cell_impl(
         cell.format,
         cell.ordering,
     )
-    .with_codec(cell.codec);
+    .with_codec(cell.codec)
+    .with_codec_scope(cell.scope);
     config.tiebreak = cell.tiebreak;
     config.global_fx8_weights = cell.fx8_global;
     config.batch_size = cell.batch;
@@ -292,6 +308,8 @@ fn run_cell_impl(
             mean_latency: result.stats.latency.mean,
             index_overhead_bits: result.index_overhead_bits,
             codec_overhead_bits: result.codec_overhead_bits,
+            link_energy_mj: btr_hw::link_energy::LinkPowerModel::paper()
+                .energy_mj(result.stats.total_transitions),
             distinct_inputs: inputs.len() as u64,
             wall_ms: start.elapsed().as_millis() as u64,
             error: None,
@@ -408,6 +426,7 @@ pub fn outcomes_json(workloads: &[Workload], outcomes: &[CellOutcome]) -> Json {
                 ),
                 ("fx8_global", Json::Bool(o.cell.fx8_global)),
                 ("codec", Json::str(o.cell.codec.label())),
+                ("codec_scope", Json::str(o.cell.scope.label())),
                 ("batch", Json::U64(o.cell.batch as u64)),
                 ("transitions", Json::U64(o.transitions)),
                 ("cycles", Json::U64(o.cycles)),
@@ -416,6 +435,7 @@ pub fn outcomes_json(workloads: &[Workload], outcomes: &[CellOutcome]) -> Json {
                 ("mean_latency", Json::F64(o.mean_latency)),
                 ("index_overhead_bits", Json::U64(o.index_overhead_bits)),
                 ("codec_overhead_bits", Json::U64(o.codec_overhead_bits)),
+                ("link_energy_mj", Json::F64(o.link_energy_mj)),
                 ("distinct_inputs", Json::U64(o.distinct_inputs)),
                 ("reduction_vs_baseline", Json::Null),
                 ("wall_ms", Json::U64(o.wall_ms)),
@@ -528,13 +548,14 @@ pub fn merge_sweep_json(docs: &[(String, Json)]) -> Result<Json, String> {
 
 /// The non-ordering coordinates identifying a cell's baseline row, as
 /// serialized in the result JSON.
-const BASELINE_KEY_FIELDS: [&str; 7] = [
+const BASELINE_KEY_FIELDS: [&str; 8] = [
     "workload",
     "mesh",
     "format",
     "tiebreak",
     "fx8_global",
     "codec",
+    "codec_scope",
     "batch",
 ];
 
@@ -649,6 +670,7 @@ mod tests {
             &[TieBreak::Stable],
             &[false],
             &CodecKind::ALL,
+            &[CodecScope::PerPacket],
             &[1],
         );
         assert_eq!(cells.len(), 2 * 3 * 2 * 3 * 3);
@@ -664,6 +686,7 @@ mod tests {
             &[TieBreak::Stable],
             &[false],
             &CodecKind::ALL,
+            &[CodecScope::PerPacket],
             &[1],
         );
         let shards: Vec<Vec<SweepCell>> = (0..4)
@@ -785,6 +808,7 @@ mod tests {
             &[TieBreak::Stable],
             &[false],
             &[CodecKind::Unencoded],
+            &[CodecScope::PerPacket],
             &[1],
         );
         let outcomes = run_cells(&workloads, cells.clone(), false);
@@ -802,7 +826,9 @@ mod tests {
         }
         let json = outcomes_json(&workloads, &outcomes);
         let text = json.to_string_compact();
-        assert!(text.contains("\"schema\":\"btr-sweep-v4\""));
+        assert!(text.contains("\"schema\":\"btr-sweep-v5\""));
+        assert!(text.contains("\"codec_scope\":\"per-packet\""));
+        assert!(text.contains("\"link_energy_mj\""));
         assert!(text.contains("\"batch\":1"));
         assert!(text.contains("\"distinct_inputs\":1"));
         assert!(text.contains("\"ordering\":\"O2\""));
@@ -834,6 +860,7 @@ mod tests {
             &[TieBreak::Stable],
             &[false],
             &CodecKind::ALL,
+            &[CodecScope::PerPacket],
             &[1],
         );
         let outcomes = run_cells(&workloads, cells, true);
@@ -863,6 +890,79 @@ mod tests {
     }
 
     #[test]
+    fn scope_axis_runs_and_diverges_only_on_stateful_codecs() {
+        let workloads = vec![tiny_workload()];
+        let cells = expand_grid(
+            1,
+            &[MeshSpec {
+                width: 4,
+                height: 4,
+                mc_count: 2,
+            }],
+            &[DataFormat::Fixed8],
+            &[OrderingMethod::Baseline, OrderingMethod::Separated],
+            &[TieBreak::Stable],
+            &[false],
+            &CodecKind::ALL,
+            &CodecScope::ALL,
+            &[1],
+        );
+        let outcomes = run_cells(&workloads, cells, true);
+        assert_eq!(outcomes.len(), 12);
+        assert!(outcomes.iter().all(|o| o.error.is_none()));
+        let find = |ordering, codec, scope| {
+            outcomes
+                .iter()
+                .find(|o| {
+                    o.cell.ordering == ordering && o.cell.codec == codec && o.cell.scope == scope
+                })
+                .expect("cell present")
+        };
+        for ordering in [OrderingMethod::Baseline, OrderingMethod::Separated] {
+            for codec in CodecKind::ALL {
+                let pp = find(ordering, codec, CodecScope::PerPacket);
+                let pl = find(ordering, codec, CodecScope::PerLink);
+                // Packet shapes and side channels are scope-independent.
+                assert_eq!(pp.request_packets, pl.request_packets);
+                assert_eq!(pp.cycles, pl.cycles);
+                assert_eq!(pp.codec_overhead_bits, pl.codec_overhead_bits);
+                match codec {
+                    // A delta-XOR boundary flit XORs against the
+                    // previous packet's last image, so any non-zero
+                    // carried state changes the wire.
+                    CodecKind::DeltaXor => assert_ne!(
+                        pp.transitions, pl.transitions,
+                        "{ordering}: delta-XOR scopes must diverge on the wire"
+                    ),
+                    CodecKind::Unencoded => assert_eq!(
+                        pp.transitions, pl.transitions,
+                        "{ordering}: the identity codec has no state to scope"
+                    ),
+                    // Bus-invert diverges only when a boundary flit
+                    // crosses the inversion threshold — data-dependent,
+                    // so no structural guarantee on this tiny workload.
+                    CodecKind::BusInvert => {}
+                }
+                // The energy report follows the transitions the simulated
+                // scope actually recorded.
+                for o in [pp, pl] {
+                    let expect =
+                        btr_hw::link_energy::LinkPowerModel::paper().energy_mj(o.transitions);
+                    assert!((o.link_energy_mj - expect).abs() < 1e-12);
+                    assert!(o.link_energy_mj > 0.0);
+                }
+            }
+        }
+        // Reductions normalize against the same-scope (and same-codec)
+        // O0 cell.
+        for o in &outcomes {
+            let base = baseline_of(&outcomes, &o.cell).unwrap();
+            assert_eq!(base.cell.scope, o.cell.scope);
+            assert_eq!(base.cell.codec, o.cell.codec);
+        }
+    }
+
+    #[test]
     fn batched_cells_scale_traffic_and_match_sync_driver() {
         let workloads = vec![tiny_workload()];
         let cell = |batch: usize| SweepCell {
@@ -877,6 +977,7 @@ mod tests {
             tiebreak: TieBreak::Stable,
             fx8_global: false,
             codec: CodecKind::Unencoded,
+            scope: CodecScope::PerPacket,
             batch,
         };
         let b1 = run_cell(&workloads, cell(1));
@@ -913,6 +1014,7 @@ mod tests {
             tiebreak: TieBreak::Stable,
             fx8_global: false,
             codec: CodecKind::Unencoded,
+            scope: CodecScope::PerPacket,
             batch: 5,
         };
         let outcome = run_cell(&workloads, cell);
@@ -937,6 +1039,7 @@ mod tests {
             &[TieBreak::Stable],
             &[false],
             &CodecKind::ALL,
+            &[CodecScope::PerPacket],
             &[1],
         );
         let outcomes = run_cells(&workloads, cells, true);
@@ -967,6 +1070,7 @@ mod tests {
             tiebreak: TieBreak::Stable,
             fx8_global: false,
             codec: CodecKind::Unencoded,
+            scope: CodecScope::PerPacket,
             batch: 1,
         }];
         let outcomes = run_cells(&workloads, cells, true);

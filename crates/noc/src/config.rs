@@ -1,5 +1,6 @@
 //! NoC configuration: mesh geometry, link width, VCs, MC placement.
 
+use btr_core::codec::CodecKind;
 use serde::{Deserialize, Serialize};
 
 /// A node (router) index in row-major order: `id = row * width + col`.
@@ -34,6 +35,13 @@ pub struct NocConfig {
     pub routing: RoutingAlgorithm,
     /// Memory-controller node positions (the remaining nodes are PEs).
     pub mc_nodes: Vec<NodeId>,
+    /// Per-link codec on every directed link (`CodecScope::PerLink`):
+    /// each link owns persistent codec state that survives across
+    /// packets, encoding payload flits at traversal time and decoding
+    /// them at the receiving end. `None` models raw wires — the
+    /// per-packet scope, where any coding happened in the transport
+    /// before injection.
+    pub link_codec: Option<CodecKind>,
 }
 
 impl NocConfig {
@@ -48,6 +56,7 @@ impl NocConfig {
             vc_buffer_depth: 4,
             routing: RoutingAlgorithm::XY,
             mc_nodes: Vec::new(),
+            link_codec: None,
         }
     }
 
@@ -84,7 +93,18 @@ impl NocConfig {
             vc_buffer_depth: 4,
             routing: RoutingAlgorithm::XY,
             mc_nodes,
+            link_codec: None,
         }
+    }
+
+    /// The same configuration with persistent per-link codec state on
+    /// every directed link (`None` restores raw wires). The link width is
+    /// unchanged: callers size it to cover the codec's side-channel
+    /// wires, exactly as they do for transport-coded (per-packet) wires.
+    #[must_use]
+    pub fn with_link_codec(mut self, codec: Option<CodecKind>) -> Self {
+        self.link_codec = codec.filter(|c| c.is_stateful());
+        self
     }
 
     /// Total node count.
@@ -149,6 +169,18 @@ impl NocConfig {
         for &mc in &self.mc_nodes {
             if mc >= self.num_nodes() {
                 return Err(format!("MC node {mc} out of range"));
+            }
+        }
+        if let Some(codec) = self.link_codec {
+            if !codec.is_stateful() {
+                return Err("link_codec must be a stateful codec (or None for raw wires)".into());
+            }
+            if self.link_width_bits <= codec.extra_wires() {
+                return Err(format!(
+                    "link width {} leaves no data wires beside the {} codec side-channel wire(s)",
+                    self.link_width_bits,
+                    codec.extra_wires()
+                ));
             }
         }
         Ok(())

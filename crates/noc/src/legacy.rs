@@ -141,6 +141,10 @@ impl LegacySimulator {
     #[must_use]
     pub fn new(config: NocConfig) -> Self {
         config.validate().expect("invalid NoC configuration");
+        assert!(
+            config.link_codec.is_none(),
+            "per-link codec state is a flat-engine feature; the legacy oracle models raw wires"
+        );
         let n = config.num_nodes();
         Self {
             routers: (0..n)

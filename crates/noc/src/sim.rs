@@ -277,6 +277,19 @@ impl Simulator {
         let num_vcs = config.num_vcs;
         let depth = config.vc_buffer_depth;
         let total_vcs = n * NUM_PORTS * num_vcs;
+        // Links own their codec state when the config asks for per-link
+        // scope: one persistent tx/rx state pair per directed link, so
+        // the slabs record the true coded wire across packet boundaries.
+        let (out_links, inject_links) = match config.link_codec {
+            None => (
+                LinkSlab::new(config.link_width_bits, n * NUM_PORTS),
+                LinkSlab::new(config.link_width_bits, n),
+            ),
+            Some(codec) => (
+                LinkSlab::with_link_codec(config.link_width_bits, n * NUM_PORTS, codec),
+                LinkSlab::with_link_codec(config.link_width_bits, n, codec),
+            ),
+        };
         let mut adjacency_tbl = vec![(u32::MAX, u8::MAX); n * NUM_PORTS];
         for r in 0..n {
             let (row, col) = config.position(r);
@@ -326,8 +339,8 @@ impl Simulator {
             adjacency_tbl,
             link_inflight: Vec::new(),
             eject_inflight: Vec::new(),
-            out_links: LinkSlab::new(config.link_width_bits, n * NUM_PORTS),
-            inject_links: LinkSlab::new(config.link_width_bits, n),
+            out_links,
+            inject_links,
             packets: Vec::new(),
             latencies: Vec::new(),
             cycle: 0,
@@ -548,10 +561,20 @@ impl Simulator {
                 self.ni_pending_total -= 1;
             }
             self.ni_credits[node * self.num_vcs + vc] -= 1;
-            self.inject_links.observe(
-                node,
-                &self.packets[fref.packet as usize].flits[fref.seq as usize].payload,
-            );
+            let pid = fref.packet as usize;
+            let seq = fref.seq as usize;
+            if self.inject_links.has_link_codec() && !self.packets[pid].flits[seq].kind.is_head() {
+                // Per-link scope: the injection link encodes the payload
+                // flit against its persistent wire memory, the slab
+                // records the coded image, and the router-side decode's
+                // plain image is what travels onward.
+                let plain = self.packets[pid].flits[seq].payload;
+                self.packets[pid].flits[seq].payload =
+                    self.inject_links.observe_payload(node, &plain);
+            } else {
+                self.inject_links
+                    .observe(node, &self.packets[pid].flits[seq].payload);
+            }
             self.link_inflight.push(LinkArrival {
                 node: node as u32,
                 port: LOCAL as u8,
@@ -703,20 +726,30 @@ impl Simulator {
                 if self.fifo_len[vi] == 0 {
                     self.active_vcs[r] &= !(1u64 << idx);
                 }
-                let is_tail = self.packets[fref.packet as usize].flits[fref.seq as usize]
-                    .kind
-                    .is_tail();
-                if is_tail {
+                let kind = self.packets[fref.packet as usize].flits[fref.seq as usize].kind;
+                if kind.is_tail() {
                     self.out_alloc[obase + ovc] = UNSET;
                     self.route_port[vi] = UNSET;
                     self.out_vc[vi] = UNSET;
                     self.routed_to[r * NUM_PORTS + op] &= !(1u64 << idx);
                 }
                 // Transmit on the link + record transitions (Fig. 8).
-                self.out_links.observe(
-                    r * NUM_PORTS + op,
-                    &self.packets[fref.packet as usize].flits[fref.seq as usize].payload,
-                );
+                if self.out_links.has_link_codec() && !kind.is_head() {
+                    // Per-link scope: encode against this link's
+                    // persistent wire memory, record the coded image,
+                    // carry the receiving end's decoded plain image
+                    // onward (ejection links deliver it to the NI).
+                    let pid = fref.packet as usize;
+                    let seq = fref.seq as usize;
+                    let plain = self.packets[pid].flits[seq].payload;
+                    self.packets[pid].flits[seq].payload =
+                        self.out_links.observe_payload(r * NUM_PORTS + op, &plain);
+                } else {
+                    self.out_links.observe(
+                        r * NUM_PORTS + op,
+                        &self.packets[fref.packet as usize].flits[fref.seq as usize].payload,
+                    );
+                }
                 if op == LOCAL {
                     self.eject_inflight.push((r as u32, fref));
                 } else {
@@ -1042,6 +1075,98 @@ mod tests {
         }
         sim.run_until_idle(100_000).unwrap();
         assert!(sim.is_idle());
+    }
+
+    #[test]
+    fn per_link_codec_is_lossless_and_changes_the_wire() {
+        use btr_core::codec::CodecKind;
+        // The same seeded traffic over raw wires and over links that own
+        // persistent codec state: packet movement is identical (the codec
+        // only re-images payload flits, one per flit either way), the
+        // delivered payloads are bit-equal (every hop's mirrored decoder
+        // recovers the plain image), and the recorded wire genuinely
+        // differs — including across packet boundaries, which per-link
+        // state deliberately does not reset at.
+        for codec in [CodecKind::DeltaXor, CodecKind::BusInvert] {
+            let link_width = 128 + codec.extra_wires();
+            let raw_cfg = NocConfig::mesh(4, 4, link_width);
+            let coded_cfg = raw_cfg.clone().with_link_codec(Some(codec));
+            let mut raw = Simulator::new(raw_cfg);
+            let mut coded = Simulator::new(coded_cfg);
+            let mut rng = StdRng::seed_from_u64(31);
+            for tag in 0..120u64 {
+                let src = rng.gen_range(0..16);
+                let dst = rng.gen_range(0..16);
+                let payload: Vec<PayloadBits> = (0..rng.gen_range(1..6))
+                    .map(|_| {
+                        let mut p = PayloadBits::zero(128);
+                        p.set_field(0, 64, rng.gen());
+                        p.set_field(64, 64, rng.gen());
+                        p
+                    })
+                    .collect();
+                raw.inject(Packet::new(src, dst, payload.clone(), tag))
+                    .unwrap();
+                coded.inject(Packet::new(src, dst, payload, tag)).unwrap();
+            }
+            raw.run_until_idle(100_000).unwrap();
+            coded.run_until_idle(100_000).unwrap();
+            let (rs, cs) = (raw.stats(), coded.stats());
+            assert_eq!(rs.cycles, cs.cycles, "{codec}: packet movement");
+            assert_eq!(rs.flit_hops, cs.flit_hops, "{codec}");
+            assert_eq!(rs.packets_delivered, cs.packets_delivered);
+            assert_ne!(
+                rs.total_transitions, cs.total_transitions,
+                "{codec} must change the recorded wire"
+            );
+            for node in 0..16 {
+                assert_eq!(
+                    raw.drain_delivered(node),
+                    coded.drain_delivered(node),
+                    "{codec}: delivered payloads at node {node}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_link_state_spans_packet_boundaries() {
+        use btr_core::codec::CodecKind;
+        // Two identical single-flit packets on the same path: a per-link
+        // delta-XOR wire sends the second one as all-zero XOR images
+        // (state carried over), so the coded run records strictly fewer
+        // transitions than the raw wire; a per-packet wire would re-seed
+        // and transmit the image verbatim both times.
+        let image = {
+            let mut p = PayloadBits::zero(128);
+            p.set_field(0, 64, 0xaaaa_5555_dead_beef);
+            p.set_field(64, 64, 0x0f0f_f0f0_1234_8765);
+            p
+        };
+        let run = |codec: Option<CodecKind>| -> u64 {
+            let mut sim = Simulator::new(NocConfig::mesh(4, 1, 128).with_link_codec(codec));
+            sim.inject(Packet::new(0, 3, vec![image], 0)).unwrap();
+            sim.run_until_idle(10_000).unwrap();
+            sim.inject(Packet::new(0, 3, vec![image], 1)).unwrap();
+            sim.run_until_idle(10_000).unwrap();
+            assert_eq!(sim.stats().packets_delivered, 2);
+            sim.stats().total_transitions
+        };
+        let raw = run(None);
+        let coded = run(Some(CodecKind::DeltaXor));
+        assert!(
+            coded < raw,
+            "carried-over XOR state must collapse the repeat packet: {coded} vs {raw}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "legacy oracle models raw wires")]
+    fn legacy_engine_rejects_per_link_codecs() {
+        use btr_core::codec::CodecKind;
+        let _ = crate::legacy::LegacySimulator::new(
+            NocConfig::mesh(4, 4, 128).with_link_codec(Some(CodecKind::DeltaXor)),
+        );
     }
 
     #[test]

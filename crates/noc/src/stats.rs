@@ -2,7 +2,22 @@
 
 use crate::routing::Direction;
 use btr_bits::payload::PayloadBits;
+use btr_core::codec::{CodecKind, LinkCodecState};
 use serde::{Deserialize, Serialize};
+
+/// Persistent per-link codec endpoints for a slab of links
+/// (`CodecScope::PerLink`): one transmit encoder and one mirrored receive
+/// decoder per directed link, surviving across packets, batches and
+/// layers for the slab's lifetime.
+#[derive(Debug, Clone)]
+struct CodecLanes {
+    /// Transmit-side state per link (drives the wire images the slab
+    /// records).
+    tx: Vec<LinkCodecState>,
+    /// Receive-side state per link (mirrors `tx`; recovers the plain
+    /// image the downstream hop consumes).
+    rx: Vec<LinkCodecState>,
+}
 
 /// Dense per-link bit-transition accumulators for a set of equally wide
 /// links.
@@ -13,6 +28,13 @@ use serde::{Deserialize, Serialize};
 /// columns live in contiguous index-addressed vectors, so the per-hop
 /// record (XOR + popcount + store, Fig. 8) touches three adjacent slots
 /// rather than chasing per-link allocations.
+///
+/// With [`LinkSlab::with_link_codec`] the links additionally own
+/// persistent codec state: every payload flit is encoded against the
+/// link's wire memory at traversal time ([`LinkSlab::observe_payload`]),
+/// the accumulators record the **true coded wire**, and the receiving
+/// end's mirrored state decodes the plain image back — losslessly, with
+/// no per-packet reset.
 #[derive(Debug, Clone)]
 pub struct LinkSlab {
     width: u32,
@@ -22,10 +44,12 @@ pub struct LinkSlab {
     transitions: Vec<u64>,
     /// Flits observed per link.
     flits: Vec<u64>,
+    /// Per-link codec endpoints; `None` models raw wires.
+    lanes: Option<CodecLanes>,
 }
 
 impl LinkSlab {
-    /// Creates a slab of `links` links, each `width` bits wide.
+    /// Creates a slab of `links` raw-wire links, each `width` bits wide.
     #[must_use]
     pub fn new(width: u32, links: usize) -> Self {
         Self {
@@ -33,7 +57,43 @@ impl LinkSlab {
             prev: vec![PayloadBits::zero(width.max(1)); links],
             transitions: vec![0; links],
             flits: vec![0; links],
+            lanes: None,
         }
+    }
+
+    /// Creates a slab whose links each own a persistent [`codec`] state
+    /// pair: `width - extra_wires` data wires plus the codec's
+    /// side-channel wires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the codec is stateless ([`CodecKind::Unencoded`]) or
+    /// `width` leaves no data wires beside the side-channel wires.
+    ///
+    /// [`codec`]: LinkCodecState
+    #[must_use]
+    pub fn with_link_codec(width: u32, links: usize, codec: CodecKind) -> Self {
+        assert!(
+            codec.is_stateful(),
+            "per-link lanes need a stateful codec; use LinkSlab::new for raw wires"
+        );
+        assert!(
+            width > codec.extra_wires(),
+            "link width {width} leaves no data wires beside the codec side channel"
+        );
+        let data_width = width - codec.extra_wires();
+        let mut slab = Self::new(width, links);
+        slab.lanes = Some(CodecLanes {
+            tx: vec![codec.seed_state(data_width); links],
+            rx: vec![codec.seed_state(data_width); links],
+        });
+        slab
+    }
+
+    /// True when the links own per-link codec state.
+    #[must_use]
+    pub fn has_link_codec(&self) -> bool {
+        self.lanes.is_some()
     }
 
     /// Number of links in the slab.
@@ -63,6 +123,45 @@ impl LinkSlab {
         }
         self.prev[link].clone_used_from(flit);
         self.flits[link] += 1;
+    }
+
+    /// Records a *payload* flit traversing `link` through the link's
+    /// persistent codec state: the plain image is encoded against the
+    /// link's wire memory, the **coded** wire image is what the
+    /// accumulator observes, and the receiving end's mirrored state
+    /// decodes the plain image back, which is returned (re-aligned onto
+    /// the full link width with the side-channel wires zeroed) for the
+    /// downstream hop to carry.
+    ///
+    /// On a raw-wire slab this is exactly [`LinkSlab::observe`] and the
+    /// flit is returned unchanged. Head flits always take
+    /// [`LinkSlab::observe`]: addressing travels uncoded, on either
+    /// scope, so the coded-flit set is identical across scopes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range, the flit width differs from the
+    /// slab width, or a codec lane's mirrored decode disagrees with the
+    /// transmitted plain image (a codec implementation bug).
+    #[must_use]
+    pub fn observe_payload(&mut self, link: usize, flit: &PayloadBits) -> PayloadBits {
+        if self.lanes.is_none() {
+            self.observe(link, flit);
+            return *flit;
+        }
+        let wire = {
+            let lanes = self.lanes.as_mut().expect("checked above");
+            lanes.tx[link].encode_step(flit)
+        };
+        self.observe(link, &wire);
+        let lanes = self.lanes.as_mut().expect("checked above");
+        let plain = lanes.rx[link]
+            .decode_step(&wire)
+            .expect("mirrored decoder consumes the wire it was built for");
+        // The delivered image really is the decode of the coded wire —
+        // losslessness is exercised on every traversal, not assumed.
+        debug_assert_eq!(plain, flit.resized(plain.width()), "link {link} codec lane");
+        plain.resized(self.width)
     }
 
     /// Accumulated transitions on `link`.

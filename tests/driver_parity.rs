@@ -20,7 +20,7 @@
 use noc_btr::accel::config::{AccelConfig, DriverMode};
 use noc_btr::accel::driver::{run_inference, run_inference_batch};
 use noc_btr::bits::word::DataFormat;
-use noc_btr::core::codec::CodecKind;
+use noc_btr::core::codec::{CodecKind, CodecScope};
 use noc_btr::core::OrderingMethod;
 use noc_btr::dnn::layer::{ActKind, Activation, Conv2d, Flatten, Linear, MaxPool2d};
 use noc_btr::dnn::model::{Layer, Sequential};
@@ -135,6 +135,106 @@ fn pipelined_matches_synchronous_across_orderings_and_codecs() {
     )
     .unwrap();
     assert_bit_exact(&sync, &pipelined, "f32 O2");
+}
+
+#[test]
+fn per_packet_scope_is_bit_identical_to_the_pre_refactor_path() {
+    // The codec-scope refactor moved codec state ownership into the NoC
+    // links for `PerLink` scope; `PerPacket` scope must remain the exact
+    // pre-refactor pipeline. Pinned across OrderingMethod × CodecKind:
+    //
+    // * a config that never names the scope (the pre-refactor
+    //   construction — `with_codec` only, scope left at its default)
+    //   equals an explicit `PerPacket` config, through both driver modes
+    //   (Synchronous runs the preserved `encode_task_reference` /
+    //   `decode_task_reference` oracle, the legacy idiom);
+    // * per-link BTs, cycles, outputs and both overhead counters are
+    //   compared, so "today's sweep numbers" cannot drift.
+    let model = tiny_model(71);
+    let ops = model.inference_ops();
+    let input = tiny_input(72);
+    for ordering in OrderingMethod::ALL {
+        for codec in CodecKind::ALL {
+            let legacy_construction =
+                config(DataFormat::Fixed8, ordering, codec, DriverMode::Synchronous);
+            assert_eq!(legacy_construction.codec_scope, CodecScope::PerPacket);
+            let reference = run_inference(&ops, &input, &legacy_construction).unwrap();
+            for driver in [DriverMode::Synchronous, DriverMode::Pipelined] {
+                let explicit = config(DataFormat::Fixed8, ordering, codec, driver)
+                    .with_codec_scope(CodecScope::PerPacket);
+                let run = run_inference(&ops, &input, &explicit).unwrap();
+                assert_bit_exact(
+                    &reference,
+                    &run,
+                    &format!("{ordering} {codec} {driver} per-packet"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn per_link_scope_is_lossless_and_bit_exact_across_drivers() {
+    // Per-link scope: outputs stay bit-identical to per-packet scope
+    // (the links' mirrored decoders recover every operand and response),
+    // both driver modes agree bit-exactly with each other, packet/flit
+    // shapes and side-channel accounting are scope-independent — only
+    // the recorded wire changes, because its state now survives packet
+    // boundaries.
+    let model = tiny_model(81);
+    let ops = model.inference_ops();
+    let input = tiny_input(82);
+    for ordering in OrderingMethod::ALL {
+        for codec in CodecKind::ALL {
+            let per_packet = run_inference(
+                &ops,
+                &input,
+                &config(DataFormat::Fixed8, ordering, codec, DriverMode::Pipelined),
+            )
+            .unwrap();
+            let pl_config = |driver| {
+                config(DataFormat::Fixed8, ordering, codec, driver)
+                    .with_codec_scope(CodecScope::PerLink)
+            };
+            let per_link = run_inference(&ops, &input, &pl_config(DriverMode::Pipelined)).unwrap();
+            let per_link_sync =
+                run_inference(&ops, &input, &pl_config(DriverMode::Synchronous)).unwrap();
+            assert_bit_exact(
+                &per_link,
+                &per_link_sync,
+                &format!("{ordering} {codec} per-link sync-vs-pipelined"),
+            );
+            // Lossless at the PEs and MCs: fixed-8 outputs bit-equal.
+            assert_eq!(
+                per_link.output.data(),
+                per_packet.output.data(),
+                "{ordering} {codec}: per-link scope changed the outputs"
+            );
+            // Traffic shape and side-channel accounting are
+            // scope-independent.
+            assert_eq!(
+                per_link.total_request_flits(),
+                per_packet.total_request_flits()
+            );
+            assert_eq!(per_link.total_cycles, per_packet.total_cycles);
+            assert_eq!(per_link.index_overhead_bits, per_packet.index_overhead_bits);
+            assert_eq!(per_link.codec_overhead_bits, per_packet.codec_overhead_bits);
+            match codec {
+                // The identity codec has no state anywhere: the scopes
+                // are indistinguishable down to per-link BTs.
+                CodecKind::Unencoded => assert_eq!(
+                    per_link.stats.per_link, per_packet.stats.per_link,
+                    "{ordering}: unencoded scopes must coincide"
+                ),
+                // Stateful codecs see different wires once state stops
+                // resetting at packet boundaries.
+                CodecKind::BusInvert | CodecKind::DeltaXor => assert_ne!(
+                    per_link.stats.total_transitions, per_packet.stats.total_transitions,
+                    "{ordering} {codec}: scopes must diverge on the wire"
+                ),
+            }
+        }
+    }
 }
 
 #[test]

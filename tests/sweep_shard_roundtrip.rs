@@ -13,7 +13,7 @@ use experiments::sweep::{
     expand_grid, merge_sweep_json, outcomes_json, run_cells, MeshSpec, Shard, SweepCell, Workload,
 };
 use noc_btr::bits::word::DataFormat;
-use noc_btr::core::codec::CodecKind;
+use noc_btr::core::codec::{CodecKind, CodecScope};
 use noc_btr::core::ordering::{OrderingMethod, TieBreak};
 use noc_btr::dnn::layer::{ActKind, Activation, Conv2d, Flatten, Linear, MaxPool2d};
 use noc_btr::dnn::model::{Layer, Sequential};
@@ -59,6 +59,7 @@ fn grid() -> Vec<SweepCell> {
         &[TieBreak::Stable],
         &[false],
         &[CodecKind::Unencoded, CodecKind::DeltaXor],
+        &CodecScope::ALL,
         &[1, 2],
     )
 }
@@ -92,7 +93,7 @@ fn comparable_cells(doc: &Json) -> Vec<String> {
 fn shard_merge_equals_unsharded_sweep_bit_for_bit() {
     let workloads = vec![tiny_workload()];
     let cells = grid();
-    assert_eq!(cells.len(), 8);
+    assert_eq!(cells.len(), 16);
 
     // The unsharded reference document.
     let unsharded_doc = outcomes_json(&workloads, &run_cells(&workloads, cells.clone(), true));

@@ -21,7 +21,7 @@
 
 use noc_btr::bits::word::{DataWord, F32Word, Fx8Word};
 use noc_btr::bits::PayloadBits;
-use noc_btr::core::codec::CodecKind;
+use noc_btr::core::codec::{CodecKind, CodecScope};
 use noc_btr::core::flitize::order_task_with;
 use noc_btr::core::ordering::{OrderingMethod, TieBreak};
 use noc_btr::core::task::NeuronTask;
@@ -54,6 +54,7 @@ fn transport_roundtrip_mac_equality_all_orderings_and_tiebreaks() {
                         tiebreak,
                         values_per_flit: vpf,
                         codec: CodecKind::Unencoded,
+                        scope: CodecScope::PerPacket,
                     });
                     let enc = session.encode_task(&task).unwrap();
                     let rec = session
@@ -89,6 +90,7 @@ fn transport_roundtrip_f32_within_reassociation_tolerance() {
                     tiebreak,
                     values_per_flit: 16,
                     codec: CodecKind::Unencoded,
+                    scope: CodecScope::PerPacket,
                 });
                 let enc = session.encode_task(&task).unwrap();
                 let rec = session
@@ -271,6 +273,57 @@ fn coded_unencoded_matches_pre_refactor_ordered_path() {
         let (task, meta) = &tasks[d.tag as usize];
         let rec: noc_btr::core::task::RecoveredTask<Fx8Word> = port.receive_task(meta, &d).unwrap();
         assert_eq!(rec.mac_i64(), task.mac_i64(), "task {}", d.tag);
+    }
+}
+
+/// Per-link codec scope over the mesh: the transport emits plain ordered
+/// images, every directed link codes them against its own persistent
+/// state (no packet-boundary reset), the recorders observe that true
+/// coded wire, and the PE still recovers every task bit-exactly off the
+/// delivered (link-decoded) images.
+#[test]
+fn per_link_wires_are_lossless_at_the_pe_and_remember_packets() {
+    for codec in [CodecKind::BusInvert, CodecKind::DeltaXor] {
+        let per_packet_cfg = TransportConfig::new(OrderingMethod::Separated, 16).with_codec(codec);
+        let per_link_cfg = per_packet_cfg.with_scope(CodecScope::PerLink);
+        let link_width = per_link_cfg.link_width_bits::<Fx8Word>();
+        let run = |tconfig: TransportConfig, link_codec: Option<CodecKind>| {
+            let port = TaskPort::new(CodedTransport::new(tconfig));
+            let mut sim =
+                Simulator::new(NocConfig::mesh(4, 4, link_width).with_link_codec(link_codec));
+            let mut rng = StdRng::seed_from_u64(4242);
+            let mut tasks = Vec::new();
+            for tag in 0..60u64 {
+                let n = rng.gen_range(1..60usize);
+                let task = random_fx8_task(&mut rng, n);
+                let src = rng.gen_range(0..16);
+                let dst = rng.gen_range(0..16);
+                let meta = port.send_task(&mut sim, src, dst, &task, tag).unwrap();
+                tasks.push((task, meta));
+            }
+            sim.run_until_idle(1_000_000).unwrap();
+            let stats = sim.stats();
+            let mut delivered = sim.drain_all_delivered();
+            delivered.sort_by_key(|d| d.tag);
+            assert_eq!(delivered.len(), tasks.len());
+            for d in delivered {
+                let (task, meta) = &tasks[d.tag as usize];
+                let rec: noc_btr::core::task::RecoveredTask<Fx8Word> =
+                    port.receive_task(meta, &d).unwrap();
+                assert_eq!(rec.mac_i64(), task.mac_i64(), "{codec} task {}", d.tag);
+            }
+            stats
+        };
+        let pl = run(per_link_cfg, Some(codec));
+        let pp = run(per_packet_cfg, None);
+        // Same traffic shape, different wire memory: per-link state
+        // survives the packet boundaries the per-packet codec resets at.
+        assert_eq!(pl.cycles, pp.cycles, "{codec}");
+        assert_eq!(pl.flit_hops, pp.flit_hops, "{codec}");
+        assert_ne!(
+            pl.total_transitions, pp.total_transitions,
+            "{codec}: cross-packet state must change the recorded wire"
+        );
     }
 }
 
