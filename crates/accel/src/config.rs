@@ -4,6 +4,7 @@ use btr_bits::word::DataFormat;
 use btr_core::codec::{CodecKind, CodecScope};
 use btr_core::ordering::TieBreak;
 use btr_core::OrderingMethod;
+use btr_noc::analytic::EngineMode;
 use btr_noc::config::NocConfig;
 use serde::{Deserialize, Serialize};
 
@@ -102,6 +103,15 @@ pub struct AccelConfig {
     pub max_cycles_per_layer: u64,
     /// How MC-side encoding is scheduled against the cycle loop.
     pub driver: DriverMode,
+    /// Which engine evaluates each layer's traffic phases:
+    /// [`EngineMode::Cycle`] steps the full cycle-accurate mesh (the
+    /// reference), [`EngineMode::Analytic`] replays the ordered coded
+    /// stream directly (the paper's pure stream metric; serializes
+    /// contended phases), [`EngineMode::Auto`] takes the analytic fast
+    /// path only when the phase is provably contention-free and is
+    /// always bit-identical to `Cycle` on BTs, codec states and outputs
+    /// (see [`btr_noc::analytic`]).
+    pub engine: EngineMode,
     /// Inputs per traffic phase: every conv/linear layer runs the whole
     /// batch's tasks as one phase, so weights are ordered once per kernel
     /// (not once per input) and the mesh stays full across inputs.
@@ -152,6 +162,7 @@ impl AccelConfig {
             mc_prefetch_packets: 16,
             max_cycles_per_layer: 50_000_000,
             driver: DriverMode::Pipelined,
+            engine: EngineMode::Cycle,
             batch_size: 1,
             encode_queue_depth: 32,
             encode_threads: 0,

@@ -40,6 +40,7 @@ use btr_core::transport::{
 };
 use btr_dnn::model::InferenceOp;
 use btr_dnn::tensor::Tensor;
+use btr_noc::analytic::{routes_contention_free, EngineMode};
 use btr_noc::packet::Packet;
 use btr_noc::session::{SendError, TaskPort};
 use btr_noc::sim::{DeliveredPacket, InjectError, Simulator};
@@ -885,6 +886,71 @@ struct LayerRun {
     codec_bits: u64,
 }
 
+/// Which engine [`run_layer`] resolved for one layer's traffic phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LayerEngine {
+    /// Step the mesh cycle by cycle ([`cycle_loop`]).
+    Cycle,
+    /// Replay the ordered coded streams directly ([`analytic_loop`]).
+    /// `verified` records that the layer's combined route set was proven
+    /// contention-free, making the replay bit-exact with the cycle
+    /// engine (and arming the debug-build cycle oracle).
+    Analytic { verified: bool },
+}
+
+impl LayerEngine {
+    /// Resolves the engine for one layer from the configured mode and
+    /// the layer's static task→destination assignment.
+    ///
+    /// `Auto` classifies the **combined** request *and* response route
+    /// set: in the cycle engine responses inject while later requests
+    /// are still in flight, so the analytic engine's clean two-phase
+    /// split is provably invisible only when no two packets of the whole
+    /// layer — MC→PE or PE→MC — share a directed router-output link.
+    fn resolve(config: &AccelConfig, dests: &[(usize, usize)]) -> Self {
+        match config.engine {
+            EngineMode::Cycle => LayerEngine::Cycle,
+            EngineMode::Analytic => LayerEngine::Analytic { verified: false },
+            EngineMode::Auto => {
+                if routes_contention_free(
+                    &config.noc,
+                    dests.iter().flat_map(|&(pe, mc)| [(mc, pe), (pe, mc)]),
+                ) {
+                    LayerEngine::Analytic { verified: true }
+                } else {
+                    LayerEngine::Cycle
+                }
+            }
+        }
+    }
+
+    fn is_analytic(self) -> bool {
+        matches!(self, LayerEngine::Analytic { .. })
+    }
+}
+
+/// Runs one layer's traffic through the resolved engine. Both engines
+/// consume the same feed in the same per-MC order and hand back the same
+/// accounting; [`LayerEngine::resolve`] decides which one a layer gets.
+#[allow(clippy::too_many_arguments)]
+fn drive_layer<W: AccelWord>(
+    engine: LayerEngine,
+    op_index: usize,
+    config: &AccelConfig,
+    sim: &mut Simulator,
+    port: &TaskPort<CodedTransport>,
+    dests: &[(usize, usize)],
+    per_mc_tasks: &[Vec<usize>],
+    feed: &mut TaskFeed<'_, W>,
+) -> Result<LayerRun, AccelError> {
+    match engine {
+        LayerEngine::Cycle => cycle_loop(op_index, config, sim, port, dests, per_mc_tasks, feed),
+        LayerEngine::Analytic { verified } => {
+            analytic_loop(config, sim, port, dests, per_mc_tasks, feed, verified)
+        }
+    }
+}
+
 /// Runs one conv/linear layer's batch of traffic to completion. Returns
 /// the 32-bit response images indexed by global task id (batch-major,
 /// then flat output index).
@@ -928,13 +994,15 @@ fn run_layer<W: AccelWord>(
 
     let start_cycle = sim.cycle();
     let transitions_before = sim.stats().total_transitions;
+    let engine = LayerEngine::resolve(config, &dests);
 
     // The schedule was resolved once at session construction
     // ([`EncodePlan::resolve`]); per-layer code never re-probes the host.
     let run = match plan {
         EncodePlan::Reference => {
             let mut feed = TaskFeed::Reference { stage: &stage };
-            cycle_loop(
+            drive_layer(
+                engine,
                 op_index,
                 config,
                 sim,
@@ -950,7 +1018,8 @@ fn run_layer<W: AccelWord>(
                 scratch: TransportScratch::default(),
                 input_buf: Vec::new(),
             };
-            cycle_loop(
+            drive_layer(
+                engine,
                 op_index,
                 config,
                 sim,
@@ -996,7 +1065,8 @@ fn run_layer<W: AccelWord>(
                     queues: &queues,
                     producer_died: &producer_died,
                 };
-                let run = cycle_loop(
+                let run = drive_layer(
+                    engine,
                     op_index,
                     config,
                     sim,
@@ -1023,6 +1093,7 @@ fn run_layer<W: AccelWord>(
         cycles: sim.cycle() - start_cycle,
         transitions: transitions_after - transitions_before,
         pairs_per_task: source.pairs_per_task(),
+        analytic: engine.is_analytic(),
     });
     overhead.index_bits += run.index_bits;
     overhead.codec_bits += run.codec_bits;
@@ -1147,6 +1218,121 @@ fn cycle_loop<W: AccelWord>(
         }
     }
 
+    run.responses = responses
+        .into_iter()
+        .map(|bits| bits.expect("all responses collected"))
+        .collect();
+    Ok(run)
+}
+
+/// The analytic counterpart of [`cycle_loop`]: one layer as two stream
+/// replays instead of per-cycle mesh stepping. Every request is encoded
+/// and queued (same per-MC feed order as the cycle loop's prefetch
+/// top-up), replayed via [`Simulator::replay_queued_analytic`] — straight
+/// XOR+popcount passes over the ordered coded stream, per link — then
+/// decoded and computed at the PEs; the clock jumps over the closed-form
+/// PE compute interval; finally every response is queued in task order
+/// and replayed the same way.
+///
+/// With `verified` (the layer's combined route set was proven
+/// contention-free) the result is bit-exact with [`cycle_loop`] on
+/// per-link BTs, codec-lane states, payloads and recovered MACs, and
+/// debug builds run the cycle engine as an oracle inside each replay.
+/// Without it (forced [`EngineMode::Analytic`]) shared links record the
+/// serialized per-packet stream — the paper's pure stream metric — and
+/// cycle counts are closed-form estimates.
+#[allow(clippy::too_many_arguments)]
+fn analytic_loop<W: AccelWord>(
+    config: &AccelConfig,
+    sim: &mut Simulator,
+    port: &TaskPort<CodedTransport>,
+    dests: &[(usize, usize)],
+    per_mc_tasks: &[Vec<usize>],
+    feed: &mut TaskFeed<'_, W>,
+    verified: bool,
+) -> Result<LayerRun, AccelError> {
+    let total = dests.len();
+    let mut wires: Vec<Option<TaskWireMeta>> = vec![None; total];
+    let mut run = LayerRun {
+        responses: Vec::new(),
+        request_flits: 0,
+        index_bits: 0,
+        codec_bits: 0,
+    };
+
+    // Request phase: queue every task packet at its MC, then replay.
+    for (mi, tasks) in per_mc_tasks.iter().enumerate() {
+        for &j in tasks {
+            let encoded = feed.next(mi, j)?;
+            let (pe, mc_node) = dests[j];
+            let sent = port.send_encoded(sim, mc_node, pe, encoded, j as u64)?;
+            run.index_bits += sent.index_overhead_bits;
+            run.codec_bits += sent.codec_overhead_bits;
+            run.request_flits += sent.flit_count as u64;
+            wires[j] = Some(sent.meta);
+        }
+    }
+    sim.replay_queued_analytic(verified);
+
+    // PE side: decode each delivered request off the wires, recover the
+    // pairing, compute the MAC (the same reused-scratch receiver path as
+    // the cycle loop).
+    let mut delivered: Vec<DeliveredPacket> = Vec::new();
+    sim.drain_all_delivered_into(&mut delivered);
+    debug_assert_eq!(delivered.len(), total, "every request delivered");
+    let mut decode_scratch = TransportScratch::default();
+    let mut recovered = RecoveredTask::<W> {
+        pairs: Vec::new(),
+        bias: W::from_bits_u64(0),
+    };
+    // (task, response bits, compute-ready cycle), staged so responses
+    // inject per PE in task order — under the contention-free rule each
+    // PE holds at most one task, so any per-PE order matches the cycle
+    // engine's; task order keeps the forced replay deterministic.
+    let mut staged: Vec<(usize, u64, u64)> = Vec::with_capacity(total);
+    for d in &delivered {
+        let j = d.tag as usize;
+        let wire = wires[j].as_ref().expect("request was sent before delivery");
+        if feed.is_reference() {
+            recovered = port
+                .session()
+                .decode_task_reference::<W>(wire, &d.payload_flits)
+                .map_err(|e| AccelError::Decode(e.to_string()))?;
+        } else {
+            port.session()
+                .decode_task_into::<W>(wire, &d.payload_flits, &mut decode_scratch, &mut recovered)
+                .map_err(|e| AccelError::Decode(e.to_string()))?;
+        }
+        let bits = W::response_bits(&recovered);
+        staged.push((j, bits, d.arrival_cycle + config.pe_latency(wire.num_pairs)));
+    }
+    staged.sort_unstable_by_key(|&(j, ..)| j);
+
+    // Response phase: jump the clock over the PE compute interval the
+    // cycle engine would idle through, queue every response, replay.
+    sim.advance_cycle_to(staged.iter().map(|&(.., ready)| ready).max().unwrap_or(0));
+    for &(j, bits, _) in &staged {
+        let image = port.session().encode_response::<W>(bits);
+        run.codec_bits += u64::from(config.codec.extra_wires());
+        let (pe, mc_node) = dests[j];
+        sim.inject(Packet::new(pe, mc_node, vec![image], j as u64))?;
+    }
+    sim.replay_queued_analytic(verified);
+
+    // MC side: decode every response off the coded wire.
+    sim.drain_all_delivered_into(&mut delivered);
+    debug_assert_eq!(delivered.len(), total, "every response delivered");
+    let mut responses: Vec<Option<u64>> = vec![None; total];
+    for d in &delivered {
+        let j = d.tag as usize;
+        debug_assert!(config.noc.is_mc(d.dst), "responses terminate at MCs");
+        let bits = port
+            .session()
+            .decode_response::<W>(&d.payload_flits)
+            .map_err(|e| AccelError::Decode(e.to_string()))?;
+        debug_assert!(responses[j].is_none(), "duplicate response for task {j}");
+        responses[j] = Some(bits);
+    }
     run.responses = responses
         .into_iter()
         .map(|bits| bits.expect("all responses collected"))
@@ -1539,6 +1725,46 @@ mod tests {
         let five: Vec<Tensor> = (0..5).map(|i| tiny_input(80 + i)).collect();
         let err = session.run(&five).unwrap_err();
         assert!(err.to_string().contains("1..=4"), "{err}");
+    }
+
+    #[test]
+    fn engine_modes_agree_on_outputs_and_auto_matches_cycle_bts() {
+        use btr_core::codec::CodecKind;
+        let model = tiny_model(41);
+        let ops = model.inference_ops();
+        let input = tiny_input(42);
+        let mut base =
+            config(DataFormat::Fixed8, OrderingMethod::Separated).with_codec(CodecKind::BusInvert);
+        base.engine = EngineMode::Cycle;
+        let cycle = run_inference(&ops, &input, &base).unwrap();
+        assert_eq!(cycle.analytic_phase_fraction(), 0.0);
+        for engine in [EngineMode::Analytic, EngineMode::Auto] {
+            let mut c = base.clone();
+            c.engine = engine;
+            let r = run_inference(&ops, &input, &c).unwrap();
+            // Fixed-8 MACs are bit-exact regardless of engine: payload
+            // delivery is lossless on both paths.
+            assert_eq!(r.output.data(), cycle.output.data(), "{engine}");
+            assert_eq!(r.total_request_packets(), cycle.total_request_packets());
+            assert_eq!(r.total_request_flits(), cycle.total_request_flits());
+            assert_eq!(r.index_overhead_bits, cycle.index_overhead_bits);
+            assert_eq!(r.codec_overhead_bits, cycle.codec_overhead_bits);
+            match engine {
+                // Forced replay evaluates every layer analytically.
+                EngineMode::Analytic => assert_eq!(r.analytic_phase_fraction(), 1.0),
+                // Auto falls back wherever eligibility can't be proven
+                // and must stay BT-identical to the cycle engine.
+                EngineMode::Auto => {
+                    assert_eq!(
+                        r.stats.total_transitions, cycle.stats.total_transitions,
+                        "auto must be bit-identical to cycle"
+                    );
+                    assert_eq!(r.stats.per_link, cycle.stats.per_link);
+                    assert_eq!(r.stats.flit_hops, cycle.stats.flit_hops);
+                }
+                EngineMode::Cycle => unreachable!(),
+            }
+        }
     }
 
     #[test]

@@ -21,6 +21,14 @@ pub struct LayerTrafficReport {
     pub transitions: u64,
     /// Operand pairs per task.
     pub pairs_per_task: usize,
+    /// True when the analytic stream engine evaluated this layer's
+    /// traffic (forced by [`EngineMode::Analytic`], or proven
+    /// contention-free under [`EngineMode::Auto`]); false when the cycle
+    /// engine ran it.
+    ///
+    /// [`EngineMode::Analytic`]: btr_noc::EngineMode::Analytic
+    /// [`EngineMode::Auto`]: btr_noc::EngineMode::Auto
+    pub analytic: bool,
 }
 
 /// Result of a full accelerated inference.
@@ -43,6 +51,17 @@ pub struct InferenceResult {
     pub codec_overhead_bits: u64,
 }
 
+/// Fraction of NoC layers (traffic phases) the analytic engine
+/// evaluated: 0.0 under `EngineMode::Cycle`, 1.0 under forced
+/// `EngineMode::Analytic`, and the proven-eligible fraction under
+/// `EngineMode::Auto`. Zero when the inference had no NoC layers.
+fn analytic_fraction(per_layer: &[LayerTrafficReport]) -> f64 {
+    if per_layer.is_empty() {
+        return 0.0;
+    }
+    per_layer.iter().filter(|l| l.analytic).count() as f64 / per_layer.len() as f64
+}
+
 impl InferenceResult {
     /// Total request packets across layers.
     #[must_use]
@@ -54,6 +73,12 @@ impl InferenceResult {
     #[must_use]
     pub fn total_request_flits(&self) -> u64 {
         self.per_layer.iter().map(|l| l.request_flits).sum()
+    }
+
+    /// Fraction of NoC layers the analytic engine evaluated.
+    #[must_use]
+    pub fn analytic_phase_fraction(&self) -> f64 {
+        analytic_fraction(&self.per_layer)
     }
 }
 
@@ -87,6 +112,12 @@ impl BatchInferenceResult {
     #[must_use]
     pub fn total_request_flits(&self) -> u64 {
         self.per_layer.iter().map(|l| l.request_flits).sum()
+    }
+
+    /// Fraction of NoC layers the analytic engine evaluated.
+    #[must_use]
+    pub fn analytic_phase_fraction(&self) -> f64 {
+        analytic_fraction(&self.per_layer)
     }
 
     /// Collapses a single-element batch into an [`InferenceResult`].

@@ -63,6 +63,7 @@ impl PayloadBits {
     ///
     /// Panics if the field does not fit within the payload width or
     /// `len > 64` or `len == 0`.
+    #[inline]
     pub fn set_field(&mut self, offset: u32, len: u32, value: u64) {
         assert!(len > 0 && len <= 64, "field length must be in 1..=64");
         assert!(
@@ -102,6 +103,7 @@ impl PayloadBits {
     /// # Panics
     ///
     /// Panics under the same conditions as [`PayloadBits::set_field`].
+    #[inline]
     #[must_use]
     pub fn field(&self, offset: u32, len: u32) -> u64 {
         assert!(len > 0 && len <= 64, "field length must be in 1..=64");
@@ -129,6 +131,7 @@ impl PayloadBits {
     }
 
     /// Returns the value of a single bit.
+    #[inline]
     #[must_use]
     pub fn bit(&self, index: u32) -> bool {
         assert!(
@@ -169,6 +172,7 @@ impl PayloadBits {
     }
 
     /// Total number of `'1'` bits in the image.
+    #[inline]
     #[must_use]
     pub fn popcount(&self) -> u32 {
         self.words[..self.words_used()]
@@ -184,18 +188,35 @@ impl PayloadBits {
     ///
     /// Panics if the two images have different widths (they would not share
     /// a physical link).
+    #[inline]
     #[must_use]
     pub fn transitions_to(&self, previous: &PayloadBits) -> u32 {
         assert_eq!(
             self.width, previous.width,
             "cannot compare payloads of different widths"
         );
-        let used = self.words_used();
-        self.words[..used]
-            .iter()
-            .zip(previous.words[..used].iter())
-            .map(|(a, b)| (a ^ b).count_ones())
-            .sum()
+        // Width-specialized fast paths: the paper's links are 128-bit
+        // (fx8) and 512-bit (f32), i.e. 2 or 8 words — fixed-count loops
+        // the compiler fully unrolls, instead of a variable-bound scan.
+        match self.words_used() {
+            1 => (self.words[0] ^ previous.words[0]).count_ones(),
+            2 => {
+                (self.words[0] ^ previous.words[0]).count_ones()
+                    + (self.words[1] ^ previous.words[1]).count_ones()
+            }
+            8 => {
+                let mut sum = 0;
+                for i in 0..8 {
+                    sum += (self.words[i] ^ previous.words[i]).count_ones();
+                }
+                sum
+            }
+            used => self.words[..used]
+                .iter()
+                .zip(previous.words[..used].iter())
+                .map(|(a, b)| (a ^ b).count_ones())
+                .sum(),
+        }
     }
 
     /// XOR of two images (the set of toggling wires).
@@ -203,38 +224,38 @@ impl PayloadBits {
     /// # Panics
     ///
     /// Panics if widths differ.
+    #[inline]
     #[must_use]
     pub fn xor(&self, other: &PayloadBits) -> PayloadBits {
         assert_eq!(
             self.width, other.width,
             "cannot XOR payloads of different widths"
         );
+        // Words at or above the width are zero in both operands, so only
+        // the covered words can toggle.
         let mut out = *self;
-        for (w, o) in out.words.iter_mut().zip(other.words.iter()) {
+        let used = self.words_used();
+        for (w, o) in out.words[..used].iter_mut().zip(other.words[..used].iter()) {
             *w ^= o;
         }
         out
     }
 
     /// Bitwise NOT within the payload width (used by bus-invert coding).
+    #[inline]
     #[must_use]
     pub fn invert(&self) -> PayloadBits {
+        // High words are already zero in `self` (all mutators keep bits at
+        // or above the width zero), so only the covered words flip; a
+        // partial last word is masked back below the width.
         let mut out = *self;
-        for w in out.words.iter_mut() {
+        let used = self.words_used();
+        for w in out.words[..used].iter_mut() {
             *w = !*w;
         }
-        // Clear bits beyond the width so popcounts stay meaningful.
         let rem = self.width % 64;
-        let full_words = (self.width / 64) as usize;
         if rem != 0 {
-            out.words[full_words] &= (1u64 << rem) - 1;
-        }
-        for w in out
-            .words
-            .iter_mut()
-            .skip(if rem == 0 { full_words } else { full_words + 1 })
-        {
-            *w = 0;
+            out.words[used - 1] &= (1u64 << rem) - 1;
         }
         out
     }
@@ -252,15 +273,20 @@ impl PayloadBits {
     /// # Panics
     ///
     /// Panics if `width` is 0 or exceeds [`MAX_WIDTH_BITS`].
+    #[inline]
     #[must_use]
     pub fn resized(&self, width: u32) -> PayloadBits {
         let mut out = PayloadBits::zero(width);
-        let copy = self.width.min(width);
-        let mut off = 0;
-        while off < copy {
-            let len = 64.min(copy - off);
-            out.set_field(off, len, self.field(off, len));
-            off += len;
+        // Word-level copy: high words stay zero in both representations,
+        // so only the covered words move; narrowing masks the partial
+        // last word back below the new width.
+        let copy_words = self.words_used().min(out.words_used());
+        out.words[..copy_words].copy_from_slice(&self.words[..copy_words]);
+        if width < self.width {
+            let rem = width % 64;
+            if rem != 0 {
+                out.words[(width / 64) as usize] &= (1u64 << rem) - 1;
+            }
         }
         out
     }

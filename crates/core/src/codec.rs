@@ -373,13 +373,17 @@ impl LinkCodecState {
             }
             CodecKind::BusInvert => {
                 // Invert exactly when that strictly reduces data-wire
-                // toggles against the previous wire image.
+                // toggles against the previous wire image. Inverting every
+                // data wire flips every toggle, so the inverted image's
+                // distance is `data_width - t` — one XOR+popcount pass
+                // decides, and the inversion is materialized only when
+                // it wins.
                 let (wire_data, invert) = match &self.prev {
                     None => (data, false),
                     Some(prev) => {
-                        let inverted = data.invert();
-                        if inverted.transitions_to(prev) < data.transitions_to(prev) {
-                            (inverted, true)
+                        let t = data.transitions_to(prev);
+                        if self.data_width - t < t {
+                            (data.invert(), true)
                         } else {
                             (data, false)
                         }

@@ -19,19 +19,39 @@ use btr_bits::word::DataFormat;
 use btr_core::OrderingMethod;
 use btr_dnn::data::SyntheticDigits;
 use btr_dnn::tensor::Tensor;
+use btr_noc::EngineMode;
 use criterion::{black_box, Criterion};
 use experiments::json::Json;
 use experiments::workloads::{lenet, WeightSource};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// The benchmarked configurations, in reporting order.
-const POINTS: [(&str, DriverMode, usize); 5] = [
-    ("sync_b1", DriverMode::Synchronous, 1),
-    ("sync_b4", DriverMode::Synchronous, 4),
-    ("pipelined_b1", DriverMode::Pipelined, 1),
-    ("pipelined_b4", DriverMode::Pipelined, 4),
-    ("pipelined_b16", DriverMode::Pipelined, 16),
+/// The benchmarked configurations, in reporting order. The engine
+/// column contrasts the cycle-accurate NoC against the analytic stream
+/// engine (and auto classification) on the same driver/batch point.
+const POINTS: [(&str, DriverMode, usize, EngineMode); 7] = [
+    ("sync_b1", DriverMode::Synchronous, 1, EngineMode::Cycle),
+    ("sync_b4", DriverMode::Synchronous, 4, EngineMode::Cycle),
+    ("pipelined_b1", DriverMode::Pipelined, 1, EngineMode::Cycle),
+    ("pipelined_b4", DriverMode::Pipelined, 4, EngineMode::Cycle),
+    (
+        "pipelined_b16",
+        DriverMode::Pipelined,
+        16,
+        EngineMode::Cycle,
+    ),
+    (
+        "pipelined_b4_analytic",
+        DriverMode::Pipelined,
+        4,
+        EngineMode::Analytic,
+    ),
+    (
+        "pipelined_b4_auto",
+        DriverMode::Pipelined,
+        4,
+        EngineMode::Auto,
+    ),
 ];
 
 fn main() {
@@ -52,10 +72,11 @@ fn main() {
     let mut criterion = Criterion::default();
     let mut group = criterion.benchmark_group("driver");
     group.sample_size(if smoke { 2 } else { 10 });
-    for (name, driver, batch) in POINTS {
+    for (name, driver, batch, engine) in POINTS {
         let mut config = AccelConfig::paper(4, 4, 2, DataFormat::Fixed8, OrderingMethod::Separated);
         config.driver = driver;
         config.batch_size = batch;
+        config.engine = engine;
         let batch_inputs: Vec<Tensor> = inputs.iter().cycle().take(batch).cloned().collect();
         group.bench_function(name, |b| {
             b.iter(|| {
@@ -113,19 +134,20 @@ fn report_speedups(smoke: bool) {
 
     println!("\ndriver throughput (per input):");
     let per_input = |name: &str, batch: f64| metric(name, "mean_ns") / batch;
-    for (name, _, batch) in POINTS {
+    for (name, _, batch, engine) in POINTS {
         let ns = per_input(name, batch as f64);
         println!(
-            "  {name:<14} {:>9.2} ms/input  ({:>6.2} inferences/s)",
+            "  {name:<22} {:>8} {:>9.2} ms/input  ({:>6.2} inferences/s)",
+            engine.label(),
             ns / 1e6,
             1e9 / ns
         );
     }
     let baseline = per_input("sync_b1", 1.0);
     println!("end-to-end speedup vs sync_b1:");
-    for (name, _, batch) in POINTS {
+    for (name, _, batch, _) in POINTS {
         println!(
-            "  {name:<14} {:>5.2}x",
+            "  {name:<22} {:>5.2}x",
             baseline / per_input(name, batch as f64)
         );
     }

@@ -22,6 +22,7 @@ use btr_bits::word::DataFormat;
 use btr_core::OrderingMethod;
 use btr_dnn::data::SyntheticDigits;
 use btr_dnn::tensor::Tensor;
+use btr_noc::EngineMode;
 use btr_serve::{serve, synthetic_requests, ServeConfig};
 use criterion::{black_box, Criterion};
 use experiments::json::Json;
@@ -30,19 +31,70 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// The benchmarked configurations: `sessions == 0` marks the sequential
-/// single-synchronous-session reference.
-const POINTS: [(&str, usize, usize, OrderingMethod); 6] = [
-    ("seq_sync_b1", 0, 1, OrderingMethod::Separated),
-    ("serve_s1_b4", 1, 4, OrderingMethod::Separated),
-    ("serve_s2_b4", 2, 4, OrderingMethod::Separated),
-    ("serve_s4_b4", 4, 4, OrderingMethod::Separated),
-    ("serve_s4_b1", 4, 1, OrderingMethod::Separated),
-    ("serve_s4_b4_O0", 4, 4, OrderingMethod::Baseline),
+/// single-synchronous-session reference. The engine column contrasts
+/// the cycle-accurate NoC against the analytic stream engine on the
+/// same pool shape.
+const POINTS: [(&str, usize, usize, OrderingMethod, EngineMode); 7] = [
+    (
+        "seq_sync_b1",
+        0,
+        1,
+        OrderingMethod::Separated,
+        EngineMode::Cycle,
+    ),
+    (
+        "serve_s1_b4",
+        1,
+        4,
+        OrderingMethod::Separated,
+        EngineMode::Cycle,
+    ),
+    (
+        "serve_s2_b4",
+        2,
+        4,
+        OrderingMethod::Separated,
+        EngineMode::Cycle,
+    ),
+    (
+        "serve_s4_b4",
+        4,
+        4,
+        OrderingMethod::Separated,
+        EngineMode::Cycle,
+    ),
+    (
+        "serve_s4_b1",
+        4,
+        1,
+        OrderingMethod::Separated,
+        EngineMode::Cycle,
+    ),
+    (
+        "serve_s4_b4_O0",
+        4,
+        4,
+        OrderingMethod::Baseline,
+        EngineMode::Cycle,
+    ),
+    (
+        "serve_s4_b4_analytic",
+        4,
+        4,
+        OrderingMethod::Separated,
+        EngineMode::Analytic,
+    ),
 ];
 
-fn accel_config(ordering: OrderingMethod, window: usize, sessions: usize) -> AccelConfig {
+fn accel_config(
+    ordering: OrderingMethod,
+    window: usize,
+    sessions: usize,
+    engine: EngineMode,
+) -> AccelConfig {
     let mut config = AccelConfig::paper(4, 4, 2, DataFormat::Fixed8, ordering);
     config.batch_size = window;
+    config.engine = engine;
     // Concurrent sessions already claim the harts; encoder threads would
     // only contend with sibling meshes (same reasoning as the sweep
     // runner and the btr-serve binary).
@@ -69,11 +121,11 @@ fn main() {
     let mut criterion = Criterion::default();
     let mut group = criterion.benchmark_group("serve");
     group.sample_size(if smoke { 2 } else { 5 });
-    for (name, sessions, window, ordering) in POINTS {
+    for (name, sessions, window, ordering, engine) in POINTS {
         if sessions == 0 {
             // The reference: one synchronous session answering the same
             // request stream back to back, batch 1.
-            let mut config = accel_config(ordering, 1, 1);
+            let mut config = accel_config(ordering, 1, 1, engine);
             config.driver = DriverMode::Synchronous;
             let stream = synthetic_requests(&pool, requests);
             group.bench_function(name, |b| {
@@ -94,7 +146,7 @@ fn main() {
             continue;
         }
         let config = ServeConfig {
-            accel: accel_config(ordering, window, sessions),
+            accel: accel_config(ordering, window, sessions, engine),
             sessions,
             queue_capacity: 16,
             flush_polls: 16,
@@ -158,18 +210,19 @@ fn report_throughput(smoke: bool, requests: usize) {
     };
 
     println!("\naggregate serving throughput ({requests} requests per run):");
-    for (name, _, _, _) in POINTS {
+    for (name, _, _, _, engine) in POINTS {
         let ns = metric(name, "mean_ns");
         println!(
-            "  {name:<16} {:>9.2} ms/request  ({:>6.2} inferences/s aggregate)",
+            "  {name:<21} {:>8} {:>9.2} ms/request  ({:>6.2} inferences/s aggregate)",
+            engine.label(),
             ns / requests as f64 / 1e6,
             requests as f64 * 1e9 / ns
         );
     }
     let baseline = metric("seq_sync_b1", "min_ns");
     println!("aggregate speedup vs seq_sync_b1:");
-    for (name, _, _, _) in POINTS {
-        println!("  {name:<16} {:>5.2}x", baseline / metric(name, "min_ns"));
+    for (name, _, _, _, _) in POINTS {
+        println!("  {name:<21} {:>5.2}x", baseline / metric(name, "min_ns"));
     }
 
     if smoke {

@@ -14,7 +14,8 @@
 //!     [--mesh 4x4x2] [--formats... see sweep] [--format f32|fx8] \
 //!     [--ordering O0|O1|O2] [--codec none|bus-invert|delta-xor] \
 //!     [--codec-scope per-packet|per-link] \
-//!     [--driver pipelined|sync] [--darknet-width 8] [--seed 42] \
+//!     [--driver pipelined|sync] [--engine cycle|analytic|auto] \
+//!     [--darknet-width 8] [--seed 42] \
 //!     [--json serve.json]`
 
 use btr_accel::config::{AccelConfig, DriverMode};
@@ -24,6 +25,7 @@ use btr_core::ordering::OrderingMethod;
 use btr_dnn::data::{SyntheticDigits, SyntheticRgb};
 use btr_dnn::models::darknet;
 use btr_dnn::tensor::Tensor;
+use btr_noc::EngineMode;
 use btr_serve::{serve, synthetic_requests, ServeConfig};
 use experiments::cli;
 use experiments::serve_json::report_json;
@@ -53,6 +55,7 @@ fn main() {
     let codec: CodecKind = cli::arg("codec", CodecKind::Unencoded);
     let codec_scope: CodecScope = cli::arg("codec-scope", CodecScope::PerPacket);
     let driver: DriverMode = cli::arg("driver", DriverMode::Pipelined);
+    let engine: EngineMode = cli::arg("engine", EngineMode::Cycle);
     let darknet_width: usize = cli::arg("darknet-width", 8);
     let seed: u64 = cli::arg("seed", 42);
     let json_path: Option<String> = cli::opt_arg("json");
@@ -91,6 +94,7 @@ fn main() {
         .with_codec_scope(codec_scope);
     accel.batch_size = batch;
     accel.driver = driver;
+    accel.engine = engine;
     // A pool of concurrent sessions already claims the host's harts;
     // per-session encoder threads would only contend with sibling
     // meshes, so multi-session runs encode inline (bit-exact either
@@ -105,8 +109,8 @@ fn main() {
 
     eprintln!(
         "# btr-serve: {workload_name} on {mesh}, {format} {ordering} {codec} {codec_scope} \
-         ({driver} driver), {sessions} sessions x window {batch}, queue cap {queue_cap}, \
-         {requests} requests"
+         ({driver} driver, {engine} engine), {sessions} sessions x window {batch}, \
+         queue cap {queue_cap}, {requests} requests"
     );
     let report = match serve(&ops, &config, synthetic_requests(&pool, requests)) {
         Ok(report) => report,

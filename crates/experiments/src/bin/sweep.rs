@@ -1,6 +1,6 @@
 //! The general sweep front-end: any `(model × mesh × format × ordering ×
-//! tiebreak × fx8 scheme × codec × codec scope × batch)` grid, fanned
-//! out in parallel, with machine-readable JSON results.
+//! tiebreak × fx8 scheme × codec × codec scope × batch × engine)` grid,
+//! fanned out in parallel, with machine-readable JSON results.
 //!
 //! This is the scaling successor to the per-figure binaries: the
 //! `fig12_noc_sizes` and `fig13_models` presets replace the binaries of
@@ -16,7 +16,7 @@
 //!     [--orderings O0,O1,O2] [--ties stable,value] [--fx8-global] \
 //!     [--codecs none,bus-invert,delta-xor] \
 //!     [--codec-scope per-packet,per-link] [--batch 1,4,16] \
-//!     [--driver pipelined|sync] [--shard 0/4] \
+//!     [--engine cycle,analytic,auto] [--driver pipelined|sync] [--shard 0/4] \
 //!     [--darknet-width 8] [--sequential] [--json sweep.json]`
 //!
 //! A `--preset` sets the grid axes (explicit flags still override);
@@ -25,7 +25,7 @@
 //! `--merge a.json,b.json --json out.json` skips simulation entirely and
 //! concatenates/validates previously written result files.
 //!
-//! `--json` writes the `btr-sweep-v5` schema described in EXPERIMENTS.md.
+//! `--json` writes the `btr-sweep-v6` schema described in EXPERIMENTS.md.
 
 use btr_accel::config::DriverMode;
 use btr_bits::word::DataFormat;
@@ -33,6 +33,7 @@ use btr_core::codec::{CodecKind, CodecScope};
 use btr_core::ordering::{OrderingMethod, TieBreak};
 use btr_dnn::data::{SyntheticDigits, SyntheticRgb};
 use btr_dnn::models::darknet;
+use btr_noc::EngineMode;
 use experiments::cli;
 use experiments::json::Json;
 use experiments::sweep::{
@@ -60,6 +61,7 @@ struct Preset {
     codecs: Vec<CodecKind>,
     scopes: Vec<CodecScope>,
     batches: Vec<usize>,
+    engines: Vec<EngineMode>,
 }
 
 impl Preset {
@@ -74,6 +76,7 @@ impl Preset {
             codecs: vec![CodecKind::Unencoded],
             scopes: vec![CodecScope::PerPacket],
             batches: vec![1],
+            engines: vec![EngineMode::Cycle],
         }
     }
 
@@ -253,6 +256,7 @@ fn main() {
     let codecs: Vec<CodecKind> = cli::list_arg("codecs", preset.codecs);
     let scopes: Vec<CodecScope> = cli::list_arg("codec-scope", preset.scopes);
     let batches: Vec<usize> = cli::list_arg("batch", preset.batches);
+    let engines: Vec<EngineMode> = cli::list_arg("engine", preset.engines);
     let fx8_globals = if cli::flag("fx8-global") {
         vec![true]
     } else {
@@ -277,13 +281,14 @@ fn main() {
         &codecs,
         &scopes,
         &batches,
+        &engines,
     );
     let total = cells.len();
     let cells = shard.select(cells);
     eprintln!(
         "# sweep [{preset_name}]: {} workloads x {} meshes x {} formats x {} orderings x {} ties \
-         x {} codecs x {} scopes x {} batches = {total} cells (shard {shard}: {} cells, \
-         {driver} driver)",
+         x {} codecs x {} scopes x {} batches x {} engines = {total} cells \
+         (shard {shard}: {} cells, {driver} driver)",
         workloads.len(),
         meshes.len(),
         formats.len(),
@@ -292,13 +297,14 @@ fn main() {
         codecs.len(),
         scopes.len(),
         batches.len(),
+        engines.len(),
         cells.len()
     );
     let outcomes = run_cells_with(&workloads, cells, sequential, driver);
     let baselines = baseline_index(&outcomes);
 
     println!(
-        "{:<24} {:<9} {:<9} {:>4} {:>7} {:>11} {:>10} {:>5} {:>16} {:>10} {:>11} {:>10} {:>8}",
+        "{:<24} {:<9} {:<9} {:>4} {:>7} {:>11} {:>10} {:>5} {:>9} {:>16} {:>10} {:>11} {:>10} {:>8}",
         "workload",
         "NoC",
         "format",
@@ -307,6 +313,7 @@ fn main() {
         "codec",
         "scope",
         "batch",
+        "engine",
         "total BTs",
         "reduction",
         "energy mJ",
@@ -329,7 +336,7 @@ fn main() {
         }
         let reduction = reduction_vs_baseline(&baselines, o).map_or(0.0, |r| r * 100.0);
         println!(
-            "{:<24} {:<9} {:<9} {:>4} {:>7} {:>11} {:>10} {:>5} {:>16} {:>9.2}% {:>11.4} {:>10} {:>6}ms",
+            "{:<24} {:<9} {:<9} {:>4} {:>7} {:>11} {:>10} {:>5} {:>9} {:>16} {:>9.2}% {:>11.4} {:>10} {:>6}ms",
             workloads[o.cell.workload].name,
             o.cell.mesh.label(),
             o.cell.format.name(),
@@ -338,6 +345,7 @@ fn main() {
             o.cell.codec.label(),
             o.cell.scope.label(),
             o.cell.batch,
+            o.cell.engine.label(),
             o.transitions,
             reduction,
             o.link_energy_mj,

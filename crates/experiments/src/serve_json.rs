@@ -69,6 +69,7 @@ pub fn report_json(workload: &str, config: &ServeConfig, report: &ServeReport) -
         ("codec", Json::str(config.accel.codec.label())),
         ("codec_scope", Json::str(config.accel.codec_scope.label())),
         ("driver", Json::str(config.accel.driver.label())),
+        ("engine", Json::str(config.accel.engine.label())),
         ("sessions", Json::U64(config.sessions as u64)),
         ("batch_window", Json::U64(config.accel.batch_size as u64)),
         ("queue_capacity", Json::U64(config.queue_capacity as u64)),

@@ -2,9 +2,9 @@
 //! with rayon, results as machine-readable JSON.
 //!
 //! A sweep is a grid over `(workload × mesh × data format × ordering ×
-//! tiebreak × fx8 scheme × link codec × codec scope × batch size)`.
-//! Every cell runs a complete (batched) inference through its own
-//! flat-array simulator
+//! tiebreak × fx8 scheme × link codec × codec scope × batch size ×
+//! engine)`. Every cell runs a complete (batched) inference through its
+//! own flat-array simulator
 //! (cells share nothing, so they parallelize perfectly), and the outcome
 //! carries the figures the paper's evaluation reports: total bit
 //! transitions, cycles, flit-hops, latency, index/codec side-channel
@@ -13,7 +13,7 @@
 //! The `sweep` binary (including its `fig12_noc_sizes` / `fig13_models`
 //! presets, the retired per-figure binaries) is a thin front-end over
 //! [`expand_grid`] + [`run_cells`] + [`outcomes_json`]; see
-//! `EXPERIMENTS.md` for the JSON schema (`btr-sweep-v5`) and usage
+//! `EXPERIMENTS.md` for the JSON schema (`btr-sweep-v6`) and usage
 //! examples. Grids can span machines: a [`Shard`] selects a deterministic
 //! subset of the expanded cells and [`merge_sweep_json`] recombines the
 //! per-shard result files.
@@ -26,12 +26,13 @@ use btr_core::codec::{CodecKind, CodecScope};
 use btr_core::ordering::{OrderingMethod, TieBreak};
 use btr_dnn::model::InferenceOp;
 use btr_dnn::tensor::Tensor;
+use btr_noc::EngineMode;
 use rayon::prelude::*;
 
 /// The sweep result schema version (`codec` axis added in v2, `batch`
 /// axis in v3, `distinct_inputs` in v4, `codec_scope` + `link_energy_mj`
-/// in v5).
-pub const SWEEP_SCHEMA: &str = "btr-sweep-v5";
+/// in v5, `engine` + `analytic_phase_fraction` in v6).
+pub const SWEEP_SCHEMA: &str = "btr-sweep-v6";
 
 /// A named inference workload (model lowered to ops + a pool of input
 /// tensors batched cells draw from).
@@ -156,6 +157,10 @@ pub struct SweepCell {
     pub scope: CodecScope,
     /// Inputs run through each layer as one traffic phase.
     pub batch: usize,
+    /// Which engine evaluates the cell's traffic phases: the
+    /// cycle-accurate mesh, the forced analytic stream replay, or
+    /// per-phase classification with cycle fallback.
+    pub engine: EngineMode,
 }
 
 /// The measured outcome of one cell.
@@ -185,6 +190,10 @@ pub struct CellOutcome {
     /// Distinct inputs the batch ran (equals `batch` since pools no
     /// longer cycle; recorded so result files are auditable).
     pub distinct_inputs: u64,
+    /// Fraction of NoC layers the analytic engine evaluated (0.0 under
+    /// `cycle`, 1.0 under forced `analytic`, the proven-eligible share
+    /// under `auto`).
+    pub analytic_phase_fraction: f64,
     /// Wall-clock milliseconds the cell took.
     pub wall_ms: u64,
     /// Error message if the cell failed (metrics are zero then).
@@ -204,6 +213,7 @@ pub fn expand_grid(
     codecs: &[CodecKind],
     scopes: &[CodecScope],
     batches: &[usize],
+    engines: &[EngineMode],
 ) -> Vec<SweepCell> {
     let mut cells = Vec::new();
     for w in 0..workloads {
@@ -215,17 +225,20 @@ pub fn expand_grid(
                             for &codec in codecs {
                                 for &scope in scopes {
                                     for &batch in batches {
-                                        cells.push(SweepCell {
-                                            workload: w,
-                                            mesh,
-                                            format,
-                                            ordering,
-                                            tiebreak,
-                                            fx8_global,
-                                            codec,
-                                            scope,
-                                            batch,
-                                        });
+                                        for &engine in engines {
+                                            cells.push(SweepCell {
+                                                workload: w,
+                                                mesh,
+                                                format,
+                                                ordering,
+                                                tiebreak,
+                                                fx8_global,
+                                                codec,
+                                                scope,
+                                                batch,
+                                                engine,
+                                            });
+                                        }
                                     }
                                 }
                             }
@@ -276,6 +289,7 @@ fn run_cell_impl(
         codec_overhead_bits: 0,
         link_energy_mj: 0.0,
         distinct_inputs: 0,
+        analytic_phase_fraction: 0.0,
         wall_ms: start.elapsed().as_millis() as u64,
         error: Some(e),
     };
@@ -293,6 +307,7 @@ fn run_cell_impl(
     config.global_fx8_weights = cell.fx8_global;
     config.batch_size = cell.batch;
     config.driver = driver;
+    config.engine = cell.engine;
     config.encode_inline = inline_encode;
     let inputs = match workload.batch_inputs(cell.batch) {
         Ok(inputs) => inputs,
@@ -311,6 +326,7 @@ fn run_cell_impl(
             link_energy_mj: btr_hw::link_energy::LinkPowerModel::paper()
                 .energy_mj(result.stats.total_transitions),
             distinct_inputs: inputs.len() as u64,
+            analytic_phase_fraction: result.analytic_phase_fraction(),
             wall_ms: start.elapsed().as_millis() as u64,
             error: None,
         },
@@ -428,6 +444,7 @@ pub fn outcomes_json(workloads: &[Workload], outcomes: &[CellOutcome]) -> Json {
                 ("codec", Json::str(o.cell.codec.label())),
                 ("codec_scope", Json::str(o.cell.scope.label())),
                 ("batch", Json::U64(o.cell.batch as u64)),
+                ("engine", Json::str(o.cell.engine.label())),
                 ("transitions", Json::U64(o.transitions)),
                 ("cycles", Json::U64(o.cycles)),
                 ("flit_hops", Json::U64(o.flit_hops)),
@@ -437,6 +454,10 @@ pub fn outcomes_json(workloads: &[Workload], outcomes: &[CellOutcome]) -> Json {
                 ("codec_overhead_bits", Json::U64(o.codec_overhead_bits)),
                 ("link_energy_mj", Json::F64(o.link_energy_mj)),
                 ("distinct_inputs", Json::U64(o.distinct_inputs)),
+                (
+                    "analytic_phase_fraction",
+                    Json::F64(o.analytic_phase_fraction),
+                ),
                 ("reduction_vs_baseline", Json::Null),
                 ("wall_ms", Json::U64(o.wall_ms)),
                 ("error", o.error.clone().map_or(Json::Null, Json::Str)),
@@ -548,7 +569,7 @@ pub fn merge_sweep_json(docs: &[(String, Json)]) -> Result<Json, String> {
 
 /// The non-ordering coordinates identifying a cell's baseline row, as
 /// serialized in the result JSON.
-const BASELINE_KEY_FIELDS: [&str; 8] = [
+const BASELINE_KEY_FIELDS: [&str; 9] = [
     "workload",
     "mesh",
     "format",
@@ -557,6 +578,7 @@ const BASELINE_KEY_FIELDS: [&str; 8] = [
     "codec",
     "codec_scope",
     "batch",
+    "engine",
 ];
 
 fn baseline_key(cell: &Json) -> String {
@@ -672,6 +694,7 @@ mod tests {
             &CodecKind::ALL,
             &[CodecScope::PerPacket],
             &[1],
+            &[EngineMode::Cycle],
         );
         assert_eq!(cells.len(), 2 * 3 * 2 * 3 * 3);
     }
@@ -688,6 +711,7 @@ mod tests {
             &CodecKind::ALL,
             &[CodecScope::PerPacket],
             &[1],
+            &[EngineMode::Cycle],
         );
         let shards: Vec<Vec<SweepCell>> = (0..4)
             .map(|i| Shard { index: i, count: 4 }.select(cells.clone()))
@@ -810,6 +834,7 @@ mod tests {
             &[CodecKind::Unencoded],
             &[CodecScope::PerPacket],
             &[1],
+            &[EngineMode::Cycle],
         );
         let outcomes = run_cells(&workloads, cells.clone(), false);
         assert_eq!(outcomes.len(), 3);
@@ -826,7 +851,7 @@ mod tests {
         }
         let json = outcomes_json(&workloads, &outcomes);
         let text = json.to_string_compact();
-        assert!(text.contains("\"schema\":\"btr-sweep-v5\""));
+        assert!(text.contains("\"schema\":\"btr-sweep-v6\""));
         assert!(text.contains("\"codec_scope\":\"per-packet\""));
         assert!(text.contains("\"link_energy_mj\""));
         assert!(text.contains("\"batch\":1"));
@@ -862,6 +887,7 @@ mod tests {
             &CodecKind::ALL,
             &[CodecScope::PerPacket],
             &[1],
+            &[EngineMode::Cycle],
         );
         let outcomes = run_cells(&workloads, cells, true);
         assert_eq!(outcomes.len(), 6);
@@ -906,6 +932,7 @@ mod tests {
             &CodecKind::ALL,
             &CodecScope::ALL,
             &[1],
+            &[EngineMode::Cycle],
         );
         let outcomes = run_cells(&workloads, cells, true);
         assert_eq!(outcomes.len(), 12);
@@ -979,6 +1006,7 @@ mod tests {
             codec: CodecKind::Unencoded,
             scope: CodecScope::PerPacket,
             batch,
+            engine: EngineMode::Cycle,
         };
         let b1 = run_cell(&workloads, cell(1));
         let b4 = run_cell(&workloads, cell(4));
@@ -1016,6 +1044,7 @@ mod tests {
             codec: CodecKind::Unencoded,
             scope: CodecScope::PerPacket,
             batch: 5,
+            engine: EngineMode::Cycle,
         };
         let outcome = run_cell(&workloads, cell);
         let err = outcome.error.expect("oversized batch must fail");
@@ -1041,6 +1070,7 @@ mod tests {
             &CodecKind::ALL,
             &[CodecScope::PerPacket],
             &[1],
+            &[EngineMode::Cycle],
         );
         let outcomes = run_cells(&workloads, cells, true);
         let index = baseline_index(&outcomes);
@@ -1052,6 +1082,59 @@ mod tests {
                 .map(|b| 1.0 - o.transitions as f64 / b.transitions as f64);
             assert_eq!(via_index, via_scan, "{:?}", o.cell);
         }
+    }
+
+    #[test]
+    fn engine_axis_runs_and_auto_matches_cycle() {
+        let workloads = vec![tiny_workload()];
+        let cells = expand_grid(
+            1,
+            &[MeshSpec {
+                width: 4,
+                height: 4,
+                mc_count: 2,
+            }],
+            &[DataFormat::Fixed8],
+            &[OrderingMethod::Separated],
+            &[TieBreak::Stable],
+            &[false],
+            &[CodecKind::DeltaXor],
+            &[CodecScope::PerLink],
+            &[1],
+            &EngineMode::ALL,
+        );
+        let outcomes = run_cells(&workloads, cells, true);
+        assert_eq!(outcomes.len(), 3);
+        assert!(outcomes.iter().all(|o| o.error.is_none()));
+        let find = |engine| {
+            outcomes
+                .iter()
+                .find(|o| o.cell.engine == engine)
+                .expect("cell present")
+        };
+        let (cycle, analytic, auto) = (
+            find(EngineMode::Cycle),
+            find(EngineMode::Analytic),
+            find(EngineMode::Auto),
+        );
+        // Auto is bit-identical to the cycle engine on the wire metrics.
+        assert_eq!(auto.transitions, cycle.transitions);
+        assert_eq!(auto.flit_hops, cycle.flit_hops);
+        assert_eq!(auto.index_overhead_bits, cycle.index_overhead_bits);
+        assert_eq!(auto.codec_overhead_bits, cycle.codec_overhead_bits);
+        assert_eq!(cycle.analytic_phase_fraction, 0.0);
+        // The forced replay evaluates every layer analytically; traffic
+        // volume is engine-independent.
+        assert_eq!(analytic.analytic_phase_fraction, 1.0);
+        assert_eq!(analytic.request_packets, cycle.request_packets);
+        assert_eq!(analytic.flit_hops, cycle.flit_hops);
+        assert!(analytic.transitions > 0);
+        // The JSON carries the new axis and metric.
+        let text = outcomes_json(&workloads, &outcomes).to_string_compact();
+        assert!(text.contains("\"engine\":\"cycle\""));
+        assert!(text.contains("\"engine\":\"analytic\""));
+        assert!(text.contains("\"engine\":\"auto\""));
+        assert!(text.contains("\"analytic_phase_fraction\":1"));
     }
 
     #[test]
@@ -1072,6 +1155,7 @@ mod tests {
             codec: CodecKind::Unencoded,
             scope: CodecScope::PerPacket,
             batch: 1,
+            engine: EngineMode::Cycle,
         }];
         let outcomes = run_cells(&workloads, cells, true);
         assert!(outcomes[0].error.is_some());

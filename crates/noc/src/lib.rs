@@ -9,6 +9,9 @@
 //! XORed with the current one and the popcount accumulates into the NoC BT
 //! sum.
 //!
+//! * [`analytic`] — the analytic fast-path engine: contention-free phase
+//!   classification and direct stream replay, with the cycle engine as
+//!   oracle;
 //! * [`config`] — mesh geometry, link width, VC parameters, MC placement;
 //! * [`flit`] / [`packet`] — the wire units and packet→flit serialization;
 //! * [`routing`] — X-Y (and Y-X ablation) dimension-order routing;
@@ -43,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analytic;
 pub mod config;
 pub mod flit;
 pub mod legacy;
@@ -53,6 +57,7 @@ pub mod sim;
 pub mod stats;
 pub mod traffic;
 
+pub use analytic::EngineMode;
 pub use config::{NocConfig, NodeId};
 pub use flit::{Flit, FlitKind};
 pub use packet::Packet;

@@ -50,8 +50,8 @@ use crate::stats::{LatencyStats, LinkSlab, LinkStat, NocStats};
 use btr_bits::payload::PayloadBits;
 use std::collections::VecDeque;
 
-const LOCAL: usize = 0;
-const NUM_PORTS: usize = 5;
+pub(crate) const LOCAL: usize = 0;
+pub(crate) const NUM_PORTS: usize = 5;
 /// Sentinel for "no route / no output VC assigned".
 const UNSET: usize = usize::MAX;
 
@@ -153,28 +153,31 @@ struct LinkArrival {
 /// footprint — is released when the packet is delivered; the fixed-size
 /// slot header (~56 bytes) persists for the simulator's lifetime so
 /// packet ids stay direct slab indices.
-#[derive(Debug)]
-struct PacketSlot {
-    inject_cycle: u64,
+#[derive(Debug, Clone)]
+pub(crate) struct PacketSlot {
+    pub(crate) inject_cycle: u64,
     /// The packet's flits in wire order (freed on delivery).
-    flits: Vec<Flit>,
+    pub(crate) flits: Vec<Flit>,
     /// Source decoded from the head flit image (like a real NI would).
-    src: NodeId,
+    pub(crate) src: NodeId,
     /// Tag decoded from the head flit image.
-    tag: u64,
+    pub(crate) tag: u64,
 }
 
 /// A packet queued at its source NI, consumed flit by flit.
 #[derive(Debug, Clone, Copy)]
-struct PendingPacket {
-    packet: u32,
-    next: u32,
+pub(crate) struct PendingPacket {
+    pub(crate) packet: u32,
+    pub(crate) next: u32,
 }
 
 /// The cycle-driven mesh simulator (flat-array engine; see module docs).
-#[derive(Debug)]
+/// `Clone` snapshots the complete state — the analytic engine's
+/// debug-mode oracle clones the simulator and runs the copy through the
+/// cycle engine to cross-check the fast path ([`crate::analytic`]).
+#[derive(Debug, Clone)]
 pub struct Simulator {
-    config: NocConfig,
+    pub(crate) config: NocConfig,
     num_vcs: usize,
     depth: usize,
 
@@ -225,14 +228,14 @@ pub struct Simulator {
     port_of: Vec<u8>,
 
     // --- NI state ---
-    ni_pending: Vec<VecDeque<PendingPacket>>,
+    pub(crate) ni_pending: Vec<VecDeque<PendingPacket>>,
     /// Packets queued across all NIs (fast-path skip for phase 2).
-    ni_pending_total: u64,
+    pub(crate) ni_pending_total: u64,
     ni_current_vc: Vec<usize>,
     ni_vc_rr: Vec<usize>,
     /// Credits toward the router's local input VCs: `node * num_vcs + vc`.
     ni_credits: Vec<usize>,
-    ni_delivered: Vec<VecDeque<DeliveredPacket>>,
+    pub(crate) ni_delivered: Vec<VecDeque<DeliveredPacket>>,
 
     // --- link pipelines (filled this cycle, consumed next cycle) ---
     link_inflight: Vec<LinkArrival>,
@@ -240,20 +243,20 @@ pub struct Simulator {
 
     // --- measurement ---
     /// One column per router output link: `node * 5 + port`.
-    out_links: LinkSlab,
+    pub(crate) out_links: LinkSlab,
     /// One column per injection link.
-    inject_links: LinkSlab,
+    pub(crate) inject_links: LinkSlab,
 
     /// Per-packet slab indexed by packet id.
-    packets: Vec<PacketSlot>,
-    latencies: Vec<u64>,
-    cycle: u64,
-    packets_in_flight: u64,
-    packets_delivered: u64,
-    flits_delivered: u64,
+    pub(crate) packets: Vec<PacketSlot>,
+    pub(crate) latencies: Vec<u64>,
+    pub(crate) cycle: u64,
+    pub(crate) packets_in_flight: u64,
+    pub(crate) packets_delivered: u64,
+    pub(crate) flits_delivered: u64,
     /// Count of delivered packets not yet drained (fast-path check for
     /// `drain_all_delivered`).
-    delivered_pending: u64,
+    pub(crate) delivered_pending: u64,
 }
 
 impl Simulator {
@@ -370,6 +373,44 @@ impl Simulator {
         self.cycle
     }
 
+    /// Advances the clock to at least `cycle` without stepping the mesh
+    /// (no-op when the clock is already past it). The analytic engine
+    /// uses this to account for off-network latency — e.g. PE compute
+    /// time between a delivered request and its response — that the
+    /// cycle engine would otherwise spend in idle `step`s.
+    pub fn advance_cycle_to(&mut self, cycle: u64) {
+        self.cycle = self.cycle.max(cycle);
+    }
+
+    /// The persistent tx/rx codec-lane state pair of the router-output
+    /// link `node * NUM_PORTS + port`, or `None` on raw wires (no
+    /// per-link codec configured). Engine-parity harnesses compare these
+    /// to pin that the analytic replay leaves every wire's memory exactly
+    /// where the cycle engine does.
+    #[must_use]
+    pub fn out_link_codec_lanes(
+        &self,
+        link: usize,
+    ) -> Option<(
+        &btr_core::codec::LinkCodecState,
+        &btr_core::codec::LinkCodecState,
+    )> {
+        self.out_links.codec_lane_states(link)
+    }
+
+    /// The persistent tx/rx codec-lane state pair of `node`'s NI→router
+    /// injection link, or `None` on raw wires.
+    #[must_use]
+    pub fn inject_link_codec_lanes(
+        &self,
+        node: NodeId,
+    ) -> Option<(
+        &btr_core::codec::LinkCodecState,
+        &btr_core::codec::LinkCodecState,
+    )> {
+        self.inject_links.codec_lane_states(node)
+    }
+
     /// Queues a packet at its source NI.
     ///
     /// # Errors
@@ -413,6 +454,17 @@ impl Simulator {
     #[must_use]
     pub fn is_idle(&self) -> bool {
         self.packets_in_flight == 0
+    }
+
+    /// True when no flit is buffered in a router, on a link, or
+    /// mid-ejection — the network proper is empty even if whole packets
+    /// are still queued at their source NIs. The analytic replay
+    /// ([`crate::analytic`]) requires this before it consumes the queues.
+    #[must_use]
+    pub(crate) fn network_drained(&self) -> bool {
+        self.link_inflight.is_empty()
+            && self.eject_inflight.is_empty()
+            && self.active_vcs.iter().all(|&m| m == 0)
     }
 
     /// Packets currently in flight (queued, buffered, or on links).

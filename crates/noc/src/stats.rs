@@ -125,6 +125,54 @@ impl LinkSlab {
         self.flits[link] += 1;
     }
 
+    /// Records an uninterrupted run of `count` flits traversing `link` in
+    /// one step — exactly equivalent to calling [`LinkSlab::observe`] on
+    /// each flit of the run in order, given the run's first image, last
+    /// image, and the precomputed sum of Hamming distances between its
+    /// consecutive flits (`intra_transitions`).
+    ///
+    /// This is the analytic engine's O(1)-per-hop kernel: on raw wires a
+    /// packet's flit sequence is identical on every link of its path, so
+    /// the intra-packet transition sum is computed once per packet and
+    /// each hop only adds the link-boundary transition against the wire's
+    /// previous image. Slabs with per-link codec state cannot take this
+    /// path (each link re-images the stream); callers must check
+    /// [`LinkSlab::has_link_codec`] first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slab owns per-link codec state, `count` is zero,
+    /// `link` is out of range, or the image widths differ from the slab
+    /// width.
+    pub fn observe_run(
+        &mut self,
+        link: usize,
+        first: &PayloadBits,
+        last: &PayloadBits,
+        intra_transitions: u64,
+        count: u64,
+    ) {
+        assert!(
+            self.lanes.is_none(),
+            "bulk runs cannot traverse per-link codec lanes"
+        );
+        assert!(count > 0, "a flit run cannot be empty");
+        assert_eq!(
+            first.width(),
+            self.width,
+            "flit width {} does not match link width {}",
+            first.width(),
+            self.width
+        );
+        assert_eq!(last.width(), self.width, "run mixes flit widths");
+        if self.flits[link] > 0 {
+            self.transitions[link] += u64::from(first.transitions_to(&self.prev[link]));
+        }
+        self.transitions[link] += intra_transitions;
+        self.prev[link].clone_used_from(last);
+        self.flits[link] += count;
+    }
+
     /// Records a *payload* flit traversing `link` through the link's
     /// persistent codec state: the plain image is encoded against the
     /// link's wire memory, the **coded** wire image is what the
@@ -145,22 +193,18 @@ impl LinkSlab {
     /// transmitted plain image (a codec implementation bug).
     #[must_use]
     pub fn observe_payload(&mut self, link: usize, flit: &PayloadBits) -> PayloadBits {
-        if self.lanes.is_none() {
+        let Some(lanes) = self.lanes.as_mut() else {
             self.observe(link, flit);
             return *flit;
-        }
-        let wire = {
-            let lanes = self.lanes.as_mut().expect("checked above");
-            lanes.tx[link].encode_step(flit)
         };
-        self.observe(link, &wire);
-        let lanes = self.lanes.as_mut().expect("checked above");
+        let wire = lanes.tx[link].encode_step(flit);
         let plain = lanes.rx[link]
             .decode_step(&wire)
             .expect("mirrored decoder consumes the wire it was built for");
         // The delivered image really is the decode of the coded wire —
         // losslessness is exercised on every traversal, not assumed.
         debug_assert_eq!(plain, flit.resized(plain.width()), "link {link} codec lane");
+        self.observe(link, &wire);
         plain.resized(self.width)
     }
 
@@ -174,6 +218,15 @@ impl LinkSlab {
     #[must_use]
     pub fn flits(&self, link: usize) -> u64 {
         self.flits[link]
+    }
+
+    /// The persistent tx/rx codec-state pair `link` owns, or `None` on a
+    /// raw-wire slab. Engine-parity harnesses compare these to pin that
+    /// the analytic replay leaves every wire's memory exactly where the
+    /// cycle engine does.
+    #[must_use]
+    pub fn codec_lane_states(&self, link: usize) -> Option<(&LinkCodecState, &LinkCodecState)> {
+        self.lanes.as_ref().map(|l| (&l.tx[link], &l.rx[link]))
     }
 }
 

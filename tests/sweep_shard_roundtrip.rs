@@ -18,6 +18,7 @@ use noc_btr::core::ordering::{OrderingMethod, TieBreak};
 use noc_btr::dnn::layer::{ActKind, Activation, Conv2d, Flatten, Linear, MaxPool2d};
 use noc_btr::dnn::model::{Layer, Sequential};
 use noc_btr::dnn::tensor::Tensor;
+use noc_btr::noc::EngineMode;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -61,6 +62,7 @@ fn grid() -> Vec<SweepCell> {
         &[CodecKind::Unencoded, CodecKind::DeltaXor],
         &CodecScope::ALL,
         &[1, 2],
+        &[EngineMode::Cycle, EngineMode::Auto],
     )
 }
 
@@ -93,7 +95,7 @@ fn comparable_cells(doc: &Json) -> Vec<String> {
 fn shard_merge_equals_unsharded_sweep_bit_for_bit() {
     let workloads = vec![tiny_workload()];
     let cells = grid();
-    assert_eq!(cells.len(), 16);
+    assert_eq!(cells.len(), 32);
 
     // The unsharded reference document.
     let unsharded_doc = outcomes_json(&workloads, &run_cells(&workloads, cells.clone(), true));

@@ -188,6 +188,20 @@ fn escape(s: &str) -> String {
         .collect()
 }
 
+/// Batch sizing hint for [`Bencher::iter_batched`]. Accepted for API
+/// compatibility with criterion; the shim times each routine call
+/// individually, so setup cost never lands in the measurement
+/// regardless of the hint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Inputs are cheap to hold; criterion would batch many per alloc.
+    SmallInput,
+    /// Inputs are large; criterion would build few at a time.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
 /// Timing handle passed to each benchmark closure.
 pub struct Bencher {
     iters: u64,
@@ -202,6 +216,25 @@ impl Bencher {
             black_box(f());
         }
         self.elapsed_ns = start.elapsed().as_nanos();
+    }
+
+    /// Times `iters` calls of `routine`, each on a fresh input built by
+    /// `setup` *outside* the timed region — for benchmarks whose routine
+    /// consumes its input, where rebuilding it would otherwise pollute
+    /// the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut elapsed = 0u128;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed().as_nanos();
+        }
+        self.elapsed_ns = elapsed;
     }
 }
 
@@ -242,6 +275,25 @@ mod tests {
         assert_eq!(group.results.len(), 1);
         assert!(group.results[0].mean_ns > 0.0);
         group.finish();
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        std::env::set_var(
+            "BTR_BENCH_JSON_DIR",
+            std::env::temp_dir().join("btr-bench-test"),
+        );
+        let mut c = super::Criterion::default();
+        let mut group = c.benchmark_group("selftest_batched");
+        group.sample_size(2);
+        group.bench_function("consume_vec", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.into_iter().sum::<u64>(),
+                super::BatchSize::SmallInput,
+            )
+        });
+        assert!(group.results[0].mean_ns > 0.0);
     }
 
     #[test]
