@@ -98,6 +98,48 @@ impl PayloadBits {
         }
     }
 
+    /// ORs a word-contained `len`-bit field into the image — the
+    /// template-fill fast path: the encode templates pre-render the
+    /// static (weight) half of each flit and leave the activation lanes
+    /// zero, so dealing a lane is a single shift-OR with no read-mask
+    /// cycle. Callers guarantee the field does not straddle a `u64`
+    /// boundary (every `W`-bit lane with `64 % W == 0` is contained) and
+    /// that `value` has no bits at or above `len`; both are
+    /// debug-asserted.
+    #[inline]
+    pub fn or_word_field(&mut self, offset: u32, len: u32, value: u64) {
+        debug_assert!(len > 0 && len <= 64, "field length must be in 1..=64");
+        debug_assert!(
+            offset + len <= self.width,
+            "field [{offset}, {}) exceeds payload width {}",
+            offset + len,
+            self.width
+        );
+        debug_assert!(
+            offset % 64 + len <= 64,
+            "field [{offset}, {}) straddles a word boundary",
+            offset + len
+        );
+        debug_assert!(len == 64 || value >> len == 0, "value wider than the field");
+        self.words[(offset / 64) as usize] |= value << (offset % 64);
+    }
+
+    /// Calls `f` with the position of every `'1'` bit, LSB-first — the
+    /// O(popcount) alternative to testing all `width` bits one by one
+    /// (`trailing_zeros` + clear-lowest-set per word). Profile paths
+    /// accumulating per-wire transition counts from an XOR image use
+    /// this, so a sparse diff costs its popcount, not the link width.
+    #[inline]
+    pub fn for_each_set_bit(&self, mut f: impl FnMut(u32)) {
+        for (wi, &word) in self.words[..self.words_used()].iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                f(wi as u32 * 64 + w.trailing_zeros());
+                w &= w - 1;
+            }
+        }
+    }
+
     /// Reads a `len`-bit field starting at `offset` (LSB-first).
     ///
     /// # Panics

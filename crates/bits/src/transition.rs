@@ -109,9 +109,8 @@ impl TransitionRecorder {
                     flit.transitions_to(prev)
                 } else {
                     let diff = flit.xor(prev);
-                    for (i, count) in self.per_position.iter_mut().enumerate() {
-                        *count += u64::from(diff.bit(i as u32));
-                    }
+                    // O(popcount), not O(width): only toggling wires count.
+                    diff.for_each_set_bit(|i| self.per_position[i as usize] += 1);
                     diff.popcount()
                 }
             }

@@ -711,6 +711,254 @@ pub fn order_images_from_parts<W: DataWord>(
     Ok((flits, pair_index))
 }
 
+/// Destination of one input lane: the flit index and the lane's bit
+/// offset within that flit.
+#[derive(Debug, Clone, Copy)]
+struct LaneDest {
+    flit: u32,
+    offset: u32,
+}
+
+/// A per-kernel-group encode template: the static (weight-side) half of
+/// every flit image pre-rendered once, plus the input-lane placement plan
+/// — everything about a task's wire image that does not depend on the
+/// activations.
+///
+/// Weights never change within a session, so their descending-popcount
+/// order, their round-robin slot assignment, the bias lane, the O2
+/// inverse weight permutation and the index-overhead accounting are all
+/// functions of the kernel group alone. [`build_encode_template`] renders
+/// them once per layer; [`render_images_with_template`] then encodes each
+/// task by cloning the template flits and OR-ing only the per-request
+/// activation lanes in ([`PayloadBits::or_word_field`] — the input half
+/// of a template is zero, so no read-mask cycle is needed). The result is
+/// bit-identical to [`order_images_from_parts`], which stays as the
+/// untemplated path (pinned by `tests/transport_parity.rs`).
+#[derive(Debug, Clone)]
+pub struct EncodeTemplate {
+    method: OrderingMethod,
+    values_per_flit: usize,
+    num_pairs: usize,
+    word_width_bits: u32,
+    /// Every `W`-bit lane sits inside one `u64` word when `64 % W == 0`
+    /// (true for all supported words); the fill loop falls back to
+    /// [`PayloadBits::set_field`] otherwise.
+    word_aligned: bool,
+    /// Bias + ordered weight half rendered; input lanes zero.
+    flits: Vec<PayloadBits>,
+    /// Input-lane destinations: indexed by **original input index** for
+    /// O0/O1 (inputs keep / follow the weight placement) and by **input
+    /// rank** for O2 (inputs are placed by their own popcount order).
+    input_dests: Vec<LaneDest>,
+    /// O2 only: original index → weight rank, the cached half of the
+    /// re-pairing index (`pair_index[input_rank] = inv_wperm[orig]`).
+    inv_wperm: Vec<u16>,
+    index_overhead_bits: u64,
+}
+
+impl EncodeTemplate {
+    /// Number of (input, weight) pairs per task of this group.
+    #[must_use]
+    pub fn num_pairs(&self) -> usize {
+        self.num_pairs
+    }
+
+    /// Side-channel overhead of the O2 re-pairing index, in bits.
+    #[must_use]
+    pub fn index_overhead_bits(&self) -> u64 {
+        self.index_overhead_bits
+    }
+
+    /// The ordering method the template was rendered for.
+    #[must_use]
+    pub fn method(&self) -> OrderingMethod {
+        self.method
+    }
+
+    /// Word lanes per flit the template was rendered for.
+    #[must_use]
+    pub fn values_per_flit(&self) -> usize {
+        self.values_per_flit
+    }
+}
+
+/// Pre-renders the static half of a kernel group's flit images — see
+/// [`EncodeTemplate`]. `weight_perm` and `scratch` as in
+/// [`order_task_cached`]; the build runs once per layer per group, off
+/// the per-task hot path.
+///
+/// # Errors
+///
+/// Same conditions as [`order_task`].
+pub fn build_encode_template<W: DataWord>(
+    weights: &[W],
+    bias: W,
+    method: OrderingMethod,
+    values_per_flit: usize,
+    tiebreak: TieBreak,
+    weight_perm: Option<&[usize]>,
+    scratch: &mut TransportScratch,
+) -> Result<EncodeTemplate, FlitizeError> {
+    if values_per_flit < 2 || !values_per_flit.is_multiple_of(2) {
+        return Err(FlitizeError::OddValuesPerFlit(values_per_flit));
+    }
+    let width = values_per_flit as u32 * W::WIDTH;
+    if width > MAX_WIDTH_BITS {
+        return Err(FlitizeError::LinkTooWide { requested: width });
+    }
+    let n = weights.len();
+    if n > usize::from(u16::MAX) {
+        return Err(FlitizeError::TooManyValues(n));
+    }
+
+    let layout = half_half_layout(n, values_per_flit);
+    let half = values_per_flit / 2;
+    let mut flits = vec![PayloadBits::zero(width); layout.num_flits];
+    let lane = |flits: &mut [PayloadBits], f: usize, slot: usize, w: W| {
+        flits[f].set_field(slot as u32 * W::WIDTH, W::WIDTH, w.bits_u64());
+    };
+    let dest = |f: usize, slot: usize| LaneDest {
+        flit: f as u32,
+        offset: slot as u32 * W::WIDTH,
+    };
+
+    // Bias keeps its baseline position in all methods.
+    let (bf, bs) = layout.bias_position;
+    lane(&mut flits, bf, half + bs, bias);
+
+    let TransportScratch {
+        keys,
+        wperm: wperm_buf,
+        assign,
+        ..
+    } = scratch;
+    debug_assert!(
+        weight_perm.is_none_or(|p| p.len() == n),
+        "cached weight permutation does not cover the group"
+    );
+
+    let mut input_dests = vec![LaneDest { flit: 0, offset: 0 }; n];
+    let mut inv_wperm = Vec::new();
+    match method {
+        OrderingMethod::Baseline => {
+            for (l, (&weight, d)) in weights.iter().zip(input_dests.iter_mut()).enumerate() {
+                let (f, s) = (l / half, l % half);
+                lane(&mut flits, f, half + s, weight);
+                *d = dest(f, s);
+            }
+        }
+        OrderingMethod::Affiliated => {
+            let wperm: &[usize] = match weight_perm {
+                Some(p) => p,
+                None => {
+                    tiebreak.descending_order_into(weights, keys, wperm_buf);
+                    wperm_buf
+                }
+            };
+            round_robin_assignment_into(&layout.weight_occupancy, assign);
+            for (rank, &orig) in wperm.iter().enumerate() {
+                let (f, s) = assign[rank];
+                lane(&mut flits, f, half + s, weights[orig]);
+                // The input of the same original pair rides the same
+                // flit, same relative slot in the input half.
+                input_dests[orig] = dest(f, s);
+            }
+        }
+        OrderingMethod::Separated => {
+            let wperm: &[usize] = match weight_perm {
+                Some(p) => p,
+                None => {
+                    tiebreak.descending_order_into(weights, keys, wperm_buf);
+                    wperm_buf
+                }
+            };
+            round_robin_assignment_into(&layout.weight_occupancy, assign);
+            inv_wperm.resize(n, 0);
+            for (rank, &orig) in wperm.iter().enumerate() {
+                let (f, s) = assign[rank];
+                lane(&mut flits, f, half + s, weights[orig]);
+                inv_wperm[orig] = rank as u16;
+            }
+            // Inputs are placed by their own per-task rank; the rank →
+            // slot map is static (the same round-robin assignment).
+            for (rank, d) in input_dests.iter_mut().enumerate() {
+                let (f, s) = assign[rank];
+                *d = dest(f, s);
+            }
+        }
+    }
+
+    Ok(EncodeTemplate {
+        method,
+        values_per_flit,
+        num_pairs: n,
+        word_width_bits: W::WIDTH,
+        word_aligned: 64 % W::WIDTH == 0,
+        flits,
+        input_dests,
+        inv_wperm,
+        index_overhead_bits: index_overhead_bits_for(method, n),
+    })
+}
+
+/// Encodes one task's ordered flit images off a pre-rendered
+/// [`EncodeTemplate`]: clone the static half, deal the activation lanes,
+/// and (for O2) sort the inputs and emit the re-pairing index off the
+/// cached inverse weight permutation. Bit-identical to
+/// [`order_images_from_parts`] over the template's weights.
+///
+/// # Panics
+///
+/// Panics if `inputs` does not pair up with the template's weights or the
+/// word type differs from the one the template was built for.
+#[allow(clippy::type_complexity)]
+pub fn render_images_with_template<W: DataWord>(
+    template: &EncodeTemplate,
+    inputs: &[W],
+    tiebreak: TieBreak,
+    scratch: &mut TransportScratch,
+) -> (Vec<PayloadBits>, Option<Vec<u16>>) {
+    assert_eq!(
+        inputs.len(),
+        template.num_pairs,
+        "operand slices must pair up"
+    );
+    assert_eq!(
+        W::WIDTH,
+        template.word_width_bits,
+        "word type differs from the template's"
+    );
+    let n = inputs.len();
+    let mut flits = template.flits.clone();
+    // The template's input lanes are zero, so dealing a lane is a single
+    // OR of the (invariantly masked) word bits at a precomputed offset.
+    let fill = |flits: &mut [PayloadBits], d: LaneDest, w: W| {
+        if template.word_aligned {
+            flits[d.flit as usize].or_word_field(d.offset, W::WIDTH, w.bits_u64());
+        } else {
+            flits[d.flit as usize].set_field(d.offset, W::WIDTH, w.bits_u64());
+        }
+    };
+    match template.method {
+        OrderingMethod::Baseline | OrderingMethod::Affiliated => {
+            for (&input, &d) in inputs.iter().zip(template.input_dests.iter()) {
+                fill(&mut flits, d, input);
+            }
+            (flits, None)
+        }
+        OrderingMethod::Separated => {
+            let TransportScratch { keys, iperm, .. } = scratch;
+            tiebreak.descending_order_into(inputs, keys, iperm);
+            let mut pair_index = Vec::with_capacity(n);
+            for (rank, &orig) in iperm.iter().enumerate() {
+                fill(&mut flits, template.input_dests[rank], inputs[orig]);
+                pair_index.push(template.inv_wperm[orig]);
+            }
+            (flits, Some(pair_index))
+        }
+    }
+}
+
 /// Flitizes a flat value stream (weights-only packets, as in the "without
 /// NoC" experiments of Sec. V-A): `values_per_flit` lanes per flit, zero
 /// padding at the tail.

@@ -70,7 +70,7 @@ pub mod transport;
 pub mod unit;
 
 pub use codec::{CodecKind, CodecScope, LinkCodecState};
-pub use flitize::{order_task, FlitRow, OrderedTask, RecoverError, Slot};
+pub use flitize::{order_task, EncodeTemplate, FlitRow, OrderedTask, RecoverError, Slot};
 pub use ordering::OrderingMethod;
 pub use task::NeuronTask;
 pub use transport::{

@@ -118,16 +118,89 @@ impl TieBreak {
         }
     }
 
-    /// [`TieBreak::descending_order`] into caller-owned buffers: `keys` is
-    /// the reusable `(popcount, bits, index)` scratch and `out` receives
-    /// the permutation. Both are cleared first, so hot paths (the
-    /// accelerator's per-task encode stage) sort without allocating.
+    /// [`TieBreak::descending_order`] into caller-owned buffers:
+    /// `scratch` hosts the key/ping-pong arrays and `out` receives the
+    /// permutation (cleared first), so hot paths (the accelerator's
+    /// per-task encode stage) sort without allocating.
+    ///
+    /// This is the counting-sort ordering kernel: a `W`-bit word's
+    /// popcount lies in `0..=W::WIDTH`, so the descending-popcount
+    /// permutation falls out of `W::WIDTH + 1` buckets in O(n) — no
+    /// comparator network (the paper's '1'-bit-count sorting-unit
+    /// observation). The stable rule is a single stable bucket pass; the
+    /// value rule runs a byte-wise LSD radix over the raw code first, so
+    /// equal-popcount values still land in descending bit-image order.
+    /// Both produce the *identical* permutation as
+    /// [`TieBreak::descending_order_comparison_into`] (pinned by
+    /// `tests/properties.rs`).
     pub fn descending_order_into<W: DataWord>(
         self,
         values: &[W],
-        keys: &mut Vec<SortKey>,
+        scratch: &mut SortScratch,
         out: &mut Vec<usize>,
     ) {
+        out.clear();
+        let n = values.len();
+        let w = W::WIDTH as usize;
+        debug_assert!(w < POPCOUNT_BUCKETS, "word wider than the bucket table");
+        match self {
+            TieBreak::Stable => {
+                // One stable counting pass over popcount buckets, emitted
+                // high→low: ties keep their original (insertion) order.
+                let mut offsets = [0usize; POPCOUNT_BUCKETS];
+                for v in values {
+                    offsets[v.popcount() as usize] += 1;
+                }
+                descending_prefix_offsets(&mut offsets[..=w]);
+                out.resize(n, 0);
+                for (i, v) in values.iter().enumerate() {
+                    let slot = &mut offsets[v.popcount() as usize];
+                    out[*slot] = i;
+                    *slot += 1;
+                }
+            }
+            TieBreak::Value => {
+                // LSD radix over the composite (popcount, bits) key:
+                // byte digits of the raw code first, the popcount bucket
+                // last (most significant). Every pass is a stable
+                // descending counting sort, so the result is the stable
+                // descending lexicographic (popcount, bits) order.
+                let SortScratch { keys, swap } = scratch;
+                keys.clear();
+                keys.extend(values.iter().enumerate().map(|(i, v)| SortKey {
+                    popcount: v.popcount(),
+                    bits: v.bits_u64(),
+                    index: i as u32,
+                }));
+                swap.clear();
+                swap.resize(n, SortKey::ZERO);
+                let (mut src, mut dst) = (&mut *keys, &mut *swap);
+                for pass in 0..W::WIDTH.div_ceil(8) {
+                    let shift = 8 * pass;
+                    radix_pass_descending(src, dst, 256, |k| ((k.bits >> shift) & 0xff) as usize);
+                    std::mem::swap(&mut src, &mut dst);
+                }
+                radix_pass_descending(src, dst, w + 1, |k| k.popcount as usize);
+                out.extend(dst.iter().map(|k| k.index as usize));
+            }
+        }
+    }
+
+    /// The pre-counting-sort implementation of
+    /// [`TieBreak::descending_order_into`], preserved verbatim as the
+    /// bit-exact oracle (the `btr_noc::legacy` idiom): one precomputed key
+    /// per value, then a stable `sort_by_key` on
+    /// `(Reverse(popcount), Reverse(bits))`. The counting-sort kernel must
+    /// produce the identical permutation for every input and both tie
+    /// rules; `tests/properties.rs` pins the equivalence and
+    /// `bench_encode`/`bench_ordering` measure the kernel against it.
+    pub fn descending_order_comparison_into<W: DataWord>(
+        self,
+        values: &[W],
+        scratch: &mut SortScratch,
+        out: &mut Vec<usize>,
+    ) {
+        let keys = &mut scratch.keys;
         keys.clear();
         out.clear();
         // One key computation per value instead of one per comparison;
@@ -146,6 +219,53 @@ impl TieBreak {
     }
 }
 
+/// One more than the widest supported popcount (64-bit words), sizing the
+/// stack bucket tables of the counting-sort kernel.
+const POPCOUNT_BUCKETS: usize = 65;
+
+/// Converts per-bucket counts into start offsets for a **descending**
+/// stable counting pass: bucket `len-1` first, bucket `0` last.
+#[inline]
+fn descending_prefix_offsets(counts: &mut [usize]) {
+    let mut start = 0usize;
+    for c in counts.iter_mut().rev() {
+        let run = *c;
+        *c = start;
+        start += run;
+    }
+}
+
+/// One stable counting-sort pass of the LSD radix, descending by `digit`
+/// (`digit(k) < radix <= 256` for every key).
+#[inline]
+fn radix_pass_descending(
+    src: &[SortKey],
+    dst: &mut [SortKey],
+    radix: usize,
+    digit: impl Fn(&SortKey) -> usize,
+) {
+    debug_assert!(radix <= 256 && src.len() == dst.len());
+    let mut offsets = [0usize; 256];
+    for k in src {
+        offsets[digit(k)] += 1;
+    }
+    descending_prefix_offsets(&mut offsets[..radix]);
+    for k in src {
+        let slot = &mut offsets[digit(k)];
+        dst[*slot] = *k;
+        *slot += 1;
+    }
+}
+
+/// Reusable buffers of the ordering kernel: the precomputed keys plus the
+/// LSD radix ping-pong array. One instance per encoder thread (via
+/// `TransportScratch`) keeps the per-task sort allocation-free.
+#[derive(Debug, Default)]
+pub struct SortScratch {
+    keys: Vec<SortKey>,
+    swap: Vec<SortKey>,
+}
+
 /// Precomputed comparison key of one value: popcount, (optional) raw bit
 /// image, and the original index the permutation reports.
 #[derive(Debug, Clone, Copy)]
@@ -155,6 +275,14 @@ pub struct SortKey {
     index: u32,
 }
 
+impl SortKey {
+    const ZERO: SortKey = SortKey {
+        popcount: 0,
+        bits: 0,
+        index: 0,
+    };
+}
+
 /// Returns the permutation that sorts `values` by **descending** popcount.
 ///
 /// `perm[rank] = original index`; the sort is stable (ties keep their
@@ -162,9 +290,8 @@ pub struct SortKey {
 /// are computed once per value, not once per comparison.
 #[must_use]
 pub fn descending_popcount_order<W: DataWord>(values: &[W]) -> Vec<usize> {
-    let mut keys = Vec::new();
     let mut perm = Vec::new();
-    TieBreak::Stable.descending_order_into(values, &mut keys, &mut perm);
+    TieBreak::Stable.descending_order_into(values, &mut SortScratch::default(), &mut perm);
     perm
 }
 
@@ -181,9 +308,8 @@ pub fn descending_popcount_order<W: DataWord>(values: &[W]) -> Vec<usize> {
 /// EXPERIMENTS.md).
 #[must_use]
 pub fn descending_popcount_value_order<W: DataWord>(values: &[W]) -> Vec<usize> {
-    let mut keys = Vec::new();
     let mut perm = Vec::new();
-    TieBreak::Value.descending_order_into(values, &mut keys, &mut perm);
+    TieBreak::Value.descending_order_into(values, &mut SortScratch::default(), &mut perm);
     perm
 }
 
@@ -208,35 +334,53 @@ pub fn greedy_nearest_order<W: DataWord>(values: &[W]) -> Vec<usize> {
     if values.is_empty() {
         return Vec::new();
     }
-    let mut remaining: Vec<usize> = (0..values.len()).collect();
+    let w = W::WIDTH as usize;
+    // Popcount buckets in O(n): enumeration order keeps each bucket
+    // ascending by original index, and the greedy rule only ever consumes
+    // a bucket's smallest remaining index, so a front cursor per bucket
+    // replaces the old O(n²) scan over the remaining set.
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); w + 1];
+    for (i, v) in values.iter().enumerate() {
+        buckets[v.popcount() as usize].push(i);
+    }
+    let mut cursor = vec![0usize; w + 1];
+    let remaining =
+        |buckets: &[Vec<usize>], cursor: &[usize], pc: usize| cursor[pc] < buckets[pc].len();
     // Start from the maximum popcount (stable: first such index).
-    let start_pos = remaining
-        .iter()
-        .enumerate()
-        .max_by(|(ai, &a), (bi, &b)| {
-            values[a]
-                .popcount()
-                .cmp(&values[b].popcount())
-                .then(bi.cmp(ai)) // prefer earlier original index on ties
-        })
-        .map(|(pos, _)| pos)
+    let mut cur_pc = (0..=w)
+        .rev()
+        .find(|&pc| !buckets[pc].is_empty())
         .expect("non-empty");
     let mut order = Vec::with_capacity(values.len());
-    let mut current = remaining.swap_remove(start_pos);
-    order.push(current);
-    while !remaining.is_empty() {
-        let cur_pc = values[current].popcount();
-        let next_pos = remaining
-            .iter()
-            .enumerate()
-            .min_by_key(|&(_, &idx)| {
-                let d = values[idx].popcount().abs_diff(cur_pc);
-                (d, idx)
+    order.push(buckets[cur_pc][0]);
+    cursor[cur_pc] = 1;
+    for _ in 1..values.len() {
+        // Nearest non-exhausted popcount; an equal-distance tie between
+        // the bucket below and above resolves to the smaller original
+        // index (exactly the old `min_by_key` on `(distance, index)`).
+        let pc = (0..=w)
+            .find_map(|d| {
+                let lower = cur_pc
+                    .checked_sub(d)
+                    .filter(|&pc| remaining(&buckets, &cursor, pc));
+                let upper =
+                    Some(cur_pc + d).filter(|&pc| pc <= w && remaining(&buckets, &cursor, pc));
+                match (lower, upper) {
+                    (Some(lo), Some(hi)) if lo != hi => {
+                        Some(if buckets[lo][cursor[lo]] <= buckets[hi][cursor[hi]] {
+                            lo
+                        } else {
+                            hi
+                        })
+                    }
+                    (Some(pc), _) | (_, Some(pc)) => Some(pc),
+                    (None, None) => None,
+                }
             })
-            .map(|(pos, _)| pos)
-            .expect("non-empty");
-        current = remaining.swap_remove(next_pos);
-        order.push(current);
+            .expect("some value remains");
+        order.push(buckets[pc][cursor[pc]]);
+        cursor[pc] += 1;
+        cur_pc = pc;
     }
     order
 }

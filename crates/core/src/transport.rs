@@ -29,10 +29,10 @@
 
 use crate::codec::{CodecError, CodecKind, CodecScope};
 use crate::flitize::{
-    index_overhead_bits_for, order_images_from_parts, order_task_with, FlitizeError, OrderedTask,
-    RecoverError,
+    build_encode_template, index_overhead_bits_for, order_images_from_parts, order_task_with,
+    render_images_with_template, EncodeTemplate, FlitizeError, OrderedTask, RecoverError,
 };
-use crate::ordering::{round_robin_assignment, OrderingMethod, SortKey, TieBreak};
+use crate::ordering::{round_robin_assignment, OrderingMethod, SortScratch, TieBreak};
 use crate::task::{NeuronTask, RecoveredTask};
 use btr_bits::payload::{PayloadBits, MAX_WIDTH_BITS};
 use btr_bits::transition::TransitionRecorder;
@@ -116,8 +116,8 @@ impl TransportConfig {
 /// (buffers grow to the largest task seen and are then reused).
 #[derive(Debug, Default)]
 pub struct TransportScratch {
-    /// Sort keys of the value currently being ordered.
-    pub(crate) keys: Vec<SortKey>,
+    /// Ordering-kernel buffers (keys + radix ping-pong array).
+    pub(crate) keys: SortScratch,
     /// Weight permutation (when not provided precomputed).
     pub(crate) wperm: Vec<usize>,
     /// Input permutation (separated-ordering only).
@@ -383,6 +383,90 @@ impl CodedTransport {
                 pair_index,
             },
             index_overhead_bits: index_overhead_bits_for(self.config.ordering, inputs.len()),
+            plain,
+            wire,
+            codec: self.config.codec,
+            _word: std::marker::PhantomData,
+        })
+    }
+
+    /// Pre-renders one kernel group's [`EncodeTemplate`] for this
+    /// session's ordering/lane configuration — the once-per-layer half of
+    /// the template encode path (see [`build_encode_template`]).
+    /// `weight_perm`, when given, must equal
+    /// `tiebreak.descending_order(weights)` (the driver's cached per-group
+    /// permutation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlitizeError`] for invalid geometry, like
+    /// [`TransportSession::encode_task`].
+    pub fn weight_template<W: DataWord>(
+        &self,
+        weights: &[W],
+        bias: W,
+        weight_perm: Option<&[usize]>,
+        scratch: &mut TransportScratch,
+    ) -> Result<EncodeTemplate, FlitizeError> {
+        build_encode_template(
+            weights,
+            bias,
+            self.config.ordering,
+            self.config.values_per_flit,
+            self.config.tiebreak,
+            weight_perm,
+            scratch,
+        )
+    }
+
+    /// [`CodedTransport::encode_parts_cached`] off a pre-rendered
+    /// [`EncodeTemplate`] — the per-task half of the template encode
+    /// path: clone the static weight half, deal only the activation
+    /// lanes, then run the link codec as usual. Bit-identical to
+    /// [`CodedTransport::encode_parts_cached`] (and through it to
+    /// [`CodedTransport::encode_task_reference`]) over the template's
+    /// weights — pinned by `tests/transport_parity.rs`.
+    ///
+    /// # Errors
+    ///
+    /// Infallible today (geometry was validated when the template was
+    /// built); the `Result` mirrors the untemplated encode entry points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` does not pair up with the template's weights,
+    /// the word type differs from the one the template was built for, or
+    /// (debug only) the template's ordering/lane configuration is not
+    /// this session's.
+    pub fn encode_with_template<W: DataWord>(
+        &self,
+        template: &EncodeTemplate,
+        inputs: &[W],
+        scratch: &mut TransportScratch,
+    ) -> Result<EncodedTask<W>, FlitizeError> {
+        debug_assert_eq!(
+            template.method(),
+            self.config.ordering,
+            "template was rendered for a different ordering"
+        );
+        debug_assert_eq!(
+            template.values_per_flit(),
+            self.config.values_per_flit,
+            "template was rendered for a different lane count"
+        );
+        let (plain, pair_index) =
+            render_images_with_template(template, inputs, self.config.tiebreak, scratch);
+        let wire = if self.config.codes_in_transport() {
+            Some(self.config.codec.encode_stream(&plain))
+        } else {
+            None
+        };
+        Ok(EncodedTask {
+            meta: TaskWireMeta {
+                num_pairs: inputs.len(),
+                pair_index,
+            },
+            index_overhead_bits: template.index_overhead_bits(),
             plain,
             wire,
             codec: self.config.codec,

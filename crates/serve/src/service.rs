@@ -283,6 +283,13 @@ pub fn serve(
 
 /// One pool worker: owns a session, drains coalesced batches until the
 /// queue closes (or any session fails), then files its report.
+///
+/// Owning the session (rather than building one per dispatch) is what
+/// lets the driver's per-layer encode caches pay off under load: the
+/// weight permutations and pre-rendered weight flit templates are built
+/// by the worker's first dispatch and reused verbatim by every later
+/// request the worker serves — the weight side of an op never changes
+/// within a service's lifetime.
 #[allow(clippy::too_many_arguments)]
 fn run_worker(
     session_index: usize,

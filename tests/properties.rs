@@ -4,6 +4,7 @@ use noc_btr::bits::transition::stream_transitions;
 use noc_btr::bits::word::{DataWord, F32Word, Fx8Word};
 use noc_btr::bits::{PayloadBits, Quantizer};
 use noc_btr::core::flitize::{flitize_values, order_task};
+use noc_btr::core::ordering::{SortScratch, TieBreak};
 use noc_btr::core::task::NeuronTask;
 use noc_btr::core::theory::{
     brute_force_max_objective, expected_bt, optimal_two_flit_split, pair_product_objective,
@@ -162,6 +163,52 @@ proptest! {
         prop_assert_eq!(p.field(lane * 32, 32), u64::from(bits));
         let w = F32Word::from_bits_u64(p.field(lane * 32, 32));
         prop_assert_eq!(w.bits_u64(), u64::from(bits));
+    }
+
+    /// The counting-sort ordering kernel produces the *identical*
+    /// permutation as the preserved comparison sort for both tie rules —
+    /// on 8-bit words (many popcount collisions by construction) and on
+    /// 32-bit float images.
+    #[test]
+    fn counting_sort_matches_comparison_sort(
+        codes in prop::collection::vec(any::<i8>(), 0..=100),
+        floats in prop::collection::vec(-100.0f32..100.0, 0..=100),
+        tie_idx in 0usize..2,
+    ) {
+        let tie = [TieBreak::Stable, TieBreak::Value][tie_idx];
+        let mut scratch = SortScratch::default();
+        let (mut fast, mut slow) = (Vec::new(), Vec::new());
+        let words: Vec<Fx8Word> = codes.iter().map(|&c| Fx8Word::new(c)).collect();
+        tie.descending_order_into(&words, &mut scratch, &mut fast);
+        tie.descending_order_comparison_into(&words, &mut scratch, &mut slow);
+        prop_assert_eq!(&fast, &slow);
+        let words: Vec<F32Word> = floats.iter().map(|&f| F32Word::new(f)).collect();
+        tie.descending_order_into(&words, &mut scratch, &mut fast);
+        tie.descending_order_comparison_into(&words, &mut scratch, &mut slow);
+        prop_assert_eq!(&fast, &slow);
+    }
+
+    /// Same equivalence under adversarial tie pressure: values drawn from
+    /// a two-element alphabet, so nearly every pair collides on popcount
+    /// (and most collide on the raw code too). This is where an unstable
+    /// or mis-ranked bucket pass would diverge from the oracle.
+    #[test]
+    fn counting_sort_matches_comparison_sort_under_heavy_ties(
+        picks in prop::collection::vec(any::<bool>(), 0..=200),
+        a in any::<i8>(),
+        b in any::<i8>(),
+        tie_idx in 0usize..2,
+    ) {
+        let tie = [TieBreak::Stable, TieBreak::Value][tie_idx];
+        let words: Vec<Fx8Word> = picks
+            .iter()
+            .map(|&p| Fx8Word::new(if p { a } else { b }))
+            .collect();
+        let mut scratch = SortScratch::default();
+        let (mut fast, mut slow) = (Vec::new(), Vec::new());
+        tie.descending_order_into(&words, &mut scratch, &mut fast);
+        tie.descending_order_comparison_into(&words, &mut scratch, &mut slow);
+        prop_assert_eq!(fast, slow);
     }
 
     /// A sorted stream never has more consecutive transitions than the

@@ -25,7 +25,9 @@ use noc_btr::core::codec::{CodecKind, CodecScope};
 use noc_btr::core::flitize::order_task_with;
 use noc_btr::core::ordering::{OrderingMethod, TieBreak};
 use noc_btr::core::task::NeuronTask;
-use noc_btr::core::transport::{CodedTransport, TransportConfig, TransportSession};
+use noc_btr::core::transport::{
+    CodedTransport, TransportConfig, TransportScratch, TransportSession,
+};
 use noc_btr::noc::config::NocConfig;
 use noc_btr::noc::legacy::LegacySimulator;
 use noc_btr::noc::packet::Packet;
@@ -274,6 +276,88 @@ fn coded_unencoded_matches_pre_refactor_ordered_path() {
         let rec: noc_btr::core::task::RecoveredTask<Fx8Word> = port.receive_task(meta, &d).unwrap();
         assert_eq!(rec.mac_i64(), task.mac_i64(), "task {}", d.tag);
     }
+}
+
+/// Template-encode parity: encoding a batch of tasks off one
+/// pre-rendered weight flit template is bit-identical to the
+/// `encode_task_reference` oracle — ordered images, coded wire images,
+/// wire metadata (including the O2 pair index) and overhead accounting —
+/// for every `OrderingMethod × TieBreak × CodecKind × CodecScope` and
+/// conv/linear-like group sizes, on both word types.
+fn assert_template_parity<W: DataWord + PartialEq>(
+    seed: u64,
+    mut next_word: impl FnMut(&mut StdRng) -> W,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Conv 3x3 (9) and 5x5-ish (25) kernels, linear fan-ins that do and
+    // don't fill the flit half evenly, and a one-value group.
+    for n in [1usize, 9, 25, 37, 64] {
+        // One kernel group: weights and bias are fixed, only the
+        // activations vary per task — the shape the template amortizes.
+        let weights: Vec<W> = (0..n).map(|_| next_word(&mut rng)).collect();
+        let bias = next_word(&mut rng);
+        for ordering in OrderingMethod::ALL {
+            for tiebreak in [TieBreak::Stable, TieBreak::Value] {
+                for codec in [
+                    CodecKind::Unencoded,
+                    CodecKind::BusInvert,
+                    CodecKind::DeltaXor,
+                ] {
+                    for scope in [CodecScope::PerPacket, CodecScope::PerLink] {
+                        let session = CodedTransport::new(TransportConfig {
+                            ordering,
+                            tiebreak,
+                            values_per_flit: 8,
+                            codec,
+                            scope,
+                        });
+                        let mut scratch = TransportScratch::default();
+                        // The driver hands the template builder its cached
+                        // per-group permutation for non-baseline runs…
+                        let wperm = match ordering {
+                            OrderingMethod::Baseline => None,
+                            _ => Some(tiebreak.descending_order(&weights)),
+                        };
+                        let template = session
+                            .weight_template(&weights, bias, wperm.as_deref(), &mut scratch)
+                            .unwrap();
+                        // …and the builder must derive the same order when
+                        // no permutation is supplied.
+                        let self_sorted = session
+                            .weight_template(&weights, bias, None, &mut scratch)
+                            .unwrap();
+                        for task_no in 0..4 {
+                            let inputs: Vec<W> = (0..n).map(|_| next_word(&mut rng)).collect();
+                            let task =
+                                NeuronTask::new(inputs.clone(), weights.clone(), bias).unwrap();
+                            let want = session.encode_task_reference(&task).unwrap();
+                            let got = session
+                                .encode_with_template(&template, &inputs, &mut scratch)
+                                .unwrap();
+                            let ctx = format!(
+                                "n={n} {ordering} {tiebreak:?} {codec} {scope:?} task {task_no}"
+                            );
+                            assert_eq!(got, want, "{ctx}");
+                            let got = session
+                                .encode_with_template(&self_sorted, &inputs, &mut scratch)
+                                .unwrap();
+                            assert_eq!(got, want, "self-sorted template, {ctx}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn template_encode_matches_reference_encode_fx8() {
+    assert_template_parity(31337, |rng| Fx8Word::new(rng.gen()));
+}
+
+#[test]
+fn template_encode_matches_reference_encode_f32() {
+    assert_template_parity(2718, |rng| F32Word::new(rng.gen_range(-100.0..100.0)));
 }
 
 /// Per-link codec scope over the mesh: the transport emits plain ordered
