@@ -1,11 +1,13 @@
 //! Accelerator configuration.
 
 use btr_bits::word::DataFormat;
-use btr_core::codec::{CodecKind, CodecScope};
+use btr_core::codec::{CodecKind, CodecScope, ResyncPolicy};
+use btr_core::edc::EdcKind;
 use btr_core::ordering::TieBreak;
 use btr_core::OrderingMethod;
 use btr_noc::analytic::EngineMode;
 use btr_noc::config::NocConfig;
+use btr_noc::fault::{ErrorModel, FaultConfig};
 use serde::{Deserialize, Serialize};
 
 /// How the driver schedules MC-side encoding against the cycle loop.
@@ -82,6 +84,12 @@ pub struct AccelConfig {
     /// [`AccelConfig::with_codec_scope`], which keeps
     /// [`NocConfig::link_codec`] in sync).
     pub codec_scope: CodecScope,
+    /// Per-flit error-detecting code stamped into every payload frame by
+    /// the MC-side transport and checked by the receiving NI. Its check
+    /// field rides on extra link wires beside the data, like the codec
+    /// side channel (see [`AccelConfig::with_edc`], which re-derives the
+    /// link width).
+    pub edc: EdcKind,
     /// Popcount-tie handling in the ordering unit (`Stable` = the paper's
     /// popcount-only comparator; `Value` = wider comparator sensitivity
     /// variant, see EXPERIMENTS.md).
@@ -154,6 +162,7 @@ impl AccelConfig {
             ordering,
             codec: CodecKind::Unencoded,
             codec_scope: CodecScope::PerPacket,
+            edc: EdcKind::None,
             tiebreak: TieBreak::Stable,
             global_fx8_weights: false,
             values_per_flit,
@@ -172,14 +181,47 @@ impl AccelConfig {
 
     /// The same configuration with a different link codec, the NoC link
     /// width re-derived to cover the codec's side-channel wires (one
-    /// extra invert-line wire for bus-invert) and the NoC's per-link
-    /// codec kept in sync with the current scope.
+    /// extra invert-line wire for bus-invert) beside any EDC check field,
+    /// and the NoC's per-link codec kept in sync with the current scope.
     #[must_use]
     pub fn with_codec(mut self, codec: CodecKind) -> Self {
         self.codec = codec;
-        self.noc.link_width_bits =
-            self.values_per_flit as u32 * self.format.bits_per_value() + codec.extra_wires();
-        self.sync_link_codec();
+        self.sync_wire_geometry();
+        self
+    }
+
+    /// The same configuration with a different per-flit EDC, the NoC
+    /// link width re-derived to carry the check field's extra wires (one
+    /// for parity, eight for CRC-8) beside the data and any codec side
+    /// channel, and any armed fault configuration's protected frame kept
+    /// in sync.
+    #[must_use]
+    pub fn with_edc(mut self, edc: EdcKind) -> Self {
+        self.edc = edc;
+        self.sync_wire_geometry();
+        self
+    }
+
+    /// Arms the unreliable-link model: wires draw errors from `errors`,
+    /// the NI retransmits NACKed packets under `resync` with a
+    /// `max_retries` budget. If no EDC is configured yet, CRC-8 is
+    /// enabled (detection is mandatory beside a non-zero BER — see
+    /// [`FaultConfig::validate`]) and the link width re-derived.
+    #[must_use]
+    pub fn with_fault(
+        mut self,
+        errors: ErrorModel,
+        resync: ResyncPolicy,
+        max_retries: u32,
+    ) -> Self {
+        if self.edc == EdcKind::None && !errors.ber.is_zero() {
+            self.edc = EdcKind::Crc8;
+        }
+        let mut fault = FaultConfig::new(errors, 0);
+        fault.resync = resync;
+        fault.max_retries = max_retries;
+        self.noc.fault = Some(fault);
+        self.sync_wire_geometry();
         self
     }
 
@@ -212,6 +254,26 @@ impl AccelConfig {
         self.noc.link_codec = self.derived_link_codec();
     }
 
+    /// Protected frame width: data lanes plus the EDC check field —
+    /// everything below the codec side channel.
+    fn frame_wires(&self) -> u32 {
+        self.values_per_flit as u32 * self.format.bits_per_value() + self.edc.extra_wires()
+    }
+
+    /// Re-derives every geometry value downstream of `(format,
+    /// values_per_flit, codec, codec_scope, edc)`: the physical link
+    /// width, the NoC's per-link codec, and an armed fault config's
+    /// protected-frame width and EDC kind.
+    fn sync_wire_geometry(&mut self) {
+        let frame = self.frame_wires();
+        self.noc.link_width_bits = frame + self.codec.extra_wires();
+        self.sync_link_codec();
+        if let Some(fault) = &mut self.noc.fault {
+            fault.edc = self.edc;
+            fault.frame_wires = frame;
+        }
+    }
+
     /// Validates internal consistency.
     ///
     /// # Errors
@@ -222,15 +284,44 @@ impl AccelConfig {
         if self.values_per_flit < 2 || !self.values_per_flit.is_multiple_of(2) {
             return Err("values_per_flit must be even and >= 2".into());
         }
-        let needed =
-            self.values_per_flit as u32 * self.format.bits_per_value() + self.codec.extra_wires();
+        let needed = self.frame_wires() + self.codec.extra_wires();
         if needed != self.noc.link_width_bits {
             return Err(format!(
-                "link width {} does not match {} x {} + {} codec wires = {needed} bits",
+                "link width {} does not match {} x {} + {} EDC wires + {} codec wires = \
+                 {needed} bits",
                 self.noc.link_width_bits,
                 self.values_per_flit,
                 self.format.bits_per_value(),
+                self.edc.extra_wires(),
                 self.codec.extra_wires()
+            ));
+        }
+        if let Some(fault) = &self.noc.fault {
+            if fault.edc != self.edc {
+                return Err(format!(
+                    "fault config carries EDC {} but the accelerator stamps {} (use with_edc)",
+                    fault.edc, self.edc
+                ));
+            }
+            if fault.frame_wires != self.frame_wires() {
+                return Err(format!(
+                    "fault frame of {} wire(s) does not match the {}-wire data + EDC frame",
+                    fault.frame_wires,
+                    self.frame_wires()
+                ));
+            }
+            if fault.injects_errors() && self.engine == EngineMode::Analytic {
+                return Err(
+                    "the analytic engine cannot model error-injected wires; use engine \
+                     cycle (or auto, which resolves to cycle under faults)"
+                        .into(),
+                );
+            }
+        } else if self.edc != EdcKind::None {
+            return Err(format!(
+                "EDC {} is stamped but no fault config consumes it (use with_fault, or \
+                 with_fault at ber 0 to measure pure EDC overhead)",
+                self.edc
             ));
         }
         if self.noc.link_codec != self.derived_link_codec() {

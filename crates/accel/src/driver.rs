@@ -41,7 +41,6 @@ use btr_core::transport::{
 use btr_dnn::model::InferenceOp;
 use btr_dnn::tensor::Tensor;
 use btr_noc::analytic::{routes_contention_free, EngineMode};
-use btr_noc::packet::Packet;
 use btr_noc::session::{SendError, TaskPort};
 use btr_noc::sim::{DeliveredPacket, InjectError, Simulator};
 use std::cmp::Reverse;
@@ -72,6 +71,14 @@ pub enum AccelError {
     UnsupportedFormat(DataFormat),
     /// A pipelined encoder thread died (panicked) mid-layer.
     EncoderDied,
+    /// A packet kept failing its EDC check until the NI's retry budget
+    /// ran out (unreliable-link model).
+    Unrecoverable {
+        /// Op index of the layer the packet belonged to.
+        layer: usize,
+        /// Retransmissions spent before giving up.
+        retries: u32,
+    },
 }
 
 impl std::fmt::Display for AccelError {
@@ -89,6 +96,13 @@ impl std::fmt::Display for AccelError {
             }
             AccelError::EncoderDied => {
                 write!(f, "a pipelined encoder thread panicked mid-layer")
+            }
+            AccelError::Unrecoverable { layer, retries } => {
+                write!(
+                    f,
+                    "layer {layer}: a packet failed its EDC check after {retries} \
+                     retransmission(s); retry budget exhausted"
+                )
             }
         }
     }
@@ -505,6 +519,9 @@ fn run_batch_resolved(
         per_layer,
         index_overhead_bits: overhead.index_bits,
         codec_overhead_bits: overhead.codec_bits,
+        edc_overhead_bits: overhead.edc_bits,
+        retransmitted_flits: overhead.retransmitted_flits,
+        retried_packets: overhead.retried_packets,
     })
 }
 
@@ -652,11 +669,15 @@ fn partition_pes_by_mc(config: &btr_noc::config::NocConfig) -> Vec<Vec<usize>> {
 }
 
 /// Side-channel bits accumulated across an inference, out-of-band of the
-/// data wires: the O2 re-pairing index and the link codec's invert lines.
+/// data wires: the O2 re-pairing index, the link codec's invert lines and
+/// the EDC check fields — plus the recovery protocol's retry accounting.
 #[derive(Debug, Default, Clone, Copy)]
 struct WireOverhead {
     index_bits: u64,
     codec_bits: u64,
+    edc_bits: u64,
+    retransmitted_flits: u64,
+    retried_packets: u64,
 }
 
 /// The MC-side encode stage: task construction + ordering + flitization +
@@ -689,6 +710,7 @@ impl<'a, W: AccelWord> EncodeStage<'a, W> {
                 values_per_flit: config.values_per_flit,
                 codec: config.codec,
                 scope: config.codec_scope,
+                edc: config.edc,
             }),
             ordering: config.ordering,
             tiebreak: config.tiebreak,
@@ -965,6 +987,7 @@ struct LayerRun {
     request_flits: u64,
     index_bits: u64,
     codec_bits: u64,
+    edc_bits: u64,
 }
 
 /// Which engine [`run_layer`] resolved for one layer's traffic phase.
@@ -988,15 +1011,20 @@ impl LayerEngine {
     /// are still in flight, so the analytic engine's clean two-phase
     /// split is provably invisible only when no two packets of the whole
     /// layer — MC→PE or PE→MC — share a directed router-output link.
+    /// Error-injected wires (`ber > 0`) are categorically ineligible:
+    /// the analytic replay models a perfect stream, so `Auto` resolves
+    /// them to the cycle engine regardless of the route set.
     fn resolve(config: &AccelConfig, dests: &[(usize, usize)]) -> Self {
         match config.engine {
             EngineMode::Cycle => LayerEngine::Cycle,
             EngineMode::Analytic => LayerEngine::Analytic { verified: false },
             EngineMode::Auto => {
-                if routes_contention_free(
-                    &config.noc,
-                    dests.iter().flat_map(|&(pe, mc)| [(mc, pe), (pe, mc)]),
-                ) {
+                if !config.noc.injects_errors()
+                    && routes_contention_free(
+                        &config.noc,
+                        dests.iter().flat_map(|&(pe, mc)| [(mc, pe), (pe, mc)]),
+                    )
+                {
                     LayerEngine::Analytic { verified: true }
                 } else {
                     LayerEngine::Cycle
@@ -1026,9 +1054,38 @@ fn drive_layer<W: AccelWord>(
 ) -> Result<LayerRun, AccelError> {
     match engine {
         LayerEngine::Cycle => cycle_loop(op_index, config, sim, port, dests, per_mc_tasks, feed),
-        LayerEngine::Analytic { verified } => {
-            analytic_loop(config, sim, port, dests, per_mc_tasks, feed, verified)
+        LayerEngine::Analytic { verified } => analytic_loop(
+            op_index,
+            config,
+            sim,
+            port,
+            dests,
+            per_mc_tasks,
+            feed,
+            verified,
+        ),
+    }
+}
+
+/// Runs the NI acceptance check on one delivery, mapping the typed
+/// protocol outcomes into the driver's error space. `Ok(true)` means the
+/// delivery verified clean and should be processed; `Ok(false)` means it
+/// was NACKed and its retained original is already re-injected — skip it
+/// and keep stepping the mesh.
+fn accept_delivery<W: AccelWord>(
+    port: &TaskPort<CodedTransport>,
+    sim: &mut Simulator,
+    d: &DeliveredPacket,
+    layer: usize,
+) -> Result<bool, AccelError> {
+    use btr_core::transport::TransportError;
+    match port.accept::<W>(sim, d) {
+        Ok(Some(_retries)) => Ok(true),
+        Ok(None) => Ok(false),
+        Err(TransportError::Unrecoverable { retries }) => {
+            Err(AccelError::Unrecoverable { layer, retries })
         }
+        Err(e) => Err(AccelError::Decode(e.to_string())),
     }
 }
 
@@ -1072,7 +1129,13 @@ fn run_layer<W: AccelWord>(
     // simulator, so both the request and response paths ride the coded
     // wire.
     let stage = EncodeStage::new(source, config, cache);
-    let port = TaskPort::new(stage.session);
+    // Arm the NI recovery protocol whenever a fault config exists — even
+    // at ber = 0, so the EDC verify stays on the receive path and
+    // zero-BER equivalence is measured, not assumed.
+    let port = match &config.noc.fault {
+        Some(fault) => TaskPort::with_recovery(stage.session, fault),
+        None => TaskPort::new(stage.session),
+    };
 
     let start_cycle = sim.cycle();
     let transitions_before = sim.stats().total_transitions;
@@ -1179,6 +1242,11 @@ fn run_layer<W: AccelWord>(
     });
     overhead.index_bits += run.index_bits;
     overhead.codec_bits += run.codec_bits;
+    overhead.edc_bits += run.edc_bits;
+    let fault_stats = port.take_fault_stats();
+    debug_assert_eq!(fault_stats.failed_packets, 0, "failures surface as errors");
+    overhead.retransmitted_flits += fault_stats.retransmitted_flits;
+    overhead.retried_packets += fault_stats.recovered_packets;
     Ok(run.responses)
 }
 
@@ -1218,6 +1286,7 @@ fn cycle_loop<W: AccelWord>(
         request_flits: 0,
         index_bits: 0,
         codec_bits: 0,
+        edc_bits: 0,
     };
 
     while remaining > 0 {
@@ -1234,6 +1303,7 @@ fn cycle_loop<W: AccelWord>(
                 let sent = port.send_encoded(sim, mc_node, pe, encoded, j as u64)?;
                 run.index_bits += sent.index_overhead_bits;
                 run.codec_bits += sent.codec_overhead_bits;
+                run.edc_bits += sent.edc_overhead_bits;
                 run.request_flits += sent.flit_count as u64;
                 wires[j] = Some(sent.meta);
             }
@@ -1241,9 +1311,14 @@ fn cycle_loop<W: AccelWord>(
 
         sim.step();
 
-        // Deliveries: requests at PEs, responses at MCs.
+        // Deliveries: requests at PEs, responses at MCs — each one runs
+        // the NI acceptance check first; a NACKed delivery is skipped
+        // here and arrives again after its retransmission.
         sim.drain_all_delivered_into(&mut delivered);
         for d in &delivered {
+            if !accept_delivery::<W>(port, sim, d, op_index)? {
+                continue;
+            }
             let j = d.tag as usize;
             if config.noc.is_mc(d.dst) {
                 // Response arrived back at its MC: decode off the coded
@@ -1288,8 +1363,9 @@ fn cycle_loop<W: AccelWord>(
             compute_queue.pop();
             let image = port.session().encode_response::<W>(bits);
             run.codec_bits += u64::from(config.codec.extra_wires());
+            run.edc_bits += u64::from(config.edc.extra_wires());
             let (pe, mc_node) = dests[j];
-            sim.inject(Packet::new(pe, mc_node, vec![image], j as u64))?;
+            port.send_flits(sim, pe, mc_node, vec![image], j as u64)?;
         }
 
         if sim.cycle() - start_cycle > config.max_cycles_per_layer {
@@ -1325,6 +1401,7 @@ fn cycle_loop<W: AccelWord>(
 /// cycle counts are closed-form estimates.
 #[allow(clippy::too_many_arguments)]
 fn analytic_loop<W: AccelWord>(
+    op_index: usize,
     config: &AccelConfig,
     sim: &mut Simulator,
     port: &TaskPort<CodedTransport>,
@@ -1340,6 +1417,7 @@ fn analytic_loop<W: AccelWord>(
         request_flits: 0,
         index_bits: 0,
         codec_bits: 0,
+        edc_bits: 0,
     };
 
     // Request phase: queue every task packet at its MC, then replay.
@@ -1350,6 +1428,7 @@ fn analytic_loop<W: AccelWord>(
             let sent = port.send_encoded(sim, mc_node, pe, encoded, j as u64)?;
             run.index_bits += sent.index_overhead_bits;
             run.codec_bits += sent.codec_overhead_bits;
+            run.edc_bits += sent.edc_overhead_bits;
             run.request_flits += sent.flit_count as u64;
             wires[j] = Some(sent.meta);
         }
@@ -1373,6 +1452,11 @@ fn analytic_loop<W: AccelWord>(
     // engine's; task order keeps the forced replay deterministic.
     let mut staged: Vec<(usize, u64, u64)> = Vec::with_capacity(total);
     for d in &delivered {
+        // The wires are perfect here (error injection forces the cycle
+        // engine), so acceptance always passes — but it must run, so the
+        // EDC verify and replay-buffer release stay on this path too.
+        let accepted = accept_delivery::<W>(port, sim, d, op_index)?;
+        debug_assert!(accepted, "analytic wires are perfect");
         let j = d.tag as usize;
         let wire = wires[j].as_ref().expect("request was sent before delivery");
         if feed.is_reference() {
@@ -1396,8 +1480,9 @@ fn analytic_loop<W: AccelWord>(
     for &(j, bits, _) in &staged {
         let image = port.session().encode_response::<W>(bits);
         run.codec_bits += u64::from(config.codec.extra_wires());
+        run.edc_bits += u64::from(config.edc.extra_wires());
         let (pe, mc_node) = dests[j];
-        sim.inject(Packet::new(pe, mc_node, vec![image], j as u64))?;
+        port.send_flits(sim, pe, mc_node, vec![image], j as u64)?;
     }
     sim.replay_queued_analytic(verified);
 
@@ -1406,6 +1491,8 @@ fn analytic_loop<W: AccelWord>(
     debug_assert_eq!(delivered.len(), total, "every response delivered");
     let mut responses: Vec<Option<u64>> = vec![None; total];
     for d in &delivered {
+        let accepted = accept_delivery::<W>(port, sim, d, op_index)?;
+        debug_assert!(accepted, "analytic wires are perfect");
         let j = d.tag as usize;
         debug_assert!(config.noc.is_mc(d.dst), "responses terminate at MCs");
         let bits = port
@@ -1847,6 +1934,91 @@ mod tests {
                 EngineMode::Cycle => unreachable!(),
             }
         }
+    }
+
+    #[test]
+    fn fault_armed_zero_ber_is_bit_identical() {
+        use btr_core::codec::ResyncPolicy;
+        use btr_noc::fault::ErrorModel;
+        let model = tiny_model(51);
+        let ops = model.inference_ops();
+        let input = tiny_input(52);
+        let base = config(DataFormat::Fixed8, OrderingMethod::Separated);
+        let plain = run_inference(&ops, &input, &base).unwrap();
+        // Arming the full recovery machinery (packet retention, NI
+        // acceptance, recovery counters) over perfect wires with no EDC
+        // leaves the run bit-identical: same geometry, wires and clock.
+        let armed = base
+            .clone()
+            .with_fault(ErrorModel::perfect(9), ResyncPolicy::ReseedOnRetry, 8);
+        armed.validate().unwrap();
+        let r = run_inference(&ops, &input, &armed).unwrap();
+        assert_eq!(r.output.data(), plain.output.data());
+        assert_eq!(r.stats.total_transitions, plain.stats.total_transitions);
+        assert_eq!(r.stats.per_link, plain.stats.per_link);
+        assert_eq!(r.total_cycles, plain.total_cycles);
+        assert_eq!(r.retransmitted_flits, 0);
+        assert_eq!(r.retried_packets, 0);
+        assert_eq!(r.edc_overhead_bits, 0);
+        // CRC-8 at ber 0: outputs unchanged, the check field's wires are
+        // accounted, and nothing retries.
+        let checked = base
+            .clone()
+            .with_edc(btr_core::edc::EdcKind::Crc8)
+            .with_fault(ErrorModel::perfect(9), ResyncPolicy::ReseedOnRetry, 8);
+        checked.validate().unwrap();
+        let r = run_inference(&ops, &input, &checked).unwrap();
+        assert_eq!(r.output.data(), plain.output.data());
+        assert!(r.edc_overhead_bits > 0);
+        // Eight check bits per payload flit: request payload flits
+        // (flits minus one head per packet) plus one single-flit
+        // response per packet.
+        let payload_flits =
+            (r.total_request_flits() - r.total_request_packets()) + r.total_request_packets();
+        assert_eq!(r.edc_overhead_bits, payload_flits * 8);
+        assert_eq!(r.retransmitted_flits, 0);
+    }
+
+    #[test]
+    fn unreliable_links_recover_bit_exact_outputs() {
+        use btr_core::codec::ResyncPolicy;
+        use btr_noc::fault::{BitErrorRate, ErrorModel, FaultMode};
+        let model = tiny_model(53);
+        let ops = model.inference_ops();
+        let input = tiny_input(54);
+        let base = config(DataFormat::Fixed8, OrderingMethod::Separated);
+        let plain = run_inference(&ops, &input, &base).unwrap();
+        let mut faulty = base.clone().with_fault(
+            ErrorModel {
+                ber: BitErrorRate::from_f64(1e-5),
+                seed: 7,
+                mode: FaultMode::PerFlit,
+            },
+            ResyncPolicy::ReseedOnRetry,
+            32,
+        );
+        // Auto must classify every error-injected phase ineligible for
+        // the analytic fast path.
+        faulty.engine = EngineMode::Auto;
+        faulty.validate().unwrap();
+        let r = run_inference(&ops, &input, &faulty).unwrap();
+        assert_eq!(
+            r.output.data(),
+            plain.output.data(),
+            "retransmission recovers every corrupted packet bit-exactly"
+        );
+        assert!(r.retransmitted_flits > 0, "this seed corrupts packets");
+        assert!(r.retried_packets > 0);
+        assert_eq!(
+            r.analytic_phase_fraction(),
+            0.0,
+            "faults force the cycle engine"
+        );
+        // Forcing the analytic engine beside error injection is rejected
+        // at validation time.
+        let mut forced = faulty.clone();
+        forced.engine = EngineMode::Analytic;
+        assert!(forced.validate().unwrap_err().contains("analytic"));
     }
 
     #[test]

@@ -49,6 +49,14 @@ pub struct InferenceResult {
     /// bits transmitted alongside the data wires (zero for unencoded and
     /// delta-XOR links).
     pub codec_overhead_bits: u64,
+    /// Per-flit EDC check-field overhead, in bits (zero without an EDC).
+    pub edc_overhead_bits: u64,
+    /// Payload flits the NIs re-sent after NACKed deliveries (zero on
+    /// perfect wires).
+    pub retransmitted_flits: u64,
+    /// Packets that needed at least one retransmission and were
+    /// eventually delivered clean.
+    pub retried_packets: u64,
 }
 
 /// Fraction of NoC layers (traffic phases) the analytic engine
@@ -99,6 +107,12 @@ pub struct BatchInferenceResult {
     pub index_overhead_bits: u64,
     /// Link-codec side-channel overhead, in bits.
     pub codec_overhead_bits: u64,
+    /// Per-flit EDC check-field overhead, in bits.
+    pub edc_overhead_bits: u64,
+    /// Payload flits the NIs re-sent after NACKed deliveries.
+    pub retransmitted_flits: u64,
+    /// Packets that retried at least once and were delivered clean.
+    pub retried_packets: u64,
 }
 
 impl BatchInferenceResult {
@@ -135,6 +149,9 @@ impl BatchInferenceResult {
             total_cycles: self.total_cycles,
             index_overhead_bits: self.index_overhead_bits,
             codec_overhead_bits: self.codec_overhead_bits,
+            edc_overhead_bits: self.edc_overhead_bits,
+            retransmitted_flits: self.retransmitted_flits,
+            retried_packets: self.retried_packets,
         }
     }
 }

@@ -207,6 +207,64 @@ impl std::str::FromStr for CodecScope {
     }
 }
 
+/// How per-link codec lane state is repaired when a packet is
+/// retransmitted after an EDC failure.
+///
+/// Only meaningful for [`CodecScope::PerLink`]: a wire flip that lands in
+/// a stateful decoder (delta-XOR keeps the previous *plain* image)
+/// poisons the rx lane, so every later flit decodes wrong and retries
+/// alone cannot converge. The resync axis decides whether the NI is
+/// allowed to repair lane state at a retry boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ResyncPolicy {
+    /// On every retry the NI reseeds the tx and rx lanes of all links
+    /// together (a lightweight sideband "sync" pulse, as real
+    /// retransmission protocols do). Lanes stay mirrored, so losslessness
+    /// is preserved — only the bit-transition cost changes.
+    #[default]
+    ReseedOnRetry,
+    /// Lane state is never reset: the decoder runs continuously across
+    /// retries. Honest about what a sync-free wire can do — a sticky
+    /// decoder poisoning makes the retry budget run out and surfaces as a
+    /// typed unrecoverable error rather than silent corruption.
+    Continuous,
+}
+
+impl ResyncPolicy {
+    /// Both policies, in ablation order.
+    pub const ALL: [ResyncPolicy; 2] = [ResyncPolicy::ReseedOnRetry, ResyncPolicy::Continuous];
+
+    /// Short label used in tables and JSON (`"reseed"`, `"continuous"`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ResyncPolicy::ReseedOnRetry => "reseed",
+            ResyncPolicy::Continuous => "continuous",
+        }
+    }
+}
+
+impl std::fmt::Display for ResyncPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for ResyncPolicy {
+    type Err = String;
+
+    /// Parses `"reseed"`/`"reseed-on-retry"` or `"continuous"`/`"cont"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "reseed" | "reseed-on-retry" | "reseedonretry" => Ok(ResyncPolicy::ReseedOnRetry),
+            "continuous" | "cont" => Ok(ResyncPolicy::Continuous),
+            other => Err(format!(
+                "unknown resync policy {other:?}; use reseed|continuous"
+            )),
+        }
+    }
+}
+
 /// Errors from the decode half of a link codec.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CodecError {

@@ -35,6 +35,10 @@
 //!   by the NoC links themselves (per-link scope,
 //!   [`codec::CodecScope::PerLink`]) so sweeps can ablate
 //!   `{ordering × codec × scope}`.
+//! * [`edc`] — per-flit error-detecting codes ([`edc::EdcKind`]: parity or
+//!   CRC-8) stamped on the plain image and carried on extra side-channel
+//!   wires, the detection half of the unreliable-link retransmission
+//!   protocol (recovery lives in the NoC's network interface).
 //!
 //! # Quickstart
 //!
@@ -60,6 +64,7 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod edc;
 pub mod encoding;
 pub mod flitize;
 pub mod ordering;
@@ -69,7 +74,8 @@ pub mod theory;
 pub mod transport;
 pub mod unit;
 
-pub use codec::{CodecKind, CodecScope, LinkCodecState};
+pub use codec::{CodecKind, CodecScope, LinkCodecState, ResyncPolicy};
+pub use edc::EdcKind;
 pub use flitize::{order_task, EncodeTemplate, FlitRow, OrderedTask, RecoverError, Slot};
 pub use ordering::OrderingMethod;
 pub use task::NeuronTask;

@@ -28,6 +28,7 @@
 //!   flits (Fig. 8).
 
 use crate::codec::{CodecError, CodecKind, CodecScope};
+use crate::edc::EdcKind;
 use crate::flitize::{
     build_encode_template, index_overhead_bits_for, order_images_from_parts, order_task_with,
     render_images_with_template, EncodeTemplate, FlitizeError, OrderedTask, RecoverError,
@@ -57,6 +58,12 @@ pub struct TransportConfig {
     /// [`CodecScope::PerLink`] it emits the plain ordered images and the
     /// NoC links code the wires with their own persistent state.
     pub scope: CodecScope,
+    /// Per-flit error-detecting code stamped on the plain ordered image
+    /// and carried on extra wires between the data MSB and the codec
+    /// side channel. The codec codes the whole data+EDC *frame*, so a
+    /// wire flip anywhere in the frame is visible to the receiving NI's
+    /// check. [`EdcKind::None`] models perfect wires (the paper's setup).
+    pub edc: EdcKind,
 }
 
 impl TransportConfig {
@@ -70,6 +77,7 @@ impl TransportConfig {
             values_per_flit,
             codec: CodecKind::Unencoded,
             scope: CodecScope::PerPacket,
+            edc: EdcKind::None,
         }
     }
 
@@ -87,6 +95,13 @@ impl TransportConfig {
         self
     }
 
+    /// The same configuration with a different per-flit EDC.
+    #[must_use]
+    pub fn with_edc(mut self, edc: EdcKind) -> Self {
+        self.edc = edc;
+        self
+    }
+
     /// True when this session applies the codec itself (per-packet
     /// scope); false when the codec is deferred to the NoC links.
     #[must_use]
@@ -101,11 +116,20 @@ impl TransportConfig {
         self.values_per_flit as u32 * W::WIDTH
     }
 
-    /// Physical link width in bits for word type `W`: the data wires plus
-    /// the codec's side-channel wires (the bus-invert line).
+    /// Width of the protected *frame* for word type `W`: the data wires
+    /// plus the EDC field. This is what the link codec codes as one unit
+    /// and what wire flips are confined to.
+    #[must_use]
+    pub fn frame_width_bits<W: DataWord>(&self) -> u32 {
+        self.data_width_bits::<W>() + self.edc.extra_wires()
+    }
+
+    /// Physical link width in bits for word type `W`: the frame (data +
+    /// EDC field) plus the codec's side-channel wires (the bus-invert
+    /// line).
     #[must_use]
     pub fn link_width_bits<W: DataWord>(&self) -> u32 {
-        self.data_width_bits::<W>() + self.codec.extra_wires()
+        self.frame_width_bits::<W>() + self.codec.extra_wires()
     }
 }
 
@@ -158,6 +182,7 @@ pub struct EncodedTask<W> {
     /// unencoded pipeline stores (and moves) one image vector, not two.
     wire: Option<Vec<PayloadBits>>,
     codec: CodecKind,
+    edc: EdcKind,
     _word: std::marker::PhantomData<W>,
 }
 
@@ -197,6 +222,15 @@ impl<W: DataWord> EncodedTask<W> {
         u64::from(self.codec.extra_wires()) * wire_flits
     }
 
+    /// Side-channel overhead of the per-flit EDC in bits: the check-field
+    /// wires times the payload flit count, accounted exactly like
+    /// [`EncodedTask::codec_overhead_bits`].
+    #[must_use]
+    pub fn edc_overhead_bits(&self) -> u64 {
+        let wire_flits = self.wire.as_ref().unwrap_or(&self.plain).len() as u64;
+        u64::from(self.edc.extra_wires()) * wire_flits
+    }
+
     /// Consumes the encoded task into its wire images without cloning —
     /// the injection path hands these straight to the packet.
     #[must_use]
@@ -205,15 +239,22 @@ impl<W: DataWord> EncodedTask<W> {
     }
 
     /// Consumes the encoded task into `(wire metadata, wire images,
-    /// index overhead bits, codec overhead bits)` — everything the
-    /// injection path needs, with no clone of the images or the O2 pair
-    /// index.
+    /// index overhead bits, codec overhead bits, EDC overhead bits)` —
+    /// everything the injection path needs, with no clone of the images
+    /// or the O2 pair index.
     #[must_use]
-    pub fn into_parts(self) -> (TaskWireMeta, Vec<PayloadBits>, u64, u64) {
+    pub fn into_parts(self) -> (TaskWireMeta, Vec<PayloadBits>, u64, u64, u64) {
         let index_overhead_bits = self.index_overhead_bits;
         let codec_overhead_bits = self.codec_overhead_bits();
+        let edc_overhead_bits = self.edc_overhead_bits();
         let wire = self.wire.unwrap_or(self.plain);
-        (self.meta, wire, index_overhead_bits, codec_overhead_bits)
+        (
+            self.meta,
+            wire,
+            index_overhead_bits,
+            codec_overhead_bits,
+            edc_overhead_bits,
+        )
     }
 }
 
@@ -228,6 +269,13 @@ pub enum TransportError {
     Recover(RecoverError),
     /// A response packet carried no payload flits.
     EmptyResponse,
+    /// A packet kept failing its EDC check after the NI's whole retry
+    /// budget — the unreliable-link protocol's typed surrender, never
+    /// silent corruption.
+    Unrecoverable {
+        /// Retransmissions attempted before giving up.
+        retries: u32,
+    },
 }
 
 impl std::fmt::Display for TransportError {
@@ -237,6 +285,11 @@ impl std::fmt::Display for TransportError {
             TransportError::Geometry(e) => write!(f, "wire decode failed: {e}"),
             TransportError::Recover(e) => write!(f, "operand recovery failed: {e}"),
             TransportError::EmptyResponse => write!(f, "response packet carried no payload flits"),
+            TransportError::Unrecoverable { retries } => write!(
+                f,
+                "packet failed its EDC check after {retries} retransmission(s); retry budget \
+                 exhausted"
+            ),
         }
     }
 }
@@ -292,6 +345,17 @@ pub trait TransportSession<W: DataWord> {
         flits: &[PayloadBits],
     ) -> Result<RecoveredTask<W>, TransportError>;
 
+    /// Checks every delivered payload flit's EDC field — the receiving
+    /// NI's detection step, run *before* decode. `Ok(false)` is the NACK
+    /// that triggers a retransmission; sessions without an EDC verify
+    /// trivially.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError`] when the images do not match the
+    /// session's wire geometry at all (a harness bug, not a wire error).
+    fn verify_delivered_frames(&self, flits: &[PayloadBits]) -> Result<bool, TransportError>;
+
     /// A per-link transition recorder matching this session's link width —
     /// the measurement end of the transport lifecycle (Fig. 8).
     fn link_recorder(&self) -> TransitionRecorder {
@@ -312,6 +376,19 @@ impl CodedTransport {
     #[must_use]
     pub fn new(config: TransportConfig) -> Self {
         Self { config }
+    }
+
+    /// Widens a stream of plain `data_width` images into EDC-stamped
+    /// frames, in place. No-op (and no width change) without an EDC, so
+    /// the perfect-wire pipeline is untouched.
+    fn stamp_frames<W: DataWord>(&self, plain: &mut [PayloadBits]) {
+        if self.config.edc == EdcKind::None {
+            return;
+        }
+        let data_width = self.config.data_width_bits::<W>();
+        for image in plain {
+            *image = self.config.edc.stamp(image, data_width);
+        }
     }
 
     /// [`TransportSession::encode_task`] with reusable scratch buffers and
@@ -360,7 +437,7 @@ impl CodedTransport {
         weight_perm: Option<&[usize]>,
         scratch: &mut TransportScratch,
     ) -> Result<EncodedTask<W>, FlitizeError> {
-        let (plain, pair_index) = order_images_from_parts(
+        let (mut plain, pair_index) = order_images_from_parts(
             inputs,
             weights,
             bias,
@@ -370,6 +447,7 @@ impl CodedTransport {
             weight_perm,
             scratch,
         )?;
+        self.stamp_frames::<W>(&mut plain);
         let wire = if self.config.codes_in_transport() {
             Some(self.config.codec.encode_stream(&plain))
         } else {
@@ -386,6 +464,7 @@ impl CodedTransport {
             plain,
             wire,
             codec: self.config.codec,
+            edc: self.config.edc,
             _word: std::marker::PhantomData,
         })
     }
@@ -454,8 +533,9 @@ impl CodedTransport {
             self.config.values_per_flit,
             "template was rendered for a different lane count"
         );
-        let (plain, pair_index) =
+        let (mut plain, pair_index) =
             render_images_with_template(template, inputs, self.config.tiebreak, scratch);
+        self.stamp_frames::<W>(&mut plain);
         let wire = if self.config.codes_in_transport() {
             Some(self.config.codec.encode_stream(&plain))
         } else {
@@ -470,6 +550,7 @@ impl CodedTransport {
             plain,
             wire,
             codec: self.config.codec,
+            edc: self.config.edc,
             _word: std::marker::PhantomData,
         })
     }
@@ -482,6 +563,14 @@ impl CodedTransport {
     pub fn encode_response<W: DataWord>(&self, bits: u64) -> PayloadBits {
         let mut image = PayloadBits::zero(self.config.data_width_bits::<W>());
         image.set_field(0, 32, bits);
+        if self.config.edc != EdcKind::None {
+            // Responses are payload flits too: they traverse the same
+            // unreliable wires, so they carry the same check field.
+            image = self
+                .config
+                .edc
+                .stamp(&image, self.config.data_width_bits::<W>());
+        }
         if self.config.codes_in_transport() {
             self.config
                 .codec
@@ -515,7 +604,8 @@ impl CodedTransport {
             self.config.values_per_flit,
             self.config.tiebreak,
         )?;
-        let plain = ordered.payload_flits();
+        let mut plain = ordered.payload_flits();
+        self.stamp_frames::<W>(&mut plain);
         let wire = if self.config.codes_in_transport() {
             Some(self.config.codec.encode_stream(&plain))
         } else {
@@ -530,6 +620,7 @@ impl CodedTransport {
             plain,
             wire,
             codec: self.config.codec,
+            edc: self.config.edc,
             _word: std::marker::PhantomData,
         })
     }
@@ -540,20 +631,20 @@ impl CodedTransport {
     /// possibly re-aligned onto the full link width with the side-channel
     /// wires zeroed (the NoC widens narrower payload images at
     /// injection). Returns `false` when `flits` already are the plain
-    /// `data_width` images and can be borrowed as-is; `true` when the
-    /// plain images were written into `buf` (cleared first; capacity is
-    /// reused across packets, keeping the receiver path allocation-free
-    /// in steady state).
+    /// `frame_width` images (data + EDC field) and can be borrowed
+    /// as-is; `true` when the plain images were written into `buf`
+    /// (cleared first; capacity is reused across packets, keeping the
+    /// receiver path allocation-free in steady state).
     fn plain_images_into(
         &self,
         flits: &[PayloadBits],
-        data_width: u32,
+        frame_width: u32,
         buf: &mut Vec<PayloadBits>,
     ) -> Result<bool, CodecError> {
         if self.config.codes_in_transport() {
             buf.clear();
             buf.reserve(flits.len());
-            let mut state = self.config.codec.seed_state(data_width);
+            let mut state = self.config.codec.seed_state(frame_width);
             for wire in flits {
                 buf.push(state.decode_step(wire)?);
             }
@@ -563,25 +654,25 @@ impl CodedTransport {
             CodecScope::PerLink => self.config.codec.extra_wires(),
             CodecScope::PerPacket => 0, // identity codec
         };
-        if extra > 0 && flits.iter().all(|f| f.width() == data_width + extra) {
+        if extra > 0 && flits.iter().all(|f| f.width() == frame_width + extra) {
             // Link-aligned plain images: drop the side-channel wires the
             // mesh padded in — refusing images whose side channel is not
             // zero (those are coded wires, not plain images).
             buf.clear();
             buf.reserve(flits.len());
             for (i, flit) in flits.iter().enumerate() {
-                if flit.field(data_width, extra) != 0 {
+                if flit.field(frame_width, extra) != 0 {
                     return Err(CodecError::SideChannel { flit: i });
                 }
-                buf.push(flit.resized(data_width));
+                buf.push(flit.resized(frame_width));
             }
             return Ok(true);
         }
         for flit in flits {
-            if flit.width() != data_width {
+            if flit.width() != frame_width {
                 return Err(CodecError::WireWidth {
                     got: flit.width(),
-                    want: data_width,
+                    want: frame_width,
                 });
             }
         }
@@ -603,9 +694,9 @@ impl CodedTransport {
         meta: &TaskWireMeta,
         flits: &[PayloadBits],
     ) -> Result<RecoveredTask<W>, TransportError> {
-        let data_width = self.config.data_width_bits::<W>();
+        let frame_width = self.config.frame_width_bits::<W>();
         let mut buf = Vec::new();
-        let decoded = self.plain_images_into(flits, data_width, &mut buf)?;
+        let decoded = self.plain_images_into(flits, frame_width, &mut buf)?;
         let plain: &[PayloadBits] = if decoded { &buf } else { flits };
         let ordered = OrderedTask::<W>::from_payload_flits(
             self.config.ordering,
@@ -651,10 +742,10 @@ impl CodedTransport {
         scratch: &mut TransportScratch,
         out: &mut RecoveredTask<W>,
     ) -> Result<(), TransportError> {
-        let data_width = self.config.data_width_bits::<W>();
+        let frame_width = self.config.frame_width_bits::<W>();
         // Field-disjoint scratch borrows: the plain-image buffer is
         // filled here, the assignment buffer inside the recovery.
-        let decoded = self.plain_images_into(flits, data_width, &mut scratch.plain_buf)?;
+        let decoded = self.plain_images_into(flits, frame_width, &mut scratch.plain_buf)?;
         let plain: &[PayloadBits] = if decoded { &scratch.plain_buf } else { flits };
         recover_from_images(
             self.config.ordering,
@@ -678,13 +769,13 @@ impl CodedTransport {
         &self,
         wire: &[PayloadBits],
     ) -> Result<u64, TransportError> {
-        let data_width = self.config.data_width_bits::<W>();
+        let frame_width = self.config.frame_width_bits::<W>();
         let image = wire.first().ok_or(TransportError::EmptyResponse)?;
         if self.config.codes_in_transport() {
             // Responses are single-flit packets, so decoding the first
             // wire image against a fresh (per-packet) state is the whole
             // codec inverse.
-            let mut state = self.config.codec.seed_state(data_width);
+            let mut state = self.config.codec.seed_state(frame_width);
             return Ok(state.decode_step(image)?.field(0, 32));
         }
         // Plain image (identity codec, or per-link scope where the links
@@ -694,20 +785,70 @@ impl CodedTransport {
             CodecScope::PerLink => self.config.codec.extra_wires(),
             CodecScope::PerPacket => 0,
         };
-        if extra > 0 && image.width() == data_width + extra {
-            if image.field(data_width, extra) != 0 {
+        if extra > 0 && image.width() == frame_width + extra {
+            if image.field(frame_width, extra) != 0 {
                 return Err(CodecError::SideChannel { flit: 0 }.into());
             }
             return Ok(image.field(0, 32));
         }
-        if image.width() != data_width {
+        if image.width() != frame_width {
             return Err(CodecError::WireWidth {
                 got: image.width(),
-                want: data_width,
+                want: frame_width,
             }
             .into());
         }
         Ok(image.field(0, 32))
+    }
+
+    /// Checks every delivered payload flit's EDC field against its data
+    /// bits — the receiving NI's detection step, run *before* decode.
+    /// Returns `Ok(true)` when all frames verify (trivially so without an
+    /// EDC), `Ok(false)` when at least one frame fails — the NACK that
+    /// triggers a retransmission.
+    ///
+    /// Per-packet coded scope decodes the wire stream against a fresh
+    /// seed first (the check rides inside the coded frame); the other
+    /// scopes verify the delivered frames directly, accepting
+    /// link-aligned images whose upper wires the mesh padded in.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Codec`] when the images do not match the
+    /// session's wire geometry at all (a harness bug, not a wire error).
+    pub fn verify_delivered_frames<W: DataWord>(
+        &self,
+        flits: &[PayloadBits],
+    ) -> Result<bool, TransportError> {
+        let edc = self.config.edc;
+        if edc == EdcKind::None {
+            return Ok(true);
+        }
+        let data_width = self.config.data_width_bits::<W>();
+        let frame_width = self.config.frame_width_bits::<W>();
+        if self.config.codes_in_transport() {
+            let mut state = self.config.codec.seed_state(frame_width);
+            for wire in flits {
+                let frame = state.decode_step(wire)?;
+                if !edc.verify(&frame, data_width) {
+                    return Ok(false);
+                }
+            }
+            return Ok(true);
+        }
+        for flit in flits {
+            if flit.width() < frame_width {
+                return Err(CodecError::WireWidth {
+                    got: flit.width(),
+                    want: frame_width,
+                }
+                .into());
+            }
+            if !edc.verify(flit, data_width) {
+                return Ok(false);
+            }
+        }
+        Ok(true)
     }
 }
 
@@ -726,6 +867,10 @@ impl<W: DataWord> TransportSession<W> for CodedTransport {
         flits: &[PayloadBits],
     ) -> Result<RecoveredTask<W>, TransportError> {
         self.decode_task_cached(meta, flits, &mut TransportScratch::default())
+    }
+
+    fn verify_delivered_frames(&self, flits: &[PayloadBits]) -> Result<bool, TransportError> {
+        CodedTransport::verify_delivered_frames::<W>(self, flits)
     }
 }
 
@@ -964,6 +1109,7 @@ mod tests {
                             values_per_flit: 16,
                             codec,
                             scope: CodecScope::PerPacket,
+                            edc: EdcKind::None,
                         });
                         let enc = session.encode_task(&task).unwrap();
                         let rec = session

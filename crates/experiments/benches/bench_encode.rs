@@ -42,6 +42,7 @@
 
 use btr_bits::word::Fx8Word;
 use btr_core::codec::{CodecKind, CodecScope};
+use btr_core::edc::EdcKind;
 use btr_core::flitize::EncodeTemplate;
 use btr_core::ordering::{OrderingMethod, SortScratch, TieBreak};
 use btr_core::task::NeuronTask;
@@ -83,6 +84,7 @@ impl LayerFixture {
             values_per_flit: VPF,
             codec: CodecKind::Unencoded,
             scope: CodecScope::PerPacket,
+            edc: EdcKind::None,
         });
         let kernels: Vec<Vec<Fx8Word>> = (0..GROUPS)
             .map(|_| (0..FAN_IN).map(|_| Fx8Word::new(rng.gen())).collect())

@@ -35,11 +35,13 @@
 
 use btr_bits::payload::PayloadBits;
 use btr_bits::word::DataFormat;
-use btr_core::codec::{CodecKind, CodecScope};
+use btr_core::codec::{CodecKind, CodecScope, ResyncPolicy};
+use btr_core::edc::EdcKind;
 use btr_core::ordering::{OrderingMethod, TieBreak};
 use btr_dnn::data::SyntheticDigits;
 use btr_dnn::tensor::Tensor;
 use btr_noc::config::NocConfig;
+use btr_noc::fault::BitErrorRate;
 use btr_noc::packet::Packet;
 use btr_noc::sim::{DeliveredPacket, Simulator};
 use btr_noc::EngineMode;
@@ -67,6 +69,9 @@ fn engine_grid(engine: EngineMode) -> Vec<SweepCell> {
         &[CodecScope::PerPacket],
         &[1],
         &[engine],
+        &[BitErrorRate::default()],
+        &[EdcKind::None],
+        &[ResyncPolicy::ReseedOnRetry],
     )
 }
 

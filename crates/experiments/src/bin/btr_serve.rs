@@ -5,7 +5,7 @@
 //! queue through a batching window, drives the pool with the
 //! deterministic synthetic client, and reports aggregate throughput,
 //! fleet-wide bit transitions, overhead totals and queue-depth / latency
-//! histograms — optionally as a `btr-serve-v1` JSON document.
+//! histograms — optionally as a `btr-serve-v2` JSON document.
 //!
 //! Usage:
 //! `cargo run --release -p experiments --bin btr-serve -- \
@@ -15,12 +15,14 @@
 //!     [--ordering O0|O1|O2] [--codec none|bus-invert|delta-xor] \
 //!     [--codec-scope per-packet|per-link] \
 //!     [--driver pipelined|sync] [--engine cycle|analytic|auto] \
-//!     [--darknet-width 8] [--seed 42] \
+//!     [--ber 1e-6] [--edc none|parity|crc8] [--resync reseed|continuous] \
+//!     [--retries 8] [--darknet-width 8] [--seed 42] \
 //!     [--json serve.json]`
 
 use btr_accel::config::{AccelConfig, DriverMode};
 use btr_bits::word::DataFormat;
-use btr_core::codec::{CodecKind, CodecScope};
+use btr_core::codec::{CodecKind, CodecScope, ResyncPolicy};
+use btr_core::edc::EdcKind;
 use btr_core::ordering::OrderingMethod;
 use btr_dnn::data::{SyntheticDigits, SyntheticRgb};
 use btr_dnn::models::darknet;
@@ -56,6 +58,10 @@ fn main() {
     let codec_scope: CodecScope = cli::arg("codec-scope", CodecScope::PerPacket);
     let driver: DriverMode = cli::arg("driver", DriverMode::Pipelined);
     let engine: EngineMode = cli::arg("engine", EngineMode::Cycle);
+    let ber: f64 = cli::arg("ber", 0.0);
+    let edc: Option<EdcKind> = cli::opt_arg("edc");
+    let resync: ResyncPolicy = cli::arg("resync", ResyncPolicy::ReseedOnRetry);
+    let retries: u32 = cli::arg("retries", 8);
     let darknet_width: usize = cli::arg("darknet-width", 8);
     let seed: u64 = cli::arg("seed", 42);
     let json_path: Option<String> = cli::opt_arg("json");
@@ -92,6 +98,22 @@ fn main() {
     let mut accel = AccelConfig::paper(mesh.width, mesh.height, mesh.mc_count, format, ordering)
         .with_codec(codec)
         .with_codec_scope(codec_scope);
+    if let Some(edc) = edc {
+        accel = accel.with_edc(edc);
+    }
+    if ber > 0.0 || edc.is_some() {
+        // `--edc` alone arms the recovery protocol on perfect wires, so
+        // pure EDC overhead is measurable; `--ber` flips real bits.
+        accel = accel.with_fault(
+            btr_noc::fault::ErrorModel {
+                ber: btr_noc::fault::BitErrorRate::from_f64(ber),
+                seed,
+                mode: btr_noc::fault::FaultMode::PerFlit,
+            },
+            resync,
+            retries,
+        );
+    }
     accel.batch_size = batch;
     accel.driver = driver;
     accel.engine = engine;
@@ -128,6 +150,17 @@ fn main() {
         "fleet: {} bit transitions, {} index-overhead bits, {} codec-overhead bits",
         report.transitions, report.index_overhead_bits, report.codec_overhead_bits
     );
+    if config.accel.noc.fault.is_some() {
+        println!(
+            "faults: {} failed, {} edc-overhead bits, {} retransmitted flits, \
+             {} retried packets (retries/request p99 {})",
+            report.failed,
+            report.edc_overhead_bits,
+            report.retransmitted_flits,
+            report.retried_packets,
+            report.retries.percentile(0.99),
+        );
+    }
     println!(
         "latency us: p50 {} p90 {} p99 {} max {}  |  queue depth: p50 {} max {}  |  batch fill: mean {:.2}",
         report.latency_us.percentile(0.5),

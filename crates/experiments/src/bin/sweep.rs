@@ -10,13 +10,15 @@
 //!
 //! Usage:
 //! `cargo run --release -p experiments --bin sweep -- \
-//!     [--preset smoke|fig12_noc_sizes|fig13_models|ablation_orderings|ablation_codecs|ablation_scopes] \
+//!     [--preset smoke|fig12_noc_sizes|fig13_models|ablation_orderings|ablation_codecs|ablation_scopes|ablation_faults] \
 //!     [--models lenet,darknet] [--weights trained] [--seed 42] \
 //!     [--meshes 4x4x2,8x8x4,8x8x8] [--formats f32,fx8] \
 //!     [--orderings O0,O1,O2] [--ties stable,value] [--fx8-global] \
 //!     [--codecs none,bus-invert,delta-xor] \
 //!     [--codec-scope per-packet,per-link] [--batch 1,4,16] \
 //!     [--engine cycle,analytic,auto] [--driver pipelined|sync] [--shard 0/4] \
+//!     [--ber 0,1e-7,1e-6] [--edc none,parity,crc8] \
+//!     [--resync reseed,continuous] [--fault-armed] \
 //!     [--darknet-width 8] [--sequential] [--json sweep.json]`
 //!
 //! A `--preset` sets the grid axes (explicit flags still override);
@@ -25,14 +27,21 @@
 //! `--merge a.json,b.json --json out.json` skips simulation entirely and
 //! concatenates/validates previously written result files.
 //!
-//! `--json` writes the `btr-sweep-v6` schema described in EXPERIMENTS.md.
+//! `--fault-armed` runs every cell through the full EDC/retransmission
+//! receive path even at BER zero; the flag is not serialized, so diffing
+//! an armed zero-BER result file against a plain one pins the zero-BER
+//! equivalence of the fault machinery (CI does exactly that).
+//!
+//! `--json` writes the `btr-sweep-v7` schema described in EXPERIMENTS.md.
 
 use btr_accel::config::DriverMode;
 use btr_bits::word::DataFormat;
-use btr_core::codec::{CodecKind, CodecScope};
+use btr_core::codec::{CodecKind, CodecScope, ResyncPolicy};
+use btr_core::edc::EdcKind;
 use btr_core::ordering::{OrderingMethod, TieBreak};
 use btr_dnn::data::{SyntheticDigits, SyntheticRgb};
 use btr_dnn::models::darknet;
+use btr_noc::fault::BitErrorRate;
 use btr_noc::EngineMode;
 use experiments::cli;
 use experiments::json::Json;
@@ -62,6 +71,9 @@ struct Preset {
     scopes: Vec<CodecScope>,
     batches: Vec<usize>,
     engines: Vec<EngineMode>,
+    bers: Vec<f64>,
+    edcs: Vec<EdcKind>,
+    resyncs: Vec<ResyncPolicy>,
 }
 
 impl Preset {
@@ -77,6 +89,9 @@ impl Preset {
             scopes: vec![CodecScope::PerPacket],
             batches: vec![1],
             engines: vec![EngineMode::Cycle],
+            bers: vec![0.0],
+            edcs: vec![EdcKind::None],
+            resyncs: vec![ResyncPolicy::ReseedOnRetry],
         }
     }
 
@@ -144,11 +159,28 @@ impl Preset {
                 scopes: CodecScope::ALL.to_vec(),
                 ..Self::general()
             },
+            // What do unreliable links cost, and does ordering still pay
+            // for itself once every frame carries a CRC and some packets
+            // go around twice? {O0,O2} × {none, delta-xor/per-link} ×
+            // BER {0, 1e-7, 1e-6} with CRC-8 frames and reseed-on-retry
+            // recovery. The BER-0 rows isolate the pure EDC wire cost;
+            // the others add real retransmission traffic.
+            "ablation_faults" => Preset {
+                meshes: small_mesh,
+                formats: vec![DataFormat::Fixed8],
+                orderings: vec![OrderingMethod::Baseline, OrderingMethod::Separated],
+                codecs: vec![CodecKind::Unencoded, CodecKind::DeltaXor],
+                scopes: vec![CodecScope::PerLink],
+                bers: vec![0.0, 1e-7, 1e-6],
+                edcs: vec![EdcKind::Crc8],
+                ..Self::general()
+            },
             other => {
                 eprintln!(
                     "error: unknown preset {other:?}; use \
                      general|smoke|fig12_noc_sizes|fig13_models|\
-                     ablation_orderings|ablation_codecs|ablation_scopes"
+                     ablation_orderings|ablation_codecs|ablation_scopes|\
+                     ablation_faults"
                 );
                 std::process::exit(2);
             }
@@ -257,6 +289,13 @@ fn main() {
     let scopes: Vec<CodecScope> = cli::list_arg("codec-scope", preset.scopes);
     let batches: Vec<usize> = cli::list_arg("batch", preset.batches);
     let engines: Vec<EngineMode> = cli::list_arg("engine", preset.engines);
+    let bers: Vec<BitErrorRate> = cli::list_arg("ber", preset.bers)
+        .into_iter()
+        .map(BitErrorRate::from_f64)
+        .collect();
+    let edcs: Vec<EdcKind> = cli::list_arg("edc", preset.edcs);
+    let resyncs: Vec<ResyncPolicy> = cli::list_arg("resync", preset.resyncs);
+    let fault_armed = cli::flag("fault-armed");
     let fx8_globals = if cli::flag("fx8-global") {
         vec![true]
     } else {
@@ -282,13 +321,21 @@ fn main() {
         &scopes,
         &batches,
         &engines,
+        &bers,
+        &edcs,
+        &resyncs,
     );
     let total = cells.len();
-    let cells = shard.select(cells);
+    let mut cells = shard.select(cells);
+    if fault_armed {
+        for cell in &mut cells {
+            cell.fault_armed = true;
+        }
+    }
     eprintln!(
         "# sweep [{preset_name}]: {} workloads x {} meshes x {} formats x {} orderings x {} ties \
-         x {} codecs x {} scopes x {} batches x {} engines = {total} cells \
-         (shard {shard}: {} cells, {driver} driver)",
+         x {} codecs x {} scopes x {} batches x {} engines x {} bers x {} edcs x {} resyncs \
+         = {total} cells (shard {shard}: {} cells, {driver} driver{})",
         workloads.len(),
         meshes.len(),
         formats.len(),
@@ -298,13 +345,21 @@ fn main() {
         scopes.len(),
         batches.len(),
         engines.len(),
-        cells.len()
+        bers.len(),
+        edcs.len(),
+        resyncs.len(),
+        cells.len(),
+        if fault_armed {
+            ", fault path armed"
+        } else {
+            ""
+        }
     );
     let outcomes = run_cells_with(&workloads, cells, sequential, driver);
     let baselines = baseline_index(&outcomes);
 
     println!(
-        "{:<24} {:<9} {:<9} {:>4} {:>7} {:>11} {:>10} {:>5} {:>9} {:>16} {:>10} {:>11} {:>10} {:>8}",
+        "{:<24} {:<9} {:<9} {:>4} {:>7} {:>11} {:>10} {:>5} {:>9} {:>7} {:>6} {:>16} {:>10} {:>11} {:>8} {:>7} {:>10} {:>8}",
         "workload",
         "NoC",
         "format",
@@ -314,9 +369,13 @@ fn main() {
         "scope",
         "batch",
         "engine",
+        "ber",
+        "edc",
         "total BTs",
         "reduction",
         "energy mJ",
+        "retx",
+        "ok%",
         "cycles",
         "wall"
     );
@@ -336,7 +395,7 @@ fn main() {
         }
         let reduction = reduction_vs_baseline(&baselines, o).map_or(0.0, |r| r * 100.0);
         println!(
-            "{:<24} {:<9} {:<9} {:>4} {:>7} {:>11} {:>10} {:>5} {:>9} {:>16} {:>9.2}% {:>11.4} {:>10} {:>6}ms",
+            "{:<24} {:<9} {:<9} {:>4} {:>7} {:>11} {:>10} {:>5} {:>9} {:>7} {:>6} {:>16} {:>9.2}% {:>11.4} {:>8} {:>6.2}% {:>10} {:>6}ms",
             workloads[o.cell.workload].name,
             o.cell.mesh.label(),
             o.cell.format.name(),
@@ -346,9 +405,13 @@ fn main() {
             o.cell.scope.label(),
             o.cell.batch,
             o.cell.engine.label(),
+            format!("{:.0e}", o.cell.ber.as_f64()),
+            o.cell.edc.label(),
             o.transitions,
             reduction,
             o.link_energy_mj,
+            o.retransmitted_flits,
+            o.delivered_ok_fraction * 100.0,
             o.cycles,
             o.wall_ms
         );

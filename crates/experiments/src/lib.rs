@@ -6,7 +6,7 @@
 //! LeNet), packet pools for the "without NoC" experiments, a tiny
 //! CLI-argument parser so the binaries stay dependency-light, the
 //! parallel sweep runner, the JSON writer behind the machine-readable
-//! result files, and the `btr-serve-v1` schema for the multi-session
+//! result files, and the `btr-serve-v2` schema for the multi-session
 //! service front-end.
 
 #![forbid(unsafe_code)]

@@ -3,17 +3,18 @@
 //!
 //! A sweep is a grid over `(workload × mesh × data format × ordering ×
 //! tiebreak × fx8 scheme × link codec × codec scope × batch size ×
-//! engine)`. Every cell runs a complete (batched) inference through its
-//! own flat-array simulator
+//! engine × BER × EDC × resync)`. Every cell runs a complete (batched)
+//! inference through its own flat-array simulator
 //! (cells share nothing, so they parallelize perfectly), and the outcome
 //! carries the figures the paper's evaluation reports: total bit
-//! transitions, cycles, flit-hops, latency, index/codec side-channel
-//! overhead.
+//! transitions, cycles, flit-hops, latency, index/codec/EDC side-channel
+//! overhead, and the fault-recovery metrics (retransmitted flits,
+//! retried packets, clean-first-try delivery fraction).
 //!
 //! The `sweep` binary (including its `fig12_noc_sizes` / `fig13_models`
 //! presets, the retired per-figure binaries) is a thin front-end over
 //! [`expand_grid`] + [`run_cells`] + [`outcomes_json`]; see
-//! `EXPERIMENTS.md` for the JSON schema (`btr-sweep-v6`) and usage
+//! `EXPERIMENTS.md` for the JSON schema (`btr-sweep-v7`) and usage
 //! examples. Grids can span machines: a [`Shard`] selects a deterministic
 //! subset of the expanded cells and [`merge_sweep_json`] recombines the
 //! per-shard result files.
@@ -22,17 +23,31 @@ use crate::json::Json;
 use btr_accel::config::{AccelConfig, DriverMode};
 use btr_accel::driver::run_inference_batch;
 use btr_bits::word::DataFormat;
-use btr_core::codec::{CodecKind, CodecScope};
+use btr_core::codec::{CodecKind, CodecScope, ResyncPolicy};
+use btr_core::edc::EdcKind;
 use btr_core::ordering::{OrderingMethod, TieBreak};
 use btr_dnn::model::InferenceOp;
 use btr_dnn::tensor::Tensor;
+use btr_noc::fault::{BitErrorRate, ErrorModel, FaultMode};
 use btr_noc::EngineMode;
 use rayon::prelude::*;
 
 /// The sweep result schema version (`codec` axis added in v2, `batch`
 /// axis in v3, `distinct_inputs` in v4, `codec_scope` + `link_energy_mj`
-/// in v5, `engine` + `analytic_phase_fraction` in v6).
-pub const SWEEP_SCHEMA: &str = "btr-sweep-v6";
+/// in v5, `engine` + `analytic_phase_fraction` in v6, `ber`/`edc`/
+/// `resync` axes + `edc_overhead_bits`/`retransmitted_flits`/
+/// `retried_packets`/`delivered_ok_fraction` in v7).
+pub const SWEEP_SCHEMA: &str = "btr-sweep-v7";
+
+/// Seed of the deterministic per-link fault streams every error-injected
+/// cell uses. One fixed constant, so two runs of the same grid (and the
+/// shards of a split grid) flip identical bits.
+pub const FAULT_SEED: u64 = 0xB17;
+
+/// Retry budget armed in fault-injected cells; a packet still dirty
+/// after this many replays fails the whole cell loudly (its row carries
+/// the error).
+pub const FAULT_RETRY_BUDGET: u32 = 8;
 
 /// A named inference workload (model lowered to ops + a pool of input
 /// tensors batched cells draw from).
@@ -161,6 +176,30 @@ pub struct SweepCell {
     /// cycle-accurate mesh, the forced analytic stream replay, or
     /// per-phase classification with cycle fallback.
     pub engine: EngineMode,
+    /// Per-directed-link bit-error rate (zero = perfect wires). Stored
+    /// as the exact [`BitErrorRate`] threshold so cells stay `Eq`/`Hash`.
+    pub ber: BitErrorRate,
+    /// EDC check field carried on every flit frame. [`EdcKind::None`]
+    /// with a zero BER is the plain perfect-wire cell; any other
+    /// combination arms the recovery protocol.
+    pub edc: EdcKind,
+    /// Codec-lane resync policy at retransmission boundaries (only
+    /// observable with a stateful per-link codec under errors).
+    pub resync: ResyncPolicy,
+    /// Harness-only knob (never serialized, not part of the baseline
+    /// key): arm the full EDC/retry receive path even at BER zero, so
+    /// zero-BER equivalence with the plain path can be pinned by
+    /// diffing result files.
+    pub fault_armed: bool,
+}
+
+impl SweepCell {
+    /// True when this cell runs the fault/EDC/retransmission protocol
+    /// (real errors, an explicit EDC, or the harness arming knob).
+    #[must_use]
+    pub fn runs_fault_protocol(&self) -> bool {
+        !self.ber.is_zero() || self.edc != EdcKind::None || self.fault_armed
+    }
 }
 
 /// The measured outcome of one cell.
@@ -185,8 +224,22 @@ pub struct CellOutcome {
     /// Link energy of the recorded (coded-wire) transitions in
     /// millijoules, under the paper's extracted 0.173 pJ/transition model
     /// (`btr_hw::link_energy`) — computed from the transitions the
-    /// simulated scope actually put on the wires.
+    /// simulated scope actually put on the wires. Retry-inclusive: a
+    /// retransmitted packet traverses (and toggles) the wires again, and
+    /// those transitions land in the same counters, so under errors this
+    /// is the net energy of delivering everything clean.
     pub link_energy_mj: f64,
+    /// Per-flit EDC check-field overhead in bits (the CRC/parity wires).
+    pub edc_overhead_bits: u64,
+    /// Payload flits the NIs re-sent after NACKed deliveries.
+    pub retransmitted_flits: u64,
+    /// Logical packets that needed at least one retransmission before
+    /// arriving clean.
+    pub retried_packets: u64,
+    /// Fraction of logical packets (requests + responses) delivered
+    /// clean on their first attempt: `1 - retried_packets / (2 ×
+    /// request_packets)`. Exactly 1.0 on perfect wires.
+    pub delivered_ok_fraction: f64,
     /// Distinct inputs the batch ran (equals `batch` since pools no
     /// longer cycle; recorded so result files are auditable).
     pub distinct_inputs: u64,
@@ -214,6 +267,9 @@ pub fn expand_grid(
     scopes: &[CodecScope],
     batches: &[usize],
     engines: &[EngineMode],
+    bers: &[BitErrorRate],
+    edcs: &[EdcKind],
+    resyncs: &[ResyncPolicy],
 ) -> Vec<SweepCell> {
     let mut cells = Vec::new();
     for w in 0..workloads {
@@ -226,18 +282,28 @@ pub fn expand_grid(
                                 for &scope in scopes {
                                     for &batch in batches {
                                         for &engine in engines {
-                                            cells.push(SweepCell {
-                                                workload: w,
-                                                mesh,
-                                                format,
-                                                ordering,
-                                                tiebreak,
-                                                fx8_global,
-                                                codec,
-                                                scope,
-                                                batch,
-                                                engine,
-                                            });
+                                            for &ber in bers {
+                                                for &edc in edcs {
+                                                    for &resync in resyncs {
+                                                        cells.push(SweepCell {
+                                                            workload: w,
+                                                            mesh,
+                                                            format,
+                                                            ordering,
+                                                            tiebreak,
+                                                            fx8_global,
+                                                            codec,
+                                                            scope,
+                                                            batch,
+                                                            engine,
+                                                            ber,
+                                                            edc,
+                                                            resync,
+                                                            fault_armed: false,
+                                                        });
+                                                    }
+                                                }
+                                            }
                                         }
                                     }
                                 }
@@ -288,6 +354,10 @@ fn run_cell_impl(
         index_overhead_bits: 0,
         codec_overhead_bits: 0,
         link_energy_mj: 0.0,
+        edc_overhead_bits: 0,
+        retransmitted_flits: 0,
+        retried_packets: 0,
+        delivered_ok_fraction: 0.0,
         distinct_inputs: 0,
         analytic_phase_fraction: 0.0,
         wall_ms: start.elapsed().as_millis() as u64,
@@ -303,6 +373,20 @@ fn run_cell_impl(
     )
     .with_codec(cell.codec)
     .with_codec_scope(cell.scope);
+    if cell.edc != EdcKind::None {
+        config = config.with_edc(cell.edc);
+    }
+    if cell.runs_fault_protocol() {
+        config = config.with_fault(
+            ErrorModel {
+                ber: cell.ber,
+                seed: FAULT_SEED,
+                mode: FaultMode::PerFlit,
+            },
+            cell.resync,
+            FAULT_RETRY_BUDGET,
+        );
+    }
     config.tiebreak = cell.tiebreak;
     config.global_fx8_weights = cell.fx8_global;
     config.batch_size = cell.batch;
@@ -314,22 +398,36 @@ fn run_cell_impl(
         Err(e) => return error_outcome(e),
     };
     match run_inference_batch(&workload.ops, &inputs, &config) {
-        Ok(result) => CellOutcome {
-            cell,
-            transitions: result.stats.total_transitions,
-            cycles: result.total_cycles,
-            flit_hops: result.stats.flit_hops,
-            request_packets: result.total_request_packets(),
-            mean_latency: result.stats.latency.mean,
-            index_overhead_bits: result.index_overhead_bits,
-            codec_overhead_bits: result.codec_overhead_bits,
-            link_energy_mj: btr_hw::link_energy::LinkPowerModel::paper()
-                .energy_mj(result.stats.total_transitions),
-            distinct_inputs: inputs.len() as u64,
-            analytic_phase_fraction: result.analytic_phase_fraction(),
-            wall_ms: start.elapsed().as_millis() as u64,
-            error: None,
-        },
+        Ok(result) => {
+            let request_packets = result.total_request_packets();
+            // Every request packet has a matching response, so the
+            // logical packet population is twice the request count.
+            let logical_packets = 2 * request_packets;
+            CellOutcome {
+                cell,
+                transitions: result.stats.total_transitions,
+                cycles: result.total_cycles,
+                flit_hops: result.stats.flit_hops,
+                request_packets,
+                mean_latency: result.stats.latency.mean,
+                index_overhead_bits: result.index_overhead_bits,
+                codec_overhead_bits: result.codec_overhead_bits,
+                link_energy_mj: btr_hw::link_energy::LinkPowerModel::paper()
+                    .energy_mj(result.stats.total_transitions),
+                edc_overhead_bits: result.edc_overhead_bits,
+                retransmitted_flits: result.retransmitted_flits,
+                retried_packets: result.retried_packets,
+                delivered_ok_fraction: if logical_packets == 0 {
+                    1.0
+                } else {
+                    1.0 - result.retried_packets as f64 / logical_packets as f64
+                },
+                distinct_inputs: inputs.len() as u64,
+                analytic_phase_fraction: result.analytic_phase_fraction(),
+                wall_ms: start.elapsed().as_millis() as u64,
+                error: None,
+            }
+        }
         Err(e) => error_outcome(e.to_string()),
     }
 }
@@ -445,6 +543,9 @@ pub fn outcomes_json(workloads: &[Workload], outcomes: &[CellOutcome]) -> Json {
                 ("codec_scope", Json::str(o.cell.scope.label())),
                 ("batch", Json::U64(o.cell.batch as u64)),
                 ("engine", Json::str(o.cell.engine.label())),
+                ("ber", Json::F64(o.cell.ber.as_f64())),
+                ("edc", Json::str(o.cell.edc.label())),
+                ("resync", Json::str(o.cell.resync.label())),
                 ("transitions", Json::U64(o.transitions)),
                 ("cycles", Json::U64(o.cycles)),
                 ("flit_hops", Json::U64(o.flit_hops)),
@@ -453,6 +554,10 @@ pub fn outcomes_json(workloads: &[Workload], outcomes: &[CellOutcome]) -> Json {
                 ("index_overhead_bits", Json::U64(o.index_overhead_bits)),
                 ("codec_overhead_bits", Json::U64(o.codec_overhead_bits)),
                 ("link_energy_mj", Json::F64(o.link_energy_mj)),
+                ("edc_overhead_bits", Json::U64(o.edc_overhead_bits)),
+                ("retransmitted_flits", Json::U64(o.retransmitted_flits)),
+                ("retried_packets", Json::U64(o.retried_packets)),
+                ("delivered_ok_fraction", Json::F64(o.delivered_ok_fraction)),
                 ("distinct_inputs", Json::U64(o.distinct_inputs)),
                 (
                     "analytic_phase_fraction",
@@ -569,7 +674,7 @@ pub fn merge_sweep_json(docs: &[(String, Json)]) -> Result<Json, String> {
 
 /// The non-ordering coordinates identifying a cell's baseline row, as
 /// serialized in the result JSON.
-const BASELINE_KEY_FIELDS: [&str; 9] = [
+const BASELINE_KEY_FIELDS: [&str; 12] = [
     "workload",
     "mesh",
     "format",
@@ -579,6 +684,9 @@ const BASELINE_KEY_FIELDS: [&str; 9] = [
     "codec_scope",
     "batch",
     "engine",
+    "ber",
+    "edc",
+    "resync",
 ];
 
 fn baseline_key(cell: &Json) -> String {
@@ -695,6 +803,9 @@ mod tests {
             &[CodecScope::PerPacket],
             &[1],
             &[EngineMode::Cycle],
+            &[BitErrorRate::default()],
+            &[EdcKind::None],
+            &[ResyncPolicy::ReseedOnRetry],
         );
         assert_eq!(cells.len(), 2 * 3 * 2 * 3 * 3);
     }
@@ -712,6 +823,9 @@ mod tests {
             &[CodecScope::PerPacket],
             &[1],
             &[EngineMode::Cycle],
+            &[BitErrorRate::default()],
+            &[EdcKind::None],
+            &[ResyncPolicy::ReseedOnRetry],
         );
         let shards: Vec<Vec<SweepCell>> = (0..4)
             .map(|i| Shard { index: i, count: 4 }.select(cells.clone()))
@@ -835,6 +949,9 @@ mod tests {
             &[CodecScope::PerPacket],
             &[1],
             &[EngineMode::Cycle],
+            &[BitErrorRate::default()],
+            &[EdcKind::None],
+            &[ResyncPolicy::ReseedOnRetry],
         );
         let outcomes = run_cells(&workloads, cells.clone(), false);
         assert_eq!(outcomes.len(), 3);
@@ -851,7 +968,7 @@ mod tests {
         }
         let json = outcomes_json(&workloads, &outcomes);
         let text = json.to_string_compact();
-        assert!(text.contains("\"schema\":\"btr-sweep-v6\""));
+        assert!(text.contains("\"schema\":\"btr-sweep-v7\""));
         assert!(text.contains("\"codec_scope\":\"per-packet\""));
         assert!(text.contains("\"link_energy_mj\""));
         assert!(text.contains("\"batch\":1"));
@@ -888,6 +1005,9 @@ mod tests {
             &[CodecScope::PerPacket],
             &[1],
             &[EngineMode::Cycle],
+            &[BitErrorRate::default()],
+            &[EdcKind::None],
+            &[ResyncPolicy::ReseedOnRetry],
         );
         let outcomes = run_cells(&workloads, cells, true);
         assert_eq!(outcomes.len(), 6);
@@ -933,6 +1053,9 @@ mod tests {
             &CodecScope::ALL,
             &[1],
             &[EngineMode::Cycle],
+            &[BitErrorRate::default()],
+            &[EdcKind::None],
+            &[ResyncPolicy::ReseedOnRetry],
         );
         let outcomes = run_cells(&workloads, cells, true);
         assert_eq!(outcomes.len(), 12);
@@ -1007,6 +1130,10 @@ mod tests {
             scope: CodecScope::PerPacket,
             batch,
             engine: EngineMode::Cycle,
+            ber: BitErrorRate::default(),
+            edc: EdcKind::None,
+            resync: ResyncPolicy::ReseedOnRetry,
+            fault_armed: false,
         };
         let b1 = run_cell(&workloads, cell(1));
         let b4 = run_cell(&workloads, cell(4));
@@ -1045,6 +1172,10 @@ mod tests {
             scope: CodecScope::PerPacket,
             batch: 5,
             engine: EngineMode::Cycle,
+            ber: BitErrorRate::default(),
+            edc: EdcKind::None,
+            resync: ResyncPolicy::ReseedOnRetry,
+            fault_armed: false,
         };
         let outcome = run_cell(&workloads, cell);
         let err = outcome.error.expect("oversized batch must fail");
@@ -1071,6 +1202,9 @@ mod tests {
             &[CodecScope::PerPacket],
             &[1],
             &[EngineMode::Cycle],
+            &[BitErrorRate::default()],
+            &[EdcKind::None],
+            &[ResyncPolicy::ReseedOnRetry],
         );
         let outcomes = run_cells(&workloads, cells, true);
         let index = baseline_index(&outcomes);
@@ -1102,6 +1236,9 @@ mod tests {
             &[CodecScope::PerLink],
             &[1],
             &EngineMode::ALL,
+            &[BitErrorRate::default()],
+            &[EdcKind::None],
+            &[ResyncPolicy::ReseedOnRetry],
         );
         let outcomes = run_cells(&workloads, cells, true);
         assert_eq!(outcomes.len(), 3);
@@ -1138,6 +1275,76 @@ mod tests {
     }
 
     #[test]
+    fn fault_axis_recovers_and_zero_ber_matches_plain() {
+        let workloads = vec![tiny_workload()];
+        let cell = |ber: f64, edc: EdcKind, fault_armed: bool| SweepCell {
+            workload: 0,
+            mesh: MeshSpec {
+                width: 4,
+                height: 4,
+                mc_count: 2,
+            },
+            format: DataFormat::Fixed8,
+            ordering: OrderingMethod::Separated,
+            tiebreak: TieBreak::Stable,
+            fx8_global: false,
+            codec: CodecKind::Unencoded,
+            scope: CodecScope::PerPacket,
+            batch: 1,
+            engine: EngineMode::Cycle,
+            ber: BitErrorRate::from_f64(ber),
+            edc,
+            resync: ResyncPolicy::ReseedOnRetry,
+            fault_armed,
+        };
+
+        // Arming the receive-side fault protocol at BER zero must not
+        // change a single recorded metric.
+        let plain = run_cell(&workloads, cell(0.0, EdcKind::None, false));
+        let armed = run_cell(&workloads, cell(0.0, EdcKind::None, true));
+        assert!(plain.error.is_none() && armed.error.is_none());
+        assert_eq!(armed.transitions, plain.transitions);
+        assert_eq!(armed.cycles, plain.cycles);
+        assert_eq!(armed.flit_hops, plain.flit_hops);
+        assert_eq!(armed.edc_overhead_bits, 0);
+        assert_eq!(armed.retransmitted_flits, 0);
+        assert_eq!(armed.delivered_ok_fraction, 1.0);
+
+        // A CRC-8 frame on perfect wires pays check-field bits but
+        // never retries.
+        let checked = run_cell(&workloads, cell(0.0, EdcKind::Crc8, false));
+        assert!(checked.error.is_none());
+        assert!(checked.edc_overhead_bits > 0);
+        assert_eq!(checked.retransmitted_flits, 0);
+        assert_eq!(checked.delivered_ok_fraction, 1.0);
+
+        // Real errors force retransmissions; the cell still completes
+        // and reports the recovery traffic.
+        let faulty = run_cell(&workloads, cell(1e-4, EdcKind::Crc8, false));
+        assert!(faulty.error.is_none(), "{:?}", faulty.error);
+        assert!(faulty.retransmitted_flits > 0);
+        assert!(faulty.retried_packets > 0);
+        assert!(faulty.delivered_ok_fraction < 1.0);
+        assert!(faulty.delivered_ok_fraction > 0.0);
+        // Retry traffic lands in the same transition counters, so the
+        // energy figure is retry-inclusive by construction.
+        assert!(faulty.transitions > checked.transitions);
+
+        // The v7 schema carries the fault axes and metrics.
+        let outcomes = vec![plain, checked, faulty];
+        let text = outcomes_json(&workloads, &outcomes).to_string_compact();
+        assert!(text.contains("\"schema\":\"btr-sweep-v7\""), "{text}");
+        // The u64 wire threshold round-trips to the nearest f64, so
+        // match the stable prefix rather than the literal 1e-4.
+        assert!(text.contains("\"ber\":0.00009999"), "{text}");
+        assert!(text.contains("\"edc\":\"crc8\""), "{text}");
+        assert!(text.contains("\"resync\":\"reseed\""), "{text}");
+        assert!(text.contains("\"edc_overhead_bits\""), "{text}");
+        assert!(text.contains("\"retransmitted_flits\""), "{text}");
+        assert!(text.contains("\"delivered_ok_fraction\":1"), "{text}");
+    }
+
+    #[test]
     fn failed_cells_report_errors() {
         let workloads = vec![tiny_workload()];
         // fixed-16 is not wired into the accelerator -> cell error.
@@ -1156,6 +1363,10 @@ mod tests {
             scope: CodecScope::PerPacket,
             batch: 1,
             engine: EngineMode::Cycle,
+            ber: BitErrorRate::default(),
+            edc: EdcKind::None,
+            resync: ResyncPolicy::ReseedOnRetry,
+            fault_armed: false,
         }];
         let outcomes = run_cells(&workloads, cells, true);
         assert!(outcomes[0].error.is_some());

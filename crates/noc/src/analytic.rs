@@ -213,6 +213,11 @@ impl Simulator {
             self.network_drained(),
             "analytic replay requires an empty network (whole packets queued at NIs only)"
         );
+        assert!(
+            !self.faults_armed(),
+            "analytic replay cannot model error-injected wires; error-injected phases \
+             must run the cycle engine"
+        );
         #[cfg(debug_assertions)]
         let oracle = verified_eligible.then(|| self.clone());
         #[cfg(not(debug_assertions))]

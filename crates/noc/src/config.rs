@@ -1,5 +1,6 @@
 //! NoC configuration: mesh geometry, link width, VCs, MC placement.
 
+use crate::fault::FaultConfig;
 use btr_core::codec::CodecKind;
 use serde::{Deserialize, Serialize};
 
@@ -42,6 +43,10 @@ pub struct NocConfig {
     /// per-packet scope, where any coding happened in the transport
     /// before injection.
     pub link_codec: Option<CodecKind>,
+    /// Unreliable-wire model: per-link error injection plus the EDC +
+    /// retransmission recovery protocol the NIs run. `None` models
+    /// perfect wires (the paper's setup).
+    pub fault: Option<FaultConfig>,
 }
 
 impl NocConfig {
@@ -57,6 +62,7 @@ impl NocConfig {
             routing: RoutingAlgorithm::XY,
             mc_nodes: Vec::new(),
             link_codec: None,
+            fault: None,
         }
     }
 
@@ -94,6 +100,7 @@ impl NocConfig {
             routing: RoutingAlgorithm::XY,
             mc_nodes,
             link_codec: None,
+            fault: None,
         }
     }
 
@@ -105,6 +112,23 @@ impl NocConfig {
     pub fn with_link_codec(mut self, codec: Option<CodecKind>) -> Self {
         self.link_codec = codec.filter(|c| c.is_stateful());
         self
+    }
+
+    /// The same configuration with the unreliable-wire model armed
+    /// (`None` restores perfect wires).
+    #[must_use]
+    pub fn with_fault(mut self, fault: Option<FaultConfig>) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// True when wires actually draw errors — fault model present with a
+    /// non-zero BER. An armed model at `ber = 0` keeps detection in the
+    /// path but this stays `false`, so bit-identity fast paths remain
+    /// eligible.
+    #[must_use]
+    pub fn injects_errors(&self) -> bool {
+        self.fault.is_some_and(|f| f.injects_errors())
     }
 
     /// Total node count.
@@ -182,6 +206,9 @@ impl NocConfig {
                     codec.extra_wires()
                 ));
             }
+        }
+        if let Some(fault) = &self.fault {
+            fault.validate(self.link_width_bits, self.link_codec)?;
         }
         Ok(())
     }
@@ -261,5 +288,41 @@ mod tests {
     #[should_panic(expected = "positive and even")]
     fn paper_mesh_rejects_odd_mc_count() {
         let _ = NocConfig::paper_mesh(4, 4, 3, 128);
+    }
+
+    #[test]
+    fn validation_catches_inconsistent_fault_configs() {
+        use crate::fault::{BitErrorRate, ErrorModel, FaultConfig, FaultMode};
+        use btr_core::edc::EdcKind;
+        let armed = ErrorModel {
+            ber: BitErrorRate::from_f64(1e-4),
+            seed: 9,
+            mode: FaultMode::PerFlit,
+        };
+        // Consistent: CRC-8 frame fills the 136-bit raw link.
+        let good = NocConfig::mesh(4, 4, 136).with_fault(Some(FaultConfig::new(armed, 136)));
+        assert!(good.validate().is_ok());
+        assert!(good.injects_errors());
+        // Errors with detection disabled would corrupt silently.
+        let mut bad = good.clone();
+        bad.fault.as_mut().unwrap().edc = EdcKind::None;
+        assert!(bad.validate().unwrap_err().contains("silent"));
+        // Errors with no retry budget can never recover.
+        let mut bad = good.clone();
+        bad.fault.as_mut().unwrap().max_retries = 0;
+        assert!(bad.validate().unwrap_err().contains("retry"));
+        // Per-link codec requires frame + side channel == link width.
+        let coded = NocConfig::mesh(4, 4, 137)
+            .with_link_codec(Some(CodecKind::BusInvert))
+            .with_fault(Some(FaultConfig::new(armed, 136)));
+        assert!(coded.validate().is_ok());
+        let mut bad = coded.clone();
+        bad.link_width_bits = 140;
+        assert!(bad.validate().is_err());
+        // Perfect wires with the model armed stay valid and inert.
+        let inert = NocConfig::mesh(4, 4, 136)
+            .with_fault(Some(FaultConfig::new(ErrorModel::perfect(9), 136)));
+        assert!(inert.validate().is_ok());
+        assert!(!inert.injects_errors());
     }
 }

@@ -13,6 +13,9 @@
 //!   classification and direct stream replay, with the cycle engine as
 //!   oracle;
 //! * [`config`] — mesh geometry, link width, VC parameters, MC placement;
+//! * [`fault`] — deterministic per-link wire-error injection (seed-split
+//!   RNG streams, per-flit or burst mode) behind the EDC + retransmission
+//!   recovery protocol in [`session`];
 //! * [`flit`] / [`packet`] — the wire units and packet→flit serialization;
 //! * [`routing`] — X-Y (and Y-X ablation) dimension-order routing;
 //! * [`session`] — task injection/decode through the shared
@@ -48,6 +51,7 @@
 
 pub mod analytic;
 pub mod config;
+pub mod fault;
 pub mod flit;
 pub mod legacy;
 pub mod packet;
@@ -59,6 +63,7 @@ pub mod traffic;
 
 pub use analytic::EngineMode;
 pub use config::{NocConfig, NodeId};
+pub use fault::{BitErrorRate, ErrorModel, FaultConfig, FaultMode};
 pub use flit::{Flit, FlitKind};
 pub use packet::Packet;
 pub use sim::{DeliveredPacket, Simulator};

@@ -283,7 +283,7 @@ impl Simulator {
         // Links own their codec state when the config asks for per-link
         // scope: one persistent tx/rx state pair per directed link, so
         // the slabs record the true coded wire across packet boundaries.
-        let (out_links, inject_links) = match config.link_codec {
+        let (mut out_links, mut inject_links) = match config.link_codec {
             None => (
                 LinkSlab::new(config.link_width_bits, n * NUM_PORTS),
                 LinkSlab::new(config.link_width_bits, n),
@@ -293,6 +293,17 @@ impl Simulator {
                 LinkSlab::with_link_codec(config.link_width_bits, n, codec),
             ),
         };
+        // The error process arms only when it actually draws (ber > 0):
+        // at ber = 0 the slabs stay on the untouched perfect-wire code
+        // path, which is what makes zero-BER bit-identity trivial rather
+        // than asserted. Distinct salts keep the two link families'
+        // streams independent.
+        if let Some(fault) = &config.fault {
+            if fault.injects_errors() {
+                out_links.arm_faults(fault.errors, 0, fault.frame_wires);
+                inject_links.arm_faults(fault.errors, 1, fault.frame_wires);
+            }
+        }
         let mut adjacency_tbl = vec![(u32::MAX, u8::MAX); n * NUM_PORTS];
         for r in 0..n {
             let (row, col) = config.position(r);
@@ -409,6 +420,31 @@ impl Simulator {
         &btr_core::codec::LinkCodecState,
     )> {
         self.inject_links.codec_lane_states(node)
+    }
+
+    /// True when the mesh's wires draw errors (fault model armed with
+    /// `ber > 0`). An armed-but-perfect configuration stays `false`: the
+    /// slabs then run the untouched perfect-wire code path.
+    #[must_use]
+    pub fn faults_armed(&self) -> bool {
+        self.out_links.faults_armed() || self.inject_links.faults_armed()
+    }
+
+    /// `(flipped_bits, corrupted_flits)` totals over every link of the
+    /// mesh, both zero on perfect wires.
+    #[must_use]
+    pub fn fault_totals(&self) -> (u64, u64) {
+        let (ob, of) = self.out_links.fault_totals();
+        let (ib, inf) = self.inject_links.fault_totals();
+        (ob + ib, of + inf)
+    }
+
+    /// Reseeds every directed link's tx/rx codec lane pair together —
+    /// the `ResyncPolicy::ReseedOnRetry` sideband pulse the NI fires at
+    /// a retry boundary. No-op on raw wires.
+    pub fn reseed_codec_lanes(&mut self) {
+        self.out_links.reseed_codec_lanes();
+        self.inject_links.reseed_codec_lanes();
     }
 
     /// Queues a packet at its source NI.
@@ -615,11 +651,15 @@ impl Simulator {
             self.ni_credits[node * self.num_vcs + vc] -= 1;
             let pid = fref.packet as usize;
             let seq = fref.seq as usize;
-            if self.inject_links.has_link_codec() && !self.packets[pid].flits[seq].kind.is_head() {
+            if (self.inject_links.has_link_codec() || self.inject_links.faults_armed())
+                && !self.packets[pid].flits[seq].kind.is_head()
+            {
                 // Per-link scope: the injection link encodes the payload
                 // flit against its persistent wire memory, the slab
                 // records the coded image, and the router-side decode's
-                // plain image is what travels onward.
+                // plain image is what travels onward. Fault-armed raw
+                // wires take the same path so flips land in the image the
+                // downstream hop actually carries.
                 let plain = self.packets[pid].flits[seq].payload;
                 self.packets[pid].flits[seq].payload =
                     self.inject_links.observe_payload(node, &plain);
@@ -786,11 +826,15 @@ impl Simulator {
                     self.routed_to[r * NUM_PORTS + op] &= !(1u64 << idx);
                 }
                 // Transmit on the link + record transitions (Fig. 8).
-                if self.out_links.has_link_codec() && !kind.is_head() {
+                if (self.out_links.has_link_codec() || self.out_links.faults_armed())
+                    && !kind.is_head()
+                {
                     // Per-link scope: encode against this link's
                     // persistent wire memory, record the coded image,
                     // carry the receiving end's decoded plain image
                     // onward (ejection links deliver it to the NI).
+                    // Fault-armed raw wires take the same path so flips
+                    // propagate in the carried image.
                     let pid = fref.packet as usize;
                     let seq = fref.seq as usize;
                     let plain = self.packets[pid].flits[seq].payload;
@@ -1177,6 +1221,67 @@ mod tests {
                     coded.drain_delivered(node),
                     "{codec}: delivered payloads at node {node}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic_and_inert_at_zero_ber() {
+        use crate::fault::{BitErrorRate, ErrorModel, FaultConfig, FaultMode};
+        use btr_core::codec::CodecKind;
+        let traffic = |sim: &mut Simulator| {
+            let mut rng = StdRng::seed_from_u64(17);
+            for tag in 0..80u64 {
+                let src = rng.gen_range(0..16);
+                let dst = rng.gen_range(0..16);
+                let payload: Vec<PayloadBits> = (0..rng.gen_range(1..5))
+                    .map(|_| {
+                        let mut p = PayloadBits::zero(128);
+                        p.set_field(0, 64, rng.gen());
+                        p.set_field(64, 64, rng.gen());
+                        p
+                    })
+                    .collect();
+                sim.inject(Packet::new(src, dst, payload, tag)).unwrap();
+            }
+            sim.run_until_idle(100_000).unwrap();
+        };
+        for codec in [None, Some(CodecKind::DeltaXor)] {
+            let link_width = 128 + codec.map_or(0, CodecKind::extra_wires);
+            let base = NocConfig::mesh(4, 4, link_width).with_link_codec(codec);
+            let armed = |ber: f64| {
+                let model = ErrorModel {
+                    ber: BitErrorRate::from_f64(ber),
+                    seed: 23,
+                    mode: FaultMode::PerFlit,
+                };
+                base.clone().with_fault(Some(FaultConfig::new(model, 128)))
+            };
+            // ber = 0 with the model present is bit-identical to no
+            // model at all: the slabs never arm.
+            let mut plain = Simulator::new(base.clone());
+            let mut inert = Simulator::new(armed(0.0));
+            assert!(!inert.faults_armed());
+            traffic(&mut plain);
+            traffic(&mut inert);
+            assert_eq!(
+                plain.stats().total_transitions,
+                inert.stats().total_transitions
+            );
+            for node in 0..16 {
+                assert_eq!(plain.drain_delivered(node), inert.drain_delivered(node));
+            }
+            // ber > 0 flips deterministically: two runs agree bit-for-bit.
+            let mut a = Simulator::new(armed(0.01));
+            let mut b = Simulator::new(armed(0.01));
+            assert!(a.faults_armed());
+            traffic(&mut a);
+            traffic(&mut b);
+            assert_eq!(a.stats().total_transitions, b.stats().total_transitions);
+            assert_eq!(a.fault_totals(), b.fault_totals());
+            assert!(a.fault_totals().0 > 0, "1% BER over this traffic must flip");
+            for node in 0..16 {
+                assert_eq!(a.drain_delivered(node), b.drain_delivered(node));
             }
         }
     }

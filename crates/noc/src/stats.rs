@@ -1,5 +1,6 @@
 //! Aggregate NoC statistics: bit transitions, latency, throughput.
 
+use crate::fault::{ErrorModel, FaultState};
 use crate::routing::Direction;
 use btr_bits::payload::PayloadBits;
 use btr_core::codec::{CodecKind, LinkCodecState};
@@ -46,6 +47,10 @@ pub struct LinkSlab {
     flits: Vec<u64>,
     /// Per-link codec endpoints; `None` models raw wires.
     lanes: Option<CodecLanes>,
+    /// Armed error process; `None` models perfect wires. Flips are
+    /// applied to the coded wire image between the tx encode and the
+    /// recorder/rx decode — exactly where a physical glitch lands.
+    faults: Option<FaultState>,
 }
 
 impl LinkSlab {
@@ -58,6 +63,7 @@ impl LinkSlab {
             transitions: vec![0; links],
             flits: vec![0; links],
             lanes: None,
+            faults: None,
         }
     }
 
@@ -94,6 +100,67 @@ impl LinkSlab {
     #[must_use]
     pub fn has_link_codec(&self) -> bool {
         self.lanes.is_some()
+    }
+
+    /// Arms the error process on every link of the slab. Payload flits
+    /// observed through [`LinkSlab::observe_payload`] from now on may
+    /// take wire flips inside `[0, frame_wires)`; `salt` namespaces this
+    /// slab's RNG streams under the model seed so two slabs never share
+    /// a flip sequence.
+    ///
+    /// Callers arm only when `model.ber > 0`: an un-armed slab is
+    /// bit-for-bit the perfect-wire code path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame_wires` is zero, exceeds the link width, or (on a
+    /// coded slab) does not fill the wire beside the codec side channel
+    /// — flips must never land on protected control wires.
+    pub fn arm_faults(&mut self, model: ErrorModel, salt: u64, frame_wires: u32) {
+        assert!(
+            frame_wires > 0 && frame_wires <= self.width,
+            "fault frame of {frame_wires} wire(s) does not fit the {}-bit link",
+            self.width
+        );
+        if let Some(lanes) = &self.lanes {
+            let data_width = lanes.tx.first().map_or(0, LinkCodecState::data_width);
+            assert!(
+                frame_wires <= data_width || data_width == 0,
+                "fault frame of {frame_wires} wire(s) overlaps the codec side channel \
+                 above wire {data_width}"
+            );
+        }
+        self.faults = Some(FaultState::new(model, salt, self.links(), frame_wires));
+    }
+
+    /// True when the slab's wires draw errors.
+    #[must_use]
+    pub fn faults_armed(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// `(flipped_bits, corrupted_flits)` totals across the slab, both
+    /// zero when un-armed.
+    #[must_use]
+    pub fn fault_totals(&self) -> (u64, u64) {
+        self.faults.as_ref().map_or((0, 0), |f| {
+            (f.total_flipped_bits(), f.total_corrupted_flits())
+        })
+    }
+
+    /// Reseeds every link's tx/rx codec lane pair together — the
+    /// [`ResyncPolicy::ReseedOnRetry`] sideband pulse. Lanes stay
+    /// mirrored (both forget their wire memory at the same instant), so
+    /// losslessness is preserved; only the next flit's transition cost
+    /// changes. No-op on a raw-wire slab.
+    ///
+    /// [`ResyncPolicy::ReseedOnRetry`]: btr_core::codec::ResyncPolicy::ReseedOnRetry
+    pub fn reseed_codec_lanes(&mut self) {
+        if let Some(lanes) = self.lanes.as_mut() {
+            for lane in lanes.tx.iter_mut().chain(lanes.rx.iter_mut()) {
+                lane.reset();
+            }
+        }
     }
 
     /// Number of links in the slab.
@@ -156,6 +223,10 @@ impl LinkSlab {
             self.lanes.is_none(),
             "bulk runs cannot traverse per-link codec lanes"
         );
+        assert!(
+            self.faults.is_none(),
+            "bulk runs cannot traverse error-injected wires"
+        );
         assert!(count > 0, "a flit run cannot be empty");
         assert_eq!(
             first.width(),
@@ -194,16 +265,33 @@ impl LinkSlab {
     #[must_use]
     pub fn observe_payload(&mut self, link: usize, flit: &PayloadBits) -> PayloadBits {
         let Some(lanes) = self.lanes.as_mut() else {
-            self.observe(link, flit);
-            return *flit;
+            // Raw wires: a glitch corrupts the image itself; the recorder
+            // sees (and charges) the corrupted wire, and the downstream
+            // hop carries it onward.
+            let mut wire = *flit;
+            if let Some(faults) = self.faults.as_mut() {
+                faults.corrupt(link, &mut wire);
+            }
+            self.observe(link, &wire);
+            return wire;
         };
-        let wire = lanes.tx[link].encode_step(flit);
+        let mut wire = lanes.tx[link].encode_step(flit);
+        if let Some(faults) = self.faults.as_mut() {
+            faults.corrupt(link, &mut wire);
+        }
         let plain = lanes.rx[link]
             .decode_step(&wire)
             .expect("mirrored decoder consumes the wire it was built for");
-        // The delivered image really is the decode of the coded wire —
-        // losslessness is exercised on every traversal, not assumed.
-        debug_assert_eq!(plain, flit.resized(plain.width()), "link {link} codec lane");
+        // On perfect wires the delivered image really is the decode of
+        // the coded wire — losslessness is exercised on every hop, not
+        // assumed. With faults armed the check must stand down entirely:
+        // a flip corrupts this decode, and on a stateful codec it also
+        // poisons the rx lane so *later* clean traversals decode wrong
+        // too. Detection belongs to the EDC at the receiving NI.
+        debug_assert!(
+            self.faults.is_some() || plain == flit.resized(plain.width()),
+            "link {link} codec lane"
+        );
         self.observe(link, &wire);
         plain.resized(self.width)
     }

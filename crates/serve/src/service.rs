@@ -63,8 +63,10 @@ impl ServeConfig {
 pub enum ServeError {
     /// Invalid service configuration.
     Config(String),
-    /// A session failed an inference; the run was aborted and queued
-    /// requests were discarded.
+    /// A session failed an inference with a non-transport error; the
+    /// run was aborted and queued requests were discarded. (Transport
+    /// retry-budget exhaustion under fault injection does *not* abort —
+    /// it lands in [`ServeReport::failed`] instead.)
     Session {
         /// Index of the failing session.
         session: usize,
@@ -103,10 +105,25 @@ pub struct SessionReport {
     pub index_overhead_bits: u64,
     /// Link-codec side-channel bits.
     pub codec_overhead_bits: u64,
+    /// Per-flit EDC check-field bits.
+    pub edc_overhead_bits: u64,
+    /// Payload flits the NIs re-sent after NACKed deliveries.
+    pub retransmitted_flits: u64,
+    /// Packets that retried at least once and were delivered clean.
+    pub retried_packets: u64,
+    /// Requests whose dispatch exhausted the retry budget. The failure
+    /// is batch-granular: the driver cannot attribute a dead packet to
+    /// one batch element, so the whole window it rode in counts here.
+    pub failed: u64,
     /// Wall milliseconds spent inside `session.run`.
     pub busy_ms: u64,
     /// Requests coalesced per dispatch.
     pub batch_fill: Histogram,
+    /// Packet retries observed per request: each completed request
+    /// records the retried-packet count of the dispatch that served it
+    /// (retries are measured at dispatch granularity, so window
+    /// companions share one sample value).
+    pub retries: Histogram,
 }
 
 impl SessionReport {
@@ -119,8 +136,13 @@ impl SessionReport {
             cycles: 0,
             index_overhead_bits: 0,
             codec_overhead_bits: 0,
+            edc_overhead_bits: 0,
+            retransmitted_flits: 0,
+            retried_packets: 0,
+            failed: 0,
             busy_ms: 0,
             batch_fill: Histogram::new(),
+            retries: Histogram::new(),
         }
     }
 }
@@ -128,10 +150,17 @@ impl SessionReport {
 /// Aggregate outcome of one service run.
 #[derive(Debug)]
 pub struct ServeReport {
-    /// One output tensor per request, indexed by request id.
+    /// One output tensor per request, indexed by request id. A failed
+    /// request holds the empty placeholder tensor (`shape == [0]`).
     pub outputs: Vec<Tensor>,
-    /// Requests completed (equals the request count on success).
+    /// Requests completed (`completed + failed` equals the request
+    /// count on success).
     pub completed: u64,
+    /// Requests whose dispatch exhausted the transport retry budget.
+    /// Unreliable-link failures are expected under fault injection, so
+    /// they land here instead of aborting the pool — the other requests
+    /// keep flowing.
+    pub failed: u64,
     /// Wall milliseconds from first enqueue to pool shutdown.
     pub wall_ms: u64,
     /// Aggregate throughput over the whole run.
@@ -142,12 +171,21 @@ pub struct ServeReport {
     pub index_overhead_bits: u64,
     /// Fleet-wide link-codec side-channel bits.
     pub codec_overhead_bits: u64,
+    /// Fleet-wide per-flit EDC check-field bits.
+    pub edc_overhead_bits: u64,
+    /// Fleet-wide payload flits re-sent after NACKed deliveries.
+    pub retransmitted_flits: u64,
+    /// Fleet-wide packets that retried at least once and recovered.
+    pub retried_packets: u64,
     /// Queue depth observed at each dispatch.
     pub queue_depth: Histogram,
     /// Per-request latency (enqueue to response), microseconds.
     pub latency_us: Histogram,
     /// Requests coalesced per dispatch, fleet-wide.
     pub batch_fill: Histogram,
+    /// Packet retries per completed request, fleet-wide (dispatch
+    /// granularity; see [`SessionReport::retries`]).
+    pub retries: Histogram,
     /// Per-session breakdown, in session order.
     pub per_session: Vec<SessionReport>,
 }
@@ -175,7 +213,10 @@ struct WorkerDone {
 ///
 /// Returns [`ServeError::Config`] on an invalid configuration or
 /// non-dense request ids, [`ServeError::Session`] when any session's
-/// inference fails (the run aborts; queued requests are discarded).
+/// inference fails with a non-transport error (the run aborts; queued
+/// requests are discarded). Transport retry-budget exhaustion under
+/// fault injection is *not* an error: the affected window counts in
+/// [`ServeReport::failed`] and the pool keeps serving.
 pub fn serve(
     ops: &[InferenceOp],
     config: &ServeConfig,
@@ -247,35 +288,47 @@ pub fn serve(
         .into_inner()
         .expect("output slots poisoned")
         .into_iter()
-        .map(|slot| slot.expect("every request completed"))
+        .map(|slot| slot.expect("every request slot filled (output or failure placeholder)"))
         .collect();
 
     let mut per_session: Vec<WorkerDone> = done.into_inner().expect("worker reports poisoned");
     per_session.sort_by_key(|d| d.report.session);
+    let failed_total: u64 = per_session.iter().map(|d| d.report.failed).sum();
     let mut report = ServeReport {
         outputs,
-        completed: total as u64,
+        completed: total as u64 - failed_total,
+        failed: failed_total,
         wall_ms: wall.as_millis() as u64,
         inferences_per_sec: if wall.as_secs_f64() > 0.0 {
-            total as f64 / wall.as_secs_f64()
+            // Failed requests produced no inference; only completed
+            // ones count toward throughput.
+            (total as u64 - failed_total) as f64 / wall.as_secs_f64()
         } else {
             0.0
         },
         transitions: 0,
         index_overhead_bits: 0,
         codec_overhead_bits: 0,
+        edc_overhead_bits: 0,
+        retransmitted_flits: 0,
+        retried_packets: 0,
         queue_depth: Histogram::new(),
         latency_us: Histogram::new(),
         batch_fill: Histogram::new(),
+        retries: Histogram::new(),
         per_session: Vec::new(),
     };
     for worker in per_session {
         report.transitions += worker.report.transitions;
         report.index_overhead_bits += worker.report.index_overhead_bits;
         report.codec_overhead_bits += worker.report.codec_overhead_bits;
+        report.edc_overhead_bits += worker.report.edc_overhead_bits;
+        report.retransmitted_flits += worker.report.retransmitted_flits;
+        report.retried_packets += worker.report.retried_packets;
         report.queue_depth.merge(&worker.depth);
         report.latency_us.merge(&worker.latency);
         report.batch_fill.merge(&worker.report.batch_fill);
+        report.retries.merge(&worker.report.retries);
         report.per_session.push(worker.report);
     }
     Ok(report)
@@ -364,7 +417,27 @@ fn run_worker(
                 report.cycles += result.total_cycles;
                 report.index_overhead_bits += result.index_overhead_bits;
                 report.codec_overhead_bits += result.codec_overhead_bits;
+                report.edc_overhead_bits += result.edc_overhead_bits;
+                report.retransmitted_flits += result.retransmitted_flits;
+                report.retried_packets += result.retried_packets;
                 report.batch_fill.record(meta.len() as u64);
+                for _ in &meta {
+                    report.retries.record(result.retried_packets);
+                }
+            }
+            // A packet that exhausted its transport retry budget kills
+            // only the window it rode in: the driver cannot attribute
+            // the dead packet to one batch element, so every request in
+            // the dispatch fails with a placeholder output and the pool
+            // keeps draining. Each dispatch runs on a fresh mesh, so
+            // the session itself stays healthy.
+            Err(AccelError::Unrecoverable { .. }) => {
+                report.dispatches += 1;
+                report.failed += meta.len() as u64;
+                let mut slots = slots.lock().expect("output slots poisoned");
+                for &(id, _) in &meta {
+                    slots[id as usize] = Some(Tensor::zeros(&[0]));
+                }
             }
             Err(e) => {
                 fail(e);

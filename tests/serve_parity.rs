@@ -111,10 +111,122 @@ fn serve_report_accounts_the_whole_fleet() {
     // Every request contributes one latency sample; every dispatch one
     // queue-depth and one batch-fill sample, each within the window.
     assert_eq!(report.latency_us.count(), 8);
+    // Fault-free run: nothing failed, no EDC wires, no retransmissions,
+    // and every completed request recorded a zero retries sample.
+    assert_eq!(report.failed, 0);
+    assert_eq!(report.edc_overhead_bits, 0);
+    assert_eq!(report.retransmitted_flits, 0);
+    assert_eq!(report.retried_packets, 0);
+    assert_eq!(report.retries.count(), 8);
+    assert_eq!(report.retries.max(), 0);
     assert_eq!(report.batch_fill.count(), sum(|s| s.dispatches));
     assert_eq!(report.queue_depth.count(), sum(|s| s.dispatches));
     assert!(report.batch_fill.max() <= 2);
     assert!(report.batch_fill.min() >= 1);
+}
+
+#[test]
+fn serve_recovers_bit_exact_outputs_on_unreliable_links() {
+    use noc_btr::core::codec::ResyncPolicy;
+    use noc_btr::noc::fault::{BitErrorRate, ErrorModel, FaultMode};
+
+    let model = tiny_model(17);
+    let ops = model.inference_ops();
+    let pool: Vec<Tensor> = (0..3).map(|i| tiny_input(90 + i)).collect();
+    let requests = 6usize;
+    let mut sequential = accel_config(1);
+    sequential.driver = DriverMode::Synchronous;
+    let expected: Vec<Tensor> = (0..requests)
+        .map(|i| {
+            run_inference(&ops, &pool[i % pool.len()], &sequential)
+                .unwrap()
+                .output
+        })
+        .collect();
+
+    // Raw wires at a BER high enough that flips are certain across the
+    // run, but low enough that a replayed packet is clean with good
+    // probability per attempt; with_fault arms CRC-8 EDC automatically,
+    // and ReseedOnRetry replays recover every packet within budget.
+    let accel = accel_config(2).with_fault(
+        ErrorModel {
+            ber: BitErrorRate::from_f64(1e-4),
+            seed: 21,
+            mode: FaultMode::PerFlit,
+        },
+        ResyncPolicy::ReseedOnRetry,
+        32,
+    );
+    let config = ServeConfig {
+        accel,
+        sessions: 2,
+        queue_capacity: 4,
+        flush_polls: 2,
+    };
+    let report = serve(&ops, &config, synthetic_requests(&pool, requests)).unwrap();
+    assert_eq!(report.failed, 0);
+    assert_eq!(report.completed, requests as u64);
+    for (i, (got, want)) in report.outputs.iter().zip(expected.iter()).enumerate() {
+        assert_eq!(got.data(), want.data(), "request {i} diverged under faults");
+    }
+    // The links really were unreliable: retransmissions happened and
+    // every EDC frame paid its check-field bits.
+    assert!(report.retransmitted_flits > 0);
+    assert!(report.retried_packets > 0);
+    assert!(report.edc_overhead_bits > 0);
+    // One retries sample per completed request, fleet totals are the
+    // sum of the per-session slices.
+    assert_eq!(report.retries.count(), requests as u64);
+    let sum =
+        |f: fn(&btr_serve::SessionReport) -> u64| -> u64 { report.per_session.iter().map(f).sum() };
+    assert_eq!(report.retransmitted_flits, sum(|s| s.retransmitted_flits));
+    assert_eq!(report.retried_packets, sum(|s| s.retried_packets));
+    assert_eq!(report.edc_overhead_bits, sum(|s| s.edc_overhead_bits));
+}
+
+#[test]
+fn serve_buckets_unrecoverable_windows_instead_of_aborting() {
+    use noc_btr::core::codec::{CodecKind, CodecScope, ResyncPolicy};
+    use noc_btr::noc::fault::{BitErrorRate, ErrorModel, FaultMode};
+
+    let model = tiny_model(19);
+    let ops = model.inference_ops();
+    let pool = vec![tiny_input(95)];
+    let requests = 4usize;
+    // Per-link delta-xor with Continuous resync: the first wire flip
+    // poisons the link's rx decode lane permanently, every replay keeps
+    // failing CRC, and the retry budget dies — the pool must bucket the
+    // window as failed and keep draining rather than abort.
+    let mut accel = accel_config(2)
+        .with_codec(CodecKind::DeltaXor)
+        .with_codec_scope(CodecScope::PerLink);
+    accel = accel.with_fault(
+        ErrorModel {
+            ber: BitErrorRate::from_f64(1e-3),
+            seed: 23,
+            mode: FaultMode::PerFlit,
+        },
+        ResyncPolicy::Continuous,
+        4,
+    );
+    let config = ServeConfig {
+        accel,
+        sessions: 1,
+        queue_capacity: 4,
+        flush_polls: 2,
+    };
+    let report = serve(&ops, &config, synthetic_requests(&pool, requests)).unwrap();
+    assert_eq!(report.failed, requests as u64);
+    assert_eq!(report.completed, 0);
+    assert_eq!(report.outputs.len(), requests);
+    for (i, output) in report.outputs.iter().enumerate() {
+        assert!(output.is_empty(), "failed request {i} got a real output");
+    }
+    // No completed request, no latency or retries samples.
+    assert_eq!(report.latency_us.count(), 0);
+    assert_eq!(report.retries.count(), 0);
+    let failed_sum: u64 = report.per_session.iter().map(|s| s.failed).sum();
+    assert_eq!(report.failed, failed_sum);
 }
 
 #[test]

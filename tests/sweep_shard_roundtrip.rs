@@ -13,11 +13,13 @@ use experiments::sweep::{
     expand_grid, merge_sweep_json, outcomes_json, run_cells, MeshSpec, Shard, SweepCell, Workload,
 };
 use noc_btr::bits::word::DataFormat;
-use noc_btr::core::codec::{CodecKind, CodecScope};
+use noc_btr::core::codec::{CodecKind, CodecScope, ResyncPolicy};
+use noc_btr::core::edc::EdcKind;
 use noc_btr::core::ordering::{OrderingMethod, TieBreak};
 use noc_btr::dnn::layer::{ActKind, Activation, Conv2d, Flatten, Linear, MaxPool2d};
 use noc_btr::dnn::model::{Layer, Sequential};
 use noc_btr::dnn::tensor::Tensor;
+use noc_btr::noc::fault::BitErrorRate;
 use noc_btr::noc::EngineMode;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -63,6 +65,9 @@ fn grid() -> Vec<SweepCell> {
         &CodecScope::ALL,
         &[1, 2],
         &[EngineMode::Cycle, EngineMode::Auto],
+        &[BitErrorRate::default()],
+        &[EdcKind::None],
+        &[ResyncPolicy::ReseedOnRetry],
     )
 }
 

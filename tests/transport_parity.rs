@@ -22,6 +22,7 @@
 use noc_btr::bits::word::{DataWord, F32Word, Fx8Word};
 use noc_btr::bits::PayloadBits;
 use noc_btr::core::codec::{CodecKind, CodecScope};
+use noc_btr::core::edc::EdcKind;
 use noc_btr::core::flitize::order_task_with;
 use noc_btr::core::ordering::{OrderingMethod, TieBreak};
 use noc_btr::core::task::NeuronTask;
@@ -57,6 +58,7 @@ fn transport_roundtrip_mac_equality_all_orderings_and_tiebreaks() {
                         values_per_flit: vpf,
                         codec: CodecKind::Unencoded,
                         scope: CodecScope::PerPacket,
+                        edc: EdcKind::None,
                     });
                     let enc = session.encode_task(&task).unwrap();
                     let rec = session
@@ -93,6 +95,7 @@ fn transport_roundtrip_f32_within_reassociation_tolerance() {
                     values_per_flit: 16,
                     codec: CodecKind::Unencoded,
                     scope: CodecScope::PerPacket,
+                    edc: EdcKind::None,
                 });
                 let enc = session.encode_task(&task).unwrap();
                 let rec = session
@@ -310,6 +313,7 @@ fn assert_template_parity<W: DataWord + PartialEq>(
                             values_per_flit: 8,
                             codec,
                             scope,
+                            edc: EdcKind::None,
                         });
                         let mut scratch = TransportScratch::default();
                         // The driver hands the template builder its cached
