@@ -1,0 +1,535 @@
+//! A small comment/string/char-literal-aware Rust lexer.
+//!
+//! `btr-lint` needs exactly enough lexical structure to (a) never flag a
+//! pattern that only occurs inside a comment or string literal, (b) read
+//! suppression directives out of comments, and (c) track brace depth to
+//! delimit items such as `#[cfg(test)] mod tests { ... }`. Full parsing
+//! (`syn`) is deliberately out of scope: the workspace is offline and
+//! vendored, and token-level analysis is sufficient for every rule the
+//! lint ships.
+//!
+//! The tricky corners a naive scanner gets wrong are covered here and
+//! pinned by the unit tests below: nested block comments, raw strings
+//! with arbitrary `#` fences (`r#".."#`), byte/raw-byte strings,
+//! char literals vs lifetimes (`'a'` vs `'a`), and escaped quotes.
+
+/// What a token is, at the granularity the rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `struct`, `r#match` is
+    /// normalized to `match`).
+    Ident,
+    /// A single punctuation character (the char is in [`Tok::text`]).
+    Punct,
+    /// `"..."` / `b"..."` string literal (text excludes the quotes,
+    /// escapes left as written).
+    Str,
+    /// `r"..."` / `r#"..."#` / `br#"..."#` raw string literal (text
+    /// excludes the fences).
+    RawStr,
+    /// `'x'` char or byte literal (text excludes the quotes).
+    Char,
+    /// `'a` lifetime (text excludes the quote).
+    Lifetime,
+    /// Numeric literal (integers, floats, `1e-6`, `0xFF`).
+    Num,
+    /// `// ...` comment, doc comments included (text includes the
+    /// slashes — directives are parsed out of this).
+    LineComment,
+    /// `/* ... */` comment, nesting handled (text includes delimiters).
+    BlockComment,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Token text (see [`TokKind`] for what is included).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True for an identifier with exactly this text.
+    #[must_use]
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// True for a punctuation token with exactly this character.
+    #[must_use]
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == ch.len_utf8() && self.text.starts_with(ch)
+    }
+}
+
+/// Lexes Rust source into tokens. Never fails: unterminated constructs
+/// consume to end of input (the lint runs on code rustc already
+/// accepted, so this only matters for robustness on fixtures).
+#[must_use]
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        toks: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    toks: Vec<Tok>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes one char, tracking line numbers.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.toks.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => {
+                    self.bump();
+                    self.quoted_string(line, TokKind::Str, 0);
+                }
+                '\'' => self.char_or_lifetime(line),
+                c if c.is_ascii_digit() => self.number(line),
+                c if c.is_alphabetic() || c == '_' => self.ident_or_prefixed_string(line),
+                c => {
+                    self.bump();
+                    self.push(TokKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.toks
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::LineComment, text, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokKind::BlockComment, text, line);
+    }
+
+    /// Body of a `"` string (opening quote already consumed) or a raw
+    /// string with `fence` trailing `#`s.
+    fn quoted_string(&mut self, line: u32, kind: TokKind, fence: usize) {
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            if kind == TokKind::Str && c == '\\' {
+                // Escapes never terminate the literal; keep them verbatim.
+                text.push(c);
+                if let Some(e) = self.bump() {
+                    text.push(e);
+                }
+            } else if c == '"' {
+                if kind == TokKind::RawStr {
+                    let closed = (0..fence).all(|i| self.peek(i) == Some('#'));
+                    if closed {
+                        for _ in 0..fence {
+                            self.bump();
+                        }
+                        self.push(kind, text, line);
+                        return;
+                    }
+                    text.push(c);
+                } else {
+                    self.push(kind, text, line);
+                    return;
+                }
+            } else {
+                text.push(c);
+            }
+        }
+        self.push(kind, text, line); // unterminated: consume to EOF
+    }
+
+    /// `'x'` / `'\n'` char literals vs `'a` lifetimes. Rule: a `'`
+    /// followed by an escape is a char; a `'` followed by identifier
+    /// chars is a char only when a closing `'` immediately follows them.
+    fn char_or_lifetime(&mut self, line: u32) {
+        self.bump(); // the opening '
+        match self.peek(0) {
+            Some('\\') => {
+                let mut text = String::new();
+                text.push(self.bump().expect("peeked"));
+                if let Some(e) = self.bump() {
+                    text.push(e);
+                    // \u{...} consumes through the closing brace.
+                    if e == 'u' && self.peek(0) == Some('{') {
+                        while let Some(c) = self.bump() {
+                            text.push(c);
+                            if c == '}' {
+                                break;
+                            }
+                        }
+                    }
+                }
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                self.push(TokKind::Char, text, line);
+            }
+            Some(c) if c.is_alphanumeric() || c == '_' => {
+                let mut text = String::new();
+                while let Some(c) = self.peek(0) {
+                    if c.is_alphanumeric() || c == '_' {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                    self.push(TokKind::Char, text, line);
+                } else {
+                    self.push(TokKind::Lifetime, text, line);
+                }
+            }
+            Some(c) => {
+                // A single non-identifier char, e.g. '(' or '$'.
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                self.push(TokKind::Char, c.to_string(), line);
+            }
+            None => self.push(TokKind::Char, String::new(), line),
+        }
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                let exp =
+                    (c == 'e' || c == 'E') && !text.starts_with("0x") && !text.starts_with("0b");
+                text.push(c);
+                self.bump();
+                // `1e-6` / `1E+9`: the sign belongs to the literal.
+                if exp && matches!(self.peek(0), Some('+') | Some('-')) {
+                    text.push(self.bump().expect("peeked"));
+                }
+            } else if c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // `1.5` continues the literal; `1..5` does not.
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Num, text, line);
+    }
+
+    /// Identifiers, with a lookahead for string-literal prefixes
+    /// (`r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`) and raw
+    /// identifiers (`r#match`).
+    fn ident_or_prefixed_string(&mut self, line: u32) {
+        let c0 = self.peek(0).expect("caller peeked");
+        if c0 == 'r' || c0 == 'b' {
+            // How many chars of prefix before a raw/byte string opens?
+            let mut ahead = 1;
+            if (c0 == 'b' && self.peek(1) == Some('r')) || (c0 == 'r' && self.peek(1) == Some('b'))
+            {
+                ahead = 2;
+            }
+            let mut fence = 0;
+            while self.peek(ahead + fence) == Some('#') {
+                fence += 1;
+            }
+            let opens_string = self.peek(ahead + fence) == Some('"');
+            let raw = ahead + fence > 1 || fence > 0 || c0 == 'r';
+            if opens_string && (fence > 0 || ahead == 2 || c0 == 'r' || c0 == 'b') {
+                // A raw identifier `r#ident` has a '#' but no quote, so
+                // it falls through to the ident path below.
+                for _ in 0..ahead + fence + 1 {
+                    self.bump();
+                }
+                let kind = if raw && c0 != 'b' || fence > 0 || ahead == 2 {
+                    if c0 == 'b' && ahead == 1 && fence == 0 {
+                        TokKind::Str
+                    } else {
+                        TokKind::RawStr
+                    }
+                } else {
+                    TokKind::Str
+                };
+                // Plain b"..." handles escapes; raw forms do not.
+                let kind = if c0 == 'r' || fence > 0 || ahead == 2 {
+                    TokKind::RawStr
+                } else {
+                    kind
+                };
+                self.quoted_string(line, kind, fence);
+                return;
+            }
+            if c0 == 'r' && self.peek(1) == Some('#') && opens_string {
+                unreachable!("handled above");
+            }
+        }
+        // Raw identifier: skip the `r#` and lex the ident proper.
+        if c0 == 'r' && self.peek(1) == Some('#') {
+            self.bump();
+            self.bump();
+        }
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Ident, text, line);
+    }
+}
+
+/// Line ranges (1-based, inclusive) of `#[cfg(test)]`-gated items —
+/// `mod tests { ... }` blocks the panic/determinism rules must not
+/// police. Detection is token-level: the attribute sequence followed by
+/// an item whose body is the next brace-matched block.
+#[must_use]
+pub fn cfg_test_regions(toks: &[Tok]) -> Vec<(u32, u32)> {
+    let code: Vec<&Tok> = toks
+        .iter()
+        .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i + 6 < code.len() {
+        let attr = code[i].is_punct('#')
+            && code[i + 1].is_punct('[')
+            && code[i + 2].is_ident("cfg")
+            && code[i + 3].is_punct('(')
+            && code[i + 4].is_ident("test")
+            && code[i + 5].is_punct(')')
+            && code[i + 6].is_punct(']');
+        if !attr {
+            i += 1;
+            continue;
+        }
+        // The gated item's body is the next top-level `{ ... }` before a
+        // `;` (a gated `use ...;` has no body to skip).
+        let mut j = i + 7;
+        let mut body_start = None;
+        while j < code.len() {
+            if code[j].is_punct(';') {
+                break;
+            }
+            if code[j].is_punct('{') {
+                body_start = Some(j);
+                break;
+            }
+            j += 1;
+        }
+        let Some(start) = body_start else {
+            i += 7;
+            continue;
+        };
+        let mut depth = 0usize;
+        let mut end = start;
+        for (k, tok) in code.iter().enumerate().skip(start) {
+            if tok.is_punct('{') {
+                depth += 1;
+            } else if tok.is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    end = k;
+                    break;
+                }
+            }
+        }
+        regions.push((code[i].line, code[end].line));
+        i = end + 1;
+    }
+    regions
+}
+
+/// True when `line` falls in any of `regions` (inclusive).
+#[must_use]
+pub fn in_regions(regions: &[(u32, u32)], line: u32) -> bool {
+    regions.iter().any(|&(lo, hi)| lo <= line && line <= hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_hide_code() {
+        let toks = lex("a // x.unwrap()\nb /* y.expect(\"z\") */ c");
+        let ids = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect::<Vec<_>>();
+        assert_eq!(ids, ["a", "b", "c"]);
+        assert_eq!(toks[1].kind, TokKind::LineComment);
+        assert!(toks[1].text.contains("unwrap"));
+    }
+
+    #[test]
+    fn block_comments_nest() {
+        let toks = lex("before /* outer /* inner */ still comment */ after");
+        assert_eq!(
+            idents("before /* outer /* inner */ still */ after").len(),
+            2
+        );
+        let ids: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Ident).collect();
+        assert_eq!(ids.len(), 2);
+        assert_eq!(ids[0].text, "before");
+        assert_eq!(ids[1].text, "after");
+    }
+
+    #[test]
+    fn strings_hide_code_and_handle_escapes() {
+        let toks = lex(r#"let s = "a \" b.unwrap()"; t"#);
+        let strs: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].text.contains("unwrap"));
+        assert!(idents(r#"let s = "x.unwrap()"; done"#).contains(&"done".to_string()));
+        assert!(!idents(r#"let s = "x.unwrap()"; done"#).contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let toks = lex(r##"let s = r#"quote " inside"#; after"##);
+        let raw: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::RawStr).collect();
+        assert_eq!(raw.len(), 1);
+        assert_eq!(raw[0].text, r#"quote " inside"#);
+        assert!(idents(r##"r#"body"#; x"##).contains(&"x".to_string()));
+        // Unfenced raw string and byte string.
+        assert_eq!(
+            lex(r#"r"\d+" b"bytes""#)
+                .iter()
+                .filter(|t| matches!(t.kind, TokKind::RawStr | TokKind::Str))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; let u = '\\u{1F}'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lifetimes, ["a", "a"]);
+        assert_eq!(chars.len(), 3);
+        assert_eq!(chars[0], "x");
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_lose_exponents() {
+        let toks = lex("0..10 1e-6 0xFF 1.5");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, ["0", "10", "1e-6", "0xFF", "1.5"]);
+    }
+
+    #[test]
+    fn line_numbers_are_tracked() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 4]);
+    }
+
+    #[test]
+    fn cfg_test_region_spans_the_mod() {
+        let src = "fn live() { x.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   fn t() { y.unwrap(); }\n\
+                   }\n\
+                   fn after() {}\n";
+        let toks = lex(src);
+        let regions = cfg_test_regions(&toks);
+        assert_eq!(regions, vec![(2, 5)]);
+        assert!(!in_regions(&regions, 1));
+        assert!(in_regions(&regions, 4));
+        assert!(!in_regions(&regions, 6));
+    }
+
+    #[test]
+    fn cfg_test_on_use_item_does_not_swallow_the_file() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn live() {}\nfn f() { x.unwrap(); }";
+        let regions = cfg_test_regions(&lex(src));
+        assert!(regions.is_empty());
+    }
+}

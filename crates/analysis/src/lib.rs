@@ -1,0 +1,47 @@
+//! `btr_analysis` — project-specific static analysis for this
+//! workspace's real invariants.
+//!
+//! Generic tooling (clippy `-D warnings`, rustfmt) is already clean
+//! here; what it cannot see are the contracts this reproduction's
+//! claims rest on: hot measurement paths must not panic mid-sweep,
+//! the JSON schema version strings duplicated across source / tests /
+//! CI greps / docs must agree, every sweep axis must survive into the
+//! result rows and the baseline key, results must not depend on wall
+//! clocks or hash iteration order, and the vendored offline stand-ins
+//! must stay network- and entropy-free. `btr-lint` mechanizes exactly
+//! those checks.
+//!
+//! The crate is dependency-free (std only) and does not parse Rust —
+//! a small comment/string/char-literal-aware lexer ([`lexer`]) gives
+//! rules token streams, which is sufficient for every shipped rule
+//! and keeps the lint immune to breakage in the crates it polices.
+//!
+//! See `ANALYSIS.md` at the workspace root for the rule catalog, the
+//! allow-directive syntax, and the `btr-lint-v1` report schema.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod source;
+
+use std::path::Path;
+
+pub use report::{Finding, Report, LINT_SCHEMA};
+pub use source::Workspace;
+
+/// Runs every rule over an already-loaded workspace.
+#[must_use]
+pub fn run(ws: &Workspace) -> Report {
+    let mut report = Report::default();
+    rules::run_all(ws, &mut report);
+    report.sort();
+    report
+}
+
+/// Loads the workspace at `root` and runs every rule.
+pub fn run_at(root: &Path) -> std::io::Result<Report> {
+    let ws = Workspace::load(root)?;
+    Ok(run(&ws))
+}

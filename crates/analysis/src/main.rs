@@ -1,0 +1,79 @@
+//! `btr-lint` — run the workspace static-analysis pass.
+//!
+//! ```text
+//! btr-lint [--root DIR] [--json PATH] [--quiet]
+//! ```
+//!
+//! Prints the human table (unless `--quiet`), optionally writes the
+//! `btr-lint-v1` JSON report (`-` for stdout), and exits nonzero when
+//! any unsuppressed finding remains. Exit codes: 0 clean, 1 findings,
+//! 2 usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Writes to stdout tolerating a closed pipe (`btr-lint --json - | head`
+/// must not panic mid-report).
+fn emit_stdout(text: &str) {
+    let _ = std::io::stdout().write_all(text.as_bytes());
+}
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json: Option<String> = None;
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a directory"),
+            },
+            "--json" => match args.next() {
+                Some(v) => json = Some(v),
+                None => return usage("--json needs a path (or `-` for stdout)"),
+            },
+            "--quiet" | "-q" => quiet = true,
+            "--help" | "-h" => {
+                println!("btr-lint [--root DIR] [--json PATH] [--quiet]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let report = match btr_analysis::run_at(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("btr-lint: cannot load workspace at {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = json {
+        let doc = report.to_json();
+        if path == "-" {
+            emit_stdout(&doc);
+            emit_stdout("\n");
+        } else if let Err(e) = std::fs::write(&path, doc) {
+            eprintln!("btr-lint: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if !quiet {
+        emit_stdout(&report.to_table());
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("btr-lint: {msg}\nusage: btr-lint [--root DIR] [--json PATH] [--quiet]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,222 @@
+//! Findings, the `btr-lint-v1` machine report, and the human table.
+
+use std::fmt::Write as _;
+
+/// Schema tag stamped on every JSON report this binary emits. Bump it
+/// when a field changes meaning; CI greps for the literal value.
+pub const LINT_SCHEMA: &str = "btr-lint-v1";
+
+/// One rule violation at a location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule that fired (kebab-case, from the rule catalog).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line (0 when the finding is file- or repo-level).
+    pub line: u32,
+    /// Human-readable explanation with enough context to act on.
+    pub message: String,
+}
+
+/// A finding that was silenced by an inline allow directive — reported
+/// for audit (the JSON carries every suppression and its reason).
+#[derive(Debug, Clone)]
+pub struct Suppressed {
+    /// The silenced finding.
+    pub finding: Finding,
+    /// The directive's written reason.
+    pub reason: String,
+}
+
+/// Aggregate result of one lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Unsuppressed violations; any entry here is a nonzero exit.
+    pub findings: Vec<Finding>,
+    /// Violations silenced by a reasoned allow.
+    pub suppressed: Vec<Suppressed>,
+}
+
+impl Report {
+    /// Stable order: path, then line, then rule.
+    pub fn sort(&mut self) {
+        let key = |f: &Finding| (f.path.clone(), f.line, f.rule);
+        self.findings.sort_by_key(key);
+        self.suppressed.sort_by_key(|s| key(&s.finding));
+    }
+
+    /// The `btr-lint-v1` JSON document. Hand-rolled (the crate is
+    /// dependency-free); keys are emitted in a fixed order so the
+    /// output is byte-stable for a given repo state.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\"schema\":\"");
+        s.push_str(LINT_SCHEMA);
+        s.push_str("\",\"counts\":{\"findings\":");
+        let _ = write!(s, "{}", self.findings.len());
+        s.push_str(",\"suppressed\":");
+        let _ = write!(s, "{}", self.suppressed.len());
+        s.push_str("},\"findings\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            finding_json(&mut s, f);
+        }
+        s.push_str("],\"suppressed\":[");
+        for (i, sup) in self.suppressed.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let mut obj = String::new();
+            finding_json(&mut obj, &sup.finding);
+            // Splice the reason in before the closing brace.
+            obj.pop();
+            s.push_str(&obj);
+            s.push_str(",\"reason\":\"");
+            escape_into(&mut s, &sup.reason);
+            s.push_str("\"}");
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// The human table printed to stderr-adjacent output.
+    #[must_use]
+    pub fn to_table(&self) -> String {
+        let mut s = String::new();
+        if self.findings.is_empty() {
+            let _ = writeln!(
+                s,
+                "btr-lint: clean ({} suppression{} in effect)",
+                self.suppressed.len(),
+                if self.suppressed.len() == 1 { "" } else { "s" }
+            );
+            return s;
+        }
+        let _ = writeln!(
+            s,
+            "btr-lint: {} finding{}",
+            self.findings.len(),
+            if self.findings.len() == 1 { "" } else { "s" }
+        );
+        let loc_width = self
+            .findings
+            .iter()
+            .map(|f| f.path.len() + digits(f.line) + 1)
+            .max()
+            .unwrap_or(0);
+        let rule_width = self
+            .findings
+            .iter()
+            .map(|f| f.rule.len())
+            .max()
+            .unwrap_or(0);
+        for f in &self.findings {
+            let loc = if f.line == 0 {
+                f.path.clone()
+            } else {
+                format!("{}:{}", f.path, f.line)
+            };
+            let _ = writeln!(
+                s,
+                "  {loc:<loc_width$}  {:<rule_width$}  {}",
+                f.rule, f.message
+            );
+        }
+        s
+    }
+}
+
+fn finding_json(s: &mut String, f: &Finding) {
+    s.push_str("{\"rule\":\"");
+    escape_into(s, f.rule);
+    s.push_str("\",\"path\":\"");
+    escape_into(s, &f.path);
+    s.push_str("\",\"line\":");
+    let _ = write!(s, "{}", f.line);
+    s.push_str(",\"message\":\"");
+    escape_into(s, &f.message);
+    s.push_str("\"}");
+}
+
+fn escape_into(s: &mut String, raw: &str) {
+    for c in raw.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\t' => s.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(s, "\\u{:04x}", c as u32);
+            }
+            c => s.push(c),
+        }
+    }
+}
+
+fn digits(n: u32) -> usize {
+    if n == 0 {
+        1
+    } else {
+        (n.ilog10() + 1) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, path: &str, line: u32, msg: &str) -> Finding {
+        Finding {
+            rule,
+            path: path.into(),
+            line,
+            message: msg.into(),
+        }
+    }
+
+    #[test]
+    fn json_shape_counts_and_escaping() {
+        let mut r = Report::default();
+        r.findings
+            .push(finding("determinism", "b.rs", 2, "say \"no\""));
+        r.suppressed.push(Suppressed {
+            finding: finding("panic-in-hot-path", "a.rs", 9, "unwrap"),
+            reason: "validated above".into(),
+        });
+        r.sort();
+        let json = r.to_json();
+        assert!(json.starts_with("{\"schema\":\"btr-lint-v1\""));
+        assert!(json.contains("\"counts\":{\"findings\":1,\"suppressed\":1}"));
+        assert!(json.contains("say \\\"no\\\""));
+        assert!(json.contains("\"reason\":\"validated above\""));
+    }
+
+    #[test]
+    fn clean_report_is_findings_zero() {
+        let r = Report::default();
+        assert!(r.to_json().contains("\"findings\":0"));
+        assert!(r.to_table().contains("clean"));
+    }
+
+    #[test]
+    fn sort_is_path_line_rule() {
+        let mut r = Report::default();
+        r.findings.push(finding("z-rule", "b.rs", 1, "m"));
+        r.findings.push(finding("a-rule", "a.rs", 9, "m"));
+        r.findings.push(finding("a-rule", "a.rs", 2, "m"));
+        r.sort();
+        let order: Vec<(String, u32)> = r
+            .findings
+            .iter()
+            .map(|f| (f.path.clone(), f.line))
+            .collect();
+        assert_eq!(
+            order,
+            [("a.rs".into(), 2), ("a.rs".into(), 9), ("b.rs".into(), 1)]
+        );
+    }
+}

@@ -1,0 +1,203 @@
+//! Rule `determinism`: the reproduction's results must be bit-stable
+//! across runs and machines. Two enforced contracts:
+//!
+//! 1. **No ambient clocks in measurement code.** `Instant::now` /
+//!    `SystemTime` are forbidden outside the allowlisted wall-clock
+//!    consumers (benches, the serve latency metrics, vendored harness
+//!    code). A wall-clock read anywhere else is either dead weight or
+//!    a nondeterminism leak into results.
+//! 2. **No `HashMap`/`HashSet` iteration feeding output.** Hash
+//!    iteration order varies per process (`RandomState`); iterating
+//!    one toward anything serialized must go through a sort. The
+//!    check is a token-level heuristic: it tracks names bound with a
+//!    `HashMap`/`HashSet` type or constructor, then flags iteration
+//!    over those names unless a `sort*` call or `BTreeMap` rebind
+//!    appears in the nearby downstream tokens.
+//!
+//! `#[cfg(test)]` regions are exempt (a test asserting over a map is
+//! harmless); genuine exceptions carry reasoned allows.
+
+use crate::lexer::{cfg_test_regions, in_regions, lex, Tok, TokKind};
+use crate::report::Report;
+use crate::rules::emit;
+use crate::source::Workspace;
+
+/// Paths allowed to read wall clocks.
+const CLOCK_ALLOW: &[&str] = &[
+    "crates/experiments/benches/",
+    "crates/serve/src/service.rs",
+    "vendor/",
+];
+
+/// How far past an iteration site we look for evidence of sorting.
+const SORT_WINDOW: usize = 40;
+
+pub fn check(ws: &Workspace, report: &mut Report) {
+    for file in &ws.files {
+        if file.ext() != "rs" || crate::rules::exempt(file) {
+            continue;
+        }
+        let in_crates = file.rel.starts_with("crates/") || file.rel.starts_with("src/");
+        if !in_crates && !file.rel.starts_with("vendor/") {
+            continue;
+        }
+        let toks = lex(&file.text);
+        let test_regions = cfg_test_regions(&toks);
+        let code: Vec<&Tok> = toks
+            .iter()
+            .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+            .collect();
+        if !CLOCK_ALLOW.iter().any(|p| file.rel.starts_with(p)) {
+            check_clocks(&code, &test_regions, file, report);
+        }
+        if !file.rel.starts_with("vendor/") {
+            check_hash_iteration(&code, &test_regions, file, report);
+        }
+    }
+}
+
+fn check_clocks(
+    code: &[&Tok],
+    test_regions: &[(u32, u32)],
+    file: &crate::source::SourceFile,
+    report: &mut Report,
+) {
+    for (i, tok) in code.iter().enumerate() {
+        if tok.kind != TokKind::Ident || in_regions(test_regions, tok.line) {
+            continue;
+        }
+        if tok.text == "SystemTime" {
+            emit(
+                report,
+                file,
+                "determinism",
+                tok.line,
+                "`SystemTime` outside the wall-clock allowlist — results must not \
+                 depend on ambient time"
+                    .to_string(),
+            );
+        } else if tok.text == "Instant"
+            && code.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && code.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && code.get(i + 3).is_some_and(|t| t.is_ident("now"))
+        {
+            emit(
+                report,
+                file,
+                "determinism",
+                tok.line,
+                "`Instant::now()` outside the wall-clock allowlist — wall time may \
+                 only feed explicitly-labeled wall-clock report fields"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+fn check_hash_iteration(
+    code: &[&Tok],
+    test_regions: &[(u32, u32)],
+    file: &crate::source::SourceFile,
+    report: &mut Report,
+) {
+    let hash_bound = hash_bound_names(code);
+    if hash_bound.is_empty() {
+        return;
+    }
+    for (i, tok) in code.iter().enumerate() {
+        if tok.kind != TokKind::Ident
+            || !hash_bound.contains(&tok.text)
+            || in_regions(test_regions, tok.line)
+        {
+            continue;
+        }
+        // `name.iter()` / `.keys()` / `.values()` / `.into_iter()` /
+        // `.drain(` — or `for x in [&mut] name`.
+        let method_iter = code.get(i + 1).is_some_and(|t| t.is_punct('.'))
+            && code.get(i + 2).is_some_and(|t| {
+                matches!(
+                    t.text.as_str(),
+                    "iter" | "iter_mut" | "keys" | "values" | "into_iter" | "drain" | "retain"
+                )
+            });
+        let for_iter = {
+            let mut p = i;
+            // Step back over `self.` / `&` / `mut` to reach the `in`.
+            loop {
+                if p >= 2 && code[p - 1].is_punct('.') && code[p - 2].is_ident("self") {
+                    p -= 2;
+                } else if p > 0 && (code[p - 1].is_punct('&') || code[p - 1].is_ident("mut")) {
+                    p -= 1;
+                } else {
+                    break;
+                }
+            }
+            p > 0 && code[p - 1].is_ident("in")
+        };
+        if !(method_iter || for_iter) {
+            continue;
+        }
+        // Evidence of ordering discipline close downstream?
+        let sorted = code.iter().skip(i).take(SORT_WINDOW).any(|t| {
+            t.kind == TokKind::Ident && (t.text.starts_with("sort") || t.text == "BTreeMap")
+        });
+        if sorted {
+            continue;
+        }
+        emit(
+            report,
+            file,
+            "determinism",
+            tok.line,
+            format!(
+                "iteration over hash-ordered `{}` with no sort in sight — hash order \
+                 is per-process random; sort before it can reach serialized output",
+                tok.text
+            ),
+        );
+    }
+}
+
+/// Names bound to a `HashMap`/`HashSet` anywhere in the file: walks
+/// backward from each `HashMap`/`HashSet` ident to the statement
+/// boundary and takes `let [mut] NAME` or `NAME :` (single colon —
+/// `::` path segments excluded) found there.
+fn hash_bound_names(code: &[&Tok]) -> Vec<String> {
+    let mut names = Vec::new();
+    for (i, tok) in code.iter().enumerate() {
+        if !(tok.is_ident("HashMap") || tok.is_ident("HashSet")) {
+            continue;
+        }
+        let mut j = i;
+        while j > 0 {
+            let t = code[j - 1];
+            // `)` bounds too: a `-> HashMap<..>` return type must not
+            // walk back into the parameter list and bind a param name.
+            let boundary = [';', '{', '}', ',', ')'].iter().any(|&c| t.is_punct(c))
+                || t.is_punct('(') && !code[j..i].iter().any(|x| x.is_punct(')'));
+            if boundary {
+                break;
+            }
+            j -= 1;
+        }
+        let span = &code[j..i];
+        for (k, t) in span.iter().enumerate() {
+            if matches!(t.text.as_str(), "mut" | "let" | "self" | "pub") {
+                continue;
+            }
+            let is_let_name = t.kind == TokKind::Ident
+                && k.checked_sub(1).is_some_and(|p| {
+                    span[p].is_ident("let")
+                        || (span[p].is_ident("mut") && k >= 2 && span[k - 2].is_ident("let"))
+                });
+            let is_typed_name = t.kind == TokKind::Ident
+                && span.get(k + 1).is_some_and(|n| n.is_punct(':'))
+                && !span.get(k + 2).is_some_and(|n| n.is_punct(':'))
+                && !k.checked_sub(1).is_some_and(|p| span[p].is_punct(':'));
+            if (is_let_name || is_typed_name) && !names.contains(&t.text) {
+                names.push(t.text.clone());
+            }
+        }
+    }
+    names
+}

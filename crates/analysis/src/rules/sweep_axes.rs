@@ -1,0 +1,145 @@
+//! Rule `sweep-axis-completeness`: every field of `SweepCell` must
+//! appear (a) as an emitted key in `outcomes_json` and (b) in
+//! `BASELINE_KEY_FIELDS`, the documented mirror of the baseline-key
+//! construction. This catches the real bug class where a new sweep
+//! axis is added to the grid but silently falls out of the result rows
+//! or — worse — out of the baseline key, making unlike cells compare
+//! as baselines of each other.
+//!
+//! Fields that are *deliberately* absent (the varied axis itself, or
+//! harness-only switches that never reach the JSON) carry reasoned
+//! allows on their declaration lines.
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::report::Report;
+use crate::rules::emit;
+use crate::source::Workspace;
+
+/// The file the rule interrogates.
+const SWEEP_RS: &str = "crates/experiments/src/sweep.rs";
+
+/// JSON keys that differ from their field names, by design.
+const EMIT_ALIASES: &[(&str, &str)] = &[("scope", "codec_scope")];
+
+pub fn check(ws: &Workspace, report: &mut Report) {
+    let Some(file) = ws.get(SWEEP_RS) else {
+        return; // fixture workspaces without a sweep module
+    };
+    let toks = lex(&file.text);
+    let code: Vec<&Tok> = toks
+        .iter()
+        .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+    let fields = struct_fields(&code, "SweepCell");
+    if fields.is_empty() {
+        return;
+    }
+    let emitted = strings_in_region(&code, &["fn", "outcomes_json"], '{', '}');
+    let key_fields = strings_in_region(&code, &["BASELINE_KEY_FIELDS"], '[', ']');
+    for (name, line) in &fields {
+        let emit_key = EMIT_ALIASES
+            .iter()
+            .find(|(f, _)| f == name)
+            .map_or(name.as_str(), |(_, alias)| *alias);
+        if !emitted.iter().any(|s| s == emit_key) {
+            emit(
+                report,
+                file,
+                "sweep-axis-completeness",
+                *line,
+                format!(
+                    "SweepCell field `{name}` is never emitted as a key in `outcomes_json` \
+                     (expected \"{emit_key}\") — the axis would be invisible in result rows"
+                ),
+            );
+        }
+        // BASELINE_KEY_FIELDS lists fields *as serialized*, so the
+        // emission alias applies there too.
+        if !key_fields.iter().any(|s| s == emit_key) {
+            emit(
+                report,
+                file,
+                "sweep-axis-completeness",
+                *line,
+                format!(
+                    "SweepCell field `{name}` (serialized \"{emit_key}\") is missing from \
+                     BASELINE_KEY_FIELDS — cells differing only in `{name}` would share a baseline"
+                ),
+            );
+        }
+    }
+}
+
+/// Field names (and declaration lines) of `struct NAME { ... }`:
+/// identifiers directly followed by a single `:` at brace depth 1.
+fn struct_fields(code: &[&Tok], name: &str) -> Vec<(String, u32)> {
+    let mut fields = Vec::new();
+    let Some(start) = code
+        .windows(3)
+        .position(|w| w[0].is_ident("struct") && w[1].is_ident(name) && w[2].is_punct('{'))
+    else {
+        return fields;
+    };
+    let mut depth = 0usize;
+    let mut i = start + 2;
+    while i < code.len() {
+        let tok = code[i];
+        if tok.is_punct('{') {
+            depth += 1;
+        } else if tok.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if depth == 1
+            && tok.kind == TokKind::Ident
+            && code.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && !code.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && !i.checked_sub(1).is_some_and(|p| code[p].is_punct(':'))
+        {
+            fields.push((tok.text.clone(), tok.line));
+        }
+        i += 1;
+    }
+    fields
+}
+
+/// String literals inside the delimiter-matched region (`open`..`close`)
+/// that begins at the first occurrence of the given ident sequence —
+/// `{ }` for a fn body, `[ ]` for an array const initializer.
+fn strings_in_region(code: &[&Tok], idents: &[&str], open: char, close: char) -> Vec<String> {
+    let mut out = Vec::new();
+    let Some(at) = code
+        .windows(idents.len())
+        .position(|w| w.iter().zip(idents).all(|(t, i)| t.is_ident(i)))
+    else {
+        return out;
+    };
+    let mut i = at + idents.len();
+    if open == '[' {
+        // Array const: the type annotation (`[&str; N]`) also brackets;
+        // the region we want is the initializer after `=`.
+        while i < code.len() && !code[i].is_punct('=') {
+            i += 1;
+        }
+    }
+    while i < code.len() && !code[i].is_punct(open) {
+        i += 1;
+    }
+    let mut depth = 0usize;
+    while i < code.len() {
+        let tok = code[i];
+        if tok.is_punct(open) {
+            depth += 1;
+        } else if tok.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if matches!(tok.kind, TokKind::Str | TokKind::RawStr) {
+            out.push(tok.text.clone());
+        }
+        i += 1;
+    }
+    out
+}

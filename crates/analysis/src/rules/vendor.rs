@@ -1,0 +1,67 @@
+//! Rule `vendor-hygiene`: the vendored stand-ins under `vendor/` are
+//! trusted, reviewed, offline code. They must stay that way: no
+//! sockets (`std::net`), no subprocesses (`std::process`), and no
+//! ambient entropy (`OsRng` / `thread_rng` / `from_entropy` /
+//! `getrandom`) — every random stream in this workspace is seeded.
+//! File I/O and clocks are fine (criterion writes reports and times
+//! runs); reaching for the network or the OS RNG is not.
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::report::Report;
+use crate::rules::emit;
+use crate::source::Workspace;
+
+/// Idents that are violations on their own.
+const BANNED_IDENTS: &[&str] = &["OsRng", "thread_rng", "from_entropy", "getrandom"];
+
+/// `std::<module>` path segments that are violations.
+const BANNED_STD_MODULES: &[&str] = &["net", "process"];
+
+pub fn check(ws: &Workspace, report: &mut Report) {
+    for file in ws.under(&["vendor/"]) {
+        if file.ext() != "rs" {
+            continue;
+        }
+        let toks = lex(&file.text);
+        let code: Vec<&Tok> = toks
+            .iter()
+            .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+            .collect();
+        for (i, tok) in code.iter().enumerate() {
+            if tok.kind != TokKind::Ident {
+                continue;
+            }
+            if BANNED_IDENTS.contains(&tok.text.as_str()) {
+                emit(
+                    report,
+                    file,
+                    "vendor-hygiene",
+                    tok.line,
+                    format!(
+                        "`{}` in vendored code — ambient entropy is banned; \
+                         every random stream must be explicitly seeded",
+                        tok.text
+                    ),
+                );
+            } else if tok.text == "std"
+                && code.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                && code.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                && code.get(i + 3).is_some_and(|t| {
+                    t.kind == TokKind::Ident && BANNED_STD_MODULES.contains(&t.text.as_str())
+                })
+            {
+                let module = &code[i + 3].text;
+                emit(
+                    report,
+                    file,
+                    "vendor-hygiene",
+                    tok.line,
+                    format!(
+                        "`std::{module}` in vendored code — vendor crates must not reach \
+                         the network or spawn processes"
+                    ),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,379 @@
+//! Workspace loading and suppression directives.
+//!
+//! The lint operates on a snapshot of the repository: every tracked
+//! source-ish file (`.rs`, `.yml`, `.md`, `.toml`) under the workspace
+//! root, excluding build output, VCS state, and the lint's own fixture
+//! corpus (which deliberately contains violations).
+//!
+//! Suppressions are inline, per-line, and must carry a reason:
+//!
+//! ```text
+//! // btr-lint: allow(panic-in-hot-path, reason = "validated above")
+//! <!-- btr-lint: allow(schema-coherence, reason = "historic example") -->
+//! # btr-lint: allow(determinism, reason = "wall-clock report field")
+//! ```
+//!
+//! A directive suppresses matching findings on its own line or the
+//! line immediately after it. Unused, unknown-rule, reason-less, or
+//! unparseable directives are themselves findings (rule
+//! `lint-directive`), so suppressions cannot rot silently.
+
+use std::cell::Cell;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One `btr-lint: allow(...)` directive found in a file.
+#[derive(Debug)]
+pub struct Directive {
+    /// Rule name the directive targets.
+    pub rule: String,
+    /// The written justification (empty if the author omitted it —
+    /// which is itself a finding).
+    pub reason: String,
+    /// 1-based line the directive sits on.
+    pub line: u32,
+    /// Set when a rule consults this directive to suppress a finding.
+    pub used: Cell<bool>,
+    /// Set when the directive text failed to parse.
+    pub malformed: Option<String>,
+}
+
+/// One loaded file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel: String,
+    /// Full text.
+    pub text: String,
+    /// Suppression directives, in file order.
+    pub directives: Vec<Directive>,
+}
+
+impl SourceFile {
+    /// Looks up a matching directive covering `line` (the directive's
+    /// own line or the line before). Marks the directive used and
+    /// returns its reason.
+    pub fn suppression(&self, rule: &str, line: u32) -> Option<String> {
+        for d in &self.directives {
+            if d.malformed.is_none() && d.rule == rule && (d.line == line || d.line + 1 == line) {
+                d.used.set(true);
+                return Some(d.reason.clone());
+            }
+        }
+        None
+    }
+
+    /// True when a matching directive covers `line`.
+    pub fn suppressed(&self, rule: &str, line: u32) -> bool {
+        self.suppression(rule, line).is_some()
+    }
+
+    /// Lines of the file, 1-based iteration helper.
+    pub fn lines(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (u32::try_from(i).unwrap_or(u32::MAX).saturating_add(1), l))
+    }
+
+    /// File extension, lowercased.
+    #[must_use]
+    pub fn ext(&self) -> &str {
+        Path::new(&self.rel)
+            .extension()
+            .and_then(|e| e.to_str())
+            .unwrap_or("")
+    }
+}
+
+/// The loaded workspace snapshot all rules run against.
+#[derive(Debug)]
+pub struct Workspace {
+    /// Absolute root the snapshot was loaded from.
+    pub root: PathBuf,
+    /// Files sorted by relative path (deterministic report order).
+    pub files: Vec<SourceFile>,
+}
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &[".git", "target", "node_modules", ".claude"];
+
+/// Extensions the lint loads.
+const EXTS: &[&str] = &["rs", "yml", "yaml", "md", "toml"];
+
+impl Workspace {
+    /// Loads every lintable file under `root`. I/O errors on individual
+    /// files are skipped (the build would have caught unreadable
+    /// sources); an unreadable root is an error.
+    pub fn load(root: &Path) -> std::io::Result<Self> {
+        let mut files = Vec::new();
+        let root = root.canonicalize()?;
+        walk(&root, &root, &mut files)?;
+        files.sort_by(|a, b| a.rel.cmp(&b.rel));
+        Ok(Self { root, files })
+    }
+
+    /// Builds a workspace from in-memory (path, text) pairs — the
+    /// fixture-test entry point.
+    #[must_use]
+    pub fn from_memory(entries: &[(&str, &str)]) -> Self {
+        let mut files: Vec<SourceFile> = entries
+            .iter()
+            .map(|(rel, text)| SourceFile {
+                rel: (*rel).to_string(),
+                text: (*text).to_string(),
+                directives: directives_for(rel, text),
+            })
+            .collect();
+        files.sort_by(|a, b| a.rel.cmp(&b.rel));
+        Self {
+            root: PathBuf::from("<memory>"),
+            files,
+        }
+    }
+
+    /// Files whose relative path starts with any of `prefixes`.
+    pub fn under<'a>(&'a self, prefixes: &'a [&'a str]) -> impl Iterator<Item = &'a SourceFile> {
+        self.files
+            .iter()
+            .filter(move |f| prefixes.iter().any(|p| f.rel.starts_with(p)))
+    }
+
+    /// Looks up a file by exact relative path.
+    #[must_use]
+    pub fn get(&self, rel: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.rel == rel)
+    }
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let Ok(entry) = entry else { continue };
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            // The fixture corpus under the analysis crate's tests holds
+            // deliberate violations; linting it would be self-defeating.
+            let rel_dir = rel_of(root, &path);
+            if rel_dir.starts_with("crates/analysis/tests") {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if EXTS.iter().any(|e| name.ends_with(&format!(".{e}"))) {
+            let Ok(text) = fs::read_to_string(&path) else {
+                continue;
+            };
+            let rel = rel_of(root, &path);
+            let directives = directives_for(&rel, &text);
+            out.push(SourceFile {
+                rel,
+                text,
+                directives,
+            });
+        }
+    }
+    Ok(())
+}
+
+fn rel_of(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// The marker every directive carries, in any comment syntax.
+const MARKER: &str = "btr-lint:";
+
+/// Parses directives with per-format handling: in markdown, fenced
+/// code blocks and inline backtick spans are inert so documentation
+/// can show the allow syntax without creating (unused or malformed)
+/// live suppressions.
+#[must_use]
+pub fn directives_for(rel: &str, text: &str) -> Vec<Directive> {
+    if rel.ends_with(".md") {
+        let mut fenced = false;
+        let masked: String = text
+            .lines()
+            .map(|l| {
+                let toggles = l.trim_start().starts_with("```");
+                if toggles {
+                    fenced = !fenced;
+                }
+                if fenced || toggles {
+                    String::new()
+                } else {
+                    mask_backtick_spans(l)
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        parse_directives(&masked)
+    } else {
+        parse_directives(text)
+    }
+}
+
+/// Blanks `inline code` spans in a markdown line.
+fn mask_backtick_spans(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut inside = false;
+    for c in line.chars() {
+        if c == '`' {
+            inside = !inside;
+            out.push(c);
+        } else if !inside {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Scans raw lines for directives. Raw-line scanning (rather than
+/// token-level) is deliberate: directives must work identically in
+/// `.rs` comments, markdown `<!-- -->`, and YAML `#` comments, and a
+/// directive inside a string literal is nonsensical enough that the
+/// `lint-directive` meta-rule flagging it as unused is the right
+/// outcome anyway.
+#[must_use]
+pub fn parse_directives(text: &str) -> Vec<Directive> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let lineno = u32::try_from(i).unwrap_or(u32::MAX).saturating_add(1);
+        let Some(at) = line.find(MARKER) else {
+            continue;
+        };
+        // Documentation may *mention* the marker in backticks or after
+        // an escape; only treat it as live when followed by `allow(`.
+        let rest = line[at + MARKER.len()..].trim_start();
+        if !rest.starts_with("allow") {
+            continue;
+        }
+        out.push(parse_allow(rest, lineno));
+    }
+    out
+}
+
+/// Parses `allow(<rule>, reason = "...")`, recording malformations
+/// instead of failing.
+fn parse_allow(rest: &str, line: u32) -> Directive {
+    let bad = |why: &str| Directive {
+        rule: String::new(),
+        reason: String::new(),
+        line,
+        used: Cell::new(false),
+        malformed: Some(why.to_string()),
+    };
+    let Some(open) = rest.find('(') else {
+        return bad("missing `(` after allow");
+    };
+    let Some(close) = rest.rfind(')') else {
+        return bad("missing closing `)`");
+    };
+    if close < open {
+        return bad("mismatched parentheses");
+    }
+    let inner = &rest[open + 1..close];
+    let Some((rule_part, reason_part)) = inner.split_once(',') else {
+        return bad("missing `, reason = \"...\"` — every suppression needs a written reason");
+    };
+    let rule = rule_part.trim().to_string();
+    if rule.is_empty() || !rule.chars().all(|c| c.is_ascii_alphanumeric() || c == '-') {
+        return bad("rule name must be a kebab-case identifier");
+    }
+    let reason_part = reason_part.trim();
+    let Some(eq) = reason_part.strip_prefix("reason") else {
+        return bad("expected `reason = \"...\"` after the rule name");
+    };
+    let eq = eq.trim_start();
+    let Some(quoted) = eq.strip_prefix('=') else {
+        return bad("expected `=` after `reason`");
+    };
+    let quoted = quoted.trim();
+    let reason = quoted
+        .strip_prefix('"')
+        .and_then(|q| q.strip_suffix('"'))
+        .map(str::to_string);
+    let Some(reason) = reason else {
+        return bad("reason must be a double-quoted string");
+    };
+    if reason.trim().is_empty() {
+        return bad("reason must not be empty");
+    }
+    Directive {
+        rule,
+        reason,
+        line,
+        used: Cell::new(false),
+        malformed: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_rust_markdown_and_yaml_comment_forms() {
+        let text = "\
+// btr-lint: allow(panic-in-hot-path, reason = \"validated above\")\n\
+<!-- btr-lint: allow(schema-coherence, reason = \"historic example\") -->\n\
+# btr-lint: allow(determinism, reason = \"wall clock report\")\n";
+        let ds = parse_directives(text);
+        assert_eq!(ds.len(), 3);
+        assert!(ds.iter().all(|d| d.malformed.is_none()));
+        assert_eq!(ds[0].rule, "panic-in-hot-path");
+        assert_eq!(ds[1].reason, "historic example");
+        assert_eq!(ds[2].line, 3);
+    }
+
+    #[test]
+    fn reasonless_and_garbled_directives_are_malformed() {
+        let ds = parse_directives(
+            "// btr-lint: allow(panic-in-hot-path)\n\
+             // btr-lint: allow(x y, reason = \"r\")\n\
+             // btr-lint: allow(determinism, reason = )\n",
+        );
+        assert_eq!(ds.len(), 3);
+        assert!(ds.iter().all(|d| d.malformed.is_some()));
+    }
+
+    #[test]
+    fn markdown_code_fences_are_inert() {
+        let text = "```rust\n// btr-lint: allow(determinism, reason = \"doc example\")\n```\n\
+                    <!-- btr-lint: allow(schema-coherence, reason = \"live\") -->\n";
+        let ds = directives_for("ANALYSIS.md", text);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].rule, "schema-coherence");
+        assert_eq!(ds[0].line, 4);
+        // The same text in a .rs file parses both.
+        assert_eq!(directives_for("x.rs", text).len(), 2);
+    }
+
+    #[test]
+    fn prose_mentions_are_not_directives() {
+        let ds = parse_directives("Write `// btr-lint: ` followed by the allow form.\n");
+        assert!(ds.is_empty());
+    }
+
+    #[test]
+    fn suppression_covers_own_line_and_next() {
+        let f = SourceFile {
+            rel: "x.rs".into(),
+            text: String::new(),
+            directives: parse_directives("\n// btr-lint: allow(determinism, reason = \"r\")\n"),
+        };
+        assert!(!f.suppressed("determinism", 1));
+        assert!(f.suppressed("determinism", 2));
+        assert!(f.suppressed("determinism", 3));
+        assert!(!f.suppressed("determinism", 4));
+        assert!(!f.suppressed("panic-in-hot-path", 2));
+        assert!(f.directives[0].used.get());
+    }
+}

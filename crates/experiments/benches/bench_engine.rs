@@ -41,7 +41,7 @@ use btr_core::ordering::{OrderingMethod, TieBreak};
 use btr_dnn::data::SyntheticDigits;
 use btr_dnn::tensor::Tensor;
 use btr_noc::config::NocConfig;
-use btr_noc::fault::BitErrorRate;
+use btr_noc::fault::{BitErrorRate, FaultMode};
 use btr_noc::packet::Packet;
 use btr_noc::sim::{DeliveredPacket, Simulator};
 use btr_noc::EngineMode;
@@ -72,6 +72,7 @@ fn engine_grid(engine: EngineMode) -> Vec<SweepCell> {
         &[BitErrorRate::default()],
         &[EdcKind::None],
         &[ResyncPolicy::ReseedOnRetry],
+        &[FaultMode::PerFlit],
     )
 }
 
@@ -277,7 +278,7 @@ fn bench_metrics(group: &str) -> impl Fn(&str, &str) -> f64 {
     let doc = Json::parse(&text).expect("bench JSON parses");
     assert_eq!(
         doc.get("schema").and_then(Json::as_str),
-        Some("btr-bench-v1"),
+        Some(experiments::json::BENCH_SCHEMA),
         "unexpected bench schema"
     );
     let results = match doc.get("results") {

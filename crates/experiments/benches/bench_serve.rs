@@ -190,7 +190,7 @@ fn report_throughput(smoke: bool, requests: usize) {
     let doc = Json::parse(&text).expect("bench JSON parses");
     assert_eq!(
         doc.get("schema").and_then(Json::as_str),
-        Some("btr-bench-v1"),
+        Some(experiments::json::BENCH_SCHEMA),
         "unexpected bench schema"
     );
     let results = match doc.get("results") {

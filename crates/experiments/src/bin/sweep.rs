@@ -10,7 +10,7 @@
 //!
 //! Usage:
 //! `cargo run --release -p experiments --bin sweep -- \
-//!     [--preset smoke|fig12_noc_sizes|fig13_models|ablation_orderings|ablation_codecs|ablation_scopes|ablation_faults] \
+//!     [--preset smoke|fig12_noc_sizes|fig13_models|ablation_orderings|ablation_codecs|ablation_scopes|ablation_faults|ablation_faults_burst] \
 //!     [--models lenet,darknet] [--weights trained] [--seed 42] \
 //!     [--meshes 4x4x2,8x8x4,8x8x8] [--formats f32,fx8] \
 //!     [--orderings O0,O1,O2] [--ties stable,value] [--fx8-global] \
@@ -18,7 +18,7 @@
 //!     [--codec-scope per-packet,per-link] [--batch 1,4,16] \
 //!     [--engine cycle,analytic,auto] [--driver pipelined|sync] [--shard 0/4] \
 //!     [--ber 0,1e-7,1e-6] [--edc none,parity,crc8] \
-//!     [--resync reseed,continuous] [--fault-armed] \
+//!     [--resync reseed,continuous] [--fault-mode per-flit,burst] [--fault-armed] \
 //!     [--darknet-width 8] [--sequential] [--json sweep.json]`
 //!
 //! A `--preset` sets the grid axes (explicit flags still override);
@@ -32,7 +32,7 @@
 //! an armed zero-BER result file against a plain one pins the zero-BER
 //! equivalence of the fault machinery (CI does exactly that).
 //!
-//! `--json` writes the `btr-sweep-v7` schema described in EXPERIMENTS.md.
+//! `--json` writes the `btr-sweep-v8` schema described in EXPERIMENTS.md.
 
 use btr_accel::config::DriverMode;
 use btr_bits::word::DataFormat;
@@ -41,7 +41,7 @@ use btr_core::edc::EdcKind;
 use btr_core::ordering::{OrderingMethod, TieBreak};
 use btr_dnn::data::{SyntheticDigits, SyntheticRgb};
 use btr_dnn::models::darknet;
-use btr_noc::fault::BitErrorRate;
+use btr_noc::fault::{BitErrorRate, FaultMode};
 use btr_noc::EngineMode;
 use experiments::cli;
 use experiments::json::Json;
@@ -74,6 +74,7 @@ struct Preset {
     bers: Vec<f64>,
     edcs: Vec<EdcKind>,
     resyncs: Vec<ResyncPolicy>,
+    fault_modes: Vec<FaultMode>,
 }
 
 impl Preset {
@@ -92,6 +93,7 @@ impl Preset {
             bers: vec![0.0],
             edcs: vec![EdcKind::None],
             resyncs: vec![ResyncPolicy::ReseedOnRetry],
+            fault_modes: vec![FaultMode::PerFlit],
         }
     }
 
@@ -175,12 +177,30 @@ impl Preset {
                 edcs: vec![EdcKind::Crc8],
                 ..Self::general()
             },
+            // The same unreliable-link grid under burst errors: each
+            // payload flit draws once against the BER and a hit flips a
+            // contiguous 2-8 wire run, so a burst almost always lands
+            // inside one CRC-8 frame and retries cluster. Draws are
+            // per flit event rather than per wire bit, so the
+            // interesting regime sits at much higher nominal rates than
+            // the per-bit grid (1e-5/1e-4 here vs 1e-7/1e-6 there).
+            "ablation_faults_burst" => Preset {
+                meshes: small_mesh,
+                formats: vec![DataFormat::Fixed8],
+                orderings: vec![OrderingMethod::Baseline, OrderingMethod::Separated],
+                codecs: vec![CodecKind::Unencoded, CodecKind::DeltaXor],
+                scopes: vec![CodecScope::PerLink],
+                bers: vec![0.0, 1e-5, 1e-4],
+                edcs: vec![EdcKind::Crc8],
+                fault_modes: vec![FaultMode::Burst],
+                ..Self::general()
+            },
             other => {
                 eprintln!(
                     "error: unknown preset {other:?}; use \
                      general|smoke|fig12_noc_sizes|fig13_models|\
                      ablation_orderings|ablation_codecs|ablation_scopes|\
-                     ablation_faults"
+                     ablation_faults|ablation_faults_burst"
                 );
                 std::process::exit(2);
             }
@@ -295,6 +315,7 @@ fn main() {
         .collect();
     let edcs: Vec<EdcKind> = cli::list_arg("edc", preset.edcs);
     let resyncs: Vec<ResyncPolicy> = cli::list_arg("resync", preset.resyncs);
+    let fault_modes: Vec<FaultMode> = cli::list_arg("fault-mode", preset.fault_modes);
     let fault_armed = cli::flag("fault-armed");
     let fx8_globals = if cli::flag("fx8-global") {
         vec![true]
@@ -324,6 +345,7 @@ fn main() {
         &bers,
         &edcs,
         &resyncs,
+        &fault_modes,
     );
     let total = cells.len();
     let mut cells = shard.select(cells);
@@ -335,7 +357,7 @@ fn main() {
     eprintln!(
         "# sweep [{preset_name}]: {} workloads x {} meshes x {} formats x {} orderings x {} ties \
          x {} codecs x {} scopes x {} batches x {} engines x {} bers x {} edcs x {} resyncs \
-         = {total} cells (shard {shard}: {} cells, {driver} driver{})",
+         x {} fault modes = {total} cells (shard {shard}: {} cells, {driver} driver{})",
         workloads.len(),
         meshes.len(),
         formats.len(),
@@ -348,6 +370,7 @@ fn main() {
         bers.len(),
         edcs.len(),
         resyncs.len(),
+        fault_modes.len(),
         cells.len(),
         if fault_armed {
             ", fault path armed"

@@ -1,13 +1,20 @@
 //! A dependency-free JSON writer/parser for machine-readable experiment
 //! output.
 //!
-//! The sweep runner ([`crate::sweep`]) and the vendored bench harness
-//! both emit this format (schemas `btr-sweep-v2` / `btr-bench-v1`), so
+//! The sweep runner ([`crate::sweep`], schema [`crate::sweep::SWEEP_SCHEMA`]),
+//! the serve reporter ([`crate::serve_json::SERVE_SCHEMA`]), and the
+//! vendored bench harness ([`BENCH_SCHEMA`]) all emit this format, so
 //! downstream tooling can diff experiment results and bench trajectories
 //! across commits without parsing human-oriented tables. [`Json::parse`]
 //! reads the files back for the sweep-merge mode.
 
 use std::fmt::Write as _;
+
+/// Schema tag of the bench-report documents written by the vendored
+/// criterion stand-in and asserted by every bench smoke. The vendored
+/// harness cannot depend on this crate, so it repeats the literal;
+/// `btr-lint`'s schema-coherence rule keeps the copies identical.
+pub const BENCH_SCHEMA: &str = "btr-bench-v1";
 
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -344,7 +351,7 @@ mod tests {
     #[test]
     fn serializes_nested_structures() {
         let v = Json::obj(vec![
-            ("schema", Json::str("btr-sweep-v1")),
+            ("schema", Json::str("example-v1")),
             ("count", Json::U64(2)),
             ("rate", Json::F64(0.5)),
             ("neg", Json::I64(-3)),
@@ -354,7 +361,7 @@ mod tests {
         ]);
         assert_eq!(
             v.to_string_compact(),
-            "{\"schema\":\"btr-sweep-v1\",\"count\":2,\"rate\":0.5,\"neg\":-3,\"ok\":true,\"none\":null,\"items\":[1,\"a\\\"b\\n\"]}"
+            "{\"schema\":\"example-v1\",\"count\":2,\"rate\":0.5,\"neg\":-3,\"ok\":true,\"none\":null,\"items\":[1,\"a\\\"b\\n\"]}"
         );
     }
 
@@ -367,7 +374,7 @@ mod tests {
     #[test]
     fn parse_round_trips_writer_output() {
         let v = Json::obj(vec![
-            ("schema", Json::str("btr-sweep-v2")),
+            ("schema", Json::str("example-v2")),
             ("count", Json::U64(2)),
             ("rate", Json::F64(0.5)),
             ("neg", Json::I64(-3)),

@@ -14,7 +14,7 @@
 //! The `sweep` binary (including its `fig12_noc_sizes` / `fig13_models`
 //! presets, the retired per-figure binaries) is a thin front-end over
 //! [`expand_grid`] + [`run_cells`] + [`outcomes_json`]; see
-//! `EXPERIMENTS.md` for the JSON schema (`btr-sweep-v7`) and usage
+//! `EXPERIMENTS.md` for the JSON schema (`btr-sweep-v8`) and usage
 //! examples. Grids can span machines: a [`Shard`] selects a deterministic
 //! subset of the expanded cells and [`merge_sweep_json`] recombines the
 //! per-shard result files.
@@ -36,8 +36,12 @@ use rayon::prelude::*;
 /// axis in v3, `distinct_inputs` in v4, `codec_scope` + `link_energy_mj`
 /// in v5, `engine` + `analytic_phase_fraction` in v6, `ber`/`edc`/
 /// `resync` axes + `edc_overhead_bits`/`retransmitted_flits`/
-/// `retried_packets`/`delivered_ok_fraction` in v7).
-pub const SWEEP_SCHEMA: &str = "btr-sweep-v7";
+/// `retried_packets`/`delivered_ok_fraction` in v7, `fault_mode` axis
+/// in v8).
+///
+/// This is the canonical declaration `btr-lint`'s schema-coherence rule
+/// checks every other `btr-sweep-v*` occurrence against.
+pub const SWEEP_SCHEMA: &str = "btr-sweep-v8";
 
 /// Seed of the deterministic per-link fault streams every error-injected
 /// cell uses. One fixed constant, so two runs of the same grid (and the
@@ -160,6 +164,7 @@ pub struct SweepCell {
     /// Payload data format.
     pub format: DataFormat,
     /// Transmission ordering.
+    // btr-lint: allow(sweep-axis-completeness, reason = "ordering is the axis the baseline key deliberately normalizes away: a cell's baseline row is the same cell with ordering=O0")
     pub ordering: OrderingMethod,
     /// Popcount-tie handling.
     pub tiebreak: TieBreak,
@@ -186,10 +191,15 @@ pub struct SweepCell {
     /// Codec-lane resync policy at retransmission boundaries (only
     /// observable with a stateful per-link codec under errors).
     pub resync: ResyncPolicy,
+    /// Error process shape: independent per-bit flips, or per-flit
+    /// burst events flipping a contiguous wire run. At BER zero the
+    /// mode is inert (no draws happen either way).
+    pub fault_mode: FaultMode,
     /// Harness-only knob (never serialized, not part of the baseline
     /// key): arm the full EDC/retry receive path even at BER zero, so
     /// zero-BER equivalence with the plain path can be pinned by
     /// diffing result files.
+    // btr-lint: allow(sweep-axis-completeness, reason = "fault_armed is a harness-only equivalence-test switch; it must never reach result rows or baseline keys precisely so armed and plain runs serialize identically")
     pub fault_armed: bool,
 }
 
@@ -270,6 +280,7 @@ pub fn expand_grid(
     bers: &[BitErrorRate],
     edcs: &[EdcKind],
     resyncs: &[ResyncPolicy],
+    fault_modes: &[FaultMode],
 ) -> Vec<SweepCell> {
     let mut cells = Vec::new();
     for w in 0..workloads {
@@ -285,22 +296,25 @@ pub fn expand_grid(
                                             for &ber in bers {
                                                 for &edc in edcs {
                                                     for &resync in resyncs {
-                                                        cells.push(SweepCell {
-                                                            workload: w,
-                                                            mesh,
-                                                            format,
-                                                            ordering,
-                                                            tiebreak,
-                                                            fx8_global,
-                                                            codec,
-                                                            scope,
-                                                            batch,
-                                                            engine,
-                                                            ber,
-                                                            edc,
-                                                            resync,
-                                                            fault_armed: false,
-                                                        });
+                                                        for &fault_mode in fault_modes {
+                                                            cells.push(SweepCell {
+                                                                workload: w,
+                                                                mesh,
+                                                                format,
+                                                                ordering,
+                                                                tiebreak,
+                                                                fx8_global,
+                                                                codec,
+                                                                scope,
+                                                                batch,
+                                                                engine,
+                                                                ber,
+                                                                edc,
+                                                                resync,
+                                                                fault_mode,
+                                                                fault_armed: false,
+                                                            });
+                                                        }
                                                     }
                                                 }
                                             }
@@ -343,6 +357,7 @@ fn run_cell_impl(
     driver: DriverMode,
     inline_encode: bool,
 ) -> CellOutcome {
+    // btr-lint: allow(determinism, reason = "feeds only the wall_ms report field, which every equivalence diff strips; no simulated quantity depends on it")
     let start = std::time::Instant::now();
     let error_outcome = |e: String| CellOutcome {
         cell,
@@ -381,7 +396,7 @@ fn run_cell_impl(
             ErrorModel {
                 ber: cell.ber,
                 seed: FAULT_SEED,
-                mode: FaultMode::PerFlit,
+                mode: cell.fault_mode,
             },
             cell.resync,
             FAULT_RETRY_BUDGET,
@@ -546,6 +561,7 @@ pub fn outcomes_json(workloads: &[Workload], outcomes: &[CellOutcome]) -> Json {
                 ("ber", Json::F64(o.cell.ber.as_f64())),
                 ("edc", Json::str(o.cell.edc.label())),
                 ("resync", Json::str(o.cell.resync.label())),
+                ("fault_mode", Json::str(o.cell.fault_mode.label())),
                 ("transitions", Json::U64(o.transitions)),
                 ("cycles", Json::U64(o.cycles)),
                 ("flit_hops", Json::U64(o.flit_hops)),
@@ -674,7 +690,7 @@ pub fn merge_sweep_json(docs: &[(String, Json)]) -> Result<Json, String> {
 
 /// The non-ordering coordinates identifying a cell's baseline row, as
 /// serialized in the result JSON.
-const BASELINE_KEY_FIELDS: [&str; 12] = [
+const BASELINE_KEY_FIELDS: [&str; 13] = [
     "workload",
     "mesh",
     "format",
@@ -687,6 +703,7 @@ const BASELINE_KEY_FIELDS: [&str; 12] = [
     "ber",
     "edc",
     "resync",
+    "fault_mode",
 ];
 
 fn baseline_key(cell: &Json) -> String {
@@ -806,6 +823,7 @@ mod tests {
             &[BitErrorRate::default()],
             &[EdcKind::None],
             &[ResyncPolicy::ReseedOnRetry],
+            &[FaultMode::PerFlit],
         );
         assert_eq!(cells.len(), 2 * 3 * 2 * 3 * 3);
     }
@@ -826,6 +844,7 @@ mod tests {
             &[BitErrorRate::default()],
             &[EdcKind::None],
             &[ResyncPolicy::ReseedOnRetry],
+            &[FaultMode::PerFlit],
         );
         let shards: Vec<Vec<SweepCell>> = (0..4)
             .map(|i| Shard { index: i, count: 4 }.select(cells.clone()))
@@ -869,6 +888,7 @@ mod tests {
         );
         // Schema mismatch and malformed docs are rejected with the label.
         let old = Json::obj(vec![
+            // btr-lint: allow(schema-coherence, reason = "deliberately stale version string exercising the merge schema-mismatch rejection")
             ("schema", Json::str("btr-sweep-v1")),
             ("cells", Json::Arr(vec![])),
         ]);
@@ -952,6 +972,7 @@ mod tests {
             &[BitErrorRate::default()],
             &[EdcKind::None],
             &[ResyncPolicy::ReseedOnRetry],
+            &[FaultMode::PerFlit],
         );
         let outcomes = run_cells(&workloads, cells.clone(), false);
         assert_eq!(outcomes.len(), 3);
@@ -968,7 +989,7 @@ mod tests {
         }
         let json = outcomes_json(&workloads, &outcomes);
         let text = json.to_string_compact();
-        assert!(text.contains("\"schema\":\"btr-sweep-v7\""));
+        assert!(text.contains("\"schema\":\"btr-sweep-v8\""));
         assert!(text.contains("\"codec_scope\":\"per-packet\""));
         assert!(text.contains("\"link_energy_mj\""));
         assert!(text.contains("\"batch\":1"));
@@ -1008,6 +1029,7 @@ mod tests {
             &[BitErrorRate::default()],
             &[EdcKind::None],
             &[ResyncPolicy::ReseedOnRetry],
+            &[FaultMode::PerFlit],
         );
         let outcomes = run_cells(&workloads, cells, true);
         assert_eq!(outcomes.len(), 6);
@@ -1056,6 +1078,7 @@ mod tests {
             &[BitErrorRate::default()],
             &[EdcKind::None],
             &[ResyncPolicy::ReseedOnRetry],
+            &[FaultMode::PerFlit],
         );
         let outcomes = run_cells(&workloads, cells, true);
         assert_eq!(outcomes.len(), 12);
@@ -1133,6 +1156,7 @@ mod tests {
             ber: BitErrorRate::default(),
             edc: EdcKind::None,
             resync: ResyncPolicy::ReseedOnRetry,
+            fault_mode: FaultMode::PerFlit,
             fault_armed: false,
         };
         let b1 = run_cell(&workloads, cell(1));
@@ -1175,6 +1199,7 @@ mod tests {
             ber: BitErrorRate::default(),
             edc: EdcKind::None,
             resync: ResyncPolicy::ReseedOnRetry,
+            fault_mode: FaultMode::PerFlit,
             fault_armed: false,
         };
         let outcome = run_cell(&workloads, cell);
@@ -1205,6 +1230,7 @@ mod tests {
             &[BitErrorRate::default()],
             &[EdcKind::None],
             &[ResyncPolicy::ReseedOnRetry],
+            &[FaultMode::PerFlit],
         );
         let outcomes = run_cells(&workloads, cells, true);
         let index = baseline_index(&outcomes);
@@ -1239,6 +1265,7 @@ mod tests {
             &[BitErrorRate::default()],
             &[EdcKind::None],
             &[ResyncPolicy::ReseedOnRetry],
+            &[FaultMode::PerFlit],
         );
         let outcomes = run_cells(&workloads, cells, true);
         assert_eq!(outcomes.len(), 3);
@@ -1295,6 +1322,7 @@ mod tests {
             ber: BitErrorRate::from_f64(ber),
             edc,
             resync: ResyncPolicy::ReseedOnRetry,
+            fault_mode: FaultMode::PerFlit,
             fault_armed,
         };
 
@@ -1333,7 +1361,7 @@ mod tests {
         // The v7 schema carries the fault axes and metrics.
         let outcomes = vec![plain, checked, faulty];
         let text = outcomes_json(&workloads, &outcomes).to_string_compact();
-        assert!(text.contains("\"schema\":\"btr-sweep-v7\""), "{text}");
+        assert!(text.contains("\"schema\":\"btr-sweep-v8\""), "{text}");
         // The u64 wire threshold round-trips to the nearest f64, so
         // match the stable prefix rather than the literal 1e-4.
         assert!(text.contains("\"ber\":0.00009999"), "{text}");
@@ -1366,6 +1394,7 @@ mod tests {
             ber: BitErrorRate::default(),
             edc: EdcKind::None,
             resync: ResyncPolicy::ReseedOnRetry,
+            fault_mode: FaultMode::PerFlit,
             fault_armed: false,
         }];
         let outcomes = run_cells(&workloads, cells, true);

@@ -356,6 +356,7 @@ impl Simulator {
         if let Some(mut oracle) = oracle {
             oracle
                 .run_until_idle(u64::MAX / 2)
+                // btr-lint: allow(panic-in-hot-path, reason = "debug-assert oracle: the cfg(debug_assertions) cycle-engine shadow run exists to abort loudly on divergence; release builds compile this block out")
                 .expect("cycle oracle drains");
             self.assert_matches_cycle_oracle(&oracle);
         }

@@ -18,6 +18,8 @@
 //! See `EXPERIMENTS.md` for the per-experiment binary index, the sweep
 //! runner's usage and the machine-readable result schemas.
 
+#![forbid(unsafe_code)]
+
 pub use btr_accel as accel;
 pub use btr_bits as bits;
 pub use btr_core as core;

@@ -1,0 +1,44 @@
+//! Self-check: the repo must pass its own static-analysis gate. Runs
+//! the full `btr-lint` rule set over the workspace in-process (same
+//! code path as the CI binary) and pins three properties: zero
+//! unsuppressed findings, a written reason behind every suppression,
+//! and a `btr-lint-v1` report that round-trips through the repo's own
+//! JSON parser.
+
+use std::path::Path;
+
+#[test]
+fn repo_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = btr_analysis::run_at(root).expect("workspace loads");
+
+    assert!(
+        report.findings.is_empty(),
+        "btr-lint found unsuppressed violations (fix them, or add a \
+         reasoned allow directive — syntax in ANALYSIS.md):\n{}",
+        report.to_table()
+    );
+
+    for s in &report.suppressed {
+        assert!(
+            !s.reason.trim().is_empty(),
+            "suppression without a reason at {}:{}",
+            s.finding.path,
+            s.finding.line
+        );
+    }
+
+    let doc = report.to_json();
+    let parsed = experiments::json::Json::parse(&doc).expect("report JSON parses");
+    assert_eq!(
+        parsed.get("schema").and_then(|v| v.as_str()),
+        Some(btr_analysis::LINT_SCHEMA)
+    );
+    let counts = parsed.get("counts").expect("counts object");
+    use experiments::json::Json;
+    assert_eq!(counts.get("findings"), Some(&Json::U64(0)));
+    assert_eq!(
+        counts.get("suppressed"),
+        Some(&Json::U64(report.suppressed.len() as u64))
+    );
+}

@@ -19,7 +19,7 @@ use noc_btr::core::ordering::{OrderingMethod, TieBreak};
 use noc_btr::dnn::layer::{ActKind, Activation, Conv2d, Flatten, Linear, MaxPool2d};
 use noc_btr::dnn::model::{Layer, Sequential};
 use noc_btr::dnn::tensor::Tensor;
-use noc_btr::noc::fault::BitErrorRate;
+use noc_btr::noc::fault::{BitErrorRate, FaultMode};
 use noc_btr::noc::EngineMode;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -68,6 +68,7 @@ fn grid() -> Vec<SweepCell> {
         &[BitErrorRate::default()],
         &[EdcKind::None],
         &[ResyncPolicy::ReseedOnRetry],
+        &[FaultMode::PerFlit],
     )
 }
 

@@ -21,6 +21,8 @@
 //! nearest `Cargo.lock`) and can be overridden with the
 //! `BTR_BENCH_JSON_DIR` environment variable.
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 /// Opaque-to-the-optimizer value passthrough.

@@ -10,6 +10,8 @@
 //! `PROPTEST_CASES` environment variable) seeded from the test name, so
 //! failures reproduce exactly across runs.
 
+#![forbid(unsafe_code)]
+
 use std::marker::PhantomData;
 use std::ops::{Range, RangeInclusive};
 

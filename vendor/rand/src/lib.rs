@@ -12,6 +12,8 @@
 //! upstream `rand`'s `StdRng` (ChaCha12); they are stable across runs and
 //! platforms, which is the property the experiments depend on.
 
+#![forbid(unsafe_code)]
+
 /// Low-level generator interface: a source of uniform `u64`s.
 pub trait RngCore {
     /// Returns the next 64 uniform bits.

@@ -11,6 +11,8 @@
 //! runs), so a simple shared-cursor queue has negligible overhead compared
 //! to a work-stealing pool.
 
+#![forbid(unsafe_code)]
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 

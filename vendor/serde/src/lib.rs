@@ -11,6 +11,8 @@
 //! Swapping the real `serde` back in is a one-line change in the workspace
 //! manifest; no source edits are required.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::TokenStream;
 
 /// No-op stand-in for `serde::Serialize`.
