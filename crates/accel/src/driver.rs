@@ -40,7 +40,7 @@ use btr_core::transport::{
 };
 use btr_dnn::model::InferenceOp;
 use btr_dnn::tensor::Tensor;
-use btr_noc::analytic::{routes_contention_free, EngineMode};
+use btr_noc::analytic::{routes_contention_free, routes_link_disjoint, EngineMode};
 use btr_noc::session::{SendError, TaskPort};
 use btr_noc::sim::{DeliveredPacket, InjectError, Simulator};
 use std::cmp::Reverse;
@@ -1000,17 +1000,44 @@ enum LayerEngine {
     /// contention-free, making the replay bit-exact with the cycle
     /// engine (and arming the debug-build cycle oracle).
     Analytic { verified: bool },
+    /// Split engine ([`hybrid_loop`]): the request phase — the bulk of a
+    /// layer's flits — replays analytically, the response phase steps
+    /// the mesh through the real cycle engine on the closed-form
+    /// response schedule. Resolved only when that split is provably
+    /// invisible (see [`LayerEngine::resolve`]), so it is bit-identical
+    /// to [`cycle_loop`] on per-link BTs, codec-lane states, overheads
+    /// and delivered payloads.
+    Hybrid,
 }
 
 impl LayerEngine {
     /// Resolves the engine for one layer from the configured mode and
     /// the layer's static task→destination assignment.
     ///
-    /// `Auto` classifies the **combined** request *and* response route
-    /// set: in the cycle engine responses inject while later requests
-    /// are still in flight, so the analytic engine's clean two-phase
-    /// split is provably invisible only when no two packets of the whole
-    /// layer — MC→PE or PE→MC — share a directed router-output link.
+    /// `Auto` first classifies the **combined** request *and* response
+    /// route set: in the cycle engine responses inject while later
+    /// requests are still in flight, so the analytic engine's clean
+    /// two-phase split is provably invisible when no two packets of the
+    /// whole layer — MC→PE or PE→MC — share a directed router-output
+    /// link across sources ([`routes_contention_free`], which admits
+    /// same-source FIFO-trailing sharing).
+    ///
+    /// Failing that, it tries the **hybrid split**: if the request route
+    /// set alone is contention-free *and* touches no directed link any
+    /// response route touches ([`routes_link_disjoint`]), then requests
+    /// and responses cannot interact anywhere in the mesh — no shared
+    /// output port, and (since an input port is fed by exactly one
+    /// directed link) no shared input port — so the fully overlapped
+    /// cycle engine factors exactly into "requests as if alone" ×
+    /// "responses injected at their compute-ready cycles". The request
+    /// phase replays analytically (bulk lane kernels), the converging
+    /// response phase runs the true cycle engine on the same relative
+    /// inject schedule, and every link's flit order is the overlapped
+    /// run's. This is the case that matters in practice: DNN response
+    /// traffic from many PEs converges on each MC's ejection link, which
+    /// no per-link order rule can serialize, while the heavyweight
+    /// request fan-out from each MC is naturally single-source per link.
+    ///
     /// Error-injected wires (`ber > 0`) are categorically ineligible:
     /// the analytic replay models a perfect stream, so `Auto` resolves
     /// them to the cycle engine regardless of the route set.
@@ -1019,13 +1046,23 @@ impl LayerEngine {
             EngineMode::Cycle => LayerEngine::Cycle,
             EngineMode::Analytic => LayerEngine::Analytic { verified: false },
             EngineMode::Auto => {
-                if !config.noc.injects_errors()
-                    && routes_contention_free(
-                        &config.noc,
-                        dests.iter().flat_map(|&(pe, mc)| [(mc, pe), (pe, mc)]),
-                    )
-                {
+                if config.noc.injects_errors() {
+                    return LayerEngine::Cycle;
+                }
+                if routes_contention_free(
+                    &config.noc,
+                    dests.iter().flat_map(|&(pe, mc)| [(mc, pe), (pe, mc)]),
+                ) {
                     LayerEngine::Analytic { verified: true }
+                } else if routes_contention_free(
+                    &config.noc,
+                    dests.iter().map(|&(pe, mc)| (mc, pe)),
+                ) && routes_link_disjoint(
+                    &config.noc,
+                    dests.iter().map(|&(pe, mc)| (mc, pe)),
+                    dests.iter().map(|&(pe, mc)| (pe, mc)),
+                ) {
+                    LayerEngine::Hybrid
                 } else {
                     LayerEngine::Cycle
                 }
@@ -1033,8 +1070,11 @@ impl LayerEngine {
         }
     }
 
+    /// True when the layer's request phase — the bulk of its flits —
+    /// rides the analytic stream replay (fully, or as the hybrid split's
+    /// first half).
     fn is_analytic(self) -> bool {
-        matches!(self, LayerEngine::Analytic { .. })
+        matches!(self, LayerEngine::Analytic { .. } | LayerEngine::Hybrid)
     }
 }
 
@@ -1064,6 +1104,7 @@ fn drive_layer<W: AccelWord>(
             feed,
             verified,
         ),
+        LayerEngine::Hybrid => hybrid_loop(op_index, config, sim, port, dests, per_mc_tasks, feed),
     }
 }
 
@@ -1383,24 +1424,22 @@ fn cycle_loop<W: AccelWord>(
     Ok(run)
 }
 
-/// The analytic counterpart of [`cycle_loop`]: one layer as two stream
-/// replays instead of per-cycle mesh stepping. Every request is encoded
-/// and queued (same per-MC feed order as the cycle loop's prefetch
-/// top-up), replayed via [`Simulator::replay_queued_analytic`] — straight
-/// XOR+popcount passes over the ordered coded stream, per link — then
-/// decoded and computed at the PEs; the clock jumps over the closed-form
-/// PE compute interval; finally every response is queued in task order
-/// and replayed the same way.
-///
-/// With `verified` (the layer's combined route set was proven
-/// contention-free) the result is bit-exact with [`cycle_loop`] on
-/// per-link BTs, codec-lane states, payloads and recovered MACs, and
-/// debug builds run the cycle engine as an oracle inside each replay.
-/// Without it (forced [`EngineMode::Analytic`]) shared links record the
-/// serialized per-packet stream — the paper's pure stream metric — and
-/// cycle counts are closed-form estimates.
+/// One computed response staged for injection: `(task index, response
+/// bits, compute-ready cycle)`.
+type StagedResponse = (usize, u64, u64);
+
+/// The request half of [`analytic_loop`] and [`hybrid_loop`]: every
+/// request is encoded and queued (same per-MC feed order as the cycle
+/// loop's prefetch top-up), replayed via
+/// [`Simulator::replay_queued_analytic`] — straight XOR+popcount passes
+/// over the ordered coded stream, per link, through the bulk codec-lane
+/// kernels on per-link-coded wires — then decoded and computed at the
+/// PEs. Returns the staged responses as `(task, response bits,
+/// compute-ready cycle)` sorted by `(ready, task)` — the exact order the
+/// cycle engine's compute heap would pop them, which is each PE's FIFO
+/// response-injection order.
 #[allow(clippy::too_many_arguments)]
-fn analytic_loop<W: AccelWord>(
+fn replay_request_phase<W: AccelWord>(
     op_index: usize,
     config: &AccelConfig,
     sim: &mut Simulator,
@@ -1409,7 +1448,7 @@ fn analytic_loop<W: AccelWord>(
     per_mc_tasks: &[Vec<usize>],
     feed: &mut TaskFeed<'_, W>,
     verified: bool,
-) -> Result<LayerRun, AccelError> {
+) -> Result<(Vec<StagedResponse>, LayerRun), AccelError> {
     let total = dests.len();
     let mut wires: Vec<Option<TaskWireMeta>> = vec![None; total];
     let mut run = LayerRun {
@@ -1446,10 +1485,6 @@ fn analytic_loop<W: AccelWord>(
         pairs: Vec::new(),
         bias: W::from_bits_u64(0),
     };
-    // (task, response bits, compute-ready cycle), staged so responses
-    // inject per PE in task order — under the contention-free rule each
-    // PE holds at most one task, so any per-PE order matches the cycle
-    // engine's; task order keeps the forced replay deterministic.
     let mut staged: Vec<(usize, u64, u64)> = Vec::with_capacity(total);
     for d in &delivered {
         // The wires are perfect here (error injection forces the cycle
@@ -1472,7 +1507,138 @@ fn analytic_loop<W: AccelWord>(
         let bits = W::response_bits(&recovered);
         staged.push((j, bits, d.arrival_cycle + config.pe_latency(wire.num_pairs)));
     }
-    staged.sort_unstable_by_key(|&(j, ..)| j);
+    // Completion order — ready cycle, then task id: exactly the order
+    // the cycle engine's compute min-heap pops, so each PE's responses
+    // inject in its true FIFO order even when a PE holds several tasks
+    // (closed-form arrivals are exact on stall-free request phases, and
+    // relative order is all the response phase needs).
+    staged.sort_unstable_by_key(|&(j, _, ready)| (ready, j));
+    Ok((staged, run))
+}
+
+/// The split engine behind [`LayerEngine::Hybrid`]: the request phase —
+/// the weight/activation fan-out carrying the bulk of a layer's flits —
+/// replays analytically, then the response phase steps the mesh through
+/// the **real cycle engine**, injecting each PE's response at its
+/// closed-form compute-ready cycle (shifted by a constant, which cannot
+/// change any link's flit order: the cycle engine's dynamics depend only
+/// on relative inject times).
+///
+/// Bit-exactness with the fully overlapped [`cycle_loop`] rests on the
+/// split condition [`LayerEngine::resolve`] proved: request routes are
+/// contention-free (so the replay *is* the request phase's true per-link
+/// order and the closed-form ready cycles are exact) and request and
+/// response routes are link-disjoint (so neither phase can stall, delay
+/// or reorder the other anywhere in the mesh, and the phase split is
+/// invisible on every link). Converging response traffic — many PEs
+/// funnelling into each MC's ejection link, which no per-link order rule
+/// can serialize — is handled by the one engine that resolves it
+/// faithfully: the cycle engine itself. Timing fields are the one
+/// deviation: the layer's cycle count composes the request makespan and
+/// the response phase instead of their overlap.
+#[allow(clippy::too_many_arguments)]
+fn hybrid_loop<W: AccelWord>(
+    op_index: usize,
+    config: &AccelConfig,
+    sim: &mut Simulator,
+    port: &TaskPort<CodedTransport>,
+    dests: &[(usize, usize)],
+    per_mc_tasks: &[Vec<usize>],
+    feed: &mut TaskFeed<'_, W>,
+) -> Result<LayerRun, AccelError> {
+    let total = dests.len();
+    let (staged, mut run) =
+        replay_request_phase(op_index, config, sim, port, dests, per_mc_tasks, feed, true)?;
+
+    // Response phase: drive the cycle engine on the closed-form schedule.
+    // `base` anchors the first response at the current clock; offsets
+    // between responses are preserved exactly.
+    let base = sim.cycle();
+    let ready0 = staged.first().map_or(0, |&(.., ready)| ready);
+    let mut responses: Vec<Option<u64>> = vec![None; total];
+    let mut remaining = total;
+    let mut delivered: Vec<DeliveredPacket> = Vec::new();
+    let mut idx = 0;
+    let start_cycle = sim.cycle();
+    while remaining > 0 {
+        while let Some(&(j, bits, ready)) = staged.get(idx) {
+            if base + (ready - ready0) > sim.cycle() {
+                break;
+            }
+            let image = port.session().encode_response::<W>(bits);
+            run.codec_bits += u64::from(config.codec.extra_wires());
+            run.edc_bits += u64::from(config.edc.extra_wires());
+            let (pe, mc_node) = dests[j];
+            port.send_flits(sim, pe, mc_node, vec![image], j as u64)?;
+            idx += 1;
+        }
+        sim.step();
+        sim.drain_all_delivered_into(&mut delivered);
+        for d in &delivered {
+            let accepted = accept_delivery::<W>(port, sim, d, op_index)?;
+            debug_assert!(accepted, "hybrid wires are perfect");
+            let j = d.tag as usize;
+            debug_assert!(config.noc.is_mc(d.dst), "responses terminate at MCs");
+            let bits = port
+                .session()
+                .decode_response::<W>(&d.payload_flits)
+                .map_err(|e| AccelError::Decode(e.to_string()))?;
+            debug_assert!(responses[j].is_none(), "duplicate response for task {j}");
+            responses[j] = Some(bits);
+            remaining -= 1;
+        }
+        if sim.cycle() - start_cycle > config.max_cycles_per_layer {
+            return Err(AccelError::Stall {
+                layer: op_index,
+                cycles: sim.cycle() - start_cycle,
+            });
+        }
+    }
+    run.responses = responses
+        .into_iter()
+        .map(|bits| bits.expect("all responses collected"))
+        .collect();
+    Ok(run)
+}
+
+/// The analytic counterpart of [`cycle_loop`]: one layer as two stream
+/// replays instead of per-cycle mesh stepping. Every request is encoded
+/// and queued (same per-MC feed order as the cycle loop's prefetch
+/// top-up), replayed via [`Simulator::replay_queued_analytic`] — straight
+/// XOR+popcount passes over the ordered coded stream, per link — then
+/// decoded and computed at the PEs; the clock jumps over the closed-form
+/// PE compute interval; finally every response is queued in completion
+/// order and replayed the same way.
+///
+/// With `verified` (the layer's combined route set was proven
+/// contention-free) the result is bit-exact with [`cycle_loop`] on
+/// per-link BTs, codec-lane states, payloads and recovered MACs, and
+/// debug builds run the cycle engine as an oracle inside each replay.
+/// Without it (forced [`EngineMode::Analytic`]) shared links record the
+/// serialized per-packet stream — the paper's pure stream metric — and
+/// cycle counts are closed-form estimates.
+#[allow(clippy::too_many_arguments)]
+fn analytic_loop<W: AccelWord>(
+    op_index: usize,
+    config: &AccelConfig,
+    sim: &mut Simulator,
+    port: &TaskPort<CodedTransport>,
+    dests: &[(usize, usize)],
+    per_mc_tasks: &[Vec<usize>],
+    feed: &mut TaskFeed<'_, W>,
+    verified: bool,
+) -> Result<LayerRun, AccelError> {
+    let total = dests.len();
+    let (staged, mut run) = replay_request_phase(
+        op_index,
+        config,
+        sim,
+        port,
+        dests,
+        per_mc_tasks,
+        feed,
+        verified,
+    )?;
 
     // Response phase: jump the clock over the PE compute interval the
     // cycle engine would idle through, queue every response, replay.
@@ -1487,6 +1653,7 @@ fn analytic_loop<W: AccelWord>(
     sim.replay_queued_analytic(verified);
 
     // MC side: decode every response off the coded wire.
+    let mut delivered: Vec<DeliveredPacket> = Vec::new();
     sim.drain_all_delivered_into(&mut delivered);
     debug_assert_eq!(delivered.len(), total, "every response delivered");
     let mut responses: Vec<Option<u64>> = vec![None; total];

@@ -7,6 +7,7 @@
 //! and unused suppressions are findings, so allows cannot rot.
 
 pub mod determinism;
+pub mod hot_loop;
 pub mod panic_path;
 pub mod schema;
 pub mod sweep_axes;
@@ -18,6 +19,7 @@ use crate::source::{SourceFile, Workspace};
 /// Every rule the lint ships, in report-catalog order.
 pub const RULES: &[&str] = &[
     "panic-in-hot-path",
+    "per-bit-hot-loop",
     "schema-coherence",
     "sweep-axis-completeness",
     "determinism",
@@ -28,6 +30,7 @@ pub const RULES: &[&str] = &[
 /// Runs every rule, then the directive audit.
 pub fn run_all(ws: &Workspace, report: &mut Report) {
     panic_path::check(ws, report);
+    hot_loop::check(ws, report);
     schema::check(ws, report);
     sweep_axes::check(ws, report);
     determinism::check(ws, report);

@@ -75,6 +75,62 @@ fn reasoned_allow_suppresses_and_is_reported() {
     assert_eq!(report.suppressed[0].reason, "validated at construction");
 }
 
+#[test]
+fn per_bit_iteration_in_hot_modules_is_caught() {
+    let src = "\
+fn count(&self) -> u32 {\n\
+    let n = self.image.iter_bits().filter(|&b| b).count();\n\
+    for b in 0..self.width {\n\
+        probe(b);\n\
+    }\n\
+    for w in 0..width.div_ceil(64) {\n\
+        word(w);\n\
+    }\n\
+    for link in 0..num_links {\n\
+        scan(link);\n\
+    }\n\
+    n\n\
+}\n\
+#[cfg(test)]\n\
+mod tests {\n\
+    #[test]\n\
+    fn oracle() { for b in 0..width { probe(b); } img.iter_bits(); }\n\
+}\n";
+    let ws = Workspace::from_memory(&[("crates/noc/src/stats.rs", src)]);
+    let lines: Vec<u32> = findings_of(&ws, "per-bit-hot-loop")
+        .into_iter()
+        .map(|(_, l)| l)
+        .collect();
+    // The `.iter_bits()` call and the per-wire index loop fire; the
+    // word-granular loop, the non-width loop and the cfg(test) oracle
+    // do not.
+    assert_eq!(lines, vec![2, 3]);
+}
+
+#[test]
+fn per_bit_loop_outside_hot_modules_or_with_allow_is_clean() {
+    let ws = Workspace::from_memory(&[
+        // Figure code may walk bits: not in the hot module set.
+        (
+            "crates/experiments/src/figures.rs",
+            "fn f() { for b in 0..width { probe(b); } }\n",
+        ),
+        (
+            "crates/bits/src/transition.rs",
+            "// btr-lint: allow(per-bit-hot-loop, reason = \"per-bit-position output\")\n\
+             fn g() { for b in 0..self.width { h(b); } }\n",
+        ),
+    ]);
+    let report = run(&ws);
+    assert!(
+        report.findings.iter().all(|f| f.rule != "per-bit-hot-loop"),
+        "{:?}",
+        report.findings
+    );
+    assert_eq!(report.suppressed.len(), 1);
+    assert_eq!(report.suppressed[0].reason, "per-bit-position output");
+}
+
 /// A minimal sweep.rs standing in for the real one: canonical const,
 /// cell struct, emission fn, baseline-key const.
 fn mini_sweep(fields: &str, emitted: &str, key_fields: &str) -> String {

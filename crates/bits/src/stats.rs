@@ -50,11 +50,13 @@ impl BitPositionStats {
 
     /// Observes one word (raw image right-aligned in a `u64`).
     pub fn observe_bits(&mut self, bits: u64) {
+        // btr-lint: allow(per-bit-hot-loop, reason = "per-bit-position histogram: the output is indexed by wire, so there is no word-parallel form; feeds fig10/fig11, not the sweep hot path")
         for i in 0..self.width {
             self.ones[i as usize] += (bits >> i) & 1;
         }
         if let Some(prev) = self.previous {
             let diff = prev ^ bits;
+            // btr-lint: allow(per-bit-hot-loop, reason = "per-bit-position histogram: the output is indexed by wire, so there is no word-parallel form; feeds fig10/fig11, not the sweep hot path")
             for i in 0..self.width {
                 self.transitions[i as usize] += (diff >> i) & 1;
             }

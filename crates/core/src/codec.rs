@@ -301,6 +301,24 @@ impl std::fmt::Display for CodecError {
 
 impl std::error::Error for CodecError {}
 
+/// Summary of an uninterrupted wire run produced by
+/// [`LinkCodecState::encode_run`]: everything a per-link transition
+/// accumulator needs to charge the run in O(1) beyond the encode pass
+/// itself — the boundary images and the intra-run transition sum — with
+/// no intermediate wires materialized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireRun {
+    /// First wire image of the run (charged against the link's previous
+    /// image at the run boundary).
+    pub first: PayloadBits,
+    /// Last wire image of the run (becomes the link's previous image).
+    pub last: PayloadBits,
+    /// Sum of bit transitions between consecutive wires *within* the run.
+    pub intra: u64,
+    /// Number of flits in the run.
+    pub count: u64,
+}
+
 /// The running state of one link codec endpoint: the wire memory a real
 /// encoder (or its mirrored decoder) holds between flits.
 ///
@@ -455,6 +473,192 @@ impl LinkCodecState {
         }
     }
 
+    /// Advances the transmit side over a whole uninterrupted run of plain
+    /// flits in one pass — the word-parallel bulk kernel behind the
+    /// analytic engine's per-link fast path. The state ends exactly where
+    /// flit-by-flit [`LinkCodecState::encode_step`] calls would, and the
+    /// returned [`WireRun`] summarizes the wire stream (first image, last
+    /// image, intra-run transition sum) without materializing the
+    /// intermediate wires:
+    ///
+    /// * **Delta-XOR telescopes.** With lane memory `p` and plains
+    ///   `x1..xn`, the wires are `x1⊕p, x2⊕x1, …`, so consecutive wires
+    ///   differ by the *second difference* `w_k ⊕ w_{k-1} = x_k ⊕ x_{k-2}`
+    ///   (with `x0 = p`) — one XOR+popcount per flit, and the end-of-run
+    ///   lane state is just the last plain image.
+    /// * **Bus-invert keeps its sequential invert decision** but runs
+    ///   branch-light: the decision popcount `t` *is* the data-wire
+    ///   transition count (`data_width − t` when the inversion wins), so
+    ///   the intra sum needs no second pass, and the inverted image is
+    ///   materialized only when it wins.
+    /// * **Unencoded degenerates** to the raw-wire run
+    ///   (`LinkSlab::observe_run` semantics): wires are the plains.
+    ///
+    /// Returns `None` for an empty run (the state is untouched).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same width conditions as
+    /// [`LinkCodecState::encode_step`], or if the run mixes widths.
+    pub fn encode_run<'a>(
+        &mut self,
+        plains: impl IntoIterator<Item = &'a PayloadBits>,
+    ) -> Option<WireRun> {
+        let mut plains = plains.into_iter();
+        let first = plains.next()?;
+        match self.kind {
+            CodecKind::Unencoded => {
+                // Wires are the plains; the steady state is pure
+                // XOR+popcount over borrowed images, no copies at all.
+                self.expect_data_width(first);
+                let mut intra = 0u64;
+                let mut last = first;
+                let mut count = 1u64;
+                for plain in plains {
+                    self.expect_data_width(plain);
+                    intra += u64::from(plain.transitions_to(last));
+                    last = plain;
+                    count += 1;
+                }
+                Some(WireRun {
+                    first: *first,
+                    last: *last,
+                    intra,
+                    count,
+                })
+            }
+            CodecKind::DeltaXor => {
+                // `prev = None` is indistinguishable from `prev = zero`
+                // for delta-XOR (`x ⊕ 0 = x`), which closes the telescope:
+                // every wire-boundary XOR is a second difference of the
+                // plain stream extended by the lane memory. The sliding
+                // pair (x_{k-2}, x_{k-1}) is held by reference — the
+                // steady state copies nothing.
+                self.expect_data_width(first);
+                let p0 = self
+                    .prev
+                    .unwrap_or_else(|| PayloadBits::zero(self.data_width));
+                let first_wire = first.xor(&p0);
+                let mut intra = 0u64;
+                let mut count = 1u64;
+                let (mut back2, mut back1): (&PayloadBits, &PayloadBits) = (&p0, first);
+                for plain in plains {
+                    self.expect_data_width(plain);
+                    intra += u64::from(plain.transitions_to(back2));
+                    (back2, back1) = (back1, plain);
+                    count += 1;
+                }
+                self.prev = Some(*back1);
+                Some(WireRun {
+                    first: first_wire,
+                    last: back1.xor(back2),
+                    intra,
+                    count,
+                })
+            }
+            CodecKind::BusInvert => {
+                let wire_of = |wire_data: &PayloadBits, invert: bool| {
+                    let mut wire = wire_data.resized(self.data_width + 1);
+                    wire.set_field(self.data_width, 1, u64::from(invert));
+                    wire
+                };
+                // Seed step: against no memory the first flit travels
+                // uninverted; against memory it takes the normal decision.
+                let first_data = self.data_image(first);
+                let (wire_data, mut invert) = match &self.prev {
+                    None => (first_data, false),
+                    Some(prev) => {
+                        let t = first_data.transitions_to(prev);
+                        if self.data_width - t < t {
+                            (first_data.invert(), true)
+                        } else {
+                            (first_data, false)
+                        }
+                    }
+                };
+                let first_wire = wire_of(&wire_data, invert);
+                let mut intra = 0u64;
+                let mut count = 1u64;
+                // The previous wire-data image is a borrow of the input
+                // flit whenever the flit travels uninverted at data
+                // width; `owned` holds it only when an inversion (or a
+                // link-width narrowing) materialized a new image.
+                let mut owned = wire_data;
+                let mut prev_input: Option<&PayloadBits> = None;
+                for plain in plains {
+                    let prev = prev_input.unwrap_or(&owned);
+                    // `t` doubles as the data-wire transition count: the
+                    // codec transmits the side that toggles fewer wires,
+                    // so the intra sum is `min`-selected from the same
+                    // XOR+popcount that decides the inversion.
+                    if plain.width() == self.data_width {
+                        let t = plain.transitions_to(prev);
+                        let next_invert = self.data_width - t < t;
+                        intra += u64::from(if next_invert { self.data_width - t } else { t })
+                            + u64::from(next_invert != invert);
+                        if next_invert {
+                            owned = plain.invert();
+                            prev_input = None;
+                        } else {
+                            prev_input = Some(plain);
+                        }
+                        invert = next_invert;
+                    } else {
+                        let data = self.data_image(plain);
+                        let t = data.transitions_to(prev);
+                        let next_invert = self.data_width - t < t;
+                        intra += u64::from(if next_invert { self.data_width - t } else { t })
+                            + u64::from(next_invert != invert);
+                        owned = if next_invert { data.invert() } else { data };
+                        prev_input = None;
+                        invert = next_invert;
+                    }
+                    count += 1;
+                }
+                let last_data = match prev_input {
+                    Some(p) => *p,
+                    None => owned,
+                };
+                let last = wire_of(&last_data, invert);
+                self.prev = Some(last_data);
+                Some(WireRun {
+                    first: first_wire,
+                    last,
+                    intra,
+                    count,
+                })
+            }
+        }
+    }
+
+    /// Width check for the equal-width run kernels (unencoded and
+    /// delta-XOR have `wire_width == data_width`, so [`Self::data_image`]
+    /// is the identity and the kernels can borrow the inputs directly).
+    fn expect_data_width(&self, plain: &PayloadBits) {
+        assert_eq!(
+            plain.width(),
+            self.data_width,
+            "plain image width {} does not match the {} data wires",
+            plain.width(),
+            self.data_width
+        );
+    }
+
+    /// The intra-run wire transition sum [`LinkCodecState::encode_run`]
+    /// would report for `plains` from the current state, without
+    /// advancing it — the pure counting form of the bulk kernel (what a
+    /// BT-only evaluation of a run costs: one XOR+popcount per flit, no
+    /// materialized wires at all).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`LinkCodecState::encode_run`].
+    #[must_use]
+    pub fn transitions_of_run<'a>(&self, plains: impl IntoIterator<Item = &'a PayloadBits>) -> u64 {
+        let mut probe = self.clone();
+        probe.encode_run(plains).map_or(0, |run| run.intra)
+    }
+
     /// Advances the receive side one flit: decodes a `wire_width` image
     /// against the mirrored wire memory and returns the `data_width`
     /// plain image.
@@ -590,6 +794,51 @@ mod tests {
                 let stepped: Vec<PayloadBits> = packet.iter().map(|p| tx.encode_step(p)).collect();
                 assert_eq!(stepped, kind.encode_stream(packet), "{kind}");
             }
+        }
+    }
+
+    #[test]
+    fn encode_run_matches_step_loop() {
+        // The bulk kernel must be indistinguishable from flit-by-flit
+        // encode_step: same wire boundaries, same intra transition sum,
+        // same end-of-run state — from a fresh lane and mid-stream.
+        for kind in CodecKind::ALL {
+            for (n, width, seed) in [(1usize, 8u32, 1u64), (2, 64, 2), (9, 96, 3), (32, 128, 4)] {
+                for warmup in [0usize, 3] {
+                    let history = random_stream(warmup, width, seed + 100);
+                    let stream = random_stream(n, width, seed);
+                    let mut stepped = kind.seed_state(width);
+                    for p in &history {
+                        let _ = stepped.encode_step(p);
+                    }
+                    let mut bulk = stepped.clone();
+                    let wires: Vec<PayloadBits> =
+                        stream.iter().map(|p| stepped.encode_step(p)).collect();
+                    let intra: u64 = wires
+                        .windows(2)
+                        .map(|w| u64::from(w[1].transitions_to(&w[0])))
+                        .sum();
+                    assert_eq!(bulk.transitions_of_run(&stream), intra, "{kind}");
+                    let run = bulk.encode_run(&stream).unwrap();
+                    assert_eq!(run.first, wires[0], "{kind} n={n} warmup={warmup}");
+                    assert_eq!(run.last, *wires.last().unwrap(), "{kind}");
+                    assert_eq!(run.intra, intra, "{kind} n={n} warmup={warmup}");
+                    assert_eq!(run.count, n as u64);
+                    assert_eq!(bulk, stepped, "{kind}: end-of-run state diverges");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encode_run_empty_is_identity() {
+        for kind in CodecKind::ALL {
+            let mut state = kind.seed_state(64);
+            let _ = state.encode_step(&random_stream(1, 64, 7)[0]);
+            let before = state.clone();
+            assert!(state.encode_run(std::iter::empty()).is_none());
+            assert_eq!(state, before);
+            assert_eq!(state.transitions_of_run(std::iter::empty()), 0);
         }
     }
 

@@ -44,6 +44,7 @@ use btr_noc::config::NocConfig;
 use btr_noc::fault::{BitErrorRate, FaultMode};
 use btr_noc::packet::Packet;
 use btr_noc::sim::{DeliveredPacket, Simulator};
+use btr_noc::stats::LinkSlab;
 use btr_noc::EngineMode;
 use criterion::{black_box, BatchSize, Criterion};
 use experiments::json::Json;
@@ -109,6 +110,55 @@ fn kernel_traffic(
             Packet::new(src, dst, flits, j as u64)
         })
         .collect()
+}
+
+/// Payload-flit runs in the two kernel shapes, as one `Vec` of flit
+/// images per packet: the inputs `LinkSlab::observe_payload` walks flit
+/// by flit and `LinkSlab::observe_payload_run` consumes in one pass.
+fn lane_runs(
+    data_width: u32,
+    packets: usize,
+    flits_per_packet: usize,
+    seed: u64,
+) -> Vec<Vec<PayloadBits>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..packets)
+        .map(|_| {
+            (0..flits_per_packet)
+                .map(|_| {
+                    let mut image = PayloadBits::zero(data_width);
+                    let mut off = 0;
+                    while off < data_width {
+                        let len = 64.min(data_width - off);
+                        image.set_field(off, len, rng.gen());
+                        off += len;
+                    }
+                    image
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The per-flit walk: every payload flit steps the persistent tx lane,
+/// advances the mirrored rx lane and charges the accumulator one flit
+/// at a time — the path contended per-link phases still pay.
+fn lane_perflit(mut slab: LinkSlab, runs: &[Vec<PayloadBits>]) -> u64 {
+    for run in runs {
+        for flit in run {
+            black_box(slab.observe_payload(0, flit));
+        }
+    }
+    slab.transitions(0)
+}
+
+/// The bulk lane kernel: each packet's whole flit run advances the lane
+/// and the accumulator in one XOR+popcount pass.
+fn lane_bulk(mut slab: LinkSlab, runs: &[Vec<PayloadBits>]) -> u64 {
+    for run in runs {
+        slab.observe_payload_run(0, run.iter());
+    }
+    slab.transitions(0)
 }
 
 /// Builds a fresh simulator with the whole packet set queued at its
@@ -211,6 +261,55 @@ fn main() {
                 BatchSize::LargeInput,
             )
         });
+    }
+    // Per-link codec scope on the same stream traffic: the configuration
+    // that could not replay at all before the bulk lane kernels (the
+    // replay refused persistent lanes and fell back to cycle stepping).
+    let coded = NocConfig::paper_mesh(4, 4, 2, 128).with_link_codec(Some(CodecKind::DeltaXor));
+    let coded_traffic = kernel_traffic(&coded, 256, 32, seed);
+    group.bench_function("cycle_perlink_stream", |b| {
+        b.iter_batched(
+            || primed_sim(&coded, &coded_traffic),
+            |(sim, n)| kernel_cycle(black_box(sim), n),
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("analytic_perlink_stream", |b| {
+        b.iter_batched(
+            || primed_sim(&coded, &coded_traffic),
+            |(sim, n)| kernel_analytic(black_box(sim), n),
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+
+    // Codec-lane kernel: the per-flit walk vs the bulk run kernel over
+    // one persistent per-link lane, both codecs, both shapes — the
+    // narrowest isolation of what the run kernels buy.
+    let mut group = criterion.benchmark_group("lane_kernel");
+    group.sample_size(if smoke { 3 } else { 10 });
+    for (codec_name, codec) in [
+        ("businvert", CodecKind::BusInvert),
+        ("deltaxor", CodecKind::DeltaXor),
+    ] {
+        for (shape, packets, flits) in [("task", 1024, 4), ("stream", 256, 32)] {
+            let runs = lane_runs(128, packets, flits, seed);
+            let slab_width = 128 + codec.extra_wires();
+            group.bench_function(format!("perflit_{codec_name}_{shape}"), |b| {
+                b.iter_batched(
+                    || LinkSlab::with_link_codec(slab_width, 1, codec),
+                    |slab| lane_perflit(black_box(slab), &runs),
+                    BatchSize::LargeInput,
+                )
+            });
+            group.bench_function(format!("bulk_{codec_name}_{shape}"), |b| {
+                b.iter_batched(
+                    || LinkSlab::with_link_codec(slab_width, 1, codec),
+                    |slab| lane_bulk(black_box(slab), &runs),
+                    BatchSize::LargeInput,
+                )
+            });
+        }
     }
     group.finish();
 
@@ -324,15 +423,30 @@ fn report(smoke: bool, cells_per_grid: usize) {
 
     let kernel = bench_metrics("engine_kernel");
     println!("engine-phase kernel (same packets, engine work only):");
-    for shape in ["task", "stream"] {
+    for shape in ["task", "stream", "perlink_stream"] {
         let c = kernel(&format!("cycle_{shape}"), "min_ns");
         let a = kernel(&format!("analytic_{shape}"), "min_ns");
         println!(
-            "  {shape:<7} cycle {:>7.3} ms, analytic {:>7.3} ms -> {:>5.1}x",
+            "  {shape:<14} cycle {:>7.3} ms, analytic {:>7.3} ms -> {:>5.1}x",
             c / 1e6,
             a / 1e6,
             c / a
         );
+    }
+
+    let lane = bench_metrics("lane_kernel");
+    println!("codec-lane kernel (per-flit walk vs bulk run, one per-link lane):");
+    for codec in ["businvert", "deltaxor"] {
+        for shape in ["task", "stream"] {
+            let walk = lane(&format!("perflit_{codec}_{shape}"), "min_ns");
+            let bulk = lane(&format!("bulk_{codec}_{shape}"), "min_ns");
+            println!(
+                "  {codec:<9} {shape:<7} walk {:>7.3} ms, bulk {:>7.3} ms -> {:>5.1}x",
+                walk / 1e6,
+                bulk / 1e6,
+                walk / bulk
+            );
+        }
     }
 
     if smoke {
@@ -351,5 +465,28 @@ fn report(smoke: bool, cells_per_grid: usize) {
             "smoke check: engine kernel {:.1}x on streams",
             stream_cycle / stream_analytic
         );
+        // Bulk codec-lane kernel gates: never slower than the per-flit
+        // walk it replaces, and ≥3x where it matters most — long
+        // weight-stream runs, where per-flit wire materialization,
+        // mirrored-lane advance and accumulator bookkeeping dominate.
+        for codec in ["businvert", "deltaxor"] {
+            for shape in ["task", "stream"] {
+                let walk = lane(&format!("perflit_{codec}_{shape}"), "min_ns");
+                let bulk = lane(&format!("bulk_{codec}_{shape}"), "min_ns");
+                assert!(
+                    bulk <= walk,
+                    "bulk lane kernel slower than the per-flit walk \
+                     ({codec} {shape}: {bulk} ns vs {walk} ns)"
+                );
+                if shape == "stream" {
+                    assert!(
+                        bulk * 3.0 <= walk,
+                        "bulk lane kernel under 3x on stream runs \
+                         ({codec}: {bulk} ns vs {walk} ns)"
+                    );
+                }
+            }
+        }
+        println!("smoke check: bulk lane kernel >= per-flit walk on every point, >= 3x on streams");
     }
 }

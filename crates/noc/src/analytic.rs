@@ -4,11 +4,13 @@
 //! The paper's metric — per-link BTs of the ordered, coded stream
 //! (Fig. 8) — depends only on the *order* in which flits traverse each
 //! directed link, never on the cycles between them. Whenever a traffic
-//! phase is **contention-free** (no two queued packets share a directed
-//! router-output link, ejection links included), every link carries at
-//! most one packet, so its flit order is the packet's own flit order and
-//! the whole phase is a pure function of the stream: no routers, no VC
-//! allocation, no per-cycle stepping is needed to count XOR+popcounts.
+//! phase is **contention-free** (no two queued packets *from different
+//! sources* share a directed router-output link, ejection links
+//! included), every link carries packets of one source only, in that
+//! source's FIFO injection order — trailing same-source packets never
+//! catch each other on a stall-free phase — so the whole phase is a pure
+//! function of the stream: no routers, no VC allocation, no per-cycle
+//! stepping is needed to count XOR+popcounts.
 //!
 //! [`Simulator::queued_phase_is_contention_free`] is the (conservative)
 //! classifier for that condition, and
@@ -124,10 +126,21 @@ fn neighbor(config: &NocConfig, cur: NodeId, dir: Direction) -> NodeId {
 }
 
 /// Classifies an arbitrary `(src, dst)` route set: `true` when no two
-/// routes use the same directed router-output link (ejection links
-/// included) under the configured dimension-order routing. Injection
-/// links are exempt — NIs inject strictly FIFO per source, so a shared
-/// injection link's flit order is the queue order regardless.
+/// routes **from different sources** use the same directed router-output
+/// link (ejection links included) under the configured dimension-order
+/// routing.
+///
+/// Same-source sharing is allowed — the *FIFO-trailing* rule: an NI
+/// injects strictly FIFO, one packet at a time, so a trailing packet from
+/// the same source enters the mesh only after its predecessor's tail left
+/// the NI. On a phase whose only link sharing is same-source, every
+/// switch conflict (input-port or output-port) would have to be between
+/// such a trailing pair — which never coexists at a router while the
+/// phase is stall-free — so by induction no stall ever happens, packets
+/// stream at one hop per cycle, and every shared link's flit order is
+/// exactly the source's FIFO injection order, which is the order the
+/// analytic replay uses. Injection links are same-source by construction
+/// and were always exempt.
 ///
 /// This is the planning-time form of
 /// [`Simulator::queued_phase_is_contention_free`]: a driver can prove a
@@ -141,16 +154,16 @@ pub fn routes_contention_free(
     config: &NocConfig,
     routes: impl IntoIterator<Item = (NodeId, NodeId)>,
 ) -> bool {
-    let mut used = vec![false; config.num_nodes() * NUM_PORTS];
+    let mut used: Vec<Option<NodeId>> = vec![None; config.num_nodes() * NUM_PORTS];
     for (src, dst) in routes {
         let mut cur = src;
         loop {
             let dir = route(config, cur, dst);
             let link = cur * NUM_PORTS + dir.index();
-            if used[link] {
+            if used[link].is_some_and(|owner| owner != src) {
                 return false;
             }
-            used[link] = true;
+            used[link] = Some(src);
             if dir == Direction::Local {
                 break;
             }
@@ -160,14 +173,61 @@ pub fn routes_contention_free(
     true
 }
 
+/// `true` when the two route sets touch **disjoint** directed
+/// router-output links (ejection links included; injection links are
+/// per-source and cannot collide across sets with distinct sources).
+///
+/// Link-disjoint traffic sets cannot interact anywhere in the mesh: they
+/// share no output port, and — since a router input port is fed by
+/// exactly one directed link — no input port either, so neither set can
+/// stall, delay or reorder the other. This is what lets a driver split a
+/// layer into an analytically replayed request phase and a cycle-stepped
+/// response phase while staying bit-identical to the fully overlapped
+/// cycle engine on every link's flit order.
+#[must_use]
+pub fn routes_link_disjoint(
+    config: &NocConfig,
+    a: impl IntoIterator<Item = (NodeId, NodeId)>,
+    b: impl IntoIterator<Item = (NodeId, NodeId)>,
+) -> bool {
+    let mut used = vec![false; config.num_nodes() * NUM_PORTS];
+    for (src, dst) in a {
+        let mut cur = src;
+        loop {
+            let dir = route(config, cur, dst);
+            used[cur * NUM_PORTS + dir.index()] = true;
+            if dir == Direction::Local {
+                break;
+            }
+            cur = neighbor(config, cur, dir);
+        }
+    }
+    b.into_iter().all(|(src, dst)| {
+        let mut cur = src;
+        loop {
+            let dir = route(config, cur, dst);
+            if used[cur * NUM_PORTS + dir.index()] {
+                return false;
+            }
+            if dir == Direction::Local {
+                return true;
+            }
+            cur = neighbor(config, cur, dir);
+        }
+    })
+}
+
 impl Simulator {
     /// Classifies the traffic phase currently queued at the NIs: `true`
     /// when its route set is contention-free under the configured
-    /// dimension-order routing — no two queued packets (counting each
-    /// packet once, whole-phase occupancy) use the same directed
-    /// router-output link, ejection links included. Injection links are
-    /// exempt: NIs inject strictly FIFO per source, so their flit order
-    /// is queue order regardless of sharing.
+    /// dimension-order routing — no two queued packets **from different
+    /// sources** use the same directed router-output link, ejection links
+    /// included. Same-source sharing is safe under the FIFO-trailing rule
+    /// (see [`routes_contention_free`]): the NI serializes its queue, a
+    /// trailing packet never catches its predecessor on a stall-free
+    /// phase, and the shared link's flit order is the queue order — which
+    /// is the order the replay uses. Injection links are same-source by
+    /// construction.
     ///
     /// A `true` verdict guarantees [`Simulator::replay_queued_analytic`]
     /// is bit-exact with the cycle engine on per-link BTs, codec-lane
@@ -243,8 +303,13 @@ impl Simulator {
                 // every link it crosses, so the intra-packet transition
                 // sum is a per-packet constant: compute it once, then each
                 // hop is O(1) (boundary transition + accumulate). Per-link
-                // codec lanes re-image the stream per link, so they keep
-                // the per-flit walk.
+                // codec lanes re-image the stream per link, so each hop
+                // instead runs the bulk lane kernel
+                // ([`crate::stats::LinkSlab::observe_payload_run`]): one
+                // XOR+popcount pass advancing the link's persistent tx/rx
+                // lanes, no materialized intermediate wires, no per-flit
+                // decode — the head still travels uncoded through
+                // `observe`, exactly as the cycle engine's walk does.
                 let bulk_inject = !self.inject_links.has_link_codec();
                 let bulk_out = !self.out_links.has_link_codec();
                 let intra: u64 = if bulk_inject || bulk_out {
@@ -255,11 +320,19 @@ impl Simulator {
                 } else {
                     0
                 };
+                debug_assert!(
+                    self.packets[pid]
+                        .flits
+                        .iter()
+                        .enumerate()
+                        .all(|(seq, f)| f.kind.is_head() == (seq == 0)),
+                    "wormhole packets carry exactly one head flit, first"
+                );
 
-                // Injection link NI→router, in flit order. Per-link codec
-                // lanes re-image payload flits exactly as the cycle
-                // engine's phase 2 does; the decoded plain image is what
-                // travels onward.
+                // Injection link NI→router, in flit order. Delivered
+                // payloads need no rewrite on either path: the wires are
+                // perfect here (faults force the cycle engine), so the
+                // per-link decode-and-realign is the identity.
                 if bulk_inject {
                     self.inject_links.observe_run(
                         src,
@@ -269,16 +342,10 @@ impl Simulator {
                         num_flits as u64,
                     );
                 } else {
-                    for seq in 0..num_flits {
-                        if !self.packets[pid].flits[seq].kind.is_head() {
-                            let plain = self.packets[pid].flits[seq].payload;
-                            self.packets[pid].flits[seq].payload =
-                                self.inject_links.observe_payload(src, &plain);
-                        } else {
-                            self.inject_links
-                                .observe(src, &self.packets[pid].flits[seq].payload);
-                        }
-                    }
+                    let flits = &self.packets[pid].flits;
+                    self.inject_links.observe(src, &flits[0].payload);
+                    self.inject_links
+                        .observe_payload_run(src, flits[1..].iter().map(|f| &f.payload));
                 }
                 // Every router-output link on the dimension-order path,
                 // ejection link (`Local` port at the destination) last.
@@ -295,16 +362,10 @@ impl Simulator {
                             num_flits as u64,
                         );
                     } else {
-                        for seq in 0..num_flits {
-                            if !self.packets[pid].flits[seq].kind.is_head() {
-                                let plain = self.packets[pid].flits[seq].payload;
-                                self.packets[pid].flits[seq].payload =
-                                    self.out_links.observe_payload(link, &plain);
-                            } else {
-                                self.out_links
-                                    .observe(link, &self.packets[pid].flits[seq].payload);
-                            }
-                        }
+                        let flits = &self.packets[pid].flits;
+                        self.out_links.observe(link, &flits[0].payload);
+                        self.out_links
+                            .observe_payload_run(link, flits[1..].iter().map(|f| &f.payload));
                     }
                     if dir == Direction::Local {
                         break;
@@ -481,19 +542,48 @@ mod tests {
     }
 
     #[test]
-    fn same_source_fifo_is_exempt_on_injection_but_not_out_links() {
+    fn same_source_trailing_is_eligible_cross_source_sharing_is_not() {
         let mut sim = Simulator::new(NocConfig::mesh(4, 4, 128));
         // Same source, first-hop links diverge immediately (east vs
-        // south): eligible even though the injection link is shared.
+        // south): eligible, the injection link is same-source FIFO.
         sim.inject(Packet::new(0, 1, vec![image(128, 1)], 0))
             .unwrap();
         sim.inject(Packet::new(0, 4, vec![image(128, 2)], 1))
             .unwrap();
         assert!(sim.queued_phase_is_contention_free());
-        // A third packet east again shares router 0's east output.
+        // A third packet east again shares router 0's east output with
+        // the first — but from the same source: the NI serializes them,
+        // so the shared link's order is the queue order (FIFO trailing).
         sim.inject(Packet::new(0, 2, vec![image(128, 3)], 2))
             .unwrap();
+        assert!(sim.queued_phase_is_contention_free());
+        // A different source on that same east output is real contention.
+        sim.inject(Packet::new(4, 2, vec![image(128, 4)], 3))
+            .unwrap();
         assert!(!sim.queued_phase_is_contention_free());
+    }
+
+    #[test]
+    fn routes_link_disjoint_detects_overlap_and_direction() {
+        let config = NocConfig::mesh(4, 4, 128);
+        // Opposite directions on the same row never share a directed link.
+        assert!(routes_link_disjoint(
+            &config,
+            [(0usize, 3usize)],
+            [(3usize, 0usize)]
+        ));
+        // Same directed east link out of router 1: overlap.
+        assert!(!routes_link_disjoint(
+            &config,
+            [(0usize, 3usize)],
+            [(1usize, 2usize)]
+        ));
+        // Shared ejection link counts too.
+        assert!(!routes_link_disjoint(
+            &config,
+            [(0usize, 5usize)],
+            [(6usize, 5usize)]
+        ));
     }
 
     #[test]
@@ -519,6 +609,48 @@ mod tests {
             // no contention).
             assert_eq!(fs.cycles, ss.cycles, "{codec:?}");
             assert_eq!(fs.latency, ss.latency, "{codec:?}");
+            for node in 0..16 {
+                assert_eq!(fast.drain_delivered(node), slow.drain_delivered(node));
+            }
+        }
+    }
+
+    #[test]
+    fn analytic_matches_cycle_engine_on_same_source_trailing_phase() {
+        // Multiple packets from one source sharing a full path (plus a
+        // diverging one, and a second busy source): eligible under the
+        // FIFO-trailing rule, and the replay must stay bit-exact — BTs,
+        // lane states, *and* the closed-form clock, which models the
+        // same-source serialization through the per-source cursor.
+        for codec in [None, Some(CodecKind::DeltaXor), Some(CodecKind::BusInvert)] {
+            let width = 128 + codec.map_or(0, CodecKind::extra_wires);
+            let config = NocConfig::mesh(4, 4, width).with_link_codec(codec);
+            let mut fast = Simulator::new(config.clone());
+            let mut slow = Simulator::new(config);
+            for (tag, (src, dst, n)) in [
+                (0usize, 3usize, 4usize),
+                (0, 3, 2),
+                (0, 12, 3),
+                (5, 6, 1),
+                (5, 6, 5),
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                let tag = tag as u64;
+                let payload: Vec<PayloadBits> =
+                    (0..n).map(|i| image(128, tag * 100 + i as u64)).collect();
+                fast.inject(Packet::new(src, dst, payload.clone(), tag))
+                    .unwrap();
+                slow.inject(Packet::new(src, dst, payload, tag)).unwrap();
+            }
+            assert!(fast.queued_phase_is_contention_free());
+            fast.replay_queued_analytic(true);
+            slow.run_until_idle(100_000).unwrap();
+            let (fs, ss) = (fast.stats(), slow.stats());
+            assert_eq!(fs.per_link, ss.per_link, "{codec:?}");
+            assert_eq!(fs.cycles, ss.cycles, "cycles {codec:?}");
+            assert_eq!(fs.latency, ss.latency, "latency {codec:?}");
             for node in 0..16 {
                 assert_eq!(fast.drain_delivered(node), slow.drain_delivered(node));
             }

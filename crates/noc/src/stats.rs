@@ -277,24 +277,127 @@ impl LinkSlab {
         };
         let mut wire = lanes.tx[link].encode_step(flit);
         if let Some(faults) = self.faults.as_mut() {
+            // Faulty wires keep the full walk: the flip lands between the
+            // tx encode and the rx decode, the decode really is corrupted
+            // (and on a stateful codec the rx lane is poisoned for later
+            // flits too), and detection belongs to the EDC at the
+            // receiving NI — so the mirrored decode must actually run.
             faults.corrupt(link, &mut wire);
+            let plain = lanes.rx[link]
+                .decode_step(&wire)
+                // btr-lint: allow(panic-in-hot-path, reason = "tx/rx lanes are built as a mirrored pair over the same wire width; a decode failure here is codec-lane construction corruption, not a data condition")
+                .expect("mirrored decoder consumes the wire it was built for");
+            self.observe(link, &wire);
+            return plain.resized(self.width);
         }
-        let plain = lanes.rx[link]
-            .decode_step(&wire)
-            // btr-lint: allow(panic-in-hot-path, reason = "tx/rx lanes are built as a mirrored pair over the same wire width; a decode failure here is codec-lane construction corruption, not a data condition")
-            .expect("mirrored decoder consumes the wire it was built for");
-        // On perfect wires the delivered image really is the decode of
-        // the coded wire — losslessness is exercised on every hop, not
-        // assumed. With faults armed the check must stand down entirely:
-        // a flip corrupts this decode, and on a stateful codec it also
-        // poisons the rx lane so *later* clean traversals decode wrong
-        // too. Detection belongs to the EDC at the receiving NI.
-        debug_assert!(
-            self.faults.is_some() || plain == flit.resized(plain.width()),
-            "link {link} codec lane"
-        );
+        // Perfect wires: the mirrored decode provably returns the
+        // transmitted plain image and leaves the rx lane equal to the tx
+        // lane (delta-XOR keeps the plain image on both ends, bus-invert
+        // the post-inversion wire data). Debug builds keep the full
+        // decode as the per-flit oracle; release builds advance the rx
+        // lane by mirroring and skip the decode — it was pure overhead.
+        #[cfg(debug_assertions)]
+        {
+            let plain = lanes.rx[link]
+                .decode_step(&wire)
+                // btr-lint: allow(panic-in-hot-path, reason = "cfg(debug_assertions) oracle; its purpose is to abort loudly if the mirrored decode ever fails on perfect wires")
+                .expect("mirrored decoder consumes the wire it was built for");
+            debug_assert!(
+                plain == flit.resized(plain.width()),
+                "link {link} codec lane"
+            );
+            debug_assert!(
+                lanes.rx[link] == lanes.tx[link],
+                "link {link}: mirrored lanes diverged on perfect wires"
+            );
+        }
+        #[cfg(not(debug_assertions))]
+        lanes.rx[link].clone_from(&lanes.tx[link]);
         self.observe(link, &wire);
-        plain.resized(self.width)
+        flit.resized(self.width)
+    }
+
+    /// Records an uninterrupted run of *payload* flits traversing `link`
+    /// through the link's persistent codec lanes in one bulk pass —
+    /// exactly equivalent to calling [`LinkSlab::observe_payload`] on
+    /// each flit of the run in order, without materializing any
+    /// intermediate wire image: the tx lane advances through
+    /// [`LinkCodecState::encode_run`], the accumulator charges the run's
+    /// boundary + intra transitions, and the rx lane is mirrored from the
+    /// tx lane (on perfect wires the mirrored decode provably lands
+    /// there; debug builds re-derive it flit by flit as the oracle).
+    ///
+    /// The delivered plain images are the inputs themselves — on perfect
+    /// wires the per-flit walk's decode-and-realign is the identity — so
+    /// unlike [`LinkSlab::observe_payload`] nothing is returned.
+    ///
+    /// An empty run is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slab has no codec lanes (use [`LinkSlab::observe_run`])
+    /// or has faults armed (a flip must land between encode and decode,
+    /// so faulty wires keep the per-flit walk), if `link` is out of
+    /// range, or if a flit width matches neither the data wires nor the
+    /// link width.
+    pub fn observe_payload_run<'a>(
+        &mut self,
+        link: usize,
+        flits: impl IntoIterator<Item = &'a PayloadBits> + Clone,
+    ) {
+        let lanes = self
+            .lanes
+            .as_mut()
+            // btr-lint: allow(panic-in-hot-path, reason = "documented `# Panics` contract: callers route raw-wire slabs to observe_run; lanes are fixed at slab construction, not a data condition")
+            .expect("bulk payload runs need per-link codec lanes; use observe_run for raw wires");
+        assert!(
+            self.faults.is_none(),
+            "bulk payload runs cannot traverse error-injected wires"
+        );
+        // Debug oracle: the bulk kernel must agree with the per-flit
+        // walk — same wires observed, same end-of-run lane states.
+        #[cfg(debug_assertions)]
+        let walk = {
+            let mut tx = lanes.tx[link].clone();
+            let mut rx = lanes.rx[link].clone();
+            let mut wires: Vec<PayloadBits> = Vec::new();
+            for flit in flits.clone() {
+                let wire = tx.encode_step(flit);
+                // btr-lint: allow(panic-in-hot-path, reason = "cfg(debug_assertions) oracle walk; aborting loudly on divergence is its job")
+                let plain = rx.decode_step(&wire).expect("mirrored decode");
+                debug_assert!(plain == flit.resized(plain.width()), "link {link} lane");
+                wires.push(wire);
+            }
+            (tx, rx, wires)
+        };
+        let Some(run) = lanes.tx[link].encode_run(flits) else {
+            return;
+        };
+        #[cfg(debug_assertions)]
+        {
+            let (tx, rx, wires) = &walk;
+            debug_assert!(&lanes.tx[link] == tx, "link {link}: bulk tx state diverges");
+            debug_assert!(tx == rx, "link {link}: mirrored lanes diverged");
+            // btr-lint: allow(panic-in-hot-path, reason = "cfg(debug_assertions) oracle; the run is non-empty here so the walk produced at least one wire")
+            debug_assert!(run.first == wires[0] && run.last == *wires.last().unwrap());
+            debug_assert!(
+                run.intra
+                    == wires
+                        .windows(2)
+                        .map(|w| u64::from(w[1].transitions_to(&w[0])))
+                        .sum::<u64>(),
+                "link {link}: bulk intra sum diverges from the walk"
+            );
+        }
+        lanes.rx[link].clone_from(&lanes.tx[link]);
+        let first = run.first.resized(self.width);
+        let last = run.last.resized(self.width);
+        if self.flits[link] > 0 {
+            self.transitions[link] += u64::from(first.transitions_to(&self.prev[link]));
+        }
+        self.transitions[link] += run.intra;
+        self.prev[link].clone_used_from(&last);
+        self.flits[link] += run.count;
     }
 
     /// Accumulated transitions on `link`.

@@ -211,6 +211,48 @@ fn auto_takes_the_fast_path_on_uncontended_layers_and_still_matches() {
     }
 }
 
+#[test]
+fn per_link_matrix_rides_the_analytic_fast_path() {
+    // Per-link codec scope used to be the one configuration that never
+    // took the fast path (the bulk replay guards refused persistent
+    // lanes). With the bulk codec-lane kernels plus the hybrid
+    // request-phase split, both the forced replay and Auto must report a
+    // nonzero analytic phase fraction on a real multi-PE model under
+    // per-link scope — and Auto must stay bit-identical to the cycle
+    // engine while doing so.
+    let model = tiny_model(11);
+    let ops = model.inference_ops();
+    let inputs = tiny_inputs(12, 1);
+    for ordering in [OrderingMethod::Baseline, OrderingMethod::Separated] {
+        for codec in [CodecKind::DeltaXor, CodecKind::BusInvert] {
+            let what = format!("{ordering} {codec} per-link");
+            let cycle = config(
+                DataFormat::Fixed8,
+                ordering,
+                codec,
+                CodecScope::PerLink,
+                1,
+                EngineMode::Cycle,
+            );
+            let mut forced = cycle.clone();
+            forced.engine = EngineMode::Analytic;
+            let forced_run = run_inference_batch(&ops, &inputs, &forced).unwrap();
+            assert!(
+                forced_run.analytic_phase_fraction() > 0.0,
+                "{what}: forced analytic never replayed a phase"
+            );
+            let mut auto = cycle.clone();
+            auto.engine = EngineMode::Auto;
+            let auto_run = run_inference_batch(&ops, &inputs, &auto).unwrap();
+            assert!(
+                auto_run.analytic_phase_fraction() > 0.0,
+                "{what}: Auto fell back to the cycle engine on every layer"
+            );
+            assert_engines_agree(&ops, &inputs, &cycle, &auto, &what);
+        }
+    }
+}
+
 /// A random full-width payload image.
 fn image(width: u32, rng: &mut StdRng) -> PayloadBits {
     let mut p = PayloadBits::zero(width);

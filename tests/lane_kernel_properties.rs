@@ -1,0 +1,138 @@
+//! Property-based tests (proptest) pinning the bulk codec-lane kernels
+//! to the per-flit walk they replace.
+//!
+//! The run kernels must be *bit-exact* stand-ins, not approximations:
+//!
+//! * `LinkCodecState::encode_run` == an `encode_step` loop — boundary
+//!   wire images (the run's `first`/`last`), the intra-run transition
+//!   sum, and the end-of-run lane state — across
+//!   `CodecKind × data width × run length × seeded lane prev-state`.
+//! * `LinkCodecState::transitions_of_run` reports the same sum without
+//!   touching the lane.
+//! * `LinkSlab::observe_payload_run` == an `observe_payload` loop —
+//!   per-link transition/flit counters and both persistent lane states
+//!   (tx *and* the mirrored rx) — over the same axes, including a
+//!   pre-existing wire history on the link.
+//!
+//! These pins are what let release builds skip the mirrored per-hop rx
+//! decode and the analytic engine take the fast path on per-link-coded
+//! phases.
+
+use noc_btr::bits::PayloadBits;
+use noc_btr::core::codec::CodecKind;
+use noc_btr::noc::stats::LinkSlab;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random `width`-bit payload image.
+fn image(width: u32, rng: &mut StdRng) -> PayloadBits {
+    let mut p = PayloadBits::zero(width);
+    let mut off = 0;
+    while off < width {
+        let len = 64.min(width - off);
+        p.set_field(off, len, rng.gen());
+        off += len;
+    }
+    p
+}
+
+fn images(width: u32, n: usize, rng: &mut StdRng) -> Vec<PayloadBits> {
+    (0..n).map(|_| image(width, rng)).collect()
+}
+
+fn codec_of(idx: usize) -> CodecKind {
+    [
+        CodecKind::Unencoded,
+        CodecKind::BusInvert,
+        CodecKind::DeltaXor,
+    ][idx]
+}
+
+proptest! {
+    /// `encode_run` is the step loop: same wire stream boundaries, same
+    /// transition sum, same lane afterwards — from a fresh lane or one
+    /// already seeded by a random warmup prefix.
+    #[test]
+    fn encode_run_is_the_step_loop(
+        seed in 0u64..10_000,
+        codec_idx in 0usize..3,
+        width in 1u32..320,
+        warmup in 0usize..4,
+        len in 0usize..24,
+    ) {
+        let codec = codec_of(codec_idx);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut bulk = codec.seed_state(width);
+        let mut walk = codec.seed_state(width);
+        for flit in images(width, warmup, &mut rng) {
+            let _ = bulk.encode_step(&flit);
+            let _ = walk.encode_step(&flit);
+        }
+        let run_flits = images(width, len, &mut rng);
+        let probe = bulk.clone();
+        let run = bulk.encode_run(run_flits.iter());
+        let wires: Vec<PayloadBits> =
+            run_flits.iter().map(|f| walk.encode_step(f)).collect();
+        prop_assert_eq!(&bulk, &walk, "end-of-run lane state (seed {})", seed);
+        match run {
+            None => prop_assert!(run_flits.is_empty()),
+            Some(run) => {
+                prop_assert_eq!(run.count, run_flits.len() as u64);
+                prop_assert_eq!(&run.first, &wires[0], "first wire image");
+                prop_assert_eq!(&run.last, wires.last().unwrap(), "last wire image");
+                let walked: u64 = wires
+                    .windows(2)
+                    .map(|w| u64::from(w[1].transitions_to(&w[0])))
+                    .sum();
+                prop_assert_eq!(run.intra, walked, "intra transition sum (seed {})", seed);
+                // The probe variant reports the same sum and is pure.
+                prop_assert_eq!(probe.transitions_of_run(run_flits.iter()), walked);
+            }
+        }
+    }
+
+    /// `observe_payload_run` is the `observe_payload` loop at the slab
+    /// level: identical per-link transition/flit accounting and
+    /// identical persistent tx/rx lane states, on a link with or
+    /// without prior wire history.
+    #[test]
+    fn observe_payload_run_is_the_observe_payload_loop(
+        seed in 0u64..10_000,
+        codec_idx in 1usize..3, // payload runs need codec lanes
+        width in 1u32..200,
+        history in 0usize..3,
+        len in 1usize..16,
+    ) {
+        let codec = codec_of(codec_idx);
+        let link_width = width + codec.extra_wires();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut bulk = LinkSlab::with_link_codec(link_width, 2, codec);
+        let mut walk = LinkSlab::with_link_codec(link_width, 2, codec);
+        for flit in images(width, history, &mut rng) {
+            let a = bulk.observe_payload(0, &flit);
+            let b = walk.observe_payload(0, &flit);
+            prop_assert_eq!(a, b);
+        }
+        let run_flits = images(width, len, &mut rng);
+        bulk.observe_payload_run(0, run_flits.iter());
+        for flit in &run_flits {
+            // The per-flit walk returns the delivered plain image; on
+            // perfect wires it is the input itself — the identity the
+            // bulk path relies on to skip payload rewrites.
+            let delivered = walk.observe_payload(0, flit);
+            prop_assert_eq!(&delivered.resized(width), flit);
+        }
+        prop_assert_eq!(bulk.transitions(0), walk.transitions(0), "link BTs (seed {})", seed);
+        prop_assert_eq!(bulk.flits(0), walk.flits(0), "link flit count");
+        prop_assert_eq!(
+            bulk.codec_lane_states(0),
+            walk.codec_lane_states(0),
+            "persistent tx/rx lanes (seed {})",
+            seed
+        );
+        // The untouched link stayed untouched.
+        prop_assert_eq!(bulk.transitions(1), 0);
+        prop_assert_eq!(bulk.flits(1), 0);
+    }
+}
